@@ -1,0 +1,471 @@
+(* The benchmark harness: regenerates every quantitative claim of the
+   paper's evaluation (see DESIGN.md §2 and EXPERIMENTS.md).
+
+     E1/E2  Stanford suite at the four optimization levels
+            (static ≈ no significant speedup; dynamic ≥ 2×)
+     E3     code size with PTML attached (≈ 2×)
+     E4     reflective optimizedAbs (section 4.1 worked example)
+     E5     merge-select fusion
+     E6     trivial-exists
+     E7     runtime index bindings (indexselect vs scan)
+     E8     rewrite-engine micro-benchmarks (Bechamel)
+     E9     integrated program + query optimization ablation
+
+   Set TML_BENCH_FAST=1 to skip the slowest benchmark (puzzle). *)
+
+open Tml_core
+open Tml_vm
+open Tml_frontend
+module Suite = Tml_stanford.Suite
+module Reflect = Tml_reflect.Reflect
+
+let fast_mode = Sys.getenv_opt "TML_BENCH_FAST" <> None
+
+let section title =
+  Printf.printf "\n==========================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==========================================================\n%!"
+
+let geomean xs =
+  exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* E1/E2: the Stanford suite                                            *)
+(* ------------------------------------------------------------------ *)
+
+let e1_e2 () =
+  section
+    "E1/E2 — Stanford suite: abstract instructions per run\n\
+     (levels: unopt | static = local compile-time | dynamic = reflective\n\
+     runtime | direct = primitives inlined by a closed compiler)";
+  let names =
+    if fast_mode then List.filter (fun n -> n <> "puzzle") Suite.all_names else Suite.all_names
+  in
+  Printf.printf "%-8s %12s %12s %12s %12s | %9s %9s %9s\n" "bench" "unopt" "static" "dynamic"
+    "direct" "stat/un" "dyn/stat" "dyn/un";
+  let ratios_static = ref [] and ratios_dyn_static = ref [] and ratios_dyn = ref [] in
+  List.iter
+    (fun name ->
+      let results =
+        List.map
+          (fun level ->
+            let r = Suite.run name level in
+            (match r.Suite.outcome with
+            | Eval.Done _ -> ()
+            | o ->
+              Format.printf "!! %s/%s failed: %a@." name (Suite.level_name level)
+                Eval.pp_outcome o;
+              exit 1);
+            Suite.level_name level, r)
+          Suite.levels
+      in
+      let outputs = List.map (fun (_, r) -> String.trim r.Suite.output) results in
+      if not (List.for_all (fun o -> o = List.hd outputs) outputs) then begin
+        Printf.printf "!! %s: outputs diverge across levels\n" name;
+        exit 1
+      end;
+      let steps l = (List.assoc l results).Suite.steps in
+      let f = float_of_int in
+      let s_static = f (steps "unopt") /. f (steps "static") in
+      let s_dyn_static = f (steps "static") /. f (steps "dynamic") in
+      let s_dyn = f (steps "unopt") /. f (steps "dynamic") in
+      ratios_static := s_static :: !ratios_static;
+      ratios_dyn_static := s_dyn_static :: !ratios_dyn_static;
+      ratios_dyn := s_dyn :: !ratios_dyn;
+      Printf.printf "%-8s %12d %12d %12d %12d | %8.2fx %8.2fx %8.2fx\n%!" name (steps "unopt")
+        (steps "static") (steps "dynamic") (steps "direct") s_static s_dyn_static s_dyn)
+    names;
+  Printf.printf "%-8s %12s %12s %12s %12s | %8.2fx %8.2fx %8.2fx\n" "geomean" "" "" "" ""
+    (geomean !ratios_static) (geomean !ratios_dyn_static) (geomean !ratios_dyn);
+  Printf.printf
+    "\npaper: local/static optimization yields no significant speedup, while\n\
+     dynamic optimization 'more than doubles the execution speed'.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E3: code size                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "E3 — code size: executable code vs code + persistent TML (PTML)";
+  Printf.printf "%-8s %6s %12s %12s %12s %8s\n" "bench" "funcs" "bytecode" "ptml" "total"
+    "ratio";
+  let total_code = ref 0 and total_ptml = ref 0 in
+  List.iter
+    (fun name ->
+      let program = Suite.load name Suite.Unopt in
+      let r = Suite.code_size program in
+      total_code := !total_code + r.Suite.bytecode_bytes;
+      total_ptml := !total_ptml + r.Suite.ptml_bytes;
+      Printf.printf "%-8s %6d %12d %12d %12d %7.2fx\n%!" name r.Suite.functions
+        r.Suite.bytecode_bytes r.Suite.ptml_bytes
+        (r.Suite.bytecode_bytes + r.Suite.ptml_bytes)
+        (float_of_int (r.Suite.bytecode_bytes + r.Suite.ptml_bytes)
+        /. float_of_int r.Suite.bytecode_bytes))
+    Suite.all_names;
+  Printf.printf "%-8s %6s %12d %12d %12d %7.2fx\n" "total" "" !total_code !total_ptml
+    (!total_code + !total_ptml)
+    (float_of_int (!total_code + !total_ptml) /. float_of_int !total_code);
+  Printf.printf "\npaper: 'the code size doubles' (1.2MB vs 600kB for the Tycoon system).\n"
+
+(* ------------------------------------------------------------------ *)
+(* E4: reflective optimizedAbs                                          *)
+(* ------------------------------------------------------------------ *)
+
+let abs_source =
+  {|
+module complex export
+  let mk(x: Real, y: Real): Tuple(Real, Real) = tuple(x, y)
+  let re(c: Tuple(Real, Real)): Real = c.1
+  let im(c: Tuple(Real, Real)): Real = c.2
+end
+let cabs(c: Tuple(Real, Real)): Real =
+  mathlib.sqrt(complex.re(c) * complex.re(c) + complex.im(c) * complex.im(c))
+do io.print_real(cabs(complex.mk(3.0, 4.0))) end
+|}
+
+let e4 () =
+  section "E4 — reflect.optimize(abs): optimization across abstraction barriers (§4.1)";
+  let program = Link.load abs_source in
+  let ctx = program.Link.ctx in
+  let mk = Value.Oidv (Link.function_oid program "complex.mk") in
+  let c =
+    match Machine.run_proc ctx mk [ Value.Real 3.0; Value.Real 4.0 ] with
+    | Eval.Done v -> v
+    | _ -> failwith "mk failed"
+  in
+  let run fn =
+    let before = ctx.Runtime.steps in
+    match Machine.run_proc ctx fn [ c ] with
+    | Eval.Done _ -> ctx.Runtime.steps - before
+    | o -> Format.kasprintf failwith "cabs failed: %a" Eval.pp_outcome o
+  in
+  let abs_oid = Link.function_oid program "cabs" in
+  let before = run (Value.Oidv abs_oid) in
+  let result = Reflect.optimize ctx abs_oid in
+  let after = run (Value.Oidv result.Reflect.oid) in
+  Printf.printf "%-22s %10s %10s %9s %9s\n" "" "instrs" "static" "size" "inlined";
+  Printf.printf "%-22s %10d %10d %9d\n" "cabs (linked)" before
+    result.Reflect.report.Optimizer.cost_before result.Reflect.report.Optimizer.size_before;
+  Printf.printf "%-22s %10d %10d %9d %9d\n" "optimizedAbs" after
+    result.Reflect.report.Optimizer.cost_after result.Reflect.report.Optimizer.size_after
+    result.Reflect.inlined_calls;
+  Printf.printf "speedup: %.2fx\n" (float_of_int before /. float_of_int after);
+  Printf.printf
+    "\npaper: the reflective optimizer inlines complex.x / complex.y across the\n\
+     module barrier, yielding code equivalent to sqrt(c.x*c.x + c.y*c.y).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Query experiment helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let make_employees ctx n =
+  let rows =
+    List.init n (fun i ->
+        [|
+          Value.Int (i + 1);
+          Value.Int (20 + (i * 7 mod 40));
+          Value.Int (3000 + (i * 137 mod 5000));
+        |])
+  in
+  Tml_query.Rel.create ctx ~name:"employees" rows
+
+let run_query ctx term bindings =
+  let frees = Ident.Set.elements (Term.free_vars_app term) in
+  let env =
+    List.fold_left
+      (fun env id ->
+        match List.assoc_opt id.Ident.name bindings with
+        | Some v -> Ident.Map.add id v env
+        | None -> env)
+      Ident.Map.empty frees
+  in
+  let env =
+    List.fold_left
+      (fun env id ->
+        match id.Ident.name with
+        | "halt_ok" -> Ident.Map.add id (Value.Halt true) env
+        | "halt_err" -> Ident.Map.add id (Value.Halt false) env
+        | _ -> env)
+      env frees
+  in
+  let before = ctx.Runtime.steps in
+  let outcome = Eval.run_app ctx ~env term in
+  outcome, ctx.Runtime.steps - before
+
+let field_pred ~tag ~field ~op ~value =
+  Printf.sprintf
+    "proc(x%s pce%s! pcc%s!) ([] x%s %d cont(t%s) (%s t%s %d cont() (pcc%s! true) cont() \
+     (pcc%s! false)))"
+    tag tag tag tag field tag op tag value tag tag
+
+(* ------------------------------------------------------------------ *)
+(* E5: merge-select                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5 — merge-select: σp(σq(R)) ≡ σp∧q(R) (§4.2)";
+  Printf.printf "%-10s %12s %12s %9s %9s\n" "|R|" "chained" "merged" "speedup" "agree";
+  List.iter
+    (fun n ->
+      let ctx = Runtime.create (Value.Heap.create ()) in
+      Tml_query.Qprims.install ();
+      let rel = make_employees ctx n in
+      let src =
+        Printf.sprintf
+          "(select %s r halt_err! cont(tmp) (select %s tmp halt_err! cont(out) (count out \
+           cont(c) (halt_ok! c))))"
+          (field_pred ~tag:"q" ~field:1 ~op:">=" ~value:30)
+          (field_pred ~tag:"p" ~field:2 ~op:"<" ~value:5500)
+      in
+      let chained = Sexp.parse_app src in
+      let merged, _ = Tml_query.Qopt.optimize_static chained in
+      let o1, s1 = run_query ctx chained [ "r", Value.Oidv rel ] in
+      let o2, s2 = run_query ctx merged [ "r", Value.Oidv rel ] in
+      let agree =
+        match o1, o2 with
+        | Eval.Done v1, Eval.Done v2 -> Value.identical v1 v2
+        | _ -> false
+      in
+      Printf.printf "%-10d %12d %12d %8.2fx %9b\n%!" n s1 s2
+        (float_of_int s1 /. float_of_int s2)
+        agree)
+    [ 10; 100; 1000 ];
+  Printf.printf "\nfused selection avoids materializing the intermediate relation.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6: trivial-exists                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6 — trivial-exists: ∃x∈R: p ≡ p ∧ R≠∅ when x ∉ fv(p) (§4.2)";
+  Printf.printf "%-10s %12s %12s %9s\n" "|R|" "original" "rewritten" "speedup";
+  List.iter
+    (fun n ->
+      let ctx = Runtime.create (Value.Heap.create ()) in
+      Tml_query.Qprims.install ();
+      let rel = make_employees ctx n in
+      let src =
+        "(exists proc(x pce! pcc!) (> y 0 cont() (pcc! true) cont() (pcc! false)) r \
+         halt_err! cont(b) (halt_ok! b))"
+      in
+      let original = Sexp.parse_app src in
+      let rewritten = Rewrite.reduce_app ~rules:Tml_query.Qopt.static_rules original in
+      let bindings = [ "r", Value.Oidv rel; "y", Value.Int (-1) ] in
+      let o1, s1 = run_query ctx original bindings in
+      let o2, s2 = run_query ctx rewritten bindings in
+      (match o1, o2 with
+      | Eval.Done v1, Eval.Done v2 when Value.identical v1 v2 -> ()
+      | _ -> failwith "E6: results diverge");
+      Printf.printf "%-10d %12d %12d %8.2fx\n%!" n s1 s2 (float_of_int s1 /. float_of_int s2))
+    [ 10; 100; 1000 ];
+  Printf.printf
+    "\nO(|R|) predicate evaluations become one evaluation plus an emptiness test:\n\
+     the speedup grows linearly with |R|.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7: runtime index bindings                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7 — index-select: query optimization needs runtime bindings (§4.2)";
+  Printf.printf "%-10s %12s %12s %9s\n" "|R|" "scan" "indexed" "speedup";
+  List.iter
+    (fun n ->
+      let ctx = Runtime.create (Value.Heap.create ()) in
+      Tml_query.Qprims.install ();
+      let rel = make_employees ctx n in
+      let src =
+        Printf.sprintf "(select %s <oid %d> halt_err! cont(out) (count out cont(c) (halt_ok! \
+         c)))"
+          (field_pred ~tag:"i" ~field:1 ~op:"==" ~value:27)
+          (Oid.to_int rel)
+      in
+      let scan = Sexp.parse_app src in
+      (* without the index, the rule does not fire — rewriting is a no-op *)
+      let not_rewritten = Rewrite.reduce_app ~rules:(Tml_query.Qopt.runtime_rules ctx) scan in
+      let o1, s1 = run_query ctx not_rewritten [] in
+      (* build the index: now the same rewrite produces an indexselect *)
+      Tml_query.Rel.add_index ctx rel 1;
+      let rewritten = Rewrite.reduce_app ~rules:(Tml_query.Qopt.runtime_rules ctx) scan in
+      let o2, s2 = run_query ctx rewritten [] in
+      (match o1, o2 with
+      | Eval.Done v1, Eval.Done v2 when Value.identical v1 v2 -> ()
+      | _ -> failwith "E7: results diverge");
+      Printf.printf "%-10d %12d %12d %8.2fx\n%!" n s1 s2 (float_of_int s1 /. float_of_int s2))
+    [ 10; 100; 1000 ];
+  Printf.printf
+    "\nthe rewrite fires only when the store, at runtime, carries the index —\n\
+     'we have to delay query optimizations until runtime'.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9: integrated program and query optimization                        *)
+(* ------------------------------------------------------------------ *)
+
+let e9_source =
+  {|
+let employees = relation(
+  tuple(1, 23, 4100), tuple(2, 38, 6500), tuple(3, 38, 5200),
+  tuple(4, 55, 8000), tuple(5, 29, 4600), tuple(6, 38, 7100),
+  tuple(7, 41, 6900), tuple(8, 23, 3900), tuple(9, 38, 4400),
+  tuple(10, 31, 5100), tuple(11, 38, 6100), tuple(12, 44, 7300))
+
+let is38(e: Tuple(Int, Int, Int)): Bool = e.2 == 38
+
+let total_salary(r: Rel(Tuple(Int, Int, Int))): Int =
+  var total := 0;
+  foreach e in r do total := total + e.3 end;
+  total
+
+let query(): Int =
+  total_salary(select e from e in employees where is38(e) end)
+
+do
+  mkindex(employees, 2);
+  io.print_int(query())
+end
+|}
+
+let e9 () =
+  section
+    "E9 — integrated program + query optimization: the program optimizer\n\
+     inlines the user predicate, the query optimizer then recognizes the\n\
+     field-equality shape and uses the runtime index (figure 4)";
+  let variants =
+    [
+      "no optimization", None;
+      ( "program rules only",
+        Some { Reflect.default with Reflect.use_query_rules = false } );
+      "integrated (full)", Some Reflect.default;
+    ]
+  in
+  Printf.printf "%-22s %10s %14s\n" "configuration" "instrs" "uses index?";
+  List.iter
+    (fun (label, config) ->
+      let program = Link.load e9_source in
+      let ctx = program.Link.ctx in
+      (* main builds the index first *)
+      let outcome, _ = Link.run_main program ~engine:`Machine () in
+      (match outcome with
+      | Eval.Done _ -> ()
+      | o -> Format.kasprintf failwith "E9 main failed: %a" Eval.pp_outcome o);
+      let query_oid = Link.function_oid program "query" in
+      let uses_index = ref false in
+      (match config with
+      | None -> ()
+      | Some config ->
+        let result = Reflect.optimize_inplace ~config ctx query_oid in
+        uses_index :=
+          (match result.Reflect.optimized_tml with
+          | Term.Abs a ->
+            Term.exists_app
+              (fun node ->
+                match node.Term.func with
+                | Term.Prim "indexselect" -> true
+                | _ -> false)
+              a.Term.body
+          | _ -> false));
+      let before = ctx.Runtime.steps in
+      (match Machine.run_proc ctx (Value.Oidv query_oid) [] with
+      | Eval.Done (Value.Int 29300) -> ()
+      | Eval.Done v -> Format.kasprintf failwith "E9 wrong result %a" Value.pp v
+      | o -> Format.kasprintf failwith "E9 query failed: %a" Eval.pp_outcome o);
+      Printf.printf "%-22s %10d %14b\n%!" label (ctx.Runtime.steps - before) !uses_index)
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* E8: rewrite-engine micro-benchmarks (Bechamel)                       *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8 — rewrite engine micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  Runtime.install ();
+  let rng = Random.State.make [| 2025 |] in
+  let small = Gen.proc2 rng ~size:20 in
+  let medium = Gen.proc2 rng ~size:80 in
+  let large = Gen.proc2 rng ~size:300 in
+  let ptml_bytes = Tml_store.Ptml.encode_value large in
+  let fib_src =
+    "let fib(n: Int): Int = if n < 2 then n else fib(n - 1) + fib(n - 2) end do \
+     io.print_int(fib(10)) end"
+  in
+  let fib_program = Link.load fib_src in
+  Reflect.optimize_all fib_program.Link.ctx (Link.all_function_oids fib_program);
+  let tests =
+    Test.make_grouped ~name:"tml"
+      [
+        Test.make ~name:"reduce/small" (Staged.stage (fun () -> Rewrite.reduce_value small));
+        Test.make ~name:"reduce/medium" (Staged.stage (fun () -> Rewrite.reduce_value medium));
+        Test.make ~name:"reduce/large" (Staged.stage (fun () -> Rewrite.reduce_value large));
+        Test.make ~name:"optimize-o2/medium"
+          (Staged.stage (fun () -> Optimizer.optimize_value medium));
+        Test.make ~name:"optimize-o3/medium"
+          (Staged.stage (fun () -> Optimizer.optimize_value ~config:Optimizer.o3 medium));
+        Test.make ~name:"ptml-encode/large"
+          (Staged.stage (fun () -> Tml_store.Ptml.encode_value large));
+        Test.make ~name:"ptml-decode/large"
+          (Staged.stage (fun () -> Tml_store.Ptml.decode_value ptml_bytes));
+        Test.make ~name:"machine/fib10-dynamic"
+          (Staged.stage (fun () -> Link.run_main fib_program ~engine:`Machine ()));
+        Test.make ~name:"tree/fib10-dynamic"
+          (Staged.stage (fun () -> Link.run_main fib_program ~engine:`Tree ()));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  Printf.printf "%-32s %14s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-32s %14.1f\n" name est
+      | _ -> Printf.printf "%-32s %14s\n" name "n/a")
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the design choices DESIGN.md calls out                     *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section
+    "Ablation — optimizer configurations on the Stanford subset\n\
+     (O1 = reduction only, O2 = +inlining, O3 = +loop unrolling)";
+  let names = [ "perm"; "queens"; "intmm"; "tree" ] in
+  Printf.printf "%-8s %12s %12s %12s\n" "bench" "dynamic-O1" "dynamic-O2" "dynamic-O3";
+  List.iter
+    (fun name ->
+      let steps config =
+        let program = Link.load (Suite.source name) in
+        Reflect.optimize_all
+          ~config:{ Reflect.default with Reflect.optimizer = config }
+          program.Link.ctx (Link.all_function_oids program);
+        let outcome, steps = Link.run_main program ~engine:`Machine () in
+        (match outcome with
+        | Eval.Done _ -> ()
+        | o -> Format.kasprintf failwith "ablation failed: %a" Eval.pp_outcome o);
+        steps
+      in
+      Printf.printf "%-8s %12d %12d %12d\n%!" name (steps Optimizer.o1) (steps Optimizer.o2)
+        (steps Optimizer.o3))
+    names
+
+let () =
+  Printf.printf
+    "TML benchmark harness — reproduction of Gawecki & Matthes, EDBT 1996\n\
+     (abstract instruction counts are deterministic; wall times vary)\n";
+  if fast_mode then Printf.printf "[fast mode: puzzle skipped]\n";
+  e1_e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e9 ();
+  ablation ();
+  e8 ();
+  Printf.printf "\nAll experiments completed.\n"

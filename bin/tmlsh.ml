@@ -1,0 +1,129 @@
+(* tmlsh — an interactive, persistent TL session (the Tycoon working
+   style: one live store, incremental compilation and linking, reflective
+   re-optimization of linked code, store images on demand).
+
+     $ dune exec bin/tmlsh.exe
+     tml> let double(x: Int): Int = x * 2
+     defined double
+     tml> double(21)
+     - : 42 (in 23 instructions)
+     tml> :optimize double
+     tml> double(21)
+     - : 42 (in 12 instructions)
+
+   Commands: :help :names :dump NAME :disasm NAME :optimize NAME
+             :optimize-all :save FILE :steps :quit *)
+
+open Tml_core
+open Tml_vm
+open Tml_frontend
+
+let interactive = Unix.isatty Unix.stdin
+
+let prompt () =
+  if interactive then begin
+    print_string "tml> ";
+    flush stdout
+  end
+
+let help () =
+  print_string
+    "TL definitions and expressions are compiled into the live store.\n\
+     Commands:\n\
+    \  :help            this text\n\
+    \  :names           linked user functions\n\
+    \  :dump NAME       print a function's current TML\n\
+    \  :disasm NAME     print its abstract machine code\n\
+    \  :optimize NAME   reflectively optimize it in place\n\
+    \  :optimize-all    reflectively optimize every function\n\
+    \  :save FILE       write the store image (run functions later with\n\
+    \                   'tmlc exec FILE name args')\n\
+    \  :steps           abstract instructions executed so far\n\
+    \  :quit            leave\n"
+
+let with_func session name f =
+  match Repl.function_oid session name with
+  | Some oid -> f oid
+  | None -> Printf.printf "no function named %s\n" name
+
+let command session line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ ":help" ] -> help ()
+  | [ ":names" ] ->
+    List.iter
+      (fun (name, _) -> print_endline name)
+      (List.filter
+         (fun (name, _) -> not (String.contains name '!'))
+         (Repl.function_oids session))
+  | [ ":dump"; name ] ->
+    with_func session name (fun _ ->
+        match Repl.lookup_tml session name with
+        | Some tml -> Format.printf "%a@." Pp.pp_value tml
+        | None -> Printf.printf "no TML for %s\n" name)
+  | [ ":disasm"; name ] ->
+    with_func session name (fun oid ->
+        match Value.Heap.get (Repl.ctx session).Runtime.heap oid with
+        | Value.Func fo -> (
+          ignore (Compile.compile_func (Repl.ctx session) fo);
+          match fo.Value.fo_code with
+          | Some u -> Format.printf "%a@." Instr.pp_unit u
+          | None -> Printf.printf "%s is a bare primitive\n" name)
+        | _ -> ())
+  | [ ":optimize"; name ] ->
+    with_func session name (fun oid ->
+        let r = Tml_reflect.Reflect.optimize_inplace (Repl.ctx session) oid in
+        Printf.printf "optimized %s: static cost %d -> %d, %d calls inlined\n" name
+          r.Tml_reflect.Reflect.report.Optimizer.cost_before
+          r.Tml_reflect.Reflect.report.Optimizer.cost_after
+          r.Tml_reflect.Reflect.inlined_calls)
+  | [ ":optimize-all" ] ->
+    Tml_reflect.Reflect.optimize_all (Repl.ctx session)
+      (List.map snd (Repl.function_oids session));
+    Printf.printf "optimized %d functions\n" (List.length (Repl.function_oids session))
+  | [ ":save"; file ] ->
+    Image.save_file (Repl.ctx session).Runtime.heap file;
+    Printf.printf "store image written to %s\n" file
+  | [ ":steps" ] -> Printf.printf "%d abstract instructions\n" (Repl.ctx session).Runtime.steps
+  | _ -> Printf.printf "unknown command %s (:help for help)\n" line
+
+let show_result (r : Repl.feed_result) =
+  List.iter (fun name -> Printf.printf "defined %s\n" name) r.Repl.defined;
+  print_string r.Repl.output;
+  if r.Repl.output <> "" && r.Repl.output.[String.length r.Repl.output - 1] <> '\n' then
+    print_newline ();
+  match r.Repl.result with
+  | Some (Eval.Done Value.Unit, _) -> ()
+  | Some (Eval.Done v, steps) ->
+    Format.printf "- : %a (in %d instructions)@." Value.pp v steps
+  | Some (Eval.Raised v, _) -> Format.printf "uncaught exception: %a@." Value.pp v
+  | Some (o, _) -> Format.printf "%a@." Eval.pp_outcome o
+  | None -> ()
+
+let () =
+  if interactive then
+    print_endline "tmlsh — persistent TL session (:help for commands, :quit to leave)";
+  let session = Repl.create () in
+  let rec loop () =
+    prompt ();
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      let line = String.trim line in
+      if line = ":quit" || line = ":q" then ()
+      else begin
+        if line = "" then ()
+        else if line.[0] = ':' then command session line
+        else begin
+          try show_result (Repl.feed session line) with
+          | Lexer.Lex_error (pos, msg) ->
+            Format.printf "lexical error at %a: %s@." Ast.pp_pos pos msg
+          | Parser.Parse_error (pos, msg) ->
+            Format.printf "syntax error at %a: %s@." Ast.pp_pos pos msg
+          | Typecheck.Type_error (pos, msg) ->
+            Format.printf "type error at %a: %s@." Ast.pp_pos pos msg
+          | Runtime.Fault msg -> Format.printf "runtime fault: %s@." msg
+        end;
+        loop ()
+      end
+  in
+  loop ()

@@ -1,0 +1,62 @@
+(* Persistent code: save a store image containing data AND functions (with
+   their PTML trees and R-value bindings), load it into a fresh context, and
+   both run and *re-optimize* the loaded code — the full figure-3 cycle
+   across a process boundary.
+
+   Run with: dune exec examples/persist_demo.exe *)
+
+open Tml_vm
+open Tml_frontend
+
+let source =
+  {|
+let squares = relation(tuple(1, 1), tuple(2, 4), tuple(3, 9), tuple(4, 16))
+
+let lookup_square(n: Int): Int =
+  var result := 0;
+  foreach p in (select q from q in squares where q.1 == n end) do
+    result := p.2
+  end;
+  result
+
+do
+  io.print_int(lookup_square(3));
+  io.newline()
+end
+|}
+
+let () =
+  (* Build and exercise a program in a first "session". *)
+  let program = Link.load source in
+  let outcome, _ = Link.run_main program ~engine:`Machine () in
+  Format.printf "first session : %a, output %S@." Eval.pp_outcome outcome
+    (String.trim (Link.output program));
+
+  let fn_oid = Link.function_oid program "lookup_square" in
+  let path = Filename.temp_file "tml_store" ".img" in
+  Image.save_file program.Link.ctx.Runtime.heap path;
+  Format.printf "image saved   : %s (%d objects, %d bytes)@." path
+    (Value.Heap.size program.Link.ctx.Runtime.heap)
+    (In_channel.with_open_bin path In_channel.length |> Int64.to_int);
+
+  (* A fresh "session": load the image; the function object comes back with
+     its PTML and bindings, executable code is regenerated on demand. *)
+  let heap = Image.load_file path in
+  let ctx = Runtime.create heap in
+  let run () =
+    let before = ctx.Runtime.steps in
+    match Machine.run_proc ctx (Value.Oidv fn_oid) [ Value.Int 4 ] with
+    | Eval.Done v -> v, ctx.Runtime.steps - before
+    | o -> Format.kasprintf failwith "loaded function failed: %a" Eval.pp_outcome o
+  in
+  let v, steps = run () in
+  Format.printf "second session: lookup_square(4) = %a in %d instructions@." Value.pp v steps;
+
+  (* The loaded function can still be reflectively optimized: its PTML and
+     bindings survived the round trip. *)
+  let _ = Tml_reflect.Reflect.optimize_inplace ctx fn_oid in
+  let v2, steps2 = run () in
+  Format.printf "re-optimized  : lookup_square(4) = %a in %d instructions (%.2fx)@." Value.pp
+    v2 steps2
+    (float_of_int steps /. float_of_int steps2);
+  Sys.remove path

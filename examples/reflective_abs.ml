@@ -1,0 +1,87 @@
+(* The worked example of section 4.1: optimization across abstraction
+   barriers.
+
+   A module [complex] encapsulates an abstract data type; a function [cabs]
+   uses only its exported accessors.  In the static context the accessor
+   implementations are invisible; after linking, the reflective optimizer
+   rebinds the function's free identifiers to their runtime values, inlines
+   the accessor bodies across the module barrier, and produces
+   [optimizedAbs], equivalent to the hand-inlined sqrt(c.x*c.x + c.y*c.y).
+
+   Run with: dune exec examples/reflective_abs.exe *)
+
+open Tml_core
+open Tml_vm
+open Tml_frontend
+
+let source =
+  {|
+module complex export
+  let mk(x: Real, y: Real): Tuple(Real, Real) = tuple(x, y)
+  let re(c: Tuple(Real, Real)): Real = c.1
+  let im(c: Tuple(Real, Real)): Real = c.2
+end
+
+let cabs(c: Tuple(Real, Real)): Real =
+  mathlib.sqrt(complex.re(c) * complex.re(c) + complex.im(c) * complex.im(c))
+
+do
+  io.print_real(cabs(complex.mk(3.0, 4.0)));
+  io.newline()
+end
+|}
+
+let steps_of ctx f =
+  let before = ctx.Runtime.steps in
+  let result = f () in
+  result, ctx.Runtime.steps - before
+
+let () =
+  let program = Link.load source in
+  let ctx = program.Link.ctx in
+
+  (* Make a complex number through the module's constructor. *)
+  let mk = Value.Oidv (Link.function_oid program "complex.mk") in
+  let c =
+    match Machine.run_proc ctx mk [ Value.Real 3.0; Value.Real 4.0 ] with
+    | Eval.Done v -> v
+    | o -> Format.kasprintf failwith "mk failed: %a" Eval.pp_outcome o
+  in
+
+  let abs_oid = Link.function_oid program "cabs" in
+  (match Value.Heap.get ctx.Runtime.heap abs_oid with
+  | Value.Func fo ->
+    Format.printf "--- cabs before reflection (free identifiers are the module's exports) ---@.";
+    Format.printf "%a@.@." Pp.pp_value fo.Value.fo_tml;
+    Format.printf "R-value bindings established at link time:@.";
+    List.iter
+      (fun (id, v) -> Format.printf "  %a = %a@." Ident.pp id Value.pp v)
+      fo.Value.fo_bindings;
+    Format.printf "@."
+  | _ -> assert false);
+
+  let run_it name fn =
+    let outcome, steps = steps_of ctx (fun () -> Machine.run_proc ctx fn [ c ]) in
+    (match outcome with
+    | Eval.Done v -> Format.printf "%s(3+4i) = %a in %d instructions@." name Value.pp v steps
+    | o -> Format.printf "%s failed: %a@." name Eval.pp_outcome o);
+    steps
+  in
+  let before = run_it "cabs" (Value.Oidv abs_oid) in
+
+  (* let optimizedAbs = reflect.optimize(cabs) *)
+  let result = Tml_reflect.Reflect.optimize ctx abs_oid in
+  Format.printf "@.--- optimizedAbs (dynamically created by reflect.optimize) ---@.";
+  Format.printf "%a@.@." Pp.pp_value result.Tml_reflect.Reflect.optimized_tml;
+  Format.printf "calls inlined across the abstraction barrier: %d@."
+    result.Tml_reflect.Reflect.inlined_calls;
+
+  let after = run_it "optimizedAbs" (Value.Oidv result.Tml_reflect.Reflect.oid) in
+  Format.printf "@.speedup: %.2fx@." (float_of_int before /. float_of_int after);
+
+  (* Derived attributes are cached with the persistent system state. *)
+  (match Value.Heap.get ctx.Runtime.heap result.Tml_reflect.Reflect.oid with
+  | Value.Func fo ->
+    Format.printf "@.derived attributes attached to the new function object:@.";
+    List.iter (fun (k, v) -> Format.printf "  %s = %d@." k v) fo.Value.fo_attrs
+  | _ -> assert false)

@@ -1,0 +1,42 @@
+(* The Stanford suite at all four optimization levels (section 6).
+
+   "Performing local program optimizations on standard benchmarks for
+   imperative programs (the Stanford Suite) do not yield a significant
+   speedup ... However, a move to dynamic (link-time or runtime)
+   optimization more than doubles the execution speed."
+
+   Run with: dune exec examples/stanford_demo.exe [benchmark ...] *)
+
+open Tml_stanford
+
+let () =
+  let names =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picked) -> picked
+    | _ -> [ "perm"; "queens"; "intmm" ]
+  in
+  Printf.printf "%-8s %12s %12s %12s %12s %8s\n" "bench" "unopt" "static" "dynamic" "direct"
+    "dyn/stat";
+  List.iter
+    (fun name ->
+      let results =
+        List.map
+          (fun level ->
+            let r = Suite.run name level in
+            (match r.Suite.outcome with
+            | Tml_vm.Eval.Done _ -> ()
+            | o ->
+              Format.printf "%s %s failed: %a@." name (Suite.level_name level)
+                Tml_vm.Eval.pp_outcome o;
+              exit 1);
+            Suite.level_name level, r)
+          Suite.levels
+      in
+      let steps l = (List.assoc l results).Suite.steps in
+      let outputs = List.map (fun (_, r) -> String.trim r.Suite.output) results in
+      assert (List.for_all (fun o -> o = List.hd outputs) outputs);
+      Printf.printf "%-8s %12d %12d %12d %12d %8.2f  out=%s\n%!" name (steps "unopt")
+        (steps "static") (steps "dynamic") (steps "direct")
+        (float_of_int (steps "static") /. float_of_int (steps "dynamic"))
+        (List.hd outputs))
+    names

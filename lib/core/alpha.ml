@@ -1,0 +1,18 @@
+open Term
+
+let rec go_value env = function
+  | Var id as v -> (
+    match Ident.Map.find_opt id env with
+    | Some id' -> Var id'
+    | None -> v)
+  | (Lit _ | Prim _) as v -> v
+  | Abs a ->
+    let params' = List.map Ident.refresh a.params in
+    let env = List.fold_left2 (fun env p p' -> Ident.Map.add p p' env) env a.params params' in
+    Abs { params = params'; body = go_app env a.body }
+
+and go_app env { func; args } = { func = go_value env func; args = List.map (go_value env) args }
+
+let freshen_value v = go_value Ident.Map.empty v
+let freshen_app a = go_app Ident.Map.empty a
+let convert_app = freshen_app

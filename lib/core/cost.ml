@@ -1,0 +1,23 @@
+let call_overhead = 2
+
+let rec value_cost = function
+  | Term.Lit _ | Term.Var _ | Term.Prim _ -> 0
+  | Term.Abs a -> app_cost a.body
+
+and app_cost (a : Term.app) =
+  let here = Prim.cost_of_app a in
+  List.fold_left (fun acc v -> acc + value_cost v) (here + value_cost a.func) a.args
+
+let lit_bonus = 2
+
+let inline_savings ~body ~args =
+  ignore body;
+  let lits =
+    List.length
+      (List.filter
+         (function
+           | Term.Lit _ -> true
+           | Term.Var _ | Term.Prim _ | Term.Abs _ -> false)
+         args)
+  in
+  call_overhead + (lit_bonus * lits)

@@ -1,0 +1,26 @@
+(** Static cost estimation.
+
+    Every primitive carries "a function to estimate the runtime cost of a
+    given call ... measured in the number of instructions necessary to
+    implement the primitive on an idealized abstract machine.  This function
+    is used by the optimizer to estimate the possible savings resulting from
+    the inlining of a TML procedure containing calls to the primitive"
+    (section 2.3, item 3). *)
+
+(** [app_cost a] sums the estimated instruction cost of every application
+    node in [a] (primitive base costs, call overheads), ignoring how often
+    the code would run — a purely static measure used to compare the code
+    produced before and after optimization and to drive inlining. *)
+val app_cost : Term.app -> int
+
+val value_cost : Term.value -> int
+
+(** [inline_savings ~body ~args] estimates the instructions saved by
+    substituting an abstraction with body [body] at a call site with actual
+    arguments [args]: the call/return overhead plus a bonus for every
+    literal argument (each enables folding inside the body), as in Appel's
+    heuristic. *)
+val inline_savings : body:Term.app -> args:Term.value list -> int
+
+(** Overhead charged for a procedure call (used by [inline_savings]). *)
+val call_overhead : int

@@ -1,0 +1,77 @@
+open Term
+
+type config = {
+  inline_limit : int;
+  y_inline_limit : int;
+  growth_limit : int;
+  expand_y : bool;
+}
+
+let default = { inline_limit = 40; y_inline_limit = 20; growth_limit = 512; expand_y = false }
+
+type binding = {
+  b_abs : abs;
+  b_recursive : bool;
+}
+
+type result = {
+  term : Term.app;
+  growth : int;
+  expansions : int;
+}
+
+let expand_app cfg (root : app) =
+  let growth = ref 0 in
+  let expansions = ref 0 in
+  let decide (b : binding) args =
+    let sz = Term.size_app b.b_abs.body in
+    let savings = Cost.inline_savings ~body:b.b_abs.body ~args in
+    let limit = if b.b_recursive then cfg.y_inline_limit else cfg.inline_limit in
+    sz - savings <= limit && !growth + sz <= cfg.growth_limit
+  in
+  let rec go_app env (a : app) =
+    (* Collect bindings contributed by this node: a surviving β-redex binds
+       multi-use abstractions; a Y application binds the members of its
+       recursive nest. *)
+    let env =
+      match a.func, a.args with
+      | Abs f, args when List.length f.params = List.length args ->
+        List.fold_left2
+          (fun env p arg ->
+            match arg with
+            | Abs fa -> Ident.Map.add p { b_abs = fa; b_recursive = false } env
+            | Lit _ | Var _ | Prim _ -> env)
+          env f.params args
+      | Prim "Y", [ binder ] when cfg.expand_y -> (
+        match Primitives.y_split binder with
+        | Some (_, vs, _, _, abss) ->
+          List.fold_left2
+            (fun env v abs_v ->
+              match abs_v with
+              | Abs fa -> Ident.Map.add v { b_abs = fa; b_recursive = true } env
+              | Lit _ | Var _ | Prim _ -> env)
+            env vs abss
+        | None -> env)
+      | _ -> env
+    in
+    (* Inline at this call site if the heuristics approve. *)
+    let func =
+      match a.func with
+      | Var p -> (
+        match Ident.Map.find_opt p env with
+        | Some b
+          when List.length b.b_abs.params = List.length a.args && decide b a.args ->
+          let copy = Alpha.freshen_value (Abs b.b_abs) in
+          growth := !growth + Term.size_value copy;
+          incr expansions;
+          copy
+        | _ -> a.func)
+      | v -> v
+    in
+    { func = go_value env func; args = List.map (go_value env) a.args }
+  and go_value env = function
+    | Abs f -> Abs { f with body = go_app env f.body }
+    | (Lit _ | Var _ | Prim _) as v -> v
+  in
+  let term = go_app Ident.Map.empty root in
+  { term; growth = !growth; expansions = !expansions }

@@ -1,0 +1,36 @@
+(** The expansion pass (section 3).
+
+    "The expansion pass tries to substitute bound λ-abstractions (procedures
+    or continuations) at the positions where they are applied.  Effectively,
+    this CPS transformation performs procedure inlining in terms of
+    traditional compiler optimization or view expansion in database
+    terminology.  The decision whether a given use of a bound abstraction is
+    to be substituted is based on a heuristic cost model similar to the one
+    described by Appel (1992)."
+
+    Expansion handles exactly the cases the [subst] reduction rule must
+    refuse (an abstraction bound to a variable referenced more than once),
+    trading code growth for the reductions that become possible afterwards.
+    Each inserted copy is α-freshened to preserve the unique binding rule. *)
+
+type config = {
+  inline_limit : int;
+      (** inline a call to a bound abstraction when its body size minus the
+          estimated savings does not exceed this *)
+  y_inline_limit : int;
+      (** the same threshold for [Y]-bound (recursive) procedures — inlining
+          those performs one step of loop unrolling *)
+  growth_limit : int;  (** total tree growth allowed in one pass *)
+  expand_y : bool;     (** enable unrolling of [Y]-bound procedures *)
+}
+
+val default : config
+
+type result = {
+  term : Term.app;
+  growth : int;      (** total size added by this pass *)
+  expansions : int;  (** number of call sites expanded *)
+}
+
+(** [expand_app cfg a] performs one expansion pass over [a]. *)
+val expand_app : config -> Term.app -> result

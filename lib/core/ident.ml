@@ -1,0 +1,46 @@
+type sort =
+  | Value
+  | Cont
+
+type t = {
+  name : string;
+  stamp : int;
+  sort : sort;
+}
+
+let counter = ref 0
+
+let next_stamp () =
+  incr counter;
+  !counter
+
+let fresh ?(sort = Value) name = { name; stamp = next_stamp (); sort }
+let refresh id = { id with stamp = next_stamp () }
+
+let make ~name ~stamp ~sort =
+  if stamp > !counter then counter := stamp;
+  { name; stamp; sort }
+
+let equal a b = Int.equal a.stamp b.stamp
+let compare a b = Int.compare a.stamp b.stamp
+let hash id = id.stamp
+let is_cont id = id.sort = Cont
+let pp ppf id = Format.fprintf ppf "%s_%d" id.name id.stamp
+let to_string id = Format.asprintf "%a" pp id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hash = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hash)

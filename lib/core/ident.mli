@@ -1,0 +1,50 @@
+(** Identifiers (value and continuation variables).
+
+    TML obeys the {e unique binding rule}: an identifier may occur in at most
+    one formal parameter list (section 2.2, constraint 4).  We guarantee this
+    by attaching a globally unique stamp to every identifier at creation time;
+    the code generator and the rewrite rules only ever create fresh stamps.
+
+    Identifiers carry a {e sort}: continuation variables are bound to
+    continuations and may only be used in functional position or in
+    continuation argument positions — continuations are not first-class
+    (constraint 3). *)
+
+type sort =
+  | Value  (** an ordinary value variable *)
+  | Cont   (** a continuation variable; may not escape *)
+
+type t = private {
+  name : string;  (** source-level base name, for printing only *)
+  stamp : int;    (** globally unique; identity of the identifier *)
+  sort : sort;
+}
+
+(** [fresh ~sort name] creates a new identifier with a globally unique
+    stamp. *)
+val fresh : ?sort:sort -> string -> t
+
+(** [refresh id] creates a new identifier with the same name and sort but a
+    fresh stamp (used by α-conversion when duplicating abstractions). *)
+val refresh : t -> t
+
+(** [make ~name ~stamp ~sort] rebuilds an identifier with an explicit stamp.
+    Only codecs (PTML) may use this; it bumps the global counter so later
+    [fresh] calls cannot collide with [stamp]. *)
+val make : name:string -> stamp:int -> sort:sort -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val is_cont : t -> bool
+
+(** [pp ppf id] prints the identifier as [name_stamp], mirroring the paper's
+    pretty printer ("each identifier name is appended with a unique number"). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Sets and maps over identifiers, keyed by stamp. *)
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

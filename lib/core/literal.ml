@@ -1,0 +1,64 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Char of char
+  | Real of float
+  | Str of string
+  | Oid of Oid.t
+
+(* Real literals are compared bit-for-bit so that equality is reflexive even
+   for NaN and distinguishes -0. from 0.; the rewrite rules must never
+   identify literals the runtime could tell apart. *)
+let bits f = Int64.bits_of_float f
+
+let equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool a, Bool b -> Bool.equal a b
+  | Int a, Int b -> Int.equal a b
+  | Char a, Char b -> Char.equal a b
+  | Real a, Real b -> Int64.equal (bits a) (bits b)
+  | Str a, Str b -> String.equal a b
+  | Oid a, Oid b -> Oid.equal a b
+  | (Unit | Bool _ | Int _ | Char _ | Real _ | Str _ | Oid _), _ -> false
+
+let rank = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Char _ -> 3
+  | Real _ -> 4
+  | Str _ -> 5
+  | Oid _ -> 6
+
+let compare a b =
+  match a, b with
+  | Unit, Unit -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Char a, Char b -> Char.compare a b
+  | Real a, Real b -> Int64.compare (bits a) (bits b)
+  | Str a, Str b -> String.compare a b
+  | Oid a, Oid b -> Oid.compare a b
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp ppf = function
+  | Unit -> Format.pp_print_string ppf "nil"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Char c -> Format.fprintf ppf "'%s'" (Char.escaped c)
+  | Real r -> Format.fprintf ppf "%h" r
+  | Str s -> Format.fprintf ppf "%S" s
+  | Oid oid -> Oid.pp ppf oid
+
+let to_string lit = Format.asprintf "%a" pp lit
+
+let type_name = function
+  | Unit -> "unit"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Char _ -> "char"
+  | Real _ -> "real"
+  | Str _ -> "string"
+  | Oid _ -> "oid"

@@ -1,0 +1,24 @@
+(** Literal constants.
+
+    The set of literal constants includes simple values such as integers,
+    characters and boolean values, as well as references (object identifiers,
+    OIDs) to complex objects in the persistent object store (section 2.2). *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Char of char
+  | Real of float
+  | Str of string
+  | Oid of Oid.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [type_name lit] is a short tag name ("int", "char", ...) used in error
+    messages and codecs. *)
+val type_name : t -> string

@@ -1,0 +1,44 @@
+open Term
+
+let rec count_value v = function
+  | Var v' -> if Ident.equal v v' then 1 else 0
+  | Lit _ | Prim _ -> 0
+  | Abs a -> count_app v a.body
+
+and count_app v { func; args } =
+  List.fold_left (fun n value -> n + count_value v value) (count_value v func) args
+
+let count_all_app a =
+  let counts = Ident.Tbl.create 32 in
+  let bump id =
+    match Ident.Tbl.find_opt counts id with
+    | Some n -> Ident.Tbl.replace counts id (n + 1)
+    | None -> Ident.Tbl.add counts id 1
+  in
+  let rec go_value = function
+    | Var id -> bump id
+    | Lit _ | Prim _ -> ()
+    | Abs abs -> go_app abs.body
+  and go_app { func; args } =
+    go_value func;
+    List.iter go_value args
+  in
+  go_app a;
+  counts
+
+exception Found
+
+let occurs_value v value =
+  let rec go = function
+    | Var v' -> if Ident.equal v v' then raise Found
+    | Lit _ | Prim _ -> ()
+    | Abs a -> go_app a.body
+  and go_app { func; args } =
+    go func;
+    List.iter go args
+  in
+  match go value with
+  | () -> false
+  | exception Found -> true
+
+let occurs_app v a = occurs_value v (Abs { params = []; body = a })

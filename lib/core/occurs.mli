@@ -1,0 +1,24 @@
+(** Occurrence counting — the |E|_v function of section 3.
+
+    "A key feature of CPS-based representations is the fact that control and
+    data dependencies are captured uniformly by the concept of bound
+    variables"; the preconditions of the rewrite rules are phrased in terms
+    of the number of occurrences of a variable in a term. *)
+
+(** [count_value v value] is |value|_v, defined inductively on the abstract
+    syntax exactly as in the paper.  Thanks to the unique binding rule no
+    shadowing can occur, so no scope tracking is needed. *)
+val count_value : Ident.t -> Term.value -> int
+
+(** [count_app v app] is |app|_v. *)
+val count_app : Ident.t -> Term.app -> int
+
+(** [count_all_app app] returns a table mapping every identifier that occurs
+    (as a variable use) in [app] to its occurrence count, in one traversal.
+    Identifiers with zero occurrences are absent. *)
+val count_all_app : Term.app -> int Ident.Tbl.t
+
+(** [occurs_value v value] = [count_value v value > 0], short-circuiting. *)
+val occurs_value : Ident.t -> Term.value -> bool
+
+val occurs_app : Ident.t -> Term.app -> bool

@@ -1,0 +1,9 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash (oid : t) = oid
+let of_int i = i
+let to_int oid = oid
+let pp ppf oid = Format.fprintf ppf "<oid 0x%06x>" oid
+let to_string oid = Format.asprintf "%a" pp oid

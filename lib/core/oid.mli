@@ -1,0 +1,26 @@
+(** Object identifiers (OIDs).
+
+    An OID is a reference to an arbitrarily complex object (table, index, ADT
+    value, closure, module, ...) in the persistent Tycoon object store.  OIDs
+    may appear inside TML terms as literal constants, which is the key feature
+    that lets the optimizer reason about runtime bindings (section 2.2 of the
+    paper). *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [of_int i] makes an OID with the raw table index [i].  Only the object
+    store should mint OIDs; this is exposed so the store can implement
+    allocation and codecs. *)
+val of_int : int -> t
+
+(** [to_int oid] returns the raw table index of [oid]. *)
+val to_int : t -> int
+
+(** [pp ppf oid] prints [oid] in the paper's notation, e.g. [<oid 0x005b>]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,102 @@
+type config = {
+  max_rounds : int;
+  penalty_limit : int;
+  expand : Expand.config;
+  rules : Rewrite.rule list;
+  max_steps : int;
+}
+
+let default =
+  {
+    max_rounds = 8;
+    penalty_limit = 2048;
+    expand = Expand.default;
+    rules = [];
+    max_steps = 200_000;
+  }
+
+let o1 = { default with max_rounds = 1 }
+let o2 = default
+
+let o3 =
+  {
+    default with
+    max_rounds = 12;
+    expand = { Expand.default with expand_y = true; growth_limit = 1024 };
+  }
+
+let with_rules config rules = { config with rules = config.rules @ rules }
+
+type report = {
+  rounds : int;
+  penalty : int;
+  stats : Rewrite.stats;
+  expansions : int;
+  size_before : int;
+  size_after : int;
+  cost_before : int;
+  cost_after : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>rounds: %d, penalty: %d, expansions: %d@,size: %d -> %d, static cost: %d -> %d@,%a@]"
+    r.rounds r.penalty r.expansions r.size_before r.size_after r.cost_before r.cost_after
+    Rewrite.pp_stats r.stats
+
+let optimize_app ?(config = default) (a : Term.app) =
+  let stats = Rewrite.fresh_stats () in
+  let size_before = Term.size_app a in
+  let cost_before = Cost.app_cost a in
+  let expansions = ref 0 in
+  let reduce a = Rewrite.reduce_app ~stats ~rules:config.rules ~max_steps:config.max_steps a in
+  let rec loop round penalty a =
+    let a = reduce a in
+    if round >= config.max_rounds || penalty >= config.penalty_limit then a, round, penalty
+    else begin
+      let r = Expand.expand_app config.expand a in
+      if r.expansions = 0 then a, round, penalty
+      else begin
+        expansions := !expansions + r.expansions;
+        (* each round of the reduction/expansion phases accumulates a
+           penalty proportional to the growth it caused *)
+        loop (round + 1) (penalty + r.growth + r.expansions) r.term
+      end
+    end
+  in
+  let a', rounds, penalty = loop 1 0 a in
+  let report =
+    {
+      rounds;
+      penalty;
+      stats;
+      expansions = !expansions;
+      size_before;
+      size_after = Term.size_app a';
+      cost_before;
+      cost_after = Cost.app_cost a';
+    }
+  in
+  a', report
+
+let optimize_value ?(config = default) (v : Term.value) =
+  match v with
+  | Term.Abs f ->
+    let body, report = optimize_app ~config f.body
+    in
+    (* η-reduction may apply to the rebuilt abstraction itself *)
+    let v' = Term.Abs { f with body } in
+    let v' = Option.value ~default:v' (Rewrite.try_eta ~stats:report.stats v') in
+    v', report
+  | Term.Lit _ | Term.Var _ | Term.Prim _ ->
+    ( v,
+      {
+        rounds = 0;
+        penalty = 0;
+        stats = Rewrite.fresh_stats ();
+        expansions = 0;
+        size_before = Term.size_value v;
+        size_after = Term.size_value v;
+        cost_before = Cost.value_cost v;
+        cost_after = Cost.value_cost v;
+      } )

@@ -1,0 +1,43 @@
+open Term
+
+let pp_params ppf params =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    Ident.pp ppf params
+
+let rec pp_value ppf = function
+  | Lit l -> Literal.pp ppf l
+  | Var id -> Ident.pp ppf id
+  | Prim name -> Format.pp_print_string ppf name
+  | Abs a ->
+    let keyword =
+      match abs_kind a with
+      | `Cont -> "cont"
+      | `Proc -> "proc"
+    in
+    Format.fprintf ppf "@[<hv 2>%s(%a)@ %a@]" keyword pp_params a.params pp_app a.body
+
+and pp_app ppf { func; args } =
+  Format.fprintf ppf "@[<hv 1>(%a" pp_value func;
+  List.iter (fun arg -> Format.fprintf ppf "@ %a" pp_value arg) args;
+  Format.fprintf ppf ")@]"
+
+let value_to_string v = Format.asprintf "%a" pp_value v
+let app_to_string a = Format.asprintf "%a" pp_app a
+
+let rec pp_value_flat ppf = function
+  | Lit l -> Literal.pp ppf l
+  | Var id -> Ident.pp ppf id
+  | Prim name -> Format.pp_print_string ppf name
+  | Abs a ->
+    let keyword =
+      match abs_kind a with
+      | `Cont -> "cont"
+      | `Proc -> "proc"
+    in
+    Format.fprintf ppf "%s(%a) %a" keyword pp_params a.params pp_app_flat a.body
+
+and pp_app_flat ppf { func; args } =
+  Format.fprintf ppf "(%a" pp_value_flat func;
+  List.iter (fun arg -> Format.fprintf ppf " %a" pp_value_flat arg) args;
+  Format.fprintf ppf ")"

@@ -1,0 +1,478 @@
+open Term
+
+(* Exception values produced by folding always-failing primitive calls; the
+   runtime implementations in Tml_vm.Runtime use the same strings so that
+   folding is unobservable. *)
+let overflow_message = "integer overflow"
+let div_zero_message = "division by zero"
+let exn_overflow = str overflow_message
+let exn_div_zero = str div_zero_message
+
+let invoke k vs = Some (app k vs)
+
+(* Checked integer arithmetic: [None] signals overflow, mirroring the
+   runtime, so that [fold] never changes which continuation is invoked. *)
+let add_checked a b =
+  let r = a + b in
+  if a >= 0 = (b >= 0) && r >= 0 <> (a >= 0) then None else Some r
+
+let sub_checked a b =
+  let r = a - b in
+  if a >= 0 <> (b >= 0) && r >= 0 <> (a >= 0) then None else Some r
+
+let mul_checked a b =
+  if a = 0 || b = 0 then Some 0
+  else if a = -1 then if b = min_int then None else Some (-b)
+  else if b = -1 then if a = min_int then None else Some (-a)
+  else
+    let r = a * b in
+    if r / a = b then Some r else None
+
+let div_checked a b =
+  if b = 0 then None else if a = min_int && b = -1 then None else Some (a / b)
+
+let rem_checked a b =
+  if b = 0 then None else if a = min_int && b = -1 then Some 0 else Some (Int.rem a b)
+
+(* ------------------------------------------------------------------ *)
+(* Meta-evaluation functions (the [eval] of the fold rule)             *)
+(* ------------------------------------------------------------------ *)
+
+let arith_fold name checked =
+  fun app_node ->
+    match app_node.args with
+    | [ a; b; ce; cc ] -> (
+      match a, b with
+      | Lit (Literal.Int ia), Lit (Literal.Int ib) -> (
+        match checked ia ib with
+        | Some r -> invoke cc [ int r ]
+        | None ->
+          let exn = if name = "/" || name = "%" then
+              (if ib = 0 then exn_div_zero else exn_overflow)
+            else exn_overflow
+          in
+          invoke ce [ exn ])
+      (* Algebraic identities: sound because arguments are values (no
+         nested, possibly side-effecting computations in CPS). *)
+      | x, Lit (Literal.Int 0) when name = "+" || name = "-" -> invoke cc [ x ]
+      | Lit (Literal.Int 0), x when name = "+" -> invoke cc [ x ]
+      | x, Lit (Literal.Int 1) when name = "*" || name = "/" -> invoke cc [ x ]
+      | Lit (Literal.Int 1), x when name = "*" -> invoke cc [ x ]
+      | _, Lit (Literal.Int 0) when name = "*" -> invoke cc [ int 0 ]
+      | Lit (Literal.Int 0), _ when name = "*" -> invoke cc [ int 0 ]
+      | _, Lit (Literal.Int 1) when name = "%" -> invoke cc [ int 0 ]
+      | _ -> None)
+    | _ -> None
+
+let cmp_fold op =
+  fun app_node ->
+    match app_node.args with
+    | [ a; b; c_then; c_else ] -> (
+      match a, b with
+      | Lit (Literal.Int ia), Lit (Literal.Int ib) ->
+        invoke (if op ia ib then c_then else c_else) []
+      | Var va, Var vb when Ident.equal va vb ->
+        (* x < x is false, x <= x is true, for every runtime value of x *)
+        invoke (if op 0 0 then c_then else c_else) []
+      | _ -> None)
+    | _ -> None
+
+let bit_fold name op =
+  fun app_node ->
+    match app_node.args with
+    | [ Lit (Literal.Int a); Lit (Literal.Int b); k ] -> (
+      match op a b with
+      | Some r -> invoke k [ int r ]
+      | None -> None)
+    | [ x; Lit (Literal.Int 0); k ] when name = "bor" || name = "bxor" || name = "bshl" || name = "bshr" ->
+      invoke k [ x ]
+    | [ _; Lit (Literal.Int 0); k ] when name = "band" -> invoke k [ int 0 ]
+    | _ -> None
+
+let shift_ok n = n >= 0 && n < Sys.int_size
+
+let unop_fold f =
+  fun app_node ->
+    match app_node.args with
+    | [ a; k ] -> (
+      match f a with
+      | Some v -> invoke k [ v ]
+      | None -> None)
+    | _ -> None
+
+let real_fold op =
+  fun app_node ->
+    match app_node.args with
+    | [ Lit (Literal.Real a); Lit (Literal.Real b); k ] -> invoke k [ real (op a b) ]
+    | _ -> None
+
+let real_cmp_fold op =
+  fun app_node ->
+    match app_node.args with
+    | [ Lit (Literal.Real a); Lit (Literal.Real b); c_then; c_else ] ->
+      invoke (if op a b then c_then else c_else) []
+    | _ -> None
+
+let bool_fold2 name =
+  fun app_node ->
+    match app_node.args with
+    | [ a; b; k ] -> (
+      match name, a, b with
+      | _, Lit (Literal.Bool ba), Lit (Literal.Bool bb) ->
+        invoke k [ bool_ (if name = "and" then ba && bb else ba || bb) ]
+      | "and", Lit (Literal.Bool true), x | "and", x, Lit (Literal.Bool true) -> invoke k [ x ]
+      | "and", Lit (Literal.Bool false), _ | "and", _, Lit (Literal.Bool false) ->
+        invoke k [ bool_ false ]
+      | "or", Lit (Literal.Bool false), x | "or", x, Lit (Literal.Bool false) -> invoke k [ x ]
+      | "or", Lit (Literal.Bool true), _ | "or", _, Lit (Literal.Bool true) ->
+        invoke k [ bool_ true ]
+      | _ -> None)
+    | _ -> None
+
+(* Case analysis: first-match semantics.  A branch can be selected only if
+   every earlier tag is decidably unequal to the scrutinee; two distinct
+   variables are never decidable (they may hold identical values at
+   runtime). *)
+let case_split args =
+  let rec take_conts rev_args conts =
+    match rev_args with
+    | arg :: rest when Prim.is_cont_arg arg -> take_conts rest (arg :: conts)
+    | _ -> List.rev rev_args, conts
+  in
+  match take_conts (List.rev args) [] with
+  | scrutinee :: tags, conts ->
+    let n_tags = List.length tags and n_conts = List.length conts in
+    if n_tags >= 1 && (n_conts = n_tags || n_conts = n_tags + 1) then
+      let branches, default =
+        if n_conts = n_tags then conts, None
+        else
+          match List.rev conts with
+          | d :: rev -> List.rev rev, Some d
+          | [] -> assert false
+      in
+      Some (scrutinee, tags, branches, default)
+    else None
+  | [], _ -> None
+
+let case_fold app_node =
+  match case_split app_node.args with
+  | None -> None
+  | Some (scrutinee, tags, branches, default) ->
+    let decide tag =
+      match scrutinee, tag with
+      | Lit a, Lit b -> Some (Literal.equal a b)
+      | Var a, Var b when Ident.equal a b -> Some true
+      | _ -> None
+    in
+    let rec scan tags branches =
+      match tags, branches with
+      | [], [] -> ( match default with
+        | Some d -> invoke d []
+        | None -> None)
+      | tag :: tags', branch :: branches' -> (
+        match decide tag with
+        | Some true -> invoke branch []
+        | Some false -> scan tags' branches'
+        | None -> None)
+      | _ -> None
+    in
+    scan tags branches
+
+let case_check app_node =
+  match case_split app_node.args with
+  | Some (scrutinee, tags, _, _) ->
+    if not (Prim.is_value_arg scrutinee) then Error "== scrutinee must be a value"
+    else if
+      List.for_all
+        (function
+          | Lit _ | Var _ -> true
+          | Prim _ | Abs _ -> false)
+        tags
+    then Ok ()
+    else Error "== tags must be literals or variables"
+  | None -> Error "== expects a scrutinee, n tags and n or n+1 continuations"
+
+(* The Y combinator's argument must be an abstraction λ(c0 v1..vn c) whose
+   body immediately delivers the n+1 mutually recursive abstractions to c
+   (the canonical shape of all the paper's examples and of the Y-remove /
+   Y-reduce rules). *)
+let y_split (abs_arg : Term.value) =
+  match abs_arg with
+  | Abs { params; body } -> (
+    match params with
+    | c0 :: rest when Ident.is_cont c0 -> (
+      match List.rev rest with
+      | c :: rev_vs when Ident.is_cont c -> (
+        let vs = List.rev rev_vs in
+        match body.func with
+        | Var c' when Ident.equal c c' -> (
+          match body.args with
+          | k0 :: abss
+            when List.length abss = List.length vs
+                 && List.for_all Term.is_abs (k0 :: abss) ->
+            Some (c0, vs, c, k0, abss)
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | Lit _ | Var _ | Prim _ -> None
+
+(* The fixpoint is "a vector of mutually recursive procedures and/or
+   continuations": each nest member's kind must agree with the sort of the
+   variable it is bound to. *)
+let y_check app_node =
+  match app_node.args with
+  | [ abs_arg ] -> (
+    match y_split abs_arg with
+    | Some (_, vs, _, k0, abss) ->
+      let kind_matches v abs_v =
+        match abs_v with
+        | Abs a -> (
+          match Ident.is_cont v, Term.abs_kind a with
+          | true, `Cont | false, `Proc -> true
+          | _ -> false)
+        | _ -> false
+      in
+      let entry_ok =
+        match k0 with
+        | Abs a -> Term.abs_kind a = `Cont
+        | _ -> false
+      in
+      if not entry_ok then Error "Y entry abstraction must be a continuation"
+      else if List.for_all2 kind_matches vs abss then Ok ()
+      else Error "Y nest member kind must match the sort of its variable"
+    | None -> Error "Y expects λ(c0 v1..vn c) (c k0 abs1..absn)")
+  | _ -> Error "Y expects exactly one abstraction argument"
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pure ?(commutative = false) () = { Prim.effects = Pure; commutative; can_fold = true }
+let observer = { Prim.effects = Observer; commutative = false; can_fold = false }
+let mutator = { Prim.effects = Mutator; commutative = false; can_fold = false }
+let control = { Prim.effects = Control; commutative = false; can_fold = false }
+let external_ = { Prim.effects = External; commutative = false; can_fold = false }
+
+let defs () =
+  let p = Prim.make in
+  [
+    (* integer arithmetic: (op a b ce cc) *)
+    p ~name:"+" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ~commutative:true ())
+      ~base_cost:1 ~meta_eval:(arith_fold "+" add_checked) ();
+    p ~name:"-" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:(arith_fold "-" sub_checked) ();
+    p ~name:"*" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ~commutative:true ())
+      ~base_cost:3 ~meta_eval:(arith_fold "*" mul_checked) ();
+    p ~name:"/" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:6
+      ~meta_eval:(arith_fold "/" div_checked) ();
+    p ~name:"%" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:6
+      ~meta_eval:(arith_fold "%" rem_checked) ();
+    (* integer comparison: (op a b c-then c-else) *)
+    p ~name:"<" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:(cmp_fold ( < )) ();
+    p ~name:"<=" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:(cmp_fold ( <= )) ();
+    p ~name:">" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:(cmp_fold ( > )) ();
+    p ~name:">=" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:(cmp_fold ( >= )) ();
+    (* bit operations: (op a b c) *)
+    p ~name:"band" ~value_arity:(Some 2) ~cont_arity:(Some 1)
+      ~attrs:(pure ~commutative:true ()) ~base_cost:1
+      ~meta_eval:(bit_fold "band" (fun a b -> Some (a land b))) ();
+    p ~name:"bor" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ~commutative:true ())
+      ~base_cost:1 ~meta_eval:(bit_fold "bor" (fun a b -> Some (a lor b))) ();
+    p ~name:"bxor" ~value_arity:(Some 2) ~cont_arity:(Some 1)
+      ~attrs:(pure ~commutative:true ()) ~base_cost:1
+      ~meta_eval:(bit_fold "bxor" (fun a b -> Some (a lxor b))) ();
+    p ~name:"bshl" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:(bit_fold "bshl" (fun a b -> if shift_ok b then Some (a lsl b) else None)) ();
+    p ~name:"bshr" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:(bit_fold "bshr" (fun a b -> if shift_ok b then Some (a asr b) else None)) ();
+    p ~name:"bnot" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Int a) -> Some (int (lnot a))
+          | _ -> None))
+      ();
+    (* conversions *)
+    p ~name:"char2int" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Char c) -> Some (int (Char.code c))
+          | _ -> None))
+      ();
+    p ~name:"int2char" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Int i) -> Some (char (Char.chr (i land 0xff)))
+          | _ -> None))
+      ();
+    p ~name:"int2real" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Int i) -> Some (real (float_of_int i))
+          | _ -> None))
+      ();
+    p ~name:"real2int" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Real r)
+            when Float.is_finite r && Float.abs r < 0x1p62 ->
+            Some (int (int_of_float r))
+          | _ -> None))
+      ();
+    (* real arithmetic (IEEE, total): (op a b c) *)
+    p ~name:"f+" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ~commutative:true ())
+      ~base_cost:2 ~meta_eval:(real_fold ( +. )) ();
+    p ~name:"f-" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:2
+      ~meta_eval:(real_fold ( -. )) ();
+    p ~name:"f*" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ~commutative:true ())
+      ~base_cost:3 ~meta_eval:(real_fold ( *. )) ();
+    p ~name:"f/" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:6
+      ~meta_eval:(real_fold ( /. )) ();
+    p ~name:"fneg" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Real r) -> Some (real (-.r))
+          | _ -> None))
+      ();
+    p ~name:"sqrt" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:10
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Real r) -> Some (real (Float.sqrt r))
+          | _ -> None))
+      ();
+    p ~name:"fsin" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:12
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Real r) -> Some (real (Float.sin r))
+          | _ -> None))
+      ();
+    p ~name:"fcos" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:12
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Real r) -> Some (real (Float.cos r))
+          | _ -> None))
+      ();
+    p ~name:"f<" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:2
+      ~meta_eval:(real_cmp_fold ( < )) ();
+    p ~name:"f<=" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:2
+      ~meta_eval:(real_cmp_fold ( <= )) ();
+    p ~name:"f>" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:2
+      ~meta_eval:(real_cmp_fold ( > )) ();
+    p ~name:"f>=" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:2
+      ~meta_eval:(real_cmp_fold ( >= )) ();
+    (* booleans *)
+    p ~name:"and" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ~commutative:true ())
+      ~base_cost:1 ~meta_eval:(bool_fold2 "and") ();
+    p ~name:"or" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ~commutative:true ())
+      ~base_cost:1 ~meta_eval:(bool_fold2 "or") ();
+    p ~name:"not" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Bool b) -> Some (bool_ (not b))
+          | _ -> None))
+      ();
+    (* strings (immutable values, like all simple literals) *)
+    p ~name:"sconcat" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:4
+      ~meta_eval:
+        (fun app_node ->
+          match app_node.args with
+          | [ Lit (Literal.Str a); Lit (Literal.Str b); k ] -> invoke k [ str (a ^ b) ]
+          | [ Lit (Literal.Str ""); x; k ] | [ x; Lit (Literal.Str ""); k ] -> invoke k [ x ]
+          | _ -> None)
+      ();
+    p ~name:"slen" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:1
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Str s) -> Some (int (String.length s))
+          | _ -> None))
+      ();
+    p ~name:"s[]" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:2
+      ~meta_eval:
+        (fun app_node ->
+          match app_node.args with
+          | [ Lit (Literal.Str s); Lit (Literal.Int i); k ]
+            when i >= 0 && i < String.length s ->
+            invoke k [ char s.[i] ]
+          | _ -> None)
+      ();
+    p ~name:"substr" ~value_arity:(Some 3) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:4
+      ~meta_eval:
+        (fun app_node ->
+          match app_node.args with
+          | [ Lit (Literal.Str s); Lit (Literal.Int pos); Lit (Literal.Int len); k ]
+            when pos >= 0 && len >= 0 && pos + len <= String.length s ->
+            invoke k [ str (String.sub s pos len) ]
+          | _ -> None)
+      ();
+    p ~name:"char2str" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:2
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Char c) -> Some (str (String.make 1 c))
+          | _ -> None))
+      ();
+    p ~name:"int2str" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:4
+      ~meta_eval:
+        (unop_fold (function
+          | Lit (Literal.Int i) -> Some (str (string_of_int i))
+          | _ -> None))
+      ();
+    p ~name:"str2int" ~value_arity:(Some 1) ~cont_arity:(Some 2) ~attrs:(pure ()) ~base_cost:4
+      ~meta_eval:
+        (fun app_node ->
+          match app_node.args with
+          | [ Lit (Literal.Str s); ce; cc ] -> (
+            match int_of_string_opt (String.trim s) with
+            | Some i -> invoke cc [ int i ]
+            | None -> invoke ce [ str ("not an integer: " ^ s) ])
+          | _ -> None)
+      ();
+    p ~name:"scmp" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:(pure ()) ~base_cost:3
+      ~meta_eval:
+        (fun app_node ->
+          match app_node.args with
+          | [ Lit (Literal.Str a); Lit (Literal.Str b); k ] ->
+            invoke k [ int (compare (String.compare a b) 0) ]
+          | _ -> None)
+      ();
+    (* allocation *)
+    p ~name:"array" ~value_arity:None ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:3 ();
+    p ~name:"vector" ~value_arity:None ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:3 ();
+    p ~name:"new" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:3 ();
+    p ~name:"bnew" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:3 ();
+    (* indexed access *)
+    p ~name:"[]" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:2 ();
+    p ~name:"[:=]" ~value_arity:(Some 3) ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:2 ();
+    p ~name:"b[]" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:2 ();
+    p ~name:"b[:=]" ~value_arity:(Some 3) ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:2 ();
+    p ~name:"size" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:1 ();
+    p ~name:"bsize" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:1 ();
+    p ~name:"move" ~value_arity:(Some 5) ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:4 ();
+    p ~name:"bmove" ~value_arity:(Some 5) ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:4 ();
+    (* case analysis and recursion *)
+    p ~name:"==" ~value_arity:None ~cont_arity:None
+      ~attrs:{ Prim.effects = Pure; commutative = false; can_fold = true }
+      ~base_cost:1 ~meta_eval:case_fold ~check_app:case_check ();
+    p ~name:"Y" ~value_arity:(Some 1) ~cont_arity:(Some 0) ~attrs:(pure ()) ~base_cost:2
+      ~check_app:y_check ();
+    (* host calls and exception handling *)
+    p ~name:"ccall" ~value_arity:None ~cont_arity:(Some 2) ~attrs:external_ ~base_cost:20 ();
+    p ~name:"pushHandler" ~value_arity:(Some 0) ~cont_arity:(Some 2) ~attrs:control ~base_cost:2
+      ();
+    p ~name:"popHandler" ~value_arity:(Some 0) ~cont_arity:(Some 1) ~attrs:control ~base_cost:2
+      ();
+    p ~name:"raise" ~value_arity:(Some 1) ~cont_arity:(Some 0) ~attrs:control ~base_cost:4 ();
+  ]
+
+let names = List.map (fun (d : Prim.t) -> d.name) (defs ())
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    List.iter (fun d -> Prim.register ~override:true d) (defs ())
+  end

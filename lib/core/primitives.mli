@@ -1,0 +1,77 @@
+(** The standard primitive set of figure 2, used for compiling a fully
+    fledged imperative, algorithmically complete programming language, plus
+    the real-arithmetic and boolean primitives our TL front end needs
+    (section 2.3 explicitly invites adding primitives for more specialized
+    source languages).
+
+    Naming and calling conventions (value arguments first, continuations
+    last; the exception continuation precedes the normal continuation, which
+    always comes last, matching the paper's [proc(v1 .. vn ce cc)] layout):
+
+    - ["+" "-" "*" "/" "%"] — integer arithmetic, [(p a b ce cc)]; [ce]
+      receives a string exception value on overflow or division by zero.
+    - ["<" "<=" ">" ">="] — integer comparison, [(p a b c-then c-else)].
+    - ["band" "bor" "bxor" "bshl" "bshr" "bnot"] — bit operations, one
+      continuation.
+    - ["char2int" "int2char" "int2real" "real2int"] — conversions.
+    - ["f+" "f-" "f*" "f/" "fneg" "sqrt"] — IEEE real arithmetic, one
+      continuation (IEEE totality: no exceptional outcomes).
+    - ["f<" "f<=" "f>" "f>="] — real comparison, two branch continuations.
+    - ["and" "or" "not"] — boolean operations, one continuation.
+    - ["array" v1..vn c] / ["vector" v1..vn c] — mutable/immutable array
+      creation; ["new" n init c] — sized mutable array; ["bnew" n byte c] —
+      byte array.
+    - ["[]" a i c] / ["[:=]" a i v c] / ["b[]"] / ["b[:=]"] — indexed
+      load/store; index errors are raised through the handler stack.
+    - ["size" a c] / ["bsize" a c] — number of slots.
+    - ["move" src soff dst doff len c] / ["bmove" ...] — block moves.
+    - ["==" v tag1..tagn c1..cn [c-else]] — case analysis on object
+      identity.
+    - ["Y" abs] — the fixed point combinator for mutually recursive
+      procedures (section 2.3).
+    - ["ccall" name v1..vn ce cc] — host function call by name.
+    - ["pushHandler" c1 c2] / ["popHandler" c] / ["raise" v] — exception
+      handler stack. *)
+
+(** [install ()] registers all standard primitives in {!Prim}'s registry.
+    Idempotent. *)
+val install : unit -> unit
+
+(** Names of all primitives registered by [install], for codecs and tests. *)
+val names : string list
+
+(** {1 Shape analysis helpers}
+
+    Shared by the rewrite rules, the well-formedness checker and the code
+    generator. *)
+
+(** [case_split args] decomposes the arguments of a ["=="] application into
+    (scrutinee, tags, branch continuations, optional else continuation), or
+    [None] if the shape is invalid. *)
+val case_split :
+  Term.value list ->
+  (Term.value * Term.value list * Term.value list * Term.value option) option
+
+(** [y_split binder] decomposes the canonical [Y] binder
+    [λ(c0 v1..vn c) (c k0 abs1..absn)] into [(c0, vs, c, k0, abss)]. *)
+val y_split :
+  Term.value ->
+  (Ident.t * Ident.t list * Ident.t * Term.value * Term.value list) option
+
+(** Exception payloads produced both by the [fold] rule and by the runtime
+    implementations, so that folding is unobservable. *)
+val overflow_message : string
+
+val div_zero_message : string
+
+(** {1 Checked integer arithmetic}
+
+    Shared by the [fold] meta-evaluations and the runtime implementations:
+    [None] signals overflow (or division by zero), i.e. the exceptional
+    continuation. *)
+
+val add_checked : int -> int -> int option
+val sub_checked : int -> int -> int option
+val mul_checked : int -> int -> int option
+val div_checked : int -> int -> int option
+val rem_checked : int -> int -> int option

@@ -1,0 +1,81 @@
+(** The core TML rewrite rules and the reduction pass (section 3).
+
+    The reduction pass applies the generic rewrite rules to the TML tree
+    until no more rules are applicable.  Termination is guaranteed because
+    each rule strictly reduces the size of the tree when applied (the only
+    size-neutral rule, [case-subst], is applicable at most once per node
+    between size-reducing steps).
+
+    "Although each individual rule is fairly simple, the combination of
+    these rules is surprisingly powerful.  Many of the well-known standard
+    program optimizations like constant and copy propagation, dead code
+    elimination, procedure inlining or loop unrolling are just special cases
+    of these general λ-calculus transformations." *)
+
+(** Per-rule application counters. *)
+type stats = {
+  mutable subst : int;
+  mutable remove : int;
+  mutable reduce : int;
+  mutable eta : int;
+  mutable fold : int;
+  mutable case_subst : int;
+  mutable y_remove : int;
+  mutable y_reduce : int;
+  mutable domain : int;  (** applications of domain-specific rules *)
+}
+
+val fresh_stats : unit -> stats
+val total : stats -> int
+val add_stats : stats -> stats -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+(** A domain-specific rewrite rule (e.g. the query rules of section 4.2 or
+    the store-aware rules of the reflective optimizer).  It is tried on
+    every application node alongside the core rules. *)
+type rule = Term.app -> Term.app option
+
+(** {1 Individual rules} (exposed for unit tests and ablation benches) *)
+
+(** [try_beta app] applies the combined [subst] / [remove] / [reduce] rules
+    to a direct application of an abstraction: trivial values (literals,
+    variables, primitives) are substituted freely; an abstraction argument is
+    substituted only when its parameter is referenced exactly once (the
+    precondition that prevents code growth); unreferenced parameters are
+    struck out together with their arguments; an application binding no
+    variables is replaced by its body. *)
+val try_beta : ?stats:stats -> Term.app -> Term.app option
+
+(** [try_fold app] applies the [fold] rule: the meta-evaluation function of
+    the primitive in functional position may reduce the call (constant
+    folding, branch elimination). *)
+val try_fold : ?stats:stats -> Term.app -> Term.app option
+
+(** [try_case_subst app] applies the [case-subst] rule: inside the branch
+    selected by tag [tag_i], the scrutinee variable is known to equal
+    [tag_i] and is substituted. *)
+val try_case_subst : ?stats:stats -> Term.app -> Term.app option
+
+(** [try_y app] applies [Y-remove] (strike out recursive procedures not
+    referenced by the other members of the fixpoint nest or the entry
+    continuation) and [Y-reduce] (a fixpoint binding nothing reduces to the
+    entry continuation's body). *)
+val try_y : ?stats:stats -> Term.app -> Term.app option
+
+(** [try_eta v] applies the [η-reduce] rule to an abstraction value:
+    [λ(v1..vn)(val v1..vn)] becomes [val] when no [v_i] occurs in [val]. *)
+val try_eta : ?stats:stats -> Term.value -> Term.value option
+
+(** {1 The reduction pass} *)
+
+(** Raised when [max_steps] is exhausted — only reachable through
+    non-size-reducing domain rules; the core rules always terminate. *)
+exception Out_of_fuel
+
+(** [reduce_app ?stats ?rules ?max_steps app] normalizes [app]: applies the
+    core rules (plus the domain [rules]) bottom-up to fixpoint.
+    [max_steps] (default 200_000) bounds the number of rule applications as
+    a safety net for non-size-reducing domain rules. *)
+val reduce_app : ?stats:stats -> ?rules:rule list -> ?max_steps:int -> Term.app -> Term.app
+
+val reduce_value : ?stats:stats -> ?rules:rule list -> ?max_steps:int -> Term.value -> Term.value

@@ -1,0 +1,286 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Lparen
+  | Rparen
+  | Atom of string
+  | Tstring of string
+  | Tchar of char
+  | Toid of int
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let is_delim c = c = '(' || c = ')' || c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  while !i < n do
+    (match s.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ';' ->
+      (* comment to end of line, as in the paper's listings *)
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    | '(' ->
+      push Lparen;
+      incr i
+    | ')' ->
+      push Rparen;
+      incr i
+    | '<' when !i + 4 <= n && String.sub s !i 4 = "<oid" ->
+      (* <oid 0x1234> *)
+      let j = String.index_from_opt s !i '>' in
+      let j = match j with
+        | Some j -> j
+        | None -> fail "unterminated <oid ...>"
+      in
+      let inner = String.sub s (!i + 1) (j - !i - 1) in
+      (match String.split_on_char ' ' (String.trim inner) with
+      | [ "oid"; num ] -> (
+        match int_of_string_opt num with
+        | Some v -> push (Toid v)
+        | None -> fail "bad oid %S" num)
+      | _ -> fail "bad <...> token %S" inner);
+      i := j + 1
+    | '\'' ->
+      (* character literal, possibly escaped *)
+      let j = ref (!i + 1) in
+      if !j >= n then fail "unterminated char literal";
+      let c, len =
+        if s.[!j] = '\\' then begin
+          if !j + 1 >= n then fail "unterminated char escape";
+          let e = s.[!j + 1] in
+          let c =
+            match e with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | 'r' -> '\r'
+            | '\\' -> '\\'
+            | '\'' -> '\''
+            | '0' -> '\000'
+            | _ -> fail "unknown char escape \\%c" e
+          in
+          c, 2
+        end
+        else s.[!j], 1
+      in
+      if !j + len >= n || s.[!j + len] <> '\'' then fail "unterminated char literal";
+      push (Tchar c);
+      i := !j + len + 1
+    | '"' ->
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let rec scan () =
+        if !j >= n then fail "unterminated string literal";
+        match s.[!j] with
+        | '"' -> ()
+        | '\\' ->
+          if !j + 1 >= n then fail "unterminated string escape";
+          (match s.[!j + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | c -> fail "unknown string escape \\%c" c);
+          j := !j + 2;
+          scan ()
+        | c ->
+          Buffer.add_char buf c;
+          incr j;
+          scan ()
+      in
+      scan ();
+      push (Tstring (Buffer.contents buf));
+      i := !j + 1
+    | _ ->
+      let start = !i in
+      while
+        match peek () with
+        | Some c -> not (is_delim c)
+        | None -> false
+      do
+        incr i
+      done;
+      push (Atom (String.sub s start (!i - start))));
+    ()
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type scope = {
+  mutable idents : (string * Ident.t) list;  (* token -> identifier *)
+}
+
+let is_real_atom a =
+  String.length a > 0
+  && (match a.[0] with
+     | '0' .. '9' | '-' | '.' | '+' -> true
+     | _ -> false)
+  && (String.contains a '.' || String.contains a 'e' || String.contains a 'E'
+     || String.contains a 'x' || String.contains a 'n' (* nan *)
+     || String.contains a 'i' (* infinity *))
+
+let is_ident_atom a =
+  String.length a > 0
+  && (match a.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '!' -> true
+         | _ -> false)
+       a
+
+let strip_cont_marker a =
+  if String.length a > 0 && a.[String.length a - 1] = '!' then
+    String.sub a 0 (String.length a - 1), Ident.Cont
+  else a, Ident.Value
+
+let lookup_or_fresh scope token =
+  match List.assoc_opt token scope.idents with
+  | Some id -> id
+  | None ->
+    let name, sort = strip_cont_marker token in
+    let id = Ident.fresh ~sort name in
+    scope.idents <- (token, id) :: scope.idents;
+    id
+
+let bind_param scope token =
+  (* Binders always create fresh identifiers; inner bindings shadow outer
+     ones in the token map (the resulting term satisfies unique binding). *)
+  let name, sort = strip_cont_marker token in
+  let id = Ident.fresh ~sort name in
+  scope.idents <- (token, id) :: scope.idents;
+  id
+
+let atom_value scope a : Term.value =
+  match a with
+  | "true" -> Term.bool_ true
+  | "false" -> Term.bool_ false
+  | "nil" -> Term.unit_
+  | _ -> (
+    match int_of_string_opt a with
+    | Some i -> Term.int i
+    | None -> (
+      if is_real_atom a then
+        match float_of_string_opt a with
+        | Some r -> Term.real r
+        | None -> fail "bad numeric atom %S" a
+      else if List.mem_assoc a scope.idents then Term.var (lookup_or_fresh scope a)
+      else if Prim.mem a then Term.prim a
+      else if is_ident_atom a then Term.var (lookup_or_fresh scope a)
+      else Term.prim a))
+
+(* Grammar:
+     value ::= atom | string | char | oid | abskw '(' param* ')' value-body
+     app   ::= '(' value value* ')'
+   where an abstraction's body follows its parameter list as an app. *)
+let rec parse_value_tokens scope tokens : Term.value * token list =
+  match tokens with
+  | Atom kw :: Lparen :: rest when kw = "cont" || kw = "proc" || kw = "lambda" ->
+    let rec params acc = function
+      | Atom a :: more -> params (bind_param scope a :: acc) more
+      | Rparen :: more -> List.rev acc, more
+      | _ -> fail "bad parameter list"
+    in
+    let ps, rest = params [] rest in
+    let body, rest = parse_app_tokens scope rest in
+    Term.abs ps body, rest
+  | Atom a :: rest -> atom_value scope a, rest
+  | Tstring s :: rest -> Term.str s, rest
+  | Tchar c :: rest -> Term.char c, rest
+  | Toid o :: rest -> Term.oid (Oid.of_int o), rest
+  | Lparen :: _ -> fail "expected a value, found an application"
+  | Rparen :: _ -> fail "unexpected ')'"
+  | [] -> fail "unexpected end of input"
+
+and parse_app_tokens scope tokens : Term.app * token list =
+  match tokens with
+  | Lparen :: rest ->
+    let func, rest = parse_value_tokens scope rest in
+    let rec args acc = function
+      | Rparen :: more -> List.rev acc, more
+      | more ->
+        let v, more = parse_value_tokens scope more in
+        args (v :: acc) more
+    in
+    let actuals, rest = args [] rest in
+    Term.app func actuals, rest
+  | _ -> fail "expected '('"
+
+let parse_app s =
+  Primitives.install ();
+  let scope = { idents = [] } in
+  match parse_app_tokens scope (tokenize s) with
+  | a, [] -> a
+  | _, _ :: _ -> fail "trailing tokens after application"
+
+let parse_value s =
+  Primitives.install ();
+  let scope = { idents = [] } in
+  match parse_value_tokens scope (tokenize s) with
+  | v, [] -> v
+  | _, _ :: _ -> fail "trailing tokens after value"
+
+(* ------------------------------------------------------------------ *)
+(* Printer (round-trippable: conts carry '!', stamps kept in names)     *)
+(* ------------------------------------------------------------------ *)
+
+let ident_token id =
+  let base = Printf.sprintf "%s_%d" id.Ident.name id.Ident.stamp in
+  if Ident.is_cont id then base ^ "!" else base
+
+let rec print_value_buf buf (v : Term.value) =
+  match v with
+  | Term.Lit (Literal.Real r) -> Buffer.add_string buf (Printf.sprintf "%h" r)
+  | Term.Lit (Literal.Oid o) -> Buffer.add_string buf (Printf.sprintf "<oid %d>" (Oid.to_int o))
+  | Term.Lit l -> Buffer.add_string buf (Literal.to_string l)
+  | Term.Var id -> Buffer.add_string buf (ident_token id)
+  | Term.Prim name -> Buffer.add_string buf name
+  | Term.Abs a ->
+    let kw =
+      match Term.abs_kind a with
+      | `Cont -> "cont"
+      | `Proc -> "proc"
+    in
+    Buffer.add_string buf kw;
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i p ->
+        if i > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (ident_token p))
+      a.params;
+    Buffer.add_string buf ") ";
+    print_app_buf buf a.body
+
+and print_app_buf buf (a : Term.app) =
+  Buffer.add_char buf '(';
+  print_value_buf buf a.func;
+  List.iter
+    (fun arg ->
+      Buffer.add_char buf ' ';
+      print_value_buf buf arg)
+    a.args;
+  Buffer.add_char buf ')'
+
+let print_app a =
+  let buf = Buffer.create 256 in
+  print_app_buf buf a;
+  Buffer.contents buf
+
+let print_value v =
+  let buf = Buffer.create 256 in
+  print_value_buf buf v;
+  Buffer.contents buf

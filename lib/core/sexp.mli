@@ -1,0 +1,30 @@
+(** A concrete syntax for TML terms, close to the paper's listings, with a
+    parser — used by tests, the CLI and documentation examples.
+
+    Differences from the pretty printer of {!Pp} (which is print-only and
+    paper-faithful): continuation identifiers carry a ["!"] suffix so that
+    sorts survive a round trip (the paper relies on naming conventions like
+    [cc]/[ce] which are not machine-checkable), e.g.
+
+    {v (proc(x ce! cc!) (+ x 1 ce! cc!) 41 k_err! k_ok!) v}
+
+    Keywords [cont], [proc] and [lambda] are interchangeable; the kind is
+    recovered from the parameter sorts.  Literals: integers, [true], [false],
+    [nil], ['c'], ["str"], reals (containing [.], [e] or hex-float syntax),
+    [<oid N>].  Any other atom is an identifier if it is bound or starts
+    with a letter followed by letters, digits or underscores and is not a
+    registered primitive; otherwise it is a primitive name. *)
+
+exception Parse_error of string
+
+(** [parse_app s] parses an application. @raise Parse_error *)
+val parse_app : string -> Term.app
+
+(** [parse_value s] parses a value (literal, identifier, primitive or
+    abstraction). @raise Parse_error *)
+val parse_value : string -> Term.value
+
+(** [print_app a] / [print_value v] print in the round-trippable syntax. *)
+val print_app : Term.app -> string
+
+val print_value : Term.value -> string

@@ -1,0 +1,16 @@
+open Term
+
+let rec subst_value env = function
+  | Var id as v -> (
+    match Ident.Map.find_opt id env with
+    | Some by -> by
+    | None -> v)
+  | (Lit _ | Prim _) as v -> v
+  | Abs a -> Abs { a with body = subst_app env a.body }
+
+and subst_app env { func; args } =
+  { func = subst_value env func; args = List.map (subst_value env) args }
+
+let value v ~by value' = subst_value (Ident.Map.singleton v by) value'
+let app v ~by a = subst_app (Ident.Map.singleton v by) a
+let app_many env a = if Ident.Map.is_empty env then a else subst_app env a

@@ -1,0 +1,20 @@
+(** Variable substitution — E[val/v] of section 3.
+
+    "Values bound to λ-variables may be substituted freely within the TML
+    tree since, due to CPS, they are not allowed to contain nested primitive
+    or function calls which may cause side effects in the store."
+
+    Name clashes cannot occur because of the unique binding rule; the only
+    transient exception (substituting an abstraction whose formals then occur
+    at two places) is resolved immediately by the [remove] rule, exactly as
+    discussed in the paper. *)
+
+(** [value v ~by value'] is value'[by/v]. *)
+val value : Ident.t -> by:Term.value -> Term.value -> Term.value
+
+(** [app v ~by a] is a[by/v]. *)
+val app : Ident.t -> by:Term.value -> Term.app -> Term.app
+
+(** [app_many bindings a] substitutes several variables simultaneously
+    (used by β-contraction and by the expansion pass). *)
+val app_many : Term.value Ident.Map.t -> Term.app -> Term.app

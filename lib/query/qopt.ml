@@ -1,0 +1,30 @@
+open Tml_core
+open Term
+
+let install = Qprims.install
+let static_rules = Qrewrite.algebraic_rules
+
+let index_select ctx (a : app) =
+  match a.func, a.args with
+  | Prim "select", [ pred; (Lit (Literal.Oid rel_oid) as rel); ce; k ] -> (
+    match Qrewrite.field_eq_predicate pred with
+    | Some (field, key) -> (
+      match Tml_vm.Value.Heap.get_opt ctx.Tml_vm.Runtime.heap rel_oid with
+      | Some (Tml_vm.Value.Relation _) -> (
+        match Rel.find_index ctx rel_oid field with
+        | Some _ ->
+          Some (app (prim "indexselect") [ rel; int field; lit key; ce; k ])
+        | None -> None)
+      | _ -> None)
+    | None -> None)
+  | _ -> None
+
+let runtime_rules ctx = [ index_select ctx ]
+
+let optimize ?(config = Optimizer.default) ctx a =
+  install ();
+  Optimizer.optimize_app ~config:(Optimizer.with_rules config (static_rules @ runtime_rules ctx)) a
+
+let optimize_static ?(config = Optimizer.default) a =
+  install ();
+  Optimizer.optimize_app ~config:(Optimizer.with_rules config static_rules) a

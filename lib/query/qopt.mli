@@ -1,0 +1,38 @@
+(** The query optimizer, as a set of domain rewriters for the TML optimizer
+    (figure 4: the program optimizer and the query optimizer invoke each
+    other on the same uniform representation — here literally, by running in
+    the same reduction engine).
+
+    "In general, since the optimization of query expressions depends on
+    runtime bindings (for example, knowledge about index structures), we
+    have to delay query optimizations until runtime": the rules of
+    [runtime_rules] consult the live store and are only available to the
+    dynamic (reflective) optimizer. *)
+
+open Tml_core
+
+(** [install ()] registers the query primitives ({!Qprims.install}). *)
+val install : unit -> unit
+
+(** Store-independent algebraic rules ({!Qrewrite.algebraic_rules}),
+    available to the static optimizer. *)
+val static_rules : Rewrite.rule list
+
+(** [index_select ctx] — σ(field = literal) over a relation known (at
+    runtime) to carry a hash index on that field becomes an [indexselect].
+    The relation must appear as a literal OID, i.e. the term must already be
+    linked against the live store — which is exactly why this optimization
+    cannot happen at compile time. *)
+val index_select : Tml_vm.Runtime.ctx -> Rewrite.rule
+
+(** [runtime_rules ctx] — all store-dependent rules. *)
+val runtime_rules : Tml_vm.Runtime.ctx -> Rewrite.rule list
+
+(** [optimize ?config ctx a] — convenience: run the full TML optimizer with
+    both the static and the runtime query rules. *)
+val optimize :
+  ?config:Optimizer.config -> Tml_vm.Runtime.ctx -> Term.app -> Term.app * Optimizer.report
+
+(** [optimize_static ?config a] — the compile-time variant: algebraic rules
+    only. *)
+val optimize_static : ?config:Optimizer.config -> Term.app -> Term.app * Optimizer.report

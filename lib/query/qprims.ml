@@ -1,0 +1,401 @@
+open Tml_core
+open Tml_vm
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer descriptors                                                *)
+(* ------------------------------------------------------------------ *)
+
+let observer = { Prim.effects = Prim.Observer; commutative = false; can_fold = false }
+let mutator = { Prim.effects = Prim.Mutator; commutative = false; can_fold = false }
+
+let descriptors () =
+  let p = Prim.make in
+  [
+    p ~name:"select" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:observer ~base_cost:50 ();
+    p ~name:"project" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:observer ~base_cost:40 ();
+    p ~name:"join" ~value_arity:(Some 3) ~cont_arity:(Some 2) ~attrs:observer ~base_cost:100 ();
+    p ~name:"exists" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:observer ~base_cost:30 ();
+    p ~name:"empty" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:2 ();
+    p ~name:"count" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:2 ();
+    p ~name:"sum" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:observer ~base_cost:40 ();
+    p ~name:"foreach" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:observer ~base_cost:30 ();
+    p ~name:"tuple" ~value_arity:None ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:2 ();
+    p ~name:"relation" ~value_arity:None ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:3 ();
+    p ~name:"insert" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:mutator ~base_cost:5 ();
+    p ~name:"ontrigger" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:5
+      ();
+    p ~name:"mkindex" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:mutator ~base_cost:20 ();
+    p ~name:"indexselect" ~value_arity:(Some 3) ~cont_arity:(Some 2) ~attrs:observer
+      ~base_cost:8 ();
+    p ~name:"union" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:10 ();
+    p ~name:"inter" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:30 ();
+    p ~name:"diff" ~value_arity:(Some 2) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:30 ();
+    p ~name:"distinct" ~value_arity:(Some 1) ~cont_arity:(Some 1) ~attrs:observer ~base_cost:20
+      ();
+    p ~name:"minagg" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:observer ~base_cost:40 ();
+    p ~name:"maxagg" ~value_arity:(Some 2) ~cont_arity:(Some 2) ~attrs:observer ~base_cost:40 ();
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime implementations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ret k v = Runtime.Invoke (k, [ v ])
+
+(* Apply a user predicate/function to a row via the engine's re-entrant
+   call; charge a per-row cost so that query evaluation shows up in the
+   abstract instruction counts. *)
+let call1 ctx f x =
+  Runtime.charge ctx 2;
+  ctx.Runtime.subcall f [ x ]
+
+let as_rel ctx ~what v = Rel.get ctx (Runtime.as_oid ~what v)
+
+exception Bail of Value.t
+
+let bool_of ~what = function
+  | Value.Bool b -> b
+  | v -> Runtime.fault "%s: predicate returned %s, expected bool" what (Value.type_name v)
+
+let select_impl ctx values conts =
+  match values, conts with
+  | [ pred; rel ], [ ce; cc ] -> (
+    let r = as_rel ctx ~what:"select" rel in
+    try
+      let kept =
+        Array.of_list
+          (List.filter
+             (fun row ->
+               match call1 ctx pred row with
+               | Ok v -> bool_of ~what:"select" v
+               | Error e -> raise (Bail e))
+             (Array.to_list r.Value.rows))
+      in
+      (* materializing the result relation costs per output row *)
+      Runtime.charge ctx (1 + (2 * Array.length kept));
+      ret cc (Value.Oidv (Rel.of_rows ctx ~name:(r.Value.rel_name ^ "'") kept))
+    with
+    | Bail e -> ret ce e)
+  | _ -> Runtime.fault "select: bad arguments"
+
+let project_impl ctx values conts =
+  match values, conts with
+  | [ f; rel ], [ ce; cc ] -> (
+    let r = as_rel ctx ~what:"project" rel in
+    try
+      let rows =
+        Array.map
+          (fun row ->
+            match call1 ctx f row with
+            | Ok (Value.Oidv _ as t) -> t
+            | Ok v -> Runtime.fault "project: target returned %s" (Value.type_name v)
+            | Error e -> raise (Bail e))
+          r.Value.rows
+      in
+      Runtime.charge ctx (1 + (2 * Array.length rows));
+      ret cc (Value.Oidv (Rel.of_rows ctx ~name:(r.Value.rel_name ^ "[π]") rows))
+    with
+    | Bail e -> ret ce e)
+  | _ -> Runtime.fault "project: bad arguments"
+
+let join_impl ctx values conts =
+  match values, conts with
+  | [ pred; rel1; rel2 ], [ ce; cc ] -> (
+    let r1 = as_rel ctx ~what:"join" rel1 and r2 = as_rel ctx ~what:"join" rel2 in
+    try
+      let out = ref [] in
+      Array.iter
+        (fun row1 ->
+          Array.iter
+            (fun row2 ->
+              Runtime.charge ctx 2;
+              match ctx.Runtime.subcall pred [ row1; row2 ] with
+              | Ok v ->
+                if bool_of ~what:"join" v then begin
+                  let fields =
+                    Array.append (Rel.row_tuple ctx row1) (Rel.row_tuple ctx row2)
+                  in
+                  let t = Value.Heap.alloc ctx.Runtime.heap (Value.Tuple fields) in
+                  out := Value.Oidv t :: !out
+                end
+              | Error e -> raise (Bail e))
+            r2.Value.rows)
+        r1.Value.rows;
+      let rows = Array.of_list (List.rev !out) in
+      Runtime.charge ctx (1 + (2 * Array.length rows));
+      ret cc
+        (Value.Oidv
+           (Rel.of_rows ctx ~name:(r1.Value.rel_name ^ "⋈" ^ r2.Value.rel_name) rows))
+    with
+    | Bail e -> ret ce e)
+  | _ -> Runtime.fault "join: bad arguments"
+
+let exists_impl ctx values conts =
+  match values, conts with
+  | [ pred; rel ], [ ce; cc ] -> (
+    let r = as_rel ctx ~what:"exists" rel in
+    try
+      let found =
+        Array.exists
+          (fun row ->
+            match call1 ctx pred row with
+            | Ok v -> bool_of ~what:"exists" v
+            | Error e -> raise (Bail e))
+          r.Value.rows
+      in
+      ret cc (Value.Bool found)
+    with
+    | Bail e -> ret ce e)
+  | _ -> Runtime.fault "exists: bad arguments"
+
+let empty_impl ctx values conts =
+  match values, conts with
+  | [ rel ], [ k ] ->
+    ret k (Value.Bool (Array.length (as_rel ctx ~what:"empty" rel).Value.rows = 0))
+  | _ -> Runtime.fault "empty: bad arguments"
+
+let count_impl ctx values conts =
+  match values, conts with
+  | [ rel ], [ k ] ->
+    ret k (Value.Int (Array.length (as_rel ctx ~what:"count" rel).Value.rows))
+  | _ -> Runtime.fault "count: bad arguments"
+
+let sum_impl ctx values conts =
+  match values, conts with
+  | [ f; rel ], [ ce; cc ] -> (
+    let r = as_rel ctx ~what:"sum" rel in
+    try
+      let total =
+        Array.fold_left
+          (fun acc row ->
+            match call1 ctx f row with
+            | Ok (Value.Int i) -> acc + i
+            | Ok v -> Runtime.fault "sum: function returned %s" (Value.type_name v)
+            | Error e -> raise (Bail e))
+          0 r.Value.rows
+      in
+      ret cc (Value.Int total)
+    with
+    | Bail e -> ret ce e)
+  | _ -> Runtime.fault "sum: bad arguments"
+
+let foreach_impl ctx values conts =
+  match values, conts with
+  | [ body; rel ], [ ce; cc ] -> (
+    let r = as_rel ctx ~what:"foreach" rel in
+    try
+      Array.iter
+        (fun row ->
+          match call1 ctx body row with
+          | Ok _ -> ()
+          | Error e -> raise (Bail e))
+        r.Value.rows;
+      ret cc Value.Unit
+    with
+    | Bail e -> ret ce e)
+  | _ -> Runtime.fault "foreach: bad arguments"
+
+let tuple_impl ctx values conts =
+  match conts with
+  | [ k ] ->
+    ret k (Value.Oidv (Value.Heap.alloc ctx.Runtime.heap (Value.Tuple (Array.of_list values))))
+  | _ -> Runtime.fault "tuple: bad arguments"
+
+let relation_impl ctx values conts =
+  match conts with
+  | [ k ] ->
+    List.iter
+      (fun v ->
+        match v with
+        | Value.Oidv _ -> ()
+        | _ -> Runtime.fault "relation: rows must be tuple references")
+      values;
+    ret k (Value.Oidv (Rel.of_rows ctx ~name:"rel" (Array.of_list values)))
+  | _ -> Runtime.fault "relation: bad arguments"
+
+let insert_impl ctx values conts =
+  match values, conts with
+  | [ rel; row ], [ ce; cc ] -> (
+    let oid = Runtime.as_oid ~what:"insert" rel in
+    let fields = Rel.row_tuple ctx row in
+    Rel.insert ctx oid fields;
+    (* fire the stored triggers with the inserted tuple; a raising trigger
+       propagates through the exception continuation (the row stays
+       inserted: triggers run after the update, as documented) *)
+    let r = Rel.get ctx oid in
+    try
+      List.iter
+        (fun trigger ->
+          Runtime.charge ctx 2;
+          match ctx.Runtime.subcall trigger [ row ] with
+          | Ok _ -> ()
+          | Error e -> raise (Bail e))
+        (List.rev r.Value.triggers);
+      ret cc Value.Unit
+    with
+    | Bail e -> ret ce e)
+  | _ -> Runtime.fault "insert: bad arguments"
+
+let ontrigger_impl ctx values conts =
+  match values, conts with
+  | [ rel; fn ], [ k ] ->
+    let r = as_rel ctx ~what:"ontrigger" rel in
+    (match fn with
+    | Value.Oidv _ | Value.Closure _ | Value.Mclosure _ | Value.Primv _ -> ()
+    | v -> Runtime.fault "ontrigger: %s is not callable" (Value.type_name v));
+    r.Value.triggers <- fn :: r.Value.triggers;
+    ret k Value.Unit
+  | _ -> Runtime.fault "ontrigger: bad arguments"
+
+let mkindex_impl ctx values conts =
+  match values, conts with
+  | [ rel; field ], [ k ] ->
+    Rel.add_index ctx (Runtime.as_oid ~what:"mkindex" rel) (Runtime.as_int ~what:"mkindex" field);
+    ret k Value.Unit
+  | _ -> Runtime.fault "mkindex: bad arguments"
+
+let indexselect_impl ctx values conts =
+  match values, conts with
+  | [ rel; field; key ], [ _ce; cc ] -> (
+    let oid = Runtime.as_oid ~what:"indexselect" rel in
+    let field = Runtime.as_int ~what:"indexselect" field in
+    let r = Rel.get ctx oid in
+    let key_lit =
+      match Value.to_literal key with
+      | Some l -> l
+      | None -> Runtime.fault "indexselect: key %s has no literal form" (Value.type_name key)
+    in
+    match Rel.lookup ctx oid ~field key_lit with
+    | Some positions ->
+      Runtime.charge ctx (1 + (3 * List.length positions));
+      let rows =
+        List.sort compare positions
+        |> List.map (fun pos -> r.Value.rows.(pos))
+        |> Array.of_list
+      in
+      ret cc (Value.Oidv (Rel.of_rows ctx ~name:(r.Value.rel_name ^ "[ix]") rows))
+    | None ->
+      (* no index at runtime: degrade to a scan *)
+      Runtime.charge ctx (Array.length r.Value.rows);
+      let kept =
+        Array.of_list
+          (List.filter
+             (fun row ->
+               let fields = Rel.row_tuple ctx row in
+               field >= 0 && field < Array.length fields
+               && Value.identical fields.(field) key)
+             (Array.to_list r.Value.rows))
+      in
+      ret cc (Value.Oidv (Rel.of_rows ctx ~name:(r.Value.rel_name ^ "[scan]") kept)))
+  | _ -> Runtime.fault "indexselect: bad arguments"
+
+(* Multiset semantics with content comparison: two rows are the same when
+   their fields are pairwise identical (in the ["=="] sense). *)
+let rows_content_equal ctx row1 row2 =
+  let f1 = Rel.row_tuple ctx row1 and f2 = Rel.row_tuple ctx row2 in
+  Array.length f1 = Array.length f2
+  && (let ok = ref true in
+      Array.iteri (fun i v -> if not (Value.identical v f2.(i)) then ok := false) f1;
+      !ok)
+
+let union_impl ctx values conts =
+  match values, conts with
+  | [ rel1; rel2 ], [ k ] ->
+    let r1 = as_rel ctx ~what:"union" rel1 and r2 = as_rel ctx ~what:"union" rel2 in
+    let rows = Array.append r1.Value.rows r2.Value.rows in
+    Runtime.charge ctx (1 + (2 * Array.length rows));
+    ret k (Value.Oidv (Rel.of_rows ctx ~name:(r1.Value.rel_name ^ "∪" ^ r2.Value.rel_name) rows))
+  | _ -> Runtime.fault "union: bad arguments"
+
+let filter_against name keep_if_found ctx values conts =
+  match values, conts with
+  | [ rel1; rel2 ], [ k ] ->
+    let r1 = as_rel ctx ~what:name rel1 and r2 = as_rel ctx ~what:name rel2 in
+    let kept =
+      Array.of_list
+        (List.filter
+           (fun row1 ->
+             Runtime.charge ctx (1 + Array.length r2.Value.rows);
+             Array.exists (fun row2 -> rows_content_equal ctx row1 row2) r2.Value.rows
+             = keep_if_found)
+           (Array.to_list r1.Value.rows))
+    in
+    Runtime.charge ctx (1 + (2 * Array.length kept));
+    ret k (Value.Oidv (Rel.of_rows ctx ~name:(r1.Value.rel_name ^ "'") kept))
+  | _ -> Runtime.fault "%s: bad arguments" name
+
+let distinct_impl ctx values conts =
+  match values, conts with
+  | [ rel ], [ k ] ->
+    let r = as_rel ctx ~what:"distinct" rel in
+    let kept = ref [] in
+    Array.iter
+      (fun row ->
+        Runtime.charge ctx (1 + List.length !kept);
+        if not (List.exists (fun seen -> rows_content_equal ctx row seen) !kept) then
+          kept := row :: !kept)
+      r.Value.rows;
+    let rows = Array.of_list (List.rev !kept) in
+    Runtime.charge ctx (1 + (2 * Array.length rows));
+    ret k (Value.Oidv (Rel.of_rows ctx ~name:(r.Value.rel_name ^ "[δ]") rows))
+  | _ -> Runtime.fault "distinct: bad arguments"
+
+let agg_impl name better ctx values conts =
+  match values, conts with
+  | [ f; rel ], [ ce; cc ] -> (
+    let r = as_rel ctx ~what:name rel in
+    if Array.length r.Value.rows = 0 then ret ce (Value.Str (name ^ ": empty relation"))
+    else
+      try
+        let best = ref None in
+        Array.iter
+          (fun row ->
+            match call1 ctx f row with
+            | Ok (Value.Int i) -> (
+              match !best with
+              | None -> best := Some i
+              | Some b -> if better i b then best := Some i)
+            | Ok v -> Runtime.fault "%s: function returned %s" name (Value.type_name v)
+            | Error e -> raise (Bail e))
+          r.Value.rows;
+        match !best with
+        | Some b -> ret cc (Value.Int b)
+        | None -> assert false
+      with
+      | Bail e -> ret ce e)
+  | _ -> Runtime.fault "%s: bad arguments" name
+
+let impls () : (string * Runtime.impl) list =
+  [
+    "select", select_impl;
+    "project", project_impl;
+    "join", join_impl;
+    "exists", exists_impl;
+    "empty", empty_impl;
+    "count", count_impl;
+    "sum", sum_impl;
+    "foreach", foreach_impl;
+    "tuple", tuple_impl;
+    "relation", relation_impl;
+    "insert", insert_impl;
+    "ontrigger", ontrigger_impl;
+    "mkindex", mkindex_impl;
+    "indexselect", indexselect_impl;
+    "union", union_impl;
+    "inter", filter_against "inter" true;
+    "diff", filter_against "diff" false;
+    "distinct", distinct_impl;
+    "minagg", agg_impl "minagg" ( < );
+    "maxagg", agg_impl "maxagg" ( > );
+  ]
+
+let names = List.map fst (impls ())
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Runtime.install ();
+    List.iter (fun d -> Prim.register ~override:true d) (descriptors ());
+    List.iter (fun (name, impl) -> Runtime.register_impl ~override:true name impl) (impls ())
+  end

@@ -1,0 +1,282 @@
+open Tml_core
+open Term
+
+(* helper: one occurrence of [v] in [a]? *)
+let used_once v a = Occurs.count_app v a = 1
+
+(* σp(σq(R)) ≡ σp∧q(R).
+
+   CPS shape (the paper's own rendering of the rule):
+
+     (select q R ce cont(tempRel) (select p tempRel ce k))
+     --merge-select-->
+     (select proc(x ce' cc')
+               (q x ce' cont(b) (== b true cont() (p x ce' cc')
+                                          cont() (cc' false)))
+             R ce k)
+
+   Preconditions: tempRel is referenced exactly once (by the inner select)
+   and both selections share the same exception continuation. *)
+let merge_select (a : app) =
+  match a.func, a.args with
+  | Prim "select", [ q; r; ce1; Abs kont ] -> (
+    match kont.params, kont.body with
+    | ( [ tmp ],
+        {
+          func = Prim "select";
+          args = [ p; Var tmp'; ce2; k ];
+        } )
+      when Ident.equal tmp tmp'
+           && used_once tmp kont.body
+           && equal_value ce1 ce2 ->
+      let x = Ident.fresh "x" in
+      let ce' = Ident.fresh ~sort:Cont "ce" in
+      let cc' = Ident.fresh ~sort:Cont "cc" in
+      let b = Ident.fresh "b" in
+      let then_branch = abs [] (app p [ var x; var ce'; var cc' ]) in
+      let else_branch = abs [] (app (var cc') [ bool_ false ]) in
+      let test = app (prim "==") [ var b; bool_ true; then_branch; else_branch ] in
+      let pnew =
+        abs [ x; ce'; cc' ] (app q [ var x; var ce'; abs [ b ] test ])
+      in
+      Some (app (prim "select") [ pnew; r; ce1; k ])
+    | _ -> None)
+  | _ -> None
+
+(* πf(πg(R)) ≡ πf∘g(R). *)
+let merge_project (a : app) =
+  match a.func, a.args with
+  | Prim "project", [ g; r; ce1; Abs kont ] -> (
+    match kont.params, kont.body with
+    | ( [ tmp ],
+        {
+          func = Prim "project";
+          args = [ f; Var tmp'; ce2; k ];
+        } )
+      when Ident.equal tmp tmp'
+           && used_once tmp kont.body
+           && equal_value ce1 ce2 ->
+      let x = Ident.fresh "x" in
+      let ce' = Ident.fresh ~sort:Cont "ce" in
+      let cc' = Ident.fresh ~sort:Cont "cc" in
+      let t = Ident.fresh "t" in
+      let fg =
+        abs [ x; ce'; cc' ]
+          (app g [ var x; var ce'; abs [ t ] (app f [ var t; var ce'; var cc' ]) ])
+      in
+      Some (app (prim "project") [ fg; r; ce1; k ])
+    | _ -> None)
+  | _ -> None
+
+(* σtrue(R) ≡ R, σfalse(R) ≡ ∅ *)
+let constant_select (a : app) =
+  match a.func, a.args with
+  | Prim "select", [ Abs p; r; _ce; k ] -> (
+    match p.params, p.body with
+    | [ _x; _pce; pcc ], { func = Var cc'; args = [ Lit (Literal.Bool bool_result) ] }
+      when Ident.equal pcc cc' ->
+      if bool_result then Some (app k [ r ]) else Some (app (prim "relation") [ k ])
+    | _ -> None)
+  | _ -> None
+
+(* A conservative syntactic purity check: only continuation-variable jumps,
+   β-redexes and primitives of effect class [Pure] (excluding [Y], whose
+   recursion could diverge).  Used to strengthen [trivial_exists]: the
+   rewritten form evaluates the predicate once even when R is empty, which
+   is only unobservable when the predicate cannot touch the store, call
+   unknown procedures or loop. *)
+let rec pure_app (a : app) =
+  let head_ok =
+    match a.func with
+    | Prim "Y" -> false
+    | Prim name -> (
+      match Prim.find name with
+      | Some d -> d.Prim.attrs.effects = Prim.Pure
+      | None -> false)
+    | Var id -> Ident.is_cont id
+    | Abs _ -> true
+    | Lit _ -> false
+  in
+  head_ok
+  && List.for_all
+       (fun v ->
+         match v with
+         | Abs inner -> pure_app inner.body
+         | Lit _ | Var _ | Prim _ -> true)
+       (a.func :: a.args)
+
+(* ∃x∈R: p ≡ p ∧ R≠∅ when |p|_x = 0 — the scoping precondition is checked
+   with the occurrence-counting function of section 3. *)
+let trivial_exists (a : app) =
+  match a.func, a.args with
+  | Prim "exists", [ Abs p; r; ce; k ] -> (
+    match p.params with
+    | [ x; _pce; _pcc ] when (not (Occurs.occurs_app x p.body)) && pure_app p.body ->
+      let bp = Ident.fresh "bp" in
+      let be = Ident.fresh "be" in
+      let ne = Ident.fresh "ne" in
+      let inner =
+        abs [ bp ]
+          (app (prim "empty")
+             [
+               r;
+               abs [ be ]
+                 (app (prim "not")
+                    [ var be; abs [ ne ] (app (prim "and") [ var bp; var ne; k ]) ]);
+             ])
+      in
+      Some (app (Abs p) [ unit_; ce; inner ])
+    | _ -> None)
+  | _ -> None
+
+(* σp(R ∪ S) ≡ σp(R) ∪ σp(S).
+
+   CPS shape: (union a b cont(t) (select p t ce k))
+          --> (select p a ce cont(ra)
+                (select p' b ce cont(rb) (union ra rb k)))
+
+   where p' is an α-freshened copy of p; duplication is gated on the
+   predicate's size. *)
+let select_union_limit = 60
+
+let select_union (a : app) =
+  match a.func, a.args with
+  | Prim "union", [ r1; r2; Abs kont ] -> (
+    match kont.params, kont.body with
+    | [ tmp ], { func = Prim "select"; args = [ (Abs pabs as p); Var tmp'; ce; k ] }
+      when Ident.equal tmp tmp'
+           && used_once tmp kont.body
+           && Term.size_value p <= select_union_limit ->
+      let p' = Alpha.freshen_value p in
+      ignore pabs;
+      let ra = Ident.fresh "ra" in
+      let rb = Ident.fresh "rb" in
+      Some
+        (app (prim "select")
+           [
+             p;
+             r1;
+             ce;
+             abs [ ra ]
+               (app (prim "select")
+                  [
+                    p';
+                    r2;
+                    ce;
+                    abs [ rb ] (app (prim "union") [ var ra; var rb; k ]);
+                  ]);
+           ])
+    | _ -> None)
+  | _ -> None
+
+(* δ(δ(R)) ≡ δ(R) *)
+let distinct_distinct (a : app) =
+  match a.func, a.args with
+  | Prim "distinct", [ r; Abs kont ] -> (
+    match kont.params, kont.body with
+    | [ tmp ], { func = Prim "distinct"; args = [ Var tmp'; k ] }
+      when Ident.equal tmp tmp' && used_once tmp kont.body ->
+      Some (app (prim "distinct") [ r; k ])
+    | _ -> None)
+  | _ -> None
+
+(* A predicate is "row-local" when it observes the row exclusively through
+   field reads ([] with the row as the indexed object) and performs no
+   mutation, host calls or recursion: such a predicate is a deterministic
+   function of the row's field contents (content-equal rows have pairwise
+   identical field values), so per-content-class transformations like
+   swapping selection with duplicate elimination cannot change behaviour. *)
+let rec row_local x (a : app) =
+  let head_ok =
+    match a.func with
+    | Prim "Y" -> false
+    | Prim name -> (
+      match Prim.find name with
+      | Some d -> (
+        match d.Prim.attrs.effects with
+        | Prim.Pure | Prim.Observer -> true
+        | Prim.Mutator | Prim.Control | Prim.External -> false)
+      | None -> false)
+    | Var id -> Ident.is_cont id
+    | Abs _ -> true
+    | Lit _ -> false
+  in
+  let row_use_ok pos v =
+    match v with
+    | Var id when Ident.equal id x -> (
+      (* only as the indexed object of a field read *)
+      match a.func with
+      | Prim "[]" -> pos = 0
+      | _ -> false)
+    | _ -> true
+  in
+  let sub_ok v =
+    match v with
+    | Abs inner -> row_local x inner.body
+    | Lit _ | Var _ | Prim _ -> true
+  in
+  head_ok
+  && List.for_all2 row_use_ok
+       (List.init (List.length a.args) Fun.id)
+       a.args
+  && List.for_all sub_ok (a.func :: a.args)
+
+let row_local_pred (p : value) =
+  match p with
+  | Abs { params = [ x; _ce; _cc ]; body } -> row_local x body
+  | _ -> false
+
+(* δ(σp(R)) ≡ σp(δ(R)) — oriented to select first: the (quadratic)
+   duplicate elimination then runs on the smaller relation.  Requires a
+   row-local predicate (see above): an identity-observing predicate could
+   distinguish content-equal duplicate rows. *)
+let select_before_distinct (a : app) =
+  match a.func, a.args with
+  | Prim "distinct", [ r; Abs kont ] -> (
+    match kont.params, kont.body with
+    | [ tmp ], { func = Prim "select"; args = [ p; Var tmp'; ce; k ] }
+      when Ident.equal tmp tmp' && used_once tmp kont.body && row_local_pred p ->
+      let s = Ident.fresh "s" in
+      Some
+        (app (prim "select")
+           [ p; r; ce; abs [ s ] (app (prim "distinct") [ var s; k ]) ])
+    | _ -> None)
+  | _ -> None
+
+(* Recognize λ(x ce cc). x.[i] == lit — the indexable equality predicate. *)
+let field_eq_predicate (pred : value) =
+  match pred with
+  | Abs { params = [ x; _ce; cc ]; body } -> (
+    match body with
+    | {
+     func = Prim "[]";
+     args = [ Var x'; Lit (Literal.Int field); Abs { params = [ t ]; body = eqbody } ];
+    }
+      when Ident.equal x x' -> (
+      match eqbody with
+      | {
+       func = Prim "==";
+       args =
+         [
+           Var t';
+           Lit key;
+           Abs { params = []; body = { func = Var cc1; args = [ Lit (Literal.Bool true) ] } };
+           Abs { params = []; body = { func = Var cc2; args = [ Lit (Literal.Bool false) ] } };
+         ];
+      }
+        when Ident.equal t t' && Ident.equal cc cc1 && Ident.equal cc cc2 ->
+        Some (field, key)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let algebraic_rules =
+  [
+    merge_select;
+    merge_project;
+    constant_select;
+    trivial_exists;
+    select_union;
+    distinct_distinct;
+    select_before_distinct;
+  ]

@@ -1,0 +1,54 @@
+(** Algebraic query optimization as TML rewrite rules (section 4.2).
+
+    "For a given set of primitive procedures, algebraic and
+    implementation-oriented query optimization rules can be expressed quite
+    naturally in CPS ... In particular, scoping restrictions which limit the
+    applicability of certain rewrite rules are also directly expressible."
+
+    All rules here are plain {!Tml_core.Rewrite.rule}s: they plug into the
+    same reduction engine as the core λ-calculus rules, which is exactly the
+    integration of program and query optimization that figure 4 describes.
+
+    Caveat shared with the relational algebra: the algebraic rules reason
+    about relations as multisets of rows; a program that observes the object
+    identity of intermediate result relations can distinguish σtrue(R) from
+    R. *)
+
+open Tml_core
+
+(** σp(σq(R)) ≡ σp∧q(R) — the [merge-select] rule of the paper.  Requires
+    both selections to share the same exception continuation and the
+    intermediate relation to be used exactly once. *)
+val merge_select : Rewrite.rule
+
+(** πf(πg(R)) ≡ πf∘g(R). *)
+val merge_project : Rewrite.rule
+
+(** σtrue(R) ≡ R and σfalse(R) ≡ ∅ for constant predicates. *)
+val constant_select : Rewrite.rule
+
+(** ∃x∈R: p ≡ p ∧ R≠∅ when x does not occur in p — the [trivial-exists]
+    rule, whose precondition |p|_x = 0 is the paper's showcase for scoping
+    preconditions on query rules. *)
+val trivial_exists : Rewrite.rule
+
+(** σp(R ∪ S) ≡ σp(R) ∪ σp(S): selection distributes over union, avoiding
+    materializing the concatenation first.  The predicate is duplicated
+    (α-freshened), so the rule only fires for small predicate
+    abstractions. *)
+val select_union : Rewrite.rule
+
+(** δ(δ(R)) ≡ δ(R). *)
+val distinct_distinct : Rewrite.rule
+
+(** δ(σp(R)) ≡ σp(δ(R)), oriented to run the (cheap, content-based)
+    duplicate elimination {e after} the selection shrank the relation. *)
+val select_before_distinct : Rewrite.rule
+
+(** [field_eq_predicate pred] recognizes a predicate abstraction of the
+    shape λ(x ce cc). x.[i] == lit, returning [(i, lit)] — the shape the
+    [index_select] rule (in {!Qopt}) accelerates. *)
+val field_eq_predicate : Term.value -> (int * Literal.t) option
+
+(** All static (store-independent) rules, in application order. *)
+val algebraic_rules : Rewrite.rule list

@@ -1,0 +1,74 @@
+open Tml_core
+open Tml_vm
+
+let get ctx oid =
+  match Value.Heap.get_opt ctx.Runtime.heap oid with
+  | Some (Value.Relation r) -> r
+  | Some _ -> Runtime.fault "%s is not a relation" (Oid.to_string oid)
+  | None -> Runtime.fault "dangling relation reference %s" (Oid.to_string oid)
+
+let of_rows ctx ~name row_oids =
+  Value.Heap.alloc ctx.Runtime.heap
+    (Value.Relation { Value.rel_name = name; rows = row_oids; indexes = []; triggers = [] })
+
+let create ctx ~name tuples =
+  let rows =
+    Array.of_list
+      (List.map
+         (fun fields -> Value.Oidv (Value.Heap.alloc ctx.Runtime.heap (Value.Tuple fields)))
+         tuples)
+  in
+  of_rows ctx ~name rows
+
+let row_tuple ctx row =
+  match row with
+  | Value.Oidv oid -> (
+    match Value.Heap.get_opt ctx.Runtime.heap oid with
+    | Some (Value.Tuple fields) -> fields
+    | _ -> Runtime.fault "relation row %s is not a tuple" (Oid.to_string oid))
+  | v -> Runtime.fault "relation row is not a reference: %s" (Value.type_name v)
+
+let rows ctx oid = (get ctx oid).Value.rows
+
+let key_of_field ~what v =
+  match Value.to_literal v with
+  | Some l -> l
+  | None -> Runtime.fault "%s: field value %s cannot be an index key" what (Value.type_name v)
+
+let index_insert idx key pos =
+  let old = Option.value ~default:[] (Hashtbl.find_opt idx key) in
+  Hashtbl.replace idx key (pos :: old)
+
+let build_index ctx (r : Value.relation) field =
+  let idx = Hashtbl.create (max 16 (Array.length r.Value.rows)) in
+  Array.iteri
+    (fun pos row ->
+      let fields = row_tuple ctx row in
+      if field < 0 || field >= Array.length fields then
+        Runtime.fault "index: field %d out of range" field;
+      index_insert idx (key_of_field ~what:"index" fields.(field)) pos)
+    r.Value.rows;
+  idx
+
+let add_index ctx oid field =
+  let r = get ctx oid in
+  let idx = build_index ctx r field in
+  r.Value.indexes <- (field, idx) :: List.remove_assoc field r.Value.indexes
+
+let find_index ctx oid field = List.assoc_opt field (get ctx oid).Value.indexes
+
+let insert ctx oid fields =
+  let r = get ctx oid in
+  let row = Value.Oidv (Value.Heap.alloc ctx.Runtime.heap (Value.Tuple fields)) in
+  let pos = Array.length r.Value.rows in
+  r.Value.rows <- Array.append r.Value.rows [| row |];
+  List.iter
+    (fun (field, idx) ->
+      if field < Array.length fields then
+        index_insert idx (key_of_field ~what:"insert" fields.(field)) pos)
+    r.Value.indexes
+
+let lookup ctx oid ~field key =
+  match find_index ctx oid field with
+  | Some idx -> Some (Option.value ~default:[] (Hashtbl.find_opt idx key))
+  | None -> None

@@ -1,0 +1,44 @@
+(** Relations in the persistent store.
+
+    A relation is a store object holding an ordered multiset of rows; each
+    row is a [Tuple] store object referenced by OID (rows therefore have
+    object identity, as the ["=="] primitive expects).  Relations can carry
+    hash indexes on tuple fields; whether an index exists is a {e runtime}
+    binding — precisely the information the paper says forces query
+    optimization to be delayed until runtime (section 4.2). *)
+
+open Tml_vm
+
+(** [create ctx ~name rows] allocates a relation whose rows are the given
+    tuples (each given as a value array; tuple objects are allocated). *)
+val create : Runtime.ctx -> name:string -> Value.t array list -> Tml_core.Oid.t
+
+(** [get ctx oid] dereferences a relation.  @raise Runtime.Fault *)
+val get : Runtime.ctx -> Tml_core.Oid.t -> Value.relation
+
+(** [rows ctx rel] — the row OIDs. *)
+val rows : Runtime.ctx -> Tml_core.Oid.t -> Value.t array
+
+(** [row_tuple ctx row] dereferences a row to its field array. *)
+val row_tuple : Runtime.ctx -> Value.t -> Value.t array
+
+(** [insert ctx rel fields] appends a fresh tuple, updating indexes. *)
+val insert : Runtime.ctx -> Tml_core.Oid.t -> Value.t array -> unit
+
+(** [add_index ctx rel field] builds (or rebuilds) a hash index on a field
+    position. *)
+val add_index : Runtime.ctx -> Tml_core.Oid.t -> int -> unit
+
+(** [find_index ctx rel field] — the runtime binding the [index-select]
+    rewrite consults. *)
+val find_index :
+  Runtime.ctx -> Tml_core.Oid.t -> int -> (Tml_core.Literal.t, int list) Hashtbl.t option
+
+(** [lookup ctx rel ~field key] — indexed lookup (positions of matching
+    rows), or [None] if no index exists. *)
+val lookup :
+  Runtime.ctx -> Tml_core.Oid.t -> field:int -> Tml_core.Literal.t -> int list option
+
+(** [of_rows ctx ~name row_oids] builds a relation from existing row OIDs
+    (used by [select] which preserves row identity). *)
+val of_rows : Runtime.ctx -> name:string -> Value.t array -> Tml_core.Oid.t

@@ -1,0 +1,207 @@
+open Tml_core
+open Tml_vm
+
+type config = {
+  optimizer : Optimizer.config;
+  inline_oid_limit : int;
+  inline_budget : int;
+  use_ptml : bool;
+  use_query_rules : bool;
+}
+
+let default =
+  {
+    optimizer = Optimizer.o2;
+    inline_oid_limit = 160;
+    inline_budget = 96;
+    use_ptml = true;
+    use_query_rules = true;
+  }
+
+type result = {
+  oid : Oid.t;
+  original_tml : Term.value;
+  optimized_tml : Term.value;
+  report : Optimizer.report;
+  inlined_calls : int;
+}
+
+let func_obj ctx oid =
+  match Value.Heap.get_opt ctx.Runtime.heap oid with
+  | Some (Value.Func fo) -> fo
+  | Some _ -> Runtime.fault "reflect.optimize: %s is not a function" (Oid.to_string oid)
+  | None -> Runtime.fault "reflect.optimize: dangling reference %s" (Oid.to_string oid)
+
+(* Substitute a function's free identifiers by the literal forms of its
+   R-value bindings; identifiers whose binding has no literal form (live
+   closures of the host engine) stay free and are reported back. *)
+let close_over_bindings (fo : Value.func_obj) (v : Term.value) =
+  let subst, leftover =
+    List.fold_left
+      (fun (subst, leftover) (id, value) ->
+        match Value.to_literal value with
+        | Some l -> Ident.Map.add id (Term.lit l) subst, leftover
+        | None -> subst, (id, value) :: leftover)
+      (Ident.Map.empty, []) fo.Value.fo_bindings
+  in
+  let v' =
+    match v with
+    | Term.Abs a -> Term.Abs { a with body = Subst.app_many subst a.body }
+    | _ -> v
+  in
+  v', List.rev leftover
+
+let store_fold ctx (a : Term.app) =
+  let immutable_slots oid =
+    match Value.Heap.get_opt ctx.Runtime.heap oid with
+    | Some (Value.Vector slots) | Some (Value.Tuple slots) -> Some slots
+    | _ -> None
+  in
+  match a.Term.func, a.Term.args with
+  | Term.Prim "[]", [ Term.Lit (Literal.Oid o); Term.Lit (Literal.Int i); k ] -> (
+    match immutable_slots o with
+    | Some slots when i >= 0 && i < Array.length slots -> (
+      match Value.to_literal slots.(i) with
+      | Some l -> Some (Term.app k [ Term.lit l ])
+      | None -> None)
+    | _ -> None)
+  | Term.Prim "size", [ Term.Lit (Literal.Oid o); k ] -> (
+    match immutable_slots o with
+    | Some slots -> Some (Term.app k [ Term.int (Array.length slots) ])
+    | None -> None)
+  | _ -> None
+
+let inline_oid ctx ~budget ~limit ~count (a : Term.app) =
+  match a.Term.func with
+  | Term.Lit (Literal.Oid o) when !budget > 0 -> (
+    match Value.Heap.get_opt ctx.Runtime.heap o with
+    | Some (Value.Func fo) -> (
+      match fo.Value.fo_tml with
+      | Term.Abs fabs
+        when List.length fabs.Term.params = List.length a.Term.args
+             && Term.size_app fabs.Term.body <= limit ->
+        let closed, leftover = close_over_bindings fo fo.Value.fo_tml in
+        if leftover <> [] then None
+        else begin
+          decr budget;
+          incr count;
+          Some { a with Term.func = Alpha.freshen_value closed }
+        end
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Query operators whose first value argument is a user-level procedure
+   (predicate, target or body). *)
+let query_fn_arg_prims =
+  [ "select"; "project"; "exists"; "foreach"; "sum"; "minagg"; "maxagg"; "join" ]
+
+let inline_query_arg ctx ~budget ~limit ~count (a : Term.app) =
+  match a.Term.func with
+  | Term.Prim name when List.mem name query_fn_arg_prims && !budget > 0 -> (
+    match a.Term.args with
+    | (Term.Lit (Literal.Oid o) as _fn) :: rest -> (
+      match Value.Heap.get_opt ctx.Runtime.heap o with
+      | Some (Value.Func fo) -> (
+        match fo.Value.fo_tml with
+        | Term.Abs fabs when Term.size_app fabs.Term.body <= limit ->
+          let closed, leftover = close_over_bindings fo fo.Value.fo_tml in
+          if leftover <> [] then None
+          else begin
+            decr budget;
+            incr count;
+            Some { a with Term.args = Alpha.freshen_value closed :: rest }
+          end
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* The store-aware rule set used by both optimize variants. *)
+let store_rules ctx config ~budget ~count =
+  [
+    store_fold ctx;
+    inline_oid ctx ~budget ~limit:config.inline_oid_limit ~count;
+    inline_query_arg ctx ~budget ~limit:config.inline_oid_limit ~count;
+  ]
+  @ (if config.use_query_rules then
+       Tml_query.Qopt.static_rules @ Tml_query.Qopt.runtime_rules ctx
+     else [])
+
+let optimize ?(config = default) ctx oid =
+  Tml_query.Qopt.install ();
+  let fo = func_obj ctx oid in
+  let original_tml =
+    if config.use_ptml then Tml_store.Ptml.decode_value fo.Value.fo_ptml else fo.Value.fo_tml
+  in
+  (* α-convert: the decoded tree must not share binder stamps with anything
+     already live, and the in-memory tree is shared with the running code. *)
+  let fresh = Alpha.freshen_value original_tml in
+  let closed, leftover = close_over_bindings fo fresh in
+  let budget = ref config.inline_budget in
+  let count = ref 0 in
+  let rules = store_rules ctx config ~budget ~count in
+  let opt_config = Optimizer.with_rules config.optimizer rules in
+  let optimized, report = Optimizer.optimize_value ~config:opt_config closed in
+  let new_oid =
+    Value.Heap.alloc_func ctx.Runtime.heap ~name:(fo.Value.fo_name ^ "!opt") optimized
+  in
+  let new_fo = func_obj ctx new_oid in
+  new_fo.Value.fo_bindings <- leftover;
+  (* attach derived attributes to the persistent system state *)
+  new_fo.Value.fo_attrs <-
+    [
+      "cost_before", report.Optimizer.cost_before;
+      "cost_after", report.Optimizer.cost_after;
+      "size_before", report.Optimizer.size_before;
+      "size_after", report.Optimizer.size_after;
+      "inlined_calls", !count;
+    ];
+  fo.Value.fo_attrs <-
+    ("optimized_as", Oid.to_int new_oid) :: List.remove_assoc "optimized_as" fo.Value.fo_attrs;
+  { oid = new_oid; original_tml; optimized_tml = optimized; report; inlined_calls = !count }
+
+let optimize_inplace ?(config = default) ctx oid =
+  Tml_query.Qopt.install ();
+  let fo = func_obj ctx oid in
+  let original_tml =
+    if config.use_ptml then Tml_store.Ptml.decode_value fo.Value.fo_ptml else fo.Value.fo_tml
+  in
+  let fresh = Alpha.freshen_value original_tml in
+  let closed, leftover = close_over_bindings fo fresh in
+  let budget = ref config.inline_budget in
+  let count = ref 0 in
+  let rules = store_rules ctx config ~budget ~count in
+  let opt_config = Optimizer.with_rules config.optimizer rules in
+  let optimized, report = Optimizer.optimize_value ~config:opt_config closed in
+  let new_fo =
+    {
+      fo with
+      Value.fo_tml = optimized;
+      fo_ptml = Tml_store.Ptml.encode_value optimized;
+      fo_bindings = leftover;
+      fo_tree_impl = None;
+      fo_mach_impl = None;
+      fo_code = None;
+      fo_attrs =
+        [
+          "cost_before", report.Optimizer.cost_before;
+          "cost_after", report.Optimizer.cost_after;
+          "size_before", report.Optimizer.size_before;
+          "size_after", report.Optimizer.size_after;
+          "inlined_calls", !count;
+        ];
+    }
+  in
+  Value.Heap.set ctx.Runtime.heap oid (Value.Func new_fo);
+  { oid; original_tml; optimized_tml = optimized; report; inlined_calls = !count }
+
+let optimize_all ?(config = default) ?(passes = 2) ctx oids =
+  for _ = 1 to passes do
+    List.iter (fun oid -> ignore (optimize_inplace ~config ctx oid)) oids
+  done
+
+let optimize_value ?config ctx v =
+  match v with
+  | Value.Oidv oid -> optimize ?config ctx oid
+  | _ -> Runtime.fault "reflect.optimize: expected a function reference, got %s" (Value.type_name v)

@@ -1,0 +1,568 @@
+(* The Stanford benchmark suite (Hennessy), ported to TL.
+
+   Each program prints a deterministic checksum so that correctness can be
+   asserted across optimization levels and engines.  Early C returns are
+   rewritten with flags; global mutable state lives in top-level arrays
+   (TL value definitions are evaluated at link time).  The classic
+   Stanford pseudo-random generator (seed * 1309 + 13849 mod 2^16) is kept
+   so that the workloads match the original ones. *)
+
+let rand_helpers =
+  {|
+let rnd(seed: Array(Int)): Int =
+  seed[0] := (seed[0] * 1309 + 13849) % 65536;
+  seed[0]
+|}
+
+let perm =
+  rand_helpers
+  ^ {|
+let pctr = array(1, 0)
+
+let swap(a: Array(Int), i: Int, j: Int): Unit =
+  let t = a[i];
+  a[i] := a[j];
+  a[j] := t
+
+let permute(a: Array(Int), n: Int): Unit =
+  pctr[0] := pctr[0] + 1;
+  if n != 1 then
+    permute(a, n - 1);
+    for k = n - 1 downto 1 do
+      swap(a, n - 1, k - 1);
+      permute(a, n - 1);
+      swap(a, n - 1, k - 1)
+    end
+  end
+
+do
+  let a = array(7, 0);
+  for t = 1 upto 4 do
+    pctr[0] := 0;
+    for i = 0 upto 6 do a[i] := i end;
+    permute(a, 7)
+  end;
+  io.print_int(pctr[0]);
+  io.newline()
+end
+|}
+
+let towers =
+  {|
+let moves = array(1, 0)
+
+let hanoi(n: Int, src: Int, dest: Int, via: Int): Unit =
+  if n > 0 then
+    hanoi(n - 1, src, via, dest);
+    moves[0] := moves[0] + 1;
+    hanoi(n - 1, via, dest, src)
+  end
+
+do
+  hanoi(12, 1, 3, 2);
+  io.print_int(moves[0]);
+  io.newline()
+end
+|}
+
+let queens =
+  {|
+let solutions = array(1, 0)
+let rowfree = array(8, true)
+let diag1 = array(15, true)
+let diag2 = array(15, true)
+
+let place(col: Int): Unit =
+  if col == 8 then solutions[0] := solutions[0] + 1
+  else
+    for r = 0 upto 7 do
+      if rowfree[r] && diag1[r + col] && diag2[r - col + 7] then
+        rowfree[r] := false;
+        diag1[r + col] := false;
+        diag2[r - col + 7] := false;
+        place(col + 1);
+        rowfree[r] := true;
+        diag1[r + col] := true;
+        diag2[r - col + 7] := true
+      end
+    end
+  end
+
+do
+  place(0);
+  io.print_int(solutions[0]);
+  io.newline()
+end
+|}
+
+let intmm =
+  rand_helpers
+  ^ {|
+let n = 16
+let ma = array(256, 0)
+let mb = array(256, 0)
+let mc = array(256, 0)
+let seed = array(1, 74755)
+
+let initmat(m: Array(Int)): Unit =
+  for i = 0 upto n * n - 1 do
+    m[i] := rnd(seed) % 10
+  end
+
+let mmult(): Unit =
+  for i = 0 upto n - 1 do
+    for j = 0 upto n - 1 do
+      var s := 0;
+      for k = 0 upto n - 1 do
+        s := s + ma[i * n + k] * mb[k * n + j]
+      end;
+      mc[i * n + j] := s
+    end
+  end
+
+do
+  initmat(ma);
+  initmat(mb);
+  mmult();
+  var check := 0;
+  for i = 0 upto n * n - 1 do
+    check := (check + mc[i]) % 65536
+  end;
+  io.print_int(check);
+  io.newline()
+end
+|}
+
+let mm =
+  rand_helpers
+  ^ {|
+let n = 16
+let ma = array(256, 0.0)
+let mb = array(256, 0.0)
+let mc = array(256, 0.0)
+let seed = array(1, 74755)
+
+let initmat(m: Array(Real)): Unit =
+  for i = 0 upto n * n - 1 do
+    m[i] := real(rnd(seed) % 120 - 60) / 3.0
+  end
+
+let mmult(): Unit =
+  for i = 0 upto n - 1 do
+    for j = 0 upto n - 1 do
+      var s := 0.0;
+      for k = 0 upto n - 1 do
+        s := s + ma[i * n + k] * mb[k * n + j]
+      end;
+      mc[i * n + j] := s
+    end
+  end
+
+do
+  initmat(ma);
+  initmat(mb);
+  mmult();
+  var check := 0.0;
+  for i = 0 upto n * n - 1 do
+    check := check + mc[i]
+  end;
+  io.print_int(trunc(check));
+  io.newline()
+end
+|}
+
+(* Forest Baskett's cube-packing puzzle, the largest Stanford program. *)
+let puzzle =
+  {|
+let dd = 8
+let classmax = 3
+let typemax = 12
+let psize = 511
+
+let piecount = array(4, 0)
+let cls = array(13, 0)
+let piecemax = array(13, 0)
+let puzzl = array(512, false)
+let pp = array(6656, false)
+let kount = array(1, 0)
+
+let fit(i: Int, j: Int): Bool =
+  var ok := true;
+  var k := 0;
+  while ok && k <= piecemax[i] do
+    if pp[i * 512 + k] && puzzl[j + k] then ok := false else k := k + 1 end
+  end;
+  ok
+
+let place(i: Int, j: Int): Int =
+  for k = 0 upto piecemax[i] do
+    if pp[i * 512 + k] then puzzl[j + k] := true end
+  end;
+  piecount[cls[i]] := piecount[cls[i]] - 1;
+  var res := 0;
+  var k := j;
+  var found := false;
+  while !found && k <= psize do
+    if !puzzl[k] then
+      res := k;
+      found := true
+    else k := k + 1 end
+  end;
+  res
+
+let unplace(i: Int, j: Int): Unit =
+  for k = 0 upto piecemax[i] do
+    if pp[i * 512 + k] then puzzl[j + k] := false end
+  end;
+  piecount[cls[i]] := piecount[cls[i]] + 1
+
+let trial(j: Int): Bool =
+  var i := 0;
+  var result := false;
+  var decided := false;
+  while !decided && i <= typemax do
+    if piecount[cls[i]] != 0 then
+      if fit(i, j) then
+        let k = place(i, j);
+        if trial(k) || k == 0 then
+          result := true;
+          decided := true
+        else unplace(i, j) end
+      end
+    end;
+    if !decided then i := i + 1 end
+  end;
+  kount[0] := kount[0] + 1;
+  result
+
+do
+  -- border initialisation
+  for m = 0 upto psize do puzzl[m] := true end;
+  for i = 1 upto 5 do
+    for j = 1 upto 5 do
+      for k = 1 upto 5 do
+        puzzl[i + dd * (j + dd * k)] := false
+      end
+    end
+  end;
+  for i = 0 upto typemax do
+    for m = 0 upto psize do
+      pp[i * 512 + m] := false
+    end
+  end;
+  -- piece 0
+  for i = 0 upto 3 do for j = 0 upto 1 do for k = 0 upto 0 do
+    pp[0 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[0] := 0;
+  piecemax[0] := 3 + dd * 1 + dd * dd * 0;
+  -- piece 1
+  for i = 0 upto 1 do for j = 0 upto 0 do for k = 0 upto 3 do
+    pp[1 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[1] := 0;
+  piecemax[1] := 1 + dd * 0 + dd * dd * 3;
+  -- piece 2
+  for i = 0 upto 0 do for j = 0 upto 3 do for k = 0 upto 1 do
+    pp[2 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[2] := 0;
+  piecemax[2] := 0 + dd * 3 + dd * dd * 1;
+  -- piece 3
+  for i = 0 upto 1 do for j = 0 upto 3 do for k = 0 upto 0 do
+    pp[3 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[3] := 0;
+  piecemax[3] := 1 + dd * 3 + dd * dd * 0;
+  -- piece 4
+  for i = 0 upto 3 do for j = 0 upto 0 do for k = 0 upto 1 do
+    pp[4 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[4] := 0;
+  piecemax[4] := 3 + dd * 0 + dd * dd * 1;
+  -- piece 5
+  for i = 0 upto 0 do for j = 0 upto 1 do for k = 0 upto 3 do
+    pp[5 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[5] := 0;
+  piecemax[5] := 0 + dd * 1 + dd * dd * 3;
+  -- piece 6
+  for i = 0 upto 2 do for j = 0 upto 0 do for k = 0 upto 0 do
+    pp[6 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[6] := 1;
+  piecemax[6] := 2 + dd * 0 + dd * dd * 0;
+  -- piece 7
+  for i = 0 upto 0 do for j = 0 upto 2 do for k = 0 upto 0 do
+    pp[7 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[7] := 1;
+  piecemax[7] := 0 + dd * 2 + dd * dd * 0;
+  -- piece 8
+  for i = 0 upto 0 do for j = 0 upto 0 do for k = 0 upto 2 do
+    pp[8 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[8] := 1;
+  piecemax[8] := 0 + dd * 0 + dd * dd * 2;
+  -- piece 9
+  for i = 0 upto 1 do for j = 0 upto 1 do for k = 0 upto 0 do
+    pp[9 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[9] := 2;
+  piecemax[9] := 1 + dd * 1 + dd * dd * 0;
+  -- piece 10
+  for i = 0 upto 1 do for j = 0 upto 0 do for k = 0 upto 1 do
+    pp[10 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[10] := 2;
+  piecemax[10] := 1 + dd * 0 + dd * dd * 1;
+  -- piece 11
+  for i = 0 upto 0 do for j = 0 upto 1 do for k = 0 upto 1 do
+    pp[11 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[11] := 2;
+  piecemax[11] := 0 + dd * 1 + dd * dd * 1;
+  -- piece 12
+  for i = 0 upto 1 do for j = 0 upto 1 do for k = 0 upto 1 do
+    pp[12 * 512 + i + dd * (j + dd * k)] := true
+  end end end;
+  cls[12] := 3;
+  piecemax[12] := 1 + dd * 1 + dd * dd * 1;
+  piecount[0] := 13;
+  piecount[1] := 3;
+  piecount[2] := 1;
+  piecount[3] := 1;
+  -- place the first piece by hand, as in the original
+  let m = 1 + dd * (1 + dd * 1);
+  kount[0] := 0;
+  if fit(0, m) then
+    let q = place(0, m);
+    if trial(q) then
+      io.print_str("success ")
+    else
+      io.print_str("failure ")
+    end
+  else
+    io.print_str("nofit ")
+  end;
+  io.print_int(kount[0]);
+  io.newline()
+end
+|}
+
+let quick =
+  rand_helpers
+  ^ {|
+let nelem = 1000
+let a = array(1000, 0)
+let seed = array(1, 74755)
+
+let initarr(): Unit =
+  for i = 0 upto nelem - 1 do
+    a[i] := rnd(seed)
+  end
+
+let quicksort(l: Int, r: Int): Unit =
+  var i := l;
+  var j := r;
+  let x = a[(l + r) / 2];
+  while i <= j do
+    while a[i] < x do i := i + 1 end;
+    while x < a[j] do j := j - 1 end;
+    if i <= j then
+      let w = a[i];
+      a[i] := a[j];
+      a[j] := w;
+      i := i + 1;
+      j := j - 1
+    end
+  end;
+  if l < j then quicksort(l, j) end;
+  if i < r then quicksort(i, r) end
+
+do
+  initarr();
+  quicksort(0, nelem - 1);
+  var sorted := true;
+  for i = 0 upto nelem - 2 do
+    if a[i] > a[i + 1] then sorted := false end
+  end;
+  if sorted then io.print_str("sorted ") else io.print_str("unsorted ") end;
+  io.print_int(a[0]);
+  io.print_str(" ");
+  io.print_int(a[nelem / 2]);
+  io.print_str(" ");
+  io.print_int(a[nelem - 1]);
+  io.newline()
+end
+|}
+
+let bubble =
+  rand_helpers
+  ^ {|
+let nelem = 300
+let a = array(300, 0)
+let seed = array(1, 74755)
+
+do
+  for i = 0 upto nelem - 1 do a[i] := rnd(seed) end;
+  var top := nelem - 1;
+  while top > 0 do
+    var i := 0;
+    while i < top do
+      if a[i] > a[i + 1] then
+        let t = a[i];
+        a[i] := a[i + 1];
+        a[i + 1] := t
+      end;
+      i := i + 1
+    end;
+    top := top - 1
+  end;
+  var sorted := true;
+  for i = 0 upto nelem - 2 do
+    if a[i] > a[i + 1] then sorted := false end
+  end;
+  if sorted then io.print_str("sorted ") else io.print_str("unsorted ") end;
+  io.print_int(a[0]);
+  io.print_str(" ");
+  io.print_int(a[nelem - 1]);
+  io.newline()
+end
+|}
+
+(* Binary search tree in arena style (three parallel arrays), since TL has
+   no recursive data types — the workload (pointer chasing, recursive
+   insertion) is the same. *)
+let tree =
+  rand_helpers
+  ^ {|
+let nnodes = 1000
+let left = array(1001, 0)
+let right = array(1001, 0)
+let value = array(1001, 0)
+let nextfree = array(1, 1)
+let seed = array(1, 74755)
+
+-- slot 0 is the null reference; the root lives in slot 1
+let insert(node: Int, v: Int): Unit =
+  if v < value[node] then
+    if left[node] == 0 then
+      let slot = nextfree[0];
+      nextfree[0] := slot + 1;
+      value[slot] := v;
+      left[node] := slot
+    else insert(left[node], v) end
+  else
+    if v > value[node] then
+      if right[node] == 0 then
+        let slot = nextfree[0];
+        nextfree[0] := slot + 1;
+        value[slot] := v;
+        right[node] := slot
+      else insert(right[node], v) end
+    end
+  end
+
+let checksum(node: Int): Int =
+  if node == 0 then 0
+  else value[node] + checksum(left[node]) + checksum(right[node]) end
+
+do
+  value[1] := 32768;  -- root
+  nextfree[0] := 2;
+  for i = 1 upto nnodes - 1 do
+    insert(1, rnd(seed))
+  end;
+  io.print_int(nextfree[0] - 1);
+  io.print_str(" ");
+  io.print_int(checksum(1) - 32768);
+  io.newline()
+end
+|}
+
+let fft =
+  rand_helpers
+  ^ {|
+let npts = 256
+let re = array(256, 0.0)
+let im = array(256, 0.0)
+let seed = array(1, 74755)
+let pi = 3.141592653589793
+
+let bitreverse(): Unit =
+  var j := 0;
+  for i = 0 upto npts - 2 do
+    if i < j then
+      let tr = re[i];
+      let ti = im[i];
+      re[i] := re[j];
+      im[i] := im[j];
+      re[j] := tr;
+      im[j] := ti
+    end;
+    var m := npts / 2;
+    while m >= 1 && j >= m do
+      j := j - m;
+      m := m / 2
+    end;
+    j := j + m
+  end
+
+let fft(): Unit =
+  bitreverse();
+  var len := 2;
+  while len <= npts do
+    let ang = 2.0 * pi / real(len);
+    let wr = mathlib.cos(ang);
+    let wi = 0.0 - mathlib.sin(ang);
+    var i := 0;
+    while i < npts do
+      var cr := 1.0;
+      var ci := 0.0;
+      for j = 0 upto len / 2 - 1 do
+        let a = i + j;
+        let b = i + j + len / 2;
+        let xr = re[b] * cr - im[b] * ci;
+        let xi = re[b] * ci + im[b] * cr;
+        re[b] := re[a] - xr;
+        im[b] := im[a] - xi;
+        re[a] := re[a] + xr;
+        im[a] := im[a] + xi;
+        let ncr = cr * wr - ci * wi;
+        ci := cr * wi + ci * wr;
+        cr := ncr
+      end;
+      i := i + len
+    end;
+    len := len * 2
+  end
+
+do
+  for i = 0 upto npts - 1 do
+    re[i] := real(rnd(seed) % 1000) / 1000.0;
+    im[i] := 0.0
+  end;
+  fft();
+  var esum := 0.0;
+  for i = 0 upto npts - 1 do
+    esum := esum + re[i] * re[i] + im[i] * im[i]
+  end;
+  io.print_int(trunc(esum));
+  io.newline()
+end
+|}
+
+let all : (string * string) list =
+  [
+    "perm", perm;
+    "towers", towers;
+    "queens", queens;
+    "intmm", intmm;
+    "mm", mm;
+    "puzzle", puzzle;
+    "quick", quick;
+    "bubble", bubble;
+    "tree", tree;
+    "fft", fft;
+  ]

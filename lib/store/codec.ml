@@ -1,0 +1,104 @@
+module W = struct
+  type t = Buffer.t
+
+  let create ?(initial = 256) () = Buffer.create initial
+  let u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+  let varint buf v =
+    assert (v >= 0);
+    let rec go v =
+      if v < 0x80 then u8 buf v
+      else begin
+        u8 buf (v land 0x7f lor 0x80);
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let svarint buf v =
+    (* signed LEB128 (sign-extended), safe for the whole [int] range *)
+    let rec go v =
+      let low = Int64.to_int (Int64.logand v 0x7fL) in
+      let rest = Int64.shift_right v 7 in
+      if (Int64.equal rest 0L && low land 0x40 = 0)
+         || (Int64.equal rest (-1L) && low land 0x40 <> 0)
+      then u8 buf low
+      else begin
+        u8 buf (low lor 0x80);
+        go rest
+      end
+    in
+    go (Int64.of_int v)
+
+  let float64 buf f =
+    let bits = Int64.bits_of_float f in
+    for i = 0 to 7 do
+      u8 buf (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+    done
+
+  let raw buf s = Buffer.add_string buf s
+
+  let str buf s =
+    varint buf (String.length s);
+    raw buf s
+
+  let length = Buffer.length
+  let contents = Buffer.contents
+end
+
+module R = struct
+  type t = {
+    data : string;
+    mutable pos : int;
+  }
+
+  exception Truncated
+
+  let of_string data = { data; pos = 0 }
+
+  let u8 r =
+    if r.pos >= String.length r.data then raise Truncated;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let varint r =
+    let rec go shift acc =
+      let b = u8 r in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+
+  let svarint r =
+    let rec go shift acc =
+      let b = u8 r in
+      let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
+      let shift = shift + 7 in
+      if b land 0x80 <> 0 then go shift acc
+      else if shift < 64 && b land 0x40 <> 0 then
+        Int64.to_int (Int64.logor acc (Int64.shift_left (-1L) shift))
+      else Int64.to_int acc
+    in
+    go 0 0L
+
+  let float64 r =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (u8 r)) (8 * i))
+    done;
+    Int64.float_of_bits !bits
+
+  let raw r n =
+    if r.pos + n > String.length r.data then raise Truncated;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let str r =
+    let n = varint r in
+    raw r n
+
+  let pos r = r.pos
+  let at_end r = r.pos >= String.length r.data
+end

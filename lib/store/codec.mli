@@ -1,0 +1,39 @@
+(** Binary encoding utilities shared by the PTML codec, the bytecode
+    serializer and the store image format: LEB128 varints (with zigzag for
+    signed values), IEEE doubles, and length-prefixed strings. *)
+
+module W : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val u8 : t -> int -> unit
+  val varint : t -> int -> unit
+  (** unsigned LEB128; the argument must be non-negative *)
+
+  val svarint : t -> int -> unit
+  (** zigzag-encoded signed LEB128 *)
+
+  val float64 : t -> float -> unit
+  val str : t -> string -> unit
+  (** length-prefixed *)
+
+  val raw : t -> string -> unit
+  val length : t -> int
+  val contents : t -> string
+end
+
+module R : sig
+  type t
+
+  exception Truncated
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val varint : t -> int
+  val svarint : t -> int
+  val float64 : t -> float
+  val str : t -> string
+  val raw : t -> int -> string
+  val pos : t -> int
+  val at_end : t -> bool
+end

@@ -1,0 +1,208 @@
+open Tml_core
+
+exception Decode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+(* Node tags *)
+let tag_unit = 0
+let tag_false = 1
+let tag_true = 2
+let tag_int = 3
+let tag_char = 4
+let tag_real = 5
+let tag_str = 6
+let tag_oid = 7
+let tag_var = 8
+let tag_prim = 9
+let tag_abs = 10
+
+let magic = "PTML1"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  mutable strings : string list;  (* reversed *)
+  mutable count : int;
+  index : (string, int) Hashtbl.t;
+}
+
+let pool_create () = { strings = []; count = 0; index = Hashtbl.create 32 }
+
+let intern pool s =
+  match Hashtbl.find_opt pool.index s with
+  | Some i -> i
+  | None ->
+    let i = pool.count in
+    Hashtbl.add pool.index s i;
+    pool.strings <- s :: pool.strings;
+    pool.count <- pool.count + 1;
+    i
+
+let rec collect_value pool (v : Term.value) =
+  match v with
+  | Term.Lit (Literal.Str s) -> ignore (intern pool s)
+  | Term.Lit _ -> ()
+  | Term.Var id -> ignore (intern pool id.Ident.name)
+  | Term.Prim name -> ignore (intern pool name)
+  | Term.Abs a ->
+    List.iter (fun p -> ignore (intern pool p.Ident.name)) a.params;
+    collect_app pool a.body
+
+and collect_app pool (a : Term.app) =
+  collect_value pool a.func;
+  List.iter (collect_value pool) a.args
+
+let write_ident w pool (id : Ident.t) =
+  Codec.W.varint w (intern pool id.Ident.name);
+  Codec.W.varint w id.Ident.stamp;
+  Codec.W.u8 w (if Ident.is_cont id then 1 else 0)
+
+let rec write_value w pool (v : Term.value) =
+  match v with
+  | Term.Lit Literal.Unit -> Codec.W.u8 w tag_unit
+  | Term.Lit (Literal.Bool false) -> Codec.W.u8 w tag_false
+  | Term.Lit (Literal.Bool true) -> Codec.W.u8 w tag_true
+  | Term.Lit (Literal.Int i) ->
+    Codec.W.u8 w tag_int;
+    Codec.W.svarint w i
+  | Term.Lit (Literal.Char c) ->
+    Codec.W.u8 w tag_char;
+    Codec.W.u8 w (Char.code c)
+  | Term.Lit (Literal.Real r) ->
+    Codec.W.u8 w tag_real;
+    Codec.W.float64 w r
+  | Term.Lit (Literal.Str s) ->
+    Codec.W.u8 w tag_str;
+    Codec.W.varint w (intern pool s)
+  | Term.Lit (Literal.Oid o) ->
+    Codec.W.u8 w tag_oid;
+    Codec.W.varint w (Oid.to_int o)
+  | Term.Var id ->
+    Codec.W.u8 w tag_var;
+    write_ident w pool id
+  | Term.Prim name ->
+    Codec.W.u8 w tag_prim;
+    Codec.W.varint w (intern pool name)
+  | Term.Abs a ->
+    Codec.W.u8 w tag_abs;
+    Codec.W.varint w (List.length a.params);
+    List.iter (write_ident w pool) a.params;
+    write_app w pool a.body
+
+and write_app w pool (a : Term.app) =
+  write_value w pool a.func;
+  Codec.W.varint w (List.length a.args);
+  List.iter (write_value w pool) a.args
+
+let encode write_payload payload =
+  (* Two passes: the pool must be complete before the body is written, but
+     interning is deterministic, so we just run the collector first. *)
+  let pool = pool_create () in
+  (match payload with
+  | `Value v -> collect_value pool v
+  | `App a -> collect_app pool a);
+  let w = Codec.W.create ~initial:1024 () in
+  Codec.W.raw w magic;
+  Codec.W.varint w pool.count;
+  List.iter (fun s -> Codec.W.str w s) (List.rev pool.strings);
+  write_payload w pool;
+  Codec.W.contents w
+
+let encode_value v = encode (fun w pool -> write_value w pool v) (`Value v)
+let encode_app a = encode (fun w pool -> write_app w pool a) (`App a)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type dstate = {
+  pool : string array;
+  (* stamp -> identifier: occurrences of the same stamp must decode to the
+     same identifier value *)
+  idents : (int, Ident.t) Hashtbl.t;
+}
+
+let read_ident r st =
+  let name_ix = Codec.R.varint r in
+  let stamp = Codec.R.varint r in
+  let sort_byte = Codec.R.u8 r in
+  if name_ix >= Array.length st.pool then fail "identifier name index out of range";
+  match Hashtbl.find_opt st.idents stamp with
+  | Some id -> id
+  | None ->
+    let sort = if sort_byte = 1 then Ident.Cont else Ident.Value in
+    let id = Ident.make ~name:st.pool.(name_ix) ~stamp ~sort in
+    Hashtbl.add st.idents stamp id;
+    id
+
+let rec read_value r st : Term.value =
+  let tag = Codec.R.u8 r in
+  if tag = tag_unit then Term.unit_
+  else if tag = tag_false then Term.bool_ false
+  else if tag = tag_true then Term.bool_ true
+  else if tag = tag_int then Term.int (Codec.R.svarint r)
+  else if tag = tag_char then Term.char (Char.chr (Codec.R.u8 r land 0xff))
+  else if tag = tag_real then Term.real (Codec.R.float64 r)
+  else if tag = tag_str then begin
+    let ix = Codec.R.varint r in
+    if ix >= Array.length st.pool then fail "string index out of range";
+    Term.str st.pool.(ix)
+  end
+  else if tag = tag_oid then Term.oid (Oid.of_int (Codec.R.varint r))
+  else if tag = tag_var then Term.var (read_ident r st)
+  else if tag = tag_prim then begin
+    let ix = Codec.R.varint r in
+    if ix >= Array.length st.pool then fail "primitive index out of range";
+    Term.prim st.pool.(ix)
+  end
+  else if tag = tag_abs then begin
+    let n = Codec.R.varint r in
+    if n > 1024 then fail "implausible parameter count %d" n;
+    let params = List.init n (fun _ -> read_ident r st) in
+    let body = read_app r st in
+    Term.abs params body
+  end
+  else fail "unknown node tag %d" tag
+
+and read_app r st : Term.app =
+  let func = read_value r st in
+  let n = Codec.R.varint r in
+  if n > 4096 then fail "implausible argument count %d" n;
+  let args = List.init n (fun _ -> read_value r st) in
+  Term.app func args
+
+let decode_header r =
+  let m =
+    try Codec.R.raw r (String.length magic) with
+    | Codec.R.Truncated -> fail "truncated header"
+  in
+  if m <> magic then fail "bad magic %S" m;
+  let count = Codec.R.varint r in
+  if count > 1_000_000 then fail "implausible pool size %d" count;
+  let pool = Array.init count (fun _ -> Codec.R.str r) in
+  { pool; idents = Hashtbl.create 32 }
+
+let decode_value s =
+  let r = Codec.R.of_string s in
+  try
+    let st = decode_header r in
+    let v = read_value r st in
+    if not (Codec.R.at_end r) then fail "trailing bytes";
+    v
+  with
+  | Codec.R.Truncated -> fail "truncated input"
+
+let decode_app s =
+  let r = Codec.R.of_string s in
+  try
+    let st = decode_header r in
+    let a = read_app r st in
+    if not (Codec.R.at_end r) then fail "trailing bytes";
+    a
+  with
+  | Codec.R.Truncated -> fail "truncated input"
+
+let encoded_size_value v = String.length (encode_value v)

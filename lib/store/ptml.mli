@@ -1,0 +1,32 @@
+(** Persistent TML (PTML) — the compact persistent representation of TML
+    trees (section 4.1).
+
+    "For each exported source code function f in a compilation unit, the
+    compiler back end augments the generated code for f with a reference to
+    a compact persistent representation of the TML tree (Persistent TML,
+    PTML) for f.  At runtime, it is possible to map PTML back into TML,
+    re-invoke the optimizer and code-generator, link the newly-generated
+    code into the running program, and execute it."
+
+    The encoding is byte-oriented: a string pool (identifier base names,
+    primitive names, string literals are interned), then the tree with
+    one-byte node tags and varint-encoded operands.  Identifier stamps are
+    preserved, so [decode (encode t)] is structurally equal to [t]; a client
+    embedding a decoded tree into a live program should α-convert it
+    ({!Tml_core.Alpha.convert_app}) to guarantee the unique binding rule
+    against the rest of the program. *)
+
+exception Decode_error of string
+
+val encode_value : Tml_core.Term.value -> string
+val encode_app : Tml_core.Term.app -> string
+
+(** @raise Decode_error on malformed input. *)
+val decode_value : string -> Tml_core.Term.value
+
+(** @raise Decode_error on malformed input. *)
+val decode_app : string -> Tml_core.Term.app
+
+(** [encoded_size_value v] = [String.length (encode_value v)] — the measure
+    used by the code-size experiment (E3). *)
+val encoded_size_value : Tml_core.Term.value -> int

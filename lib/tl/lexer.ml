@@ -1,0 +1,248 @@
+type token =
+  | INT of int
+  | REAL of float
+  | CHAR of char
+  | STRING of string
+  | ID of string
+  | TYID of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | ARROW
+  | ASSIGN
+  | EQ
+  | OP of string
+  | EOF
+
+let pp_token ppf = function
+  | INT i -> Format.fprintf ppf "integer %d" i
+  | REAL r -> Format.fprintf ppf "real %g" r
+  | CHAR c -> Format.fprintf ppf "character '%s'" (Char.escaped c)
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | ID s -> Format.fprintf ppf "identifier %s" s
+  | TYID s -> Format.fprintf ppf "type name %s" s
+  | KW s -> Format.fprintf ppf "keyword %s" s
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | DOT -> Format.pp_print_string ppf "'.'"
+  | ARROW -> Format.pp_print_string ppf "'=>'"
+  | ASSIGN -> Format.pp_print_string ppf "':='"
+  | EQ -> Format.pp_print_string ppf "'='"
+  | OP s -> Format.fprintf ppf "operator %s" s
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+exception Lex_error of Ast.pos * string
+
+let keywords =
+  [
+    "module"; "end"; "let"; "var"; "fn"; "if"; "then"; "else"; "while"; "do"; "for";
+    "upto"; "downto"; "raise"; "try"; "handle"; "true"; "false"; "nil"; "prim"; "ccall";
+    "select"; "from"; "in"; "where"; "exists"; "foreach"; "tuple"; "array"; "export";
+  ]
+
+let is_id_start = function
+  | 'a' .. 'z' | '_' -> true
+  | _ -> false
+
+let is_ty_start = function
+  | 'A' .. 'Z' -> true
+  | _ -> false
+
+let is_id_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let is_digit = function
+  | '0' .. '9' -> true
+  | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () = { Ast.line = !line; col = !col } in
+  let fail p fmt = Format.kasprintf (fun s -> raise (Lex_error (p, s))) fmt in
+  let advance k =
+    for _ = 1 to k do
+      (if !i < n then
+         match src.[!i] with
+         | '\n' ->
+           incr line;
+           col := 1
+         | _ -> incr col);
+      incr i
+    done
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let push t p = tokens := (t, p) :: !tokens in
+  while !i < n do
+    let p = pos () in
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance 1
+      done;
+      let is_real =
+        (!i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1])
+        || (!i < n && (src.[!i] = 'e' || src.[!i] = 'E'))
+      in
+      if is_real then begin
+        if !i < n && src.[!i] = '.' then begin
+          advance 1;
+          while !i < n && is_digit src.[!i] do
+            advance 1
+          done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          advance 1;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then advance 1;
+          while !i < n && is_digit src.[!i] do
+            advance 1
+          done
+        end;
+        let text = String.sub src start (!i - start) in
+        match float_of_string_opt text with
+        | Some r -> push (REAL r) p
+        | None -> fail p "malformed real literal %S" text
+      end
+      else begin
+        let text = String.sub src start (!i - start) in
+        match int_of_string_opt text with
+        | Some v -> push (INT v) p
+        | None -> fail p "malformed integer literal %S" text
+      end
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id_char src.[!i] do
+        advance 1
+      done;
+      let text = String.sub src start (!i - start) in
+      if List.mem text keywords then push (KW text) p else push (ID text) p
+    end
+    else if is_ty_start c then begin
+      let start = !i in
+      while !i < n && is_id_char src.[!i] do
+        advance 1
+      done;
+      push (TYID (String.sub src start (!i - start))) p
+    end
+    else if c = '"' then begin
+      advance 1;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        if !i >= n then fail p "unterminated string literal";
+        match src.[!i] with
+        | '"' -> advance 1
+        | '\\' ->
+          if !i + 1 >= n then fail p "unterminated string escape";
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | e -> fail p "unknown string escape \\%c" e);
+          advance 2;
+          scan ()
+        | ch ->
+          Buffer.add_char buf ch;
+          advance 1;
+          scan ()
+      in
+      scan ();
+      push (STRING (Buffer.contents buf)) p
+    end
+    else if c = '\'' then begin
+      if !i + 1 >= n then fail p "unterminated character literal";
+      let ch, len =
+        if src.[!i + 1] = '\\' then begin
+          if !i + 2 >= n then fail p "unterminated character escape";
+          let e = src.[!i + 2] in
+          let ch =
+            match e with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | 'r' -> '\r'
+            | '\\' -> '\\'
+            | '\'' -> '\''
+            | '0' -> '\000'
+            | _ -> fail p "unknown character escape \\%c" e
+          in
+          ch, 3
+        end
+        else src.[!i + 1], 2
+      in
+      if !i + len >= n || src.[!i + len] <> '\'' then fail p "unterminated character literal";
+      push (CHAR ch) p;
+      advance (len + 1)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "=>" ->
+        push ARROW p;
+        advance 2
+      | ":=" ->
+        push ASSIGN p;
+        advance 2
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" ->
+        push (OP two) p;
+        advance 2
+      | _ -> (
+        match c with
+        | '(' ->
+          push LPAREN p;
+          advance 1
+        | ')' ->
+          push RPAREN p;
+          advance 1
+        | '[' ->
+          push LBRACKET p;
+          advance 1
+        | ']' ->
+          push RBRACKET p;
+          advance 1
+        | ',' ->
+          push COMMA p;
+          advance 1
+        | ';' ->
+          push SEMI p;
+          advance 1
+        | ':' ->
+          push COLON p;
+          advance 1
+        | '.' ->
+          push DOT p;
+          advance 1
+        | '=' ->
+          push EQ p;
+          advance 1
+        | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' ->
+          push (OP (String.make 1 c)) p;
+          advance 1
+        | _ -> fail p "unexpected character %C" c)
+    end
+  done;
+  push EOF (pos ());
+  List.rev !tokens

@@ -1,0 +1,513 @@
+open Ast
+open Lexer
+
+exception Parse_error of Ast.pos * string
+
+type state = {
+  toks : (token * pos) array;
+  mutable cur : int;
+}
+
+let fail p fmt = Format.kasprintf (fun s -> raise (Parse_error (p, s))) fmt
+let peek st = fst st.toks.(st.cur)
+let peek2 st = if st.cur + 1 < Array.length st.toks then fst st.toks.(st.cur + 1) else EOF
+let pos st = snd st.toks.(st.cur)
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail (pos st) "expected %s, found %a" what Lexer.pp_token (peek st)
+
+let expect_kw st kw = expect st (KW kw) (Printf.sprintf "'%s'" kw)
+
+let ident st =
+  match peek st with
+  | ID name ->
+    advance st;
+    name
+  | t -> fail (pos st) "expected an identifier, found %a" Lexer.pp_token t
+
+let mk pos desc = { desc; pos }
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_ty st =
+  match peek st with
+  | TYID name -> (
+    advance st;
+    match name with
+    | "Int" -> Tint
+    | "Real" -> Treal
+    | "Bool" -> Tbool
+    | "Char" -> Tchar
+    | "String" -> Tstring
+    | "Unit" -> Tunit
+    | "Any" -> Tany
+    | "Array" ->
+      expect st LPAREN "'('";
+      let t = parse_ty st in
+      expect st RPAREN "')'";
+      Tarray t
+    | "Rel" ->
+      expect st LPAREN "'('";
+      let t = parse_ty st in
+      expect st RPAREN "')'";
+      Trel t
+    | "Tuple" ->
+      expect st LPAREN "'('";
+      let ts = parse_ty_list st in
+      expect st RPAREN "')'";
+      Ttuple ts
+    | "Fun" ->
+      expect st LPAREN "'('";
+      let args = if peek st = RPAREN then [] else parse_ty_list st in
+      expect st RPAREN "')'";
+      let ret =
+        if peek st = COLON then begin
+          advance st;
+          parse_ty st
+        end
+        else Tunit
+      in
+      Tfun (args, ret)
+    | _ -> fail (pos st) "unknown type %s" name)
+  | t -> fail (pos st) "expected a type, found %a" Lexer.pp_token t
+
+and parse_ty_list st =
+  let t = parse_ty st in
+  if peek st = COMMA then begin
+    advance st;
+    t :: parse_ty_list st
+  end
+  else [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_op = function
+  | "+" -> Some Add
+  | "-" -> Some Sub
+  | "*" -> Some Mul
+  | "/" -> Some Div
+  | "%" -> Some Mod
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | "==" -> Some Eq
+  | "!=" -> Some Ne
+  | "&&" -> Some And
+  | "||" -> Some Or
+  | _ -> None
+
+let precedence = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+(* expr: sequencing, let, var *)
+let rec parse_expr st =
+  let p = pos st in
+  match peek st with
+  | KW "let" when is_let_binding st ->
+    advance st;
+    let name = ident st in
+    let ty =
+      if peek st = COLON then begin
+        advance st;
+        Some (parse_ty st)
+      end
+      else None
+    in
+    expect st EQ "'='";
+    let rhs = parse_assign st in
+    expect st SEMI "';' after let binding";
+    let body = parse_expr st in
+    mk p (Elet (name, ty, rhs, body))
+  | KW "var" ->
+    advance st;
+    let name = ident st in
+    let ty =
+      if peek st = COLON then begin
+        advance st;
+        Some (parse_ty st)
+      end
+      else None
+    in
+    expect st ASSIGN "':='";
+    let rhs = parse_assign st in
+    expect st SEMI "';' after var binding";
+    let body = parse_expr st in
+    mk p (Evardef (name, ty, rhs, body))
+  | _ ->
+    let e = parse_assign st in
+    if peek st = SEMI then begin
+      advance st;
+      let rest = parse_expr st in
+      mk p (Eseq (e, rest))
+    end
+    else e
+
+(* a 'let' directly inside an expression is a binding (local let) *)
+and is_let_binding st =
+  ignore st;
+  true
+
+and parse_assign st =
+  let p = pos st in
+  let e = parse_binop st 1 in
+  if peek st = ASSIGN then begin
+    advance st;
+    let rhs = parse_assign st in
+    match e.desc with
+    | Evar x -> mk p (Eassign (x, rhs))
+    | Eindex (a, i) -> mk p (Estore (a, i, rhs))
+    | _ -> fail p "only variables and array elements can be assigned"
+  end
+  else e
+
+and parse_binop st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | OP op -> (
+      match binop_of_op op with
+      | Some b when precedence b >= min_prec ->
+        let p = pos st in
+        advance st;
+        let rhs = parse_binop st (precedence b + 1) in
+        lhs := mk p (Ebinop (b, !lhs, rhs))
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let p = pos st in
+  match peek st with
+  | OP "-" ->
+    advance st;
+    let e = parse_unary st in
+    mk p (Eunop (Neg, e))
+  | OP "!" ->
+    advance st;
+    let e = parse_unary st in
+    mk p (Eunop (Not, e))
+  | KW "raise" ->
+    advance st;
+    let e = parse_unary st in
+    mk p (Eraise e)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let p = pos st in
+    match peek st with
+    | LPAREN ->
+      advance st;
+      let args = if peek st = RPAREN then [] else parse_args st in
+      expect st RPAREN "')'";
+      e := mk p (Ecall (!e, args))
+    | LBRACKET ->
+      advance st;
+      let ix = parse_assign st in
+      expect st RBRACKET "']'";
+      e := mk p (Eindex (!e, ix))
+    | DOT -> (
+      match peek2 st with
+      | INT k ->
+        advance st;
+        advance st;
+        e := mk p (Efield (!e, k))
+      | ID member -> (
+        match !e with
+        | { desc = Evar m; _ } ->
+          advance st;
+          advance st;
+          e := mk p (Eqname (m, member))
+        | _ -> fail p "'.' member access requires a module name")
+      | t -> fail p "expected a field number or member name after '.', found %a" Lexer.pp_token t)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_args st =
+  let e = parse_assign st in
+  if peek st = COMMA then begin
+    advance st;
+    e :: parse_args st
+  end
+  else [ e ]
+
+and parse_primary st =
+  let p = pos st in
+  match peek st with
+  | INT v ->
+    advance st;
+    mk p (Eint v)
+  | REAL r ->
+    advance st;
+    mk p (Ereal r)
+  | CHAR c ->
+    advance st;
+    mk p (Echar c)
+  | STRING s ->
+    advance st;
+    mk p (Estr s)
+  | KW "true" ->
+    advance st;
+    mk p (Ebool true)
+  | KW "false" ->
+    advance st;
+    mk p (Ebool false)
+  | KW "nil" ->
+    advance st;
+    mk p Eunit
+  | ID name ->
+    advance st;
+    mk p (Evar name)
+  | LPAREN ->
+    advance st;
+    if peek st = RPAREN then begin
+      advance st;
+      mk p Eunit
+    end
+    else begin
+      let e = parse_expr st in
+      expect st RPAREN "')'";
+      e
+    end
+  | KW "if" ->
+    advance st;
+    let cond = parse_expr st in
+    expect_kw st "then";
+    let then_e = parse_expr st in
+    let else_e =
+      if peek st = KW "else" then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect_kw st "end";
+    mk p (Eif (cond, then_e, else_e))
+  | KW "while" ->
+    advance st;
+    let cond = parse_expr st in
+    expect_kw st "do";
+    let body = parse_expr st in
+    expect_kw st "end";
+    mk p (Ewhile (cond, body))
+  | KW "for" ->
+    advance st;
+    let x = ident st in
+    expect st EQ "'='";
+    let lo = parse_expr st in
+    let upto =
+      match peek st with
+      | KW "upto" ->
+        advance st;
+        true
+      | KW "downto" ->
+        advance st;
+        false
+      | t -> fail (pos st) "expected 'upto' or 'downto', found %a" Lexer.pp_token t
+    in
+    let hi = parse_expr st in
+    expect_kw st "do";
+    let body = parse_expr st in
+    expect_kw st "end";
+    mk p (Efor (x, lo, upto, hi, body))
+  | KW "fn" ->
+    advance st;
+    expect st LPAREN "'('";
+    let params = if peek st = RPAREN then [] else parse_params st in
+    expect st RPAREN "')'";
+    let ret =
+      if peek st = COLON then begin
+        advance st;
+        parse_ty st
+      end
+      else Tunit
+    in
+    expect st ARROW "'=>'";
+    let body = parse_expr st in
+    mk p (Efn (params, ret, body))
+  | KW "array" ->
+    advance st;
+    expect st LPAREN "'('";
+    let n = parse_assign st in
+    expect st COMMA "','";
+    let init = parse_assign st in
+    expect st RPAREN "')'";
+    mk p (Earraylit (n, init))
+  | KW "tuple" ->
+    advance st;
+    expect st LPAREN "'('";
+    let args = if peek st = RPAREN then [] else parse_args st in
+    expect st RPAREN "')'";
+    mk p (Etuple args)
+  | KW "try" ->
+    advance st;
+    let body = parse_expr st in
+    expect_kw st "handle";
+    let x = ident st in
+    expect st ARROW "'=>'";
+    let handler = parse_expr st in
+    expect_kw st "end";
+    mk p (Etry (body, x, handler))
+  | KW "prim" -> (
+    advance st;
+    match peek st with
+    | STRING name ->
+      advance st;
+      expect st LPAREN "'('";
+      let args = if peek st = RPAREN then [] else parse_args st in
+      expect st RPAREN "')'";
+      let ty =
+        if peek st = COLON then begin
+          advance st;
+          Some (parse_ty st)
+        end
+        else None
+      in
+      mk p (Eprimcall (name, args, ty))
+    | t -> fail (pos st) "expected a primitive name string, found %a" Lexer.pp_token t)
+  | KW "ccall" -> (
+    advance st;
+    match peek st with
+    | STRING name ->
+      advance st;
+      expect st LPAREN "'('";
+      let args = if peek st = RPAREN then [] else parse_args st in
+      expect st RPAREN "')'";
+      let ty =
+        if peek st = COLON then begin
+          advance st;
+          Some (parse_ty st)
+        end
+        else None
+      in
+      mk p (Eccallx (name, args, ty))
+    | t -> fail (pos st) "expected a host function name string, found %a" Lexer.pp_token t)
+  | KW "select" ->
+    advance st;
+    let target = parse_expr st in
+    expect_kw st "from";
+    let x = ident st in
+    expect_kw st "in";
+    let rel = parse_expr st in
+    expect_kw st "where";
+    let where = parse_expr st in
+    expect_kw st "end";
+    mk p (Eselect { target; x; rel; where })
+  | KW "exists" ->
+    advance st;
+    let x = ident st in
+    expect_kw st "in";
+    let rel = parse_expr st in
+    expect_kw st "where";
+    let where = parse_expr st in
+    expect_kw st "end";
+    mk p (Eexists (x, rel, where))
+  | KW "foreach" ->
+    advance st;
+    let x = ident st in
+    expect_kw st "in";
+    let rel = parse_expr st in
+    expect_kw st "do";
+    let body = parse_expr st in
+    expect_kw st "end";
+    mk p (Eforeach (x, rel, body))
+  | t -> fail p "expected an expression, found %a" Lexer.pp_token t
+
+and parse_params st =
+  let name = ident st in
+  expect st COLON "':'";
+  let ty = parse_ty st in
+  if peek st = COMMA then begin
+    advance st;
+    (name, ty) :: parse_params st
+  end
+  else [ name, ty ]
+
+(* ------------------------------------------------------------------ *)
+(* Definitions and programs                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_def st =
+  let p = pos st in
+  expect_kw st "let";
+  let name = ident st in
+  if peek st = LPAREN then begin
+    advance st;
+    let params = if peek st = RPAREN then [] else parse_params st in
+    expect st RPAREN "')'";
+    let ret =
+      if peek st = COLON then begin
+        advance st;
+        parse_ty st
+      end
+      else Tunit
+    in
+    expect st EQ "'='";
+    let body = parse_expr st in
+    Dfun { name; params; ret; body; pos = p }
+  end
+  else begin
+    let ty =
+      if peek st = COLON then begin
+        advance st;
+        Some (parse_ty st)
+      end
+      else None
+    in
+    expect st EQ "'='";
+    let body = parse_expr st in
+    Dval { name; ty; body; pos = p }
+  end
+
+let parse_item st =
+  let p = pos st in
+  match peek st with
+  | KW "module" ->
+    advance st;
+    let name = ident st in
+    if peek st = KW "export" then advance st;
+    let rec defs acc =
+      if peek st = KW "end" then begin
+        advance st;
+        List.rev acc
+      end
+      else defs (parse_def st :: acc)
+    in
+    Imodule (name, defs [])
+  | KW "let" -> Idef (parse_def st)
+  | KW "do" ->
+    advance st;
+    let e = parse_expr st in
+    expect_kw st "end";
+    Ido e
+  | t -> fail p "expected 'module', 'let' or 'do', found %a" Lexer.pp_token t
+
+let parse_program src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cur = 0 } in
+  let rec items acc = if peek st = EOF then List.rev acc else items (parse_item st :: acc) in
+  items []
+
+let parse_expr src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cur = 0 } in
+  let e = parse_expr st in
+  expect st EOF "end of input";
+  e

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for TL. *)
+
+exception Parse_error of Ast.pos * string
+
+(** [parse_program src] @raise Parse_error @raise Lexer.Lex_error *)
+val parse_program : string -> Ast.program
+
+(** [parse_expr src] parses a single expression (tests, REPL-style use). *)
+val parse_expr : string -> Ast.expr

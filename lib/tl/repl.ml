@@ -1,0 +1,177 @@
+open Tml_core
+open Tml_vm
+
+type session = {
+  sctx : Runtime.ctx;
+  lower_env : Lower.env;
+  mutable accumulated : Ast.item list;  (* definitions only, in order *)
+  mutable lowered_count : int;          (* tdefs already lowered and linked *)
+  globals : (string, Value.t) Hashtbl.t;
+  mutable funcs : (string * Oid.t) list;  (* link order *)
+  mutable expr_counter : int;
+}
+
+let ctx session = session.sctx
+let function_oids session = session.funcs
+let function_oid session name = List.assoc_opt name session.funcs
+let global session name = Hashtbl.find_opt session.globals name
+
+let lookup_tml session name =
+  match function_oid session name with
+  | Some oid -> (
+    match Value.Heap.get_opt session.sctx.Runtime.heap oid with
+    | Some (Value.Func fo) -> Some fo.Value.fo_tml
+    | _ -> None)
+  | None -> None
+
+type feed_result = {
+  defined : string list;
+  result : (Eval.outcome * int) option;
+  output : string;
+}
+
+let resolve_bindings session (fo : Value.func_obj) =
+  let frees = Ident.Set.elements (Term.free_vars_value fo.Value.fo_tml) in
+  fo.Value.fo_bindings <-
+    List.map
+      (fun id ->
+        match Hashtbl.find_opt session.globals id.Ident.name with
+        | Some v -> id, v
+        | None -> Runtime.fault "session: unresolved global %s" id.Ident.name)
+      frees;
+  fo.Value.fo_tree_impl <- None;
+  fo.Value.fo_mach_impl <- None;
+  fo.Value.fo_code <- None
+
+let relink_all session =
+  List.iter
+    (fun (_, oid) ->
+      match Value.Heap.get_opt session.sctx.Runtime.heap oid with
+      | Some (Value.Func fo) -> resolve_bindings session fo
+      | _ -> ())
+    session.funcs
+
+(* Link a batch of freshly lowered definitions into the live store. *)
+let link_batch session (defs : Lower.compiled_def list) =
+  let heap = session.sctx.Runtime.heap in
+  let redefined = ref false in
+  let note_defined name =
+    if Hashtbl.mem session.globals name then redefined := true
+  in
+  (* functions first, so that mutual recursion and forward value references
+     resolve *)
+  let new_funcs =
+    List.filter_map
+      (fun (d : Lower.compiled_def) ->
+        if d.Lower.c_is_fun then begin
+          note_defined d.Lower.c_name;
+          let oid = Value.Heap.alloc_func heap ~name:d.Lower.c_name d.Lower.c_tml in
+          Hashtbl.replace session.globals d.Lower.c_name (Value.Oidv oid);
+          Some (d.Lower.c_name, oid)
+        end
+        else None)
+      defs
+  in
+  (* value definitions, in order *)
+  List.iter
+    (fun (d : Lower.compiled_def) ->
+      if not d.Lower.c_is_fun then begin
+        note_defined d.Lower.c_name;
+        let oid = Value.Heap.alloc_func heap ~name:(d.Lower.c_name ^ "!init") d.Lower.c_tml in
+        (match Value.Heap.get heap oid with
+        | Value.Func fo -> resolve_bindings session fo
+        | _ -> assert false);
+        match Machine.run_proc session.sctx (Value.Oidv oid) [] with
+        | Eval.Done v -> Hashtbl.replace session.globals d.Lower.c_name v
+        | Eval.Raised v ->
+          Runtime.fault "initialization of %s raised %s" d.Lower.c_name (Value.to_string v)
+        | Eval.No_fuel -> Runtime.fault "initialization of %s ran out of fuel" d.Lower.c_name
+        | Eval.Fault msg ->
+          Runtime.fault "initialization of %s faulted: %s" d.Lower.c_name msg
+      end)
+    defs;
+  List.iter
+    (fun (_, oid) ->
+      match Value.Heap.get heap oid with
+      | Value.Func fo -> resolve_bindings session fo
+      | _ -> assert false)
+    new_funcs;
+  (* redefinition: existing callers must see the new binding *)
+  if !redefined then relink_all session;
+  session.funcs <-
+    List.filter (fun (n, _) -> not (List.mem_assoc n new_funcs)) session.funcs @ new_funcs;
+  List.map (fun (d : Lower.compiled_def) -> d.Lower.c_name) defs
+
+let drop n xs = List.filteri (fun i _ -> i >= n) xs
+
+let process session (items : Ast.item list) =
+  Tml_query.Qprims.install ();
+  let defs, actions =
+    List.partition
+      (function
+        | Ast.Imodule _ | Ast.Idef _ -> true
+        | Ast.Ido _ -> false)
+      items
+  in
+  (* type-check everything ever defined plus this batch; only the batch's
+     definitions are new, and only its do-blocks form the main expression *)
+  let tprog =
+    Typecheck.check_with_prelude ~prelude:(Stdlib_tl.program ())
+      (session.accumulated @ defs @ actions)
+  in
+  let new_tdefs = drop session.lowered_count tprog.Typecheck.tdefs in
+  let lowered = Lower.lower_defs session.lower_env new_tdefs in
+  (* commit *)
+  session.accumulated <- session.accumulated @ defs;
+  session.lowered_count <- List.length tprog.Typecheck.tdefs;
+  let defined = link_batch session lowered in
+  let result =
+    match tprog.Typecheck.tmain with
+    | None -> None
+    | Some main ->
+      let tml = Lower.lower_main session.lower_env main in
+      session.expr_counter <- session.expr_counter + 1;
+      let name = Printf.sprintf "it%d" session.expr_counter in
+      let oid = Value.Heap.alloc_func session.sctx.Runtime.heap ~name tml in
+      (match Value.Heap.get session.sctx.Runtime.heap oid with
+      | Value.Func fo -> resolve_bindings session fo
+      | _ -> assert false);
+      let before = session.sctx.Runtime.steps in
+      let outcome = Machine.run_proc session.sctx (Value.Oidv oid) [] in
+      Some (outcome, session.sctx.Runtime.steps - before)
+  in
+  defined, result
+
+let create ?(mode = Lower.Library) () =
+  Tml_query.Qprims.install ();
+  let session =
+    {
+      sctx = Runtime.create (Value.Heap.create ());
+      lower_env = Lower.env_create ~mode;
+      accumulated = [];
+      lowered_count = 0;
+      globals = Hashtbl.create 64;
+      funcs = [];
+      expr_counter = 0;
+    }
+  in
+  (* compile and link the standard library *)
+  let defined, _ = process session [] in
+  ignore defined;
+  session
+
+let feed session src =
+  let items =
+    match Parser.parse_program src with
+    | items -> items
+    | exception Parser.Parse_error _ ->
+      (* bare-expression sugar: e  ==  do e end *)
+      let e = Parser.parse_expr src in
+      [ Ast.Ido e ]
+  in
+  let out_before = Buffer.length session.sctx.Runtime.out in
+  let defined, result = process session items in
+  let full = Buffer.contents session.sctx.Runtime.out in
+  let output = String.sub full out_before (String.length full - out_before) in
+  (* standard-library names were linked by [create]; don't echo them *)
+  { defined; result; output }

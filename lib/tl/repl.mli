@@ -1,0 +1,53 @@
+(** An interactive, persistent TL session — the Tycoon working style.
+
+    A session owns one store: definitions entered later are compiled,
+    linked and added to it incrementally; expressions are compiled as
+    nullary procedures and run against the live store, so mutations
+    (relation inserts, array updates, index creation) persist across
+    inputs.  Redefinition is supported: the new function object replaces
+    the global, all existing functions' R-value bindings are re-resolved
+    and their cached implementations invalidated, so older callers pick up
+    the new definition — dynamic relinking in the spirit of figure 3.
+
+    The session's heap can be saved with {!Tml_vm.Image} and the function
+    objects reflectively optimized with [Tml_reflect.Reflect] (see
+    [bin/tmlsh.ml]). *)
+
+open Tml_vm
+
+type session
+
+(** [create ?mode ()] starts a session with the TL standard library
+    compiled and linked. *)
+val create : ?mode:Lower.mode -> unit -> session
+
+val ctx : session -> Runtime.ctx
+
+(** [function_oid session name] — look up a linked function by canonical
+    name. *)
+val function_oid : session -> string -> Tml_core.Oid.t option
+
+(** Everything linked so far, in link order. *)
+val function_oids : session -> (string * Tml_core.Oid.t) list
+
+(** [global session name] — the linked value of a global. *)
+val global : session -> string -> Value.t option
+
+type feed_result = {
+  defined : string list;  (** canonical names defined by this input *)
+  result : (Eval.outcome * int) option;
+      (** outcome and abstract instructions of the input's expression /
+          [do] blocks, if any *)
+  output : string;  (** what the input printed *)
+}
+
+(** [feed session src] processes one input: top-level definitions and/or
+    [do] blocks; a bare expression [e] is accepted as sugar for
+    [do e end].
+    @raise Lexer.Lex_error, Parser.Parse_error, Typecheck.Type_error,
+    Runtime.Fault *)
+val feed : session -> string -> feed_result
+
+(** [lookup_tml session name] — the current TML of a linked function
+    (for [:dump]). *)
+val lookup_tml : session -> string -> Tml_core.Term.value option

@@ -1,0 +1,88 @@
+let source =
+  {|
+-- The dynamically bound standard library (see DESIGN.md and section 6 of
+-- the paper).  Bodies are one-line wrappers around TML primitives; the
+-- reflective optimizer inlines them across the module barrier.
+
+module intlib export
+  let add(a: Int, b: Int): Int = prim "+" (a, b)
+  let sub(a: Int, b: Int): Int = prim "-" (a, b)
+  let mul(a: Int, b: Int): Int = prim "*" (a, b)
+  let div(a: Int, b: Int): Int = prim "/" (a, b)
+  let mod(a: Int, b: Int): Int = prim "%" (a, b)
+  let neg(a: Int): Int = prim "-" (0, a)
+  let lt(a: Int, b: Int): Bool = prim "<" (a, b)
+  let le(a: Int, b: Int): Bool = prim "<=" (a, b)
+  let gt(a: Int, b: Int): Bool = prim ">" (a, b)
+  let ge(a: Int, b: Int): Bool = prim ">=" (a, b)
+  let eq(a: Int, b: Int): Bool = prim "==" (a, b)
+  let min(a: Int, b: Int): Int = if prim "<" (a, b) : Bool then a else b end
+  let max(a: Int, b: Int): Int = if prim "<" (a, b) : Bool then b else a end
+  let abs(a: Int): Int = if prim "<" (a, 0) : Bool then prim "-" (0, a) else a end
+end
+
+module reallib export
+  let add(a: Real, b: Real): Real = prim "f+" (a, b)
+  let sub(a: Real, b: Real): Real = prim "f-" (a, b)
+  let mul(a: Real, b: Real): Real = prim "f*" (a, b)
+  let div(a: Real, b: Real): Real = prim "f/" (a, b)
+  let neg(a: Real): Real = prim "fneg" (a)
+  let lt(a: Real, b: Real): Bool = prim "f<" (a, b)
+  let le(a: Real, b: Real): Bool = prim "f<=" (a, b)
+  let gt(a: Real, b: Real): Bool = prim "f>" (a, b)
+  let ge(a: Real, b: Real): Bool = prim "f>=" (a, b)
+  let abs(a: Real): Real = if prim "f<" (a, 0.0) : Bool then prim "fneg" (a) else a end
+end
+
+module arraylib export
+  let make(n: Int, init: Any): Array(Any) = prim "new" (n, init)
+  let get(a: Array(Any), i: Int): Any = prim "[]" (a, i)
+  let set(a: Array(Any), i: Int, v: Any): Unit = prim "[:=]" (a, i, v)
+  let size(a: Array(Any)): Int = prim "size" (a)
+  let copy(src: Array(Any), soff: Int, dst: Array(Any), doff: Int, len: Int): Unit =
+    prim "move" (src, soff, dst, doff, len)
+end
+
+module mathlib export
+  let sqrt(x: Real): Real = prim "sqrt" (x)
+  let sqr(x: Real): Real = prim "f*" (x, x)
+  let hypot2(x: Real, y: Real): Real = prim "f+" (prim "f*" (x, x), prim "f*" (y, y))
+  let sin(x: Real): Real = prim "fsin" (x)
+  let cos(x: Real): Real = prim "fcos" (x)
+end
+
+module strlib export
+  let concat(a: String, b: String): String = prim "sconcat" (a, b)
+  let length(s: String): Int = prim "slen" (s)
+  let charat(s: String, i: Int): Char = prim "s[]" (s, i)
+  let sub(s: String, pos: Int, len: Int): String = prim "substr" (s, pos, len)
+  let fromchar(c: Char): String = prim "char2str" (c)
+  let fromint(n: Int): String = prim "int2str" (n)
+  let toint(s: String): Int = prim "str2int" (s)
+  let compare(a: String, b: String): Int = prim "scmp" (a, b)
+  let contains_char(s: String, c: Char): Bool =
+    var found := false;
+    for i = 0 upto prim "slen" (s) : Int - 1 do
+      if prim "s[]" (s, i) : Char == c then found := true end
+    end;
+    found
+end
+
+module io export
+  let print_int(n: Int): Unit = ccall "print_int" (n)
+  let print_str(s: String): Unit = ccall "print_str" (s)
+  let print_char(c: Char): Unit = ccall "print_char" (c)
+  let print_real(r: Real): Unit = ccall "print_real" (r)
+  let newline(): Unit = ccall "newline" ()
+end
+|}
+
+let cached = ref None
+
+let program () =
+  match !cached with
+  | Some p -> p
+  | None ->
+    let p = Parser.parse_program source in
+    cached := Some p;
+    p

@@ -1,0 +1,15 @@
+(** The TL standard library, written in TL itself.
+
+    The point of writing it in TL (rather than wiring operators to
+    primitives in the compiler) is the paper's section 6 finding: integer
+    and array operations are "factored out into dynamically bound libraries
+    and therefore not amenable to local optimization" — a statically
+    optimized caller sees only a free variable, while the dynamic
+    (reflective) optimizer sees the one-line body and inlines it down to the
+    primitive. *)
+
+(** TL source of [intlib], [reallib], [arraylib], [io] and [mathlib]. *)
+val source : string
+
+(** Parsed form (cached). *)
+val program : unit -> Ast.program

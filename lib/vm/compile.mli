@@ -1,0 +1,30 @@
+(** The TML-to-abstract-machine code generator.
+
+    Strategy (classic CPS code generation):
+
+    - every [proc] abstraction, and every [cont] abstraction used as a
+      first-class value, becomes a function of the compiled unit;
+    - a [cont] abstraction appearing literally in a continuation argument
+      position of a primitive compiles to an inline block — no closure is
+      ever allocated for the "return point" of an arithmetic or comparison
+      primitive;
+    - a direct application of an abstraction (a β-redex the optimizer chose
+      to keep) costs nothing: parameters are aliased to the operands of
+      their arguments;
+    - the [Y] primitive compiles to [Fix], allocating the whole recursive
+      nest at once;
+    - primitives whose continuations escape ([pushHandler]) have those
+      continuations materialized as closures. *)
+
+(** [compile_abs ~name abs] compiles a [proc] abstraction to a code unit.
+    Returns the unit together with the free identifiers of [abs] in
+    environment-slot order: the linker must supply their runtime values in
+    exactly this order.
+    @raise Failure on TML the code generator cannot handle (which
+    well-formed terms never trigger). *)
+val compile_abs : name:string -> Tml_core.Term.abs -> Instr.unit_code * Tml_core.Ident.t list
+
+(** [compile_func ctx fo] compiles (and caches) the machine implementation
+    of a store function object, resolving its environment from the R-value
+    bindings established at link time. *)
+val compile_func : Runtime.ctx -> Value.func_obj -> Value.t

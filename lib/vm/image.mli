@@ -1,0 +1,27 @@
+(** Whole-store image persistence.
+
+    Serializes every live store object — arrays, byte arrays, tuples,
+    modules, relations (indexes are rebuilt on load) and function objects.
+    A function object persists exactly what the paper's architecture needs
+    at runtime: its name, its PTML tree, its R-value bindings and its
+    derived optimizer attributes; executable code is regenerated on demand
+    by the code generator (figure 3), so images are
+    machine-representation-independent.
+
+    Values with no persistent form (live closures of either engine,
+    continuation blocks, halt sentinels) are rejected: in this system, as in
+    Tycoon, durable functions are store objects, not host-language
+    closures. *)
+
+exception Image_error of string
+
+(** [save heap] serializes the heap. @raise Image_error *)
+val save : Value.Heap.heap -> string
+
+(** [load bytes] rebuilds a heap with identical OIDs. @raise Image_error *)
+val load : string -> Value.Heap.heap
+
+(** [save_file heap path] / [load_file path] — file-based variants. *)
+val save_file : Value.Heap.heap -> string -> unit
+
+val load_file : string -> Value.Heap.heap

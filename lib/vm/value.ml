@@ -1,0 +1,190 @@
+open Tml_core
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Char of char
+  | Real of float
+  | Str of string
+  | Oidv of Oid.t
+  | Primv of string
+  | Closure of tree_closure
+  | Mclosure of mclosure
+  | Mblock of mblock
+  | Halt of bool
+
+and tree_closure = {
+  t_abs : Term.abs;
+  mutable t_env : t Ident.Map.t;
+}
+
+and mclosure = {
+  m_unit : Instr.unit_code;
+  m_fn : int;
+  m_env : t array;
+}
+
+and mblock = {
+  b_frame : t array;
+  b_unit : Instr.unit_code;
+  b_env : t array;
+  b_regs : int array;
+  b_code : Instr.code;
+}
+
+type obj =
+  | Array of t array
+  | Vector of t array
+  | Bytes of bytes
+  | Tuple of t array
+  | Module of module_obj
+  | Relation of relation
+  | Func of func_obj
+
+and module_obj = {
+  mod_name : string;
+  exports : (string * t) array;
+}
+
+and relation = {
+  rel_name : string;
+  mutable rows : t array;
+  mutable indexes : (int * (Literal.t, int list) Hashtbl.t) list;
+  mutable triggers : t list;
+      (** stored trigger procedures, called with each inserted tuple *)
+}
+
+and func_obj = {
+  fo_name : string;
+  fo_tml : Term.value;
+  fo_ptml : string;
+  mutable fo_bindings : (Ident.t * t) list;
+  mutable fo_tree_impl : t option;
+  mutable fo_mach_impl : t option;
+  mutable fo_code : Instr.unit_code option;
+  mutable fo_attrs : (string * int) list;
+}
+
+module Heap = struct
+  type heap = {
+    mutable objs : obj option array;
+    mutable next : int;
+  }
+
+  let create () = { objs = Array.make 64 None; next = 0 }
+
+  let alloc heap obj =
+    if heap.next >= Array.length heap.objs then begin
+      let bigger = Array.make (2 * Array.length heap.objs) None in
+      Array.blit heap.objs 0 bigger 0 heap.next;
+      heap.objs <- bigger
+    end;
+    let ix = heap.next in
+    heap.objs.(ix) <- Some obj;
+    heap.next <- ix + 1;
+    Oid.of_int ix
+
+  let get_opt heap oid =
+    let ix = Oid.to_int oid in
+    if ix >= 0 && ix < heap.next then heap.objs.(ix) else None
+
+  let get heap oid =
+    match get_opt heap oid with
+    | Some obj -> obj
+    | None -> invalid_arg (Printf.sprintf "Heap.get: dangling %s" (Oid.to_string oid))
+
+  let set heap oid obj =
+    let ix = Oid.to_int oid in
+    if ix < 0 || ix >= heap.next then
+      invalid_arg (Printf.sprintf "Heap.set: dangling %s" (Oid.to_string oid));
+    heap.objs.(ix) <- Some obj
+
+  let size heap = heap.next
+
+  let iter f heap =
+    for ix = 0 to heap.next - 1 do
+      match heap.objs.(ix) with
+      | Some obj -> f (Oid.of_int ix) obj
+      | None -> ()
+    done
+
+  let alloc_func heap ~name tml =
+    alloc heap
+      (Func
+         {
+           fo_name = name;
+           fo_tml = tml;
+           fo_ptml = Tml_store.Ptml.encode_value tml;
+           fo_bindings = [];
+           fo_tree_impl = None;
+           fo_mach_impl = None;
+           fo_code = None;
+           fo_attrs = [];
+         })
+end
+
+let identical a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Char a, Char b -> a = b
+  | Real a, Real b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  | Str a, Str b -> String.equal a b
+  | Oidv a, Oidv b -> Oid.equal a b
+  | Primv a, Primv b -> String.equal a b
+  | Closure a, Closure b -> a == b
+  | Mclosure a, Mclosure b -> a == b
+  | Mblock a, Mblock b -> a == b
+  | Halt a, Halt b -> a = b
+  | _ -> false
+
+let of_literal = function
+  | Literal.Unit -> Unit
+  | Literal.Bool b -> Bool b
+  | Literal.Int i -> Int i
+  | Literal.Char c -> Char c
+  | Literal.Real r -> Real r
+  | Literal.Str s -> Str s
+  | Literal.Oid o -> Oidv o
+
+let to_literal = function
+  | Unit -> Some Literal.Unit
+  | Bool b -> Some (Literal.Bool b)
+  | Int i -> Some (Literal.Int i)
+  | Char c -> Some (Literal.Char c)
+  | Real r -> Some (Literal.Real r)
+  | Str s -> Some (Literal.Str s)
+  | Oidv o -> Some (Literal.Oid o)
+  | Primv _ | Closure _ | Mclosure _ | Mblock _ | Halt _ -> None
+
+let type_name = function
+  | Unit -> "unit"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Char _ -> "char"
+  | Real _ -> "real"
+  | Str _ -> "string"
+  | Oidv _ -> "oid"
+  | Primv _ -> "primitive"
+  | Closure _ -> "closure"
+  | Mclosure _ -> "machine-closure"
+  | Mblock _ -> "machine-block"
+  | Halt _ -> "halt"
+
+let pp ppf = function
+  | Unit -> Format.pp_print_string ppf "nil"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Char c -> Format.fprintf ppf "'%s'" (Char.escaped c)
+  | Real r -> Format.fprintf ppf "%g" r
+  | Str s -> Format.fprintf ppf "%S" s
+  | Oidv o -> Oid.pp ppf o
+  | Primv name -> Format.fprintf ppf "#%s" name
+  | Closure c -> Format.fprintf ppf "<closure/%d>" (List.length c.t_abs.Term.params)
+  | Mclosure c -> Format.fprintf ppf "<mclosure fn%d>" c.m_fn
+  | Mblock _ -> Format.pp_print_string ppf "<mblock>"
+  | Halt ok -> Format.fprintf ppf "<halt %b>" ok
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,131 @@
+(** Runtime values and the persistent object store heap.
+
+    Simple values (integers, characters, booleans, reals, strings, unit) are
+    immediate; complex objects (arrays, byte arrays, tuples, modules,
+    relations, functions) live in the store and are denoted by OIDs, exactly
+    the split TML literals make (section 2.2).
+
+    Functions are store objects ([Func]) that carry, alongside their
+    executable representations, the persistent TML tree (PTML) and the
+    runtime R-value bindings of their free identifiers — the material the
+    reflective optimizer of section 4.1 works from. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Char of char
+  | Real of float
+  | Str of string
+  | Oidv of Tml_core.Oid.t       (** reference into the store *)
+  | Primv of string              (** a primitive procedure as a value *)
+  | Closure of tree_closure      (** tree-walking-evaluator closure *)
+  | Mclosure of mclosure         (** abstract-machine closure *)
+  | Mblock of mblock             (** materialized inline continuation block *)
+  | Halt of bool                 (** sentinel continuation: [true] = normal result,
+                                     [false] = uncaught exception *)
+
+and tree_closure = {
+  t_abs : Tml_core.Term.abs;
+  mutable t_env : t Tml_core.Ident.Map.t;
+      (** mutable so that [Y] can tie recursive knots *)
+}
+
+and mclosure = {
+  m_unit : Instr.unit_code;
+  m_fn : int;
+  m_env : t array;
+}
+
+and mblock = {
+  b_frame : t array;       (** the frame of the enclosing invocation *)
+  b_unit : Instr.unit_code;
+  b_env : t array;         (** environment of the enclosing closure *)
+  b_regs : int array;
+  b_code : Instr.code;
+}
+
+(** {1 Store objects} *)
+
+type obj =
+  | Array of t array    (** mutable *)
+  | Vector of t array   (** immutable *)
+  | Bytes of bytes      (** mutable byte array *)
+  | Tuple of t array    (** immutable record *)
+  | Module of module_obj
+  | Relation of relation
+  | Func of func_obj
+
+and module_obj = {
+  mod_name : string;
+  exports : (string * t) array;  (** name → value; immutable after linking *)
+}
+
+and relation = {
+  rel_name : string;
+  mutable rows : t array;  (** each row is an [Oidv] of a [Tuple] *)
+  mutable indexes : (int * (Tml_core.Literal.t, int list) Hashtbl.t) list;
+      (** hash indexes: field position → (key → row positions) *)
+  mutable triggers : t list;
+      (** stored trigger procedures ([Oidv] of functions), invoked with each
+          inserted tuple — "the body of database triggers may refer to
+          programming language statements" (section 4.2): they are ordinary
+          persistent functions the reflective optimizer can rewrite *)
+}
+
+and func_obj = {
+  fo_name : string;
+  fo_tml : Tml_core.Term.value;  (** the [proc] abstraction, with free global identifiers *)
+  fo_ptml : string;              (** compact persistent TML (section 4.1) *)
+  mutable fo_bindings : (Tml_core.Ident.t * t) list;
+      (** R-value bindings ([identifier, value] pairs) established at link
+          time for the free identifiers of [fo_tml] *)
+  mutable fo_tree_impl : t option;  (** cached linked tree closure *)
+  mutable fo_mach_impl : t option;  (** cached compiled machine closure *)
+  mutable fo_code : Instr.unit_code option;  (** cached compiled code *)
+  mutable fo_attrs : (string * int) list;
+      (** derived attributes (costs, savings, ...) attached by the optimizer
+          and kept with the persistent system state *)
+}
+
+(** {1 Heap} *)
+
+module Heap : sig
+  type heap
+
+  val create : unit -> heap
+  val alloc : heap -> obj -> Tml_core.Oid.t
+
+  (** @raise Invalid_argument on a dangling OID. *)
+  val get : heap -> Tml_core.Oid.t -> obj
+
+  val get_opt : heap -> Tml_core.Oid.t -> obj option
+  val set : heap -> Tml_core.Oid.t -> obj -> unit
+  val size : heap -> int
+
+  (** [iter f heap] applies [f] to every live object. *)
+  val iter : (Tml_core.Oid.t -> obj -> unit) -> heap -> unit
+
+  (** [alloc_func heap ~name tml] allocates a [Func] object, computing its
+      PTML encoding; bindings start empty. *)
+  val alloc_func : heap -> name:string -> Tml_core.Term.value -> Tml_core.Oid.t
+end
+
+(** {1 Operations} *)
+
+(** [identical a b] — object identity, the relation tested by the ["=="]
+    primitive: immediate values compare by value (reals bit-for-bit), store
+    references by OID, closures physically. *)
+val identical : t -> t -> bool
+
+(** [of_literal l] injects a TML literal. *)
+val of_literal : Tml_core.Literal.t -> t
+
+(** [to_literal v] projects immediate values (and OIDs) back to literals —
+    the bridge the reflective optimizer uses to rebind runtime values inside
+    TML terms.  Closures and blocks have no literal form. *)
+val to_literal : t -> Tml_core.Literal.t option
+
+val type_name : t -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

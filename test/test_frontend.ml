@@ -1,0 +1,484 @@
+(* Tests for the TL front end: lexer, parser, type checker, CPS lowering,
+   linker, and end-to-end program behaviour on both engines. *)
+
+open Tml_core
+open Tml_vm
+open Tml_frontend
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstring = Alcotest.string
+
+(* run a program's main and return (outcome, output) *)
+let run ?(engine = `Machine) ?options src =
+  let program = Link.load ?options src in
+  let outcome, _ = Link.run_main program ~engine () in
+  outcome, Link.output program
+
+let expect_output ?engine ?options src expected =
+  match run ?engine ?options src with
+  | Eval.Done _, out -> check tstring src expected out
+  | o, _ -> Alcotest.failf "%s: %a" src Eval.pp_outcome o
+
+let expect_int ?engine src expected =
+  expect_output ?engine
+    (Printf.sprintf "do io.print_int(%s) end" src)
+    (string_of_int expected)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "let x := 1.5e2 'a' \"s\\n\" == <= -- comment\n m.f" in
+  let kinds = List.map fst toks in
+  check tbool "keyword" true (List.mem (Lexer.KW "let") kinds);
+  check tbool "assign" true (List.mem Lexer.ASSIGN kinds);
+  check tbool "real" true (List.mem (Lexer.REAL 150.0) kinds);
+  check tbool "char" true (List.mem (Lexer.CHAR 'a') kinds);
+  check tbool "string escape" true (List.mem (Lexer.STRING "s\n") kinds);
+  check tbool "eqeq" true (List.mem (Lexer.OP "==") kinds);
+  check tbool "le" true (List.mem (Lexer.OP "<=") kinds);
+  check tbool "comment skipped" false
+    (List.exists
+       (function
+         | Lexer.ID "comment" -> true
+         | _ -> false)
+       kinds);
+  check tbool "dot" true (List.mem Lexer.DOT kinds)
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  match toks with
+  | [ (Lexer.ID "a", p1); (Lexer.ID "b", p2); (Lexer.EOF, _) ] ->
+    check tint "line 1" 1 p1.Ast.line;
+    check tint "line 2" 2 p2.Ast.line;
+    check tint "col 3" 3 p2.Ast.col
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_errors () =
+  List.iter
+    (fun src ->
+      match Lexer.tokenize src with
+      | exception Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.failf "expected lexical error for %S" src)
+    [ "\"unterminated"; "'x"; "@" ]
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 = 7, not 9 *)
+  expect_int "1 + 2 * 3" 7;
+  (* (1 + 2) * 3 *)
+  expect_int "(1 + 2) * 3" 9;
+  (* left associativity of subtraction *)
+  expect_int "10 - 3 - 2" 5;
+  (* relational vs boolean precedence: 1 < 2 && 3 < 2 is false *)
+  expect_output "do if 1 < 2 && 3 < 2 then io.print_int(1) else io.print_int(0) end end" "0";
+  (* unary minus *)
+  expect_int "-3 + 10" 7
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      match Parser.parse_program src with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" src)
+    [
+      "let f( = 1";
+      "do 1 +";
+      "do if true then 1 end";  (* missing 'end' for do *)
+      "module m";
+      "do x[1 end";
+      "let f(x Int): Int = x";
+    ]
+
+let test_parser_shapes () =
+  let p = Parser.parse_program "module m let f(x: Int): Int = x end let y = 3 do f(1) end" in
+  match p with
+  | [ Ast.Imodule ("m", [ Ast.Dfun _ ]); Ast.Idef (Ast.Dval _); Ast.Ido _ ] -> ()
+  | _ -> Alcotest.fail "unexpected program shape"
+
+(* ------------------------------------------------------------------ *)
+(* Type checker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let expect_type_error src =
+  match Typecheck.check_with_prelude ~prelude:(Stdlib_tl.program ()) (Parser.parse_program src) with
+  | exception Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.failf "expected type error for %S" src
+
+let test_type_errors () =
+  List.iter expect_type_error
+    [
+      "do undefined_variable end";
+      "do 1 + true end";
+      "do 1.5 + 1 end";
+      "let f(x: Int): Int = x do f(true) end";
+      "let f(x: Int): Int = x do f(1, 2) end";
+      "do if 1 then 2 else 3 end end";
+      "do if true then 1 else 'c' end end";
+      (* assignment to immutable *)
+      "do let x = 1; x := 2; x end";
+      (* Any reserved for the standard library *)
+      "let f(x: Any): Int = 1 do f(1) end";
+      (* prim without annotation in user code *)
+      "do prim \"+\" (1, 2) end";
+      (* tuple field out of range *)
+      "do let t = tuple(1, 2); io.print_int(t.3) end";
+      (* select target must be a tuple *)
+      "let r = relation(tuple(1)) do count(select 5 from x in r where true end) end";
+      (* calling a non-function *)
+      "do let x = 1; x(2) end";
+      (* comparing functions *)
+      "let f(x: Int): Int = x let g(x: Int): Int = x do if f == g then 1 else 2 end end";
+      (* wrong module member *)
+      "do io.print_everything(1) end";
+      (* raise payload must be a string *)
+      "do raise 42 end";
+    ]
+
+let test_type_accepts () =
+  (* constructs that must type-check *)
+  let srcs =
+    [
+      "do nil end";
+      "let f(g: Fun(Int): Int, x: Int): Int = g(x) do f(fn(y: Int): Int => y + 1, 1) end";
+      "do var x := 1; x := x + 1; io.print_int(x) end";
+      "do let a = array(3, 0.0); a[0] := 1.5; io.print_real(a[0]) end";
+      "do let t = tuple(1, 'c', true); io.print_char(t.2) end";
+      "let r = relation(tuple(1, 2)) do io.print_int(count(r)) end";
+    ]
+  in
+  List.iter
+    (fun src ->
+      ignore
+        (Typecheck.check_with_prelude ~prelude:(Stdlib_tl.program ())
+           (Parser.parse_program src)))
+    srcs
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prims_of_compiled (compiled : Lower.compiled) =
+  List.concat_map
+    (fun (d : Lower.compiled_def) ->
+      match d.Lower.c_tml with
+      | Term.Abs a -> Term.prims_used a.Term.body
+      | _ -> [])
+    compiled.Lower.c_defs
+  @
+  match compiled.Lower.c_main with
+  | Some (Term.Abs a) -> Term.prims_used a.Term.body
+  | _ -> []
+
+let test_lowering_modes () =
+  let src = "let f(a: Int, b: Int): Int = a + b do io.print_int(f(1, 2)) end" in
+  (* library mode: user code calls intlib, no '+' primitive in user defs *)
+  let lib = Link.compile src in
+  let f_lib = List.find (fun d -> d.Lower.c_name = "f") lib.Lower.c_defs in
+  (match f_lib.Lower.c_tml with
+  | Term.Abs a ->
+    check tbool "library mode has no + in user code" false
+      (List.mem "+" (Term.prims_used a.Term.body));
+    check tbool "library mode references intlib.add" true
+      (Ident.Set.exists
+         (fun id -> id.Ident.name = "intlib.add")
+         (Term.free_vars_value f_lib.Lower.c_tml))
+  | _ -> Alcotest.fail "expected abs");
+  (* direct mode: '+' emitted inline *)
+  let direct =
+    Link.compile ~options:{ Link.default_options with Link.mode = Lower.Direct } src
+  in
+  let f_dir = List.find (fun d -> d.Lower.c_name = "f") direct.Lower.c_defs in
+  match f_dir.Lower.c_tml with
+  | Term.Abs a -> check tbool "direct mode uses +" true (List.mem "+" (Term.prims_used a.Term.body))
+  | _ -> Alcotest.fail "expected abs"
+
+let test_lowering_queries () =
+  let src =
+    "let r = relation(tuple(1, 2)) do count(select tuple(x.2) from x in r where x.1 == 1 \
+     end) end"
+  in
+  let compiled = Link.compile src in
+  let prims = prims_of_compiled compiled in
+  List.iter
+    (fun p -> check tbool ("emits " ^ p) true (List.mem p prims))
+    [ "select"; "project"; "count"; "relation"; "tuple" ]
+
+let test_lowering_wellformed () =
+  (* every definition the front end produces is well-formed TML *)
+  let src =
+    {|
+module helpers
+  let twice(f: Fun(Int): Int, x: Int): Int = f(f(x))
+end
+let r = relation(tuple(1, 10), tuple(2, 20))
+let go(n: Int): Int =
+  var acc := 0;
+  for i = 1 upto n do
+    acc := acc + helpers.twice(fn(y: Int): Int => y + i, i)
+  end;
+  while acc > 100 do acc := acc - 7 end;
+  try
+    if exists x in r where x.1 == acc end then raise "found" else acc end
+  handle msg => 0 - 1 end
+do io.print_int(go(5)) end
+|}
+  in
+  let compiled = Link.compile src in
+  List.iter
+    (fun (d : Lower.compiled_def) ->
+      match Wf.check_value d.Lower.c_tml with
+      | Ok () -> ()
+      | Error es ->
+        Alcotest.failf "%s ill-formed: %s" d.Lower.c_name
+          (String.concat "; " (List.map (fun e -> e.Wf.message) es)))
+    compiled.Lower.c_defs
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end behaviour                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_constructs () =
+  expect_int "(fn(x: Int): Int => x * 2)(21)" 42;
+  expect_output "do io.print_str(\"a\"); io.print_str(\"b\") end" "ab";
+  expect_output "do for i = 3 downto 1 do io.print_int(i) end end" "321";
+  expect_output "do var i := 0; while i < 3 do io.print_int(i); i := i + 1 end end" "012";
+  expect_output "do if 2 > 1 then io.print_str(\"yes\") end end" "yes";
+  expect_int "ord('a') + 1" 98;
+  expect_output "do io.print_char(chr(66)) end" "B";
+  expect_int "trunc(real(7) / 2.0)" 3;
+  expect_output "do io.print_real(1.5 + 2.25) end" "3.75";
+  expect_int "intlib.max(3, 9)" 9;
+  expect_int "intlib.abs(0 - 5)" 5;
+  expect_output "do io.print_real(mathlib.sqrt(2.25)) end" "1.5"
+
+let test_strings_and_tuples () =
+  expect_output "do let t = tuple(1, \"mid\", 'z'); io.print_str(t.2) end" "mid";
+  expect_int "tuple(40, 2).1 + tuple(40, 2).2" 42;
+  (* '+' concatenates strings, in library and direct mode *)
+  expect_output "do io.print_str(\"ab\" + \"cd\") end" "abcd";
+  expect_output ~options:{ Link.default_options with Link.mode = Lower.Direct }
+    "do io.print_str(\"ab\" + \"cd\") end" "abcd";
+  expect_int "strlib.length(\"hello\" + \"!\")" 6;
+  expect_output "do io.print_char(strlib.charat(\"xyz\", 2)) end" "z";
+  expect_output "do io.print_str(strlib.sub(\"persistent\", 0, 7)) end" "persist";
+  expect_int "strlib.toint(strlib.fromint(123)) + 1" 124;
+  expect_int "try strlib.toint(\"oops\") handle m => 0 - 1 end" (-1);
+  expect_int "strlib.compare(\"abc\", \"abd\")" (-1);
+  expect_output "do if strlib.contains_char(\"query\", 'q') then io.print_str(\"y\") end end" "y"
+
+let test_relation_builtins () =
+  expect_int
+    "count(union(relation(tuple(1), tuple(2)), relation(tuple(2), tuple(3))))" 4;
+  expect_int
+    "count(distinct(union(relation(tuple(1), tuple(2)), relation(tuple(2), tuple(3)))))" 3;
+  expect_int "count(inter(relation(tuple(1), tuple(2)), relation(tuple(2))))" 1;
+  expect_int "count(diff(relation(tuple(1), tuple(2)), relation(tuple(2))))" 1;
+  (* behaviour is stable under dynamic optimization *)
+  let src =
+    "let a = relation(tuple(1), tuple(2), tuple(2))\n\
+     let b = relation(tuple(2), tuple(9))\n\
+     do io.print_int(count(distinct(union(a, b)))) end"
+  in
+  let program = Link.load src in
+  Tml_reflect.Reflect.optimize_all program.Link.ctx (Link.all_function_oids program);
+  match Link.run_main program ~engine:`Machine () with
+  | Eval.Done _, _ -> check tstring "distinct(union)" "3" (Link.output program)
+  | o, _ -> Alcotest.failf "relation builtins: %a" Eval.pp_outcome o
+
+let test_exceptions_e2e () =
+  expect_output
+    "let f(x: Int): Int = if x < 0 then raise \"neg\" else x end do io.print_int(try f(0 - \
+     1) handle m => 99 end) end"
+    "99";
+  (* uncaught exception surfaces as Raised *)
+  (match run "do raise \"kaboom\" end" with
+  | Eval.Raised (Value.Str "kaboom"), _ -> ()
+  | o, _ -> Alcotest.failf "expected Raised, got %a" Eval.pp_outcome o);
+  (* division by zero is catchable *)
+  expect_output "do io.print_int(try 1 / 0 handle m => 0 - 7 end) end" "-7";
+  (* handler sees the message *)
+  expect_output "do io.print_str(try raise \"msg\" handle m => m end) end" "msg"
+
+let test_mutual_recursion_e2e () =
+  expect_output
+    {|
+let even(n: Int): Bool = if n == 0 then true else odd(n - 1) end
+let odd(n: Int): Bool = if n == 0 then false else even(n - 1) end
+do
+  if even(10) then io.print_str("even") else io.print_str("odd") end
+end
+|}
+    "even"
+
+let test_value_defs_link_time () =
+  expect_output
+    {|
+let table = array(4, 0)
+let limit = 2 * 5
+do
+  table[1] := limit;
+  io.print_int(table[1] + size(table))
+end
+|}
+    "14"
+
+let test_higher_order_e2e () =
+  expect_output
+    {|
+let compose(f: Fun(Int): Int, g: Fun(Int): Int, x: Int): Int = f(g(x))
+let inc(x: Int): Int = x + 1
+do
+  io.print_int(compose(inc, fn(y: Int): Int => y * 10, 4))
+end
+|}
+    "41"
+
+let test_engines_agree_e2e () =
+  let src =
+    {|
+let fib(n: Int): Int = if n < 2 then n else fib(n - 1) + fib(n - 2) end
+do io.print_int(fib(12)) end
+|}
+  in
+  let o1, out1 = run ~engine:`Machine src in
+  let o2, out2 = run ~engine:`Tree src in
+  check tbool "both done" true
+    (match o1, o2 with
+    | Eval.Done _, Eval.Done _ -> true
+    | _ -> false);
+  check tstring "same output" out1 out2;
+  check tstring "fib 12" "144" out1
+
+let test_static_opt_preserves () =
+  let src =
+    {|
+let f(a: Int): Int =
+  let b = a * 2;
+  let c = b + 3;
+  c * c
+do io.print_int(f(5)) end
+|}
+  in
+  let expected = "169" in
+  expect_output src expected;
+  expect_output ~options:{ Link.default_options with Link.static_opt = Some Optimizer.o2 } src
+    expected;
+  expect_output ~options:{ Link.default_options with Link.mode = Lower.Direct } src expected
+
+let test_shadowing () =
+  (* inner let shadows outer *)
+  expect_int "(fn(x: Int): Int => let x = x + 1; x * 2)(10)" 22;
+  (* a user definition shadows a builtin name *)
+  expect_output
+    "let count(n: Int): Int = n + 1 do io.print_int(count(5)) end"
+    "6"
+
+let test_triggers_e2e () =
+  (* a stored trigger written in TL maintains a running total *)
+  expect_output
+    {|
+let accounts = relation(tuple(1, 100))
+let total = array(1, 100)
+
+let on_deposit(a: Tuple(Int, Int)): Unit =
+  total[0] := total[0] + a.2
+
+do
+  ontrigger(accounts, on_deposit);
+  insert(accounts, tuple(2, 250));
+  insert(accounts, tuple(3, 50));
+  io.print_int(total[0]);
+  io.print_str(" ");
+  io.print_int(count(accounts))
+end
+|}
+    "400 3";
+  (* a trigger that vetoes by raising: catchable at the insert site *)
+  expect_output
+    {|
+let accounts = relation(tuple(1, 100))
+let no_negative(a: Tuple(Int, Int)): Unit =
+  if a.2 < 0 then raise "negative deposit" end
+do
+  ontrigger(accounts, no_negative);
+  let note = try insert(accounts, tuple(2, -5)); "accepted" handle m => m end;
+  io.print_str(note)
+end
+|}
+    "negative deposit";
+  (* triggers survive dynamic optimization *)
+  let src =
+    {|
+let accounts = relation(tuple(1, 100))
+let total = array(1, 100)
+let on_deposit(a: Tuple(Int, Int)): Unit = total[0] := total[0] + a.2
+do
+  ontrigger(accounts, on_deposit);
+  insert(accounts, tuple(2, 11));
+  io.print_int(total[0])
+end
+|}
+  in
+  let program = Link.load src in
+  Tml_reflect.Reflect.optimize_all program.Link.ctx (Link.all_function_oids program);
+  match Link.run_main program ~engine:`Machine () with
+  | Eval.Done _, _ -> check tstring "trigger under dynamic opt" "111" (Link.output program)
+  | o, _ -> Alcotest.failf "trigger e2e: %a" Eval.pp_outcome o
+
+let test_run_function_api () =
+  let program = Link.load "let double(x: Int): Int = x * 2 do nil end" in
+  match Link.run_function program "double" [ Value.Int 21 ] ~engine:`Machine with
+  | Eval.Done (Value.Int 42), _ -> ()
+  | o, _ -> Alcotest.failf "run_function failed: %a" Eval.pp_outcome o
+
+let () =
+  Runtime.install ();
+  Alcotest.run "tml_frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "program shapes" `Quick test_parser_shapes;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "rejects" `Quick test_type_errors;
+          Alcotest.test_case "accepts" `Quick test_type_accepts;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "library vs direct mode" `Quick test_lowering_modes;
+          Alcotest.test_case "queries" `Quick test_lowering_queries;
+          Alcotest.test_case "always well-formed" `Quick test_lowering_wellformed;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "constructs" `Quick test_constructs;
+          Alcotest.test_case "strings and tuples" `Quick test_strings_and_tuples;
+          Alcotest.test_case "relation builtins" `Quick test_relation_builtins;
+          Alcotest.test_case "exceptions" `Quick test_exceptions_e2e;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion_e2e;
+          Alcotest.test_case "value definitions at link time" `Quick test_value_defs_link_time;
+          Alcotest.test_case "higher order" `Quick test_higher_order_e2e;
+          Alcotest.test_case "engines agree" `Quick test_engines_agree_e2e;
+          Alcotest.test_case "optimization preserves behaviour" `Quick
+            test_static_opt_preserves;
+          Alcotest.test_case "shadowing" `Quick test_shadowing;
+          Alcotest.test_case "triggers" `Quick test_triggers_e2e;
+          Alcotest.test_case "run_function" `Quick test_run_function_api;
+        ] );
+    ]

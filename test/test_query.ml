@@ -1,0 +1,597 @@
+(* Tests for the query substrate: relations, query primitives, and the
+   algebraic / runtime rewrite rules of section 4.2. *)
+
+open Tml_core
+open Tml_vm
+open Tml_query
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let fresh_ctx () =
+  Qprims.install ();
+  Runtime.create (Value.Heap.create ())
+
+let employee_rows =
+  [
+    [| Value.Int 1; Value.Int 23; Value.Int 4100 |];
+    [| Value.Int 2; Value.Int 38; Value.Int 6500 |];
+    [| Value.Int 3; Value.Int 38; Value.Int 5200 |];
+    [| Value.Int 4; Value.Int 55; Value.Int 8000 |];
+    [| Value.Int 5; Value.Int 29; Value.Int 4600 |];
+  ]
+
+let with_employees f =
+  let ctx = fresh_ctx () in
+  let rel = Rel.create ctx ~name:"employees" employee_rows in
+  f ctx rel
+
+(* Run a TML application whose free identifiers are bound by [bindings]. *)
+let run_tml ctx bindings src =
+  let a = Sexp.parse_app src in
+  let frees = Ident.Set.elements (Term.free_vars_app a) in
+  let env =
+    List.fold_left
+      (fun env id ->
+        match List.assoc_opt id.Ident.name bindings with
+        | Some v -> Ident.Map.add id v env
+        | None -> env)
+      Ident.Map.empty frees
+  in
+  let env =
+    List.fold_left
+      (fun env id ->
+        match id.Ident.name with
+        | "halt_ok" -> Ident.Map.add id (Value.Halt true) env
+        | "halt_err" -> Ident.Map.add id (Value.Halt false) env
+        | _ -> env)
+      env frees
+  in
+  Eval.run_app ctx ~env a
+
+(* ------------------------------------------------------------------ *)
+(* Rel                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rel_basics () =
+  with_employees (fun ctx rel ->
+      check tint "five rows" 5 (Array.length (Rel.rows ctx rel));
+      let row0 = (Rel.rows ctx rel).(0) in
+      let fields = Rel.row_tuple ctx row0 in
+      check tbool "field access" true (Value.identical fields.(2) (Value.Int 4100));
+      Rel.insert ctx rel [| Value.Int 6; Value.Int 41; Value.Int 7000 |];
+      check tint "after insert" 6 (Array.length (Rel.rows ctx rel)))
+
+let test_rel_index () =
+  with_employees (fun ctx rel ->
+      check tbool "no index yet" true (Rel.find_index ctx rel 1 = None);
+      Rel.add_index ctx rel 1;
+      (match Rel.lookup ctx rel ~field:1 (Literal.Int 38) with
+      | Some positions -> check tint "two aged 38" 2 (List.length positions)
+      | None -> Alcotest.fail "index missing");
+      (* inserts maintain the index *)
+      Rel.insert ctx rel [| Value.Int 6; Value.Int 38; Value.Int 100 |];
+      match Rel.lookup ctx rel ~field:1 (Literal.Int 38) with
+      | Some positions -> check tint "three after insert" 3 (List.length positions)
+      | None -> Alcotest.fail "index missing after insert")
+
+(* ------------------------------------------------------------------ *)
+(* Query primitives (through the evaluator)                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_prim_select_count () =
+  with_employees (fun ctx rel ->
+      let outcome =
+        run_tml ctx
+          [ "r", Value.Oidv rel ]
+          "(select proc(x pce! pcc!) ([] x 1 cont(age) (>= age 38 cont() (pcc! true) cont() \
+           (pcc! false))) r halt_err! cont(out) (count out cont(n) (halt_ok! n)))"
+      in
+      match outcome with
+      | Eval.Done (Value.Int n) -> check tint "three at least 38" 3 n
+      | o -> Alcotest.failf "unexpected: %a" Eval.pp_outcome o)
+
+let test_prim_select_preserves_identity () =
+  with_employees (fun ctx rel ->
+      let outcome =
+        run_tml ctx
+          [ "r", Value.Oidv rel ]
+          "(select proc(x pce! pcc!) (pcc! true) r halt_err! cont(out) ([] out 0 cont(row) \
+           (halt_ok! row)))"
+      in
+      ignore outcome;
+      (* row identity: the selected relation contains the same tuple oids *)
+      let orig_first = (Rel.rows ctx rel).(0) in
+      match outcome with
+      | Eval.Done v -> check tbool "same row oid" true (Value.identical v orig_first)
+      | o -> Alcotest.failf "unexpected: %a" Eval.pp_outcome o)
+
+let test_prim_project () =
+  with_employees (fun ctx rel ->
+      let outcome =
+        run_tml ctx
+          [ "r", Value.Oidv rel ]
+          "(project proc(x pce! pcc!) ([] x 2 cont(sal) (tuple sal cont(t) (pcc! t))) r \
+           halt_err! cont(out) ([] out 3 cont(row) ([] row 0 cont(s) (halt_ok! s))))"
+      in
+      match outcome with
+      | Eval.Done (Value.Int 8000) -> ()
+      | o -> Alcotest.failf "unexpected: %a" Eval.pp_outcome o)
+
+let test_prim_join () =
+  let ctx = fresh_ctx () in
+  let r1 = Rel.create ctx ~name:"a" [ [| Value.Int 1 |]; [| Value.Int 2 |] ] in
+  let r2 = Rel.create ctx ~name:"b" [ [| Value.Int 2 |]; [| Value.Int 3 |] ] in
+  let outcome =
+    run_tml ctx
+      [ "r1", Value.Oidv r1; "r2", Value.Oidv r2 ]
+      "(join proc(x y pce! pcc!) ([] x 0 cont(a) ([] y 0 cont(b) (== a b cont() (pcc! true) \
+       cont() (pcc! false)))) r1 r2 halt_err! cont(out) (count out cont(n) (halt_ok! n)))"
+  in
+  match outcome with
+  | Eval.Done (Value.Int 1) -> ()
+  | o -> Alcotest.failf "join: %a" Eval.pp_outcome o
+
+let test_prim_exists_empty_sum () =
+  with_employees (fun ctx rel ->
+      (match
+         run_tml ctx
+           [ "r", Value.Oidv rel ]
+           "(exists proc(x pce! pcc!) ([] x 1 cont(a) (> a 50 cont() (pcc! true) cont() \
+            (pcc! false))) r halt_err! cont(b) (halt_ok! b))"
+       with
+      | Eval.Done (Value.Bool true) -> ()
+      | o -> Alcotest.failf "exists: %a" Eval.pp_outcome o);
+      (match
+         run_tml ctx [ "r", Value.Oidv rel ] "(empty r cont(b) (halt_ok! b))"
+       with
+      | Eval.Done (Value.Bool false) -> ()
+      | o -> Alcotest.failf "empty: %a" Eval.pp_outcome o);
+      match
+        run_tml ctx
+          [ "r", Value.Oidv rel ]
+          "(sum proc(x pce! pcc!) ([] x 2 pcc!) r halt_err! cont(s) (halt_ok! s))"
+      with
+      | Eval.Done (Value.Int 28400) -> ()
+      | o -> Alcotest.failf "sum: %a" Eval.pp_outcome o)
+
+let test_prim_exceptions_propagate () =
+  with_employees (fun ctx rel ->
+      match
+        run_tml ctx
+          [ "r", Value.Oidv rel ]
+          "(select proc(x pce! pcc!) (pce! \"pred failed\") r halt_err! cont(out) (halt_ok! \
+           out))"
+      with
+      | Eval.Raised (Value.Str "pred failed") -> ()
+      | o -> Alcotest.failf "expected Raised, got %a" Eval.pp_outcome o)
+
+let test_prim_indexselect () =
+  with_employees (fun ctx rel ->
+      Rel.add_index ctx rel 1;
+      (match
+         run_tml ctx
+           [ "r", Value.Oidv rel ]
+           "(indexselect r 1 38 halt_err! cont(out) (count out cont(n) (halt_ok! n)))"
+       with
+      | Eval.Done (Value.Int 2) -> ()
+      | o -> Alcotest.failf "indexselect: %a" Eval.pp_outcome o);
+      (* without an index it degrades to a scan with identical results *)
+      match
+        run_tml ctx
+          [ "r", Value.Oidv rel ]
+          "(indexselect r 2 8000 halt_err! cont(out) (count out cont(n) (halt_ok! n)))"
+      with
+      | Eval.Done (Value.Int 1) -> ()
+      | o -> Alcotest.failf "indexselect scan: %a" Eval.pp_outcome o)
+
+let test_prim_set_ops () =
+  let ctx = fresh_ctx () in
+  let r1 =
+    Rel.create ctx ~name:"a" [ [| Value.Int 1 |]; [| Value.Int 2 |]; [| Value.Int 2 |] ]
+  in
+  let r2 = Rel.create ctx ~name:"b" [ [| Value.Int 2 |]; [| Value.Int 3 |] ] in
+  let bindings = [ "r1", Value.Oidv r1; "r2", Value.Oidv r2 ] in
+  let count_of src =
+    match run_tml ctx bindings src with
+    | Eval.Done (Value.Int n) -> n
+    | o -> Alcotest.failf "%s: %a" src Eval.pp_outcome o
+  in
+  check tint "union is multiset" 5 (count_of "(union r1 r2 cont(u) (count u cont(n) (halt_ok! n)))");
+  check tint "inter by content" 2
+    (count_of "(inter r1 r2 cont(u) (count u cont(n) (halt_ok! n)))");
+  check tint "diff by content" 1
+    (count_of "(diff r1 r2 cont(u) (count u cont(n) (halt_ok! n)))");
+  check tint "distinct" 2 (count_of "(distinct r1 cont(u) (count u cont(n) (halt_ok! n)))")
+
+let test_triggers () =
+  let ctx = fresh_ctx () in
+  let log = Rel.create ctx ~name:"audit" [] in
+  let data = Rel.create ctx ~name:"data" [] in
+  (* the trigger copies every inserted tuple's first field into the audit
+     relation, doubled *)
+  let trigger_src =
+    Printf.sprintf
+      "proc(row tce! tcc!) ([] row 0 cont(v) (+ v v tce! cont(d) (tuple d cont(t) (insert \
+       <oid %d> t tce! tcc!))))"
+      (Oid.to_int log)
+  in
+  let trigger = Sexp.parse_value trigger_src in
+  let heap = ctx.Runtime.heap in
+  let trigger_oid = Value.Heap.alloc_func heap ~name:"audit_trigger" trigger in
+  let bindings = [ "r", Value.Oidv data ] in
+  (match
+     run_tml ctx bindings
+       (Printf.sprintf "(ontrigger r <oid %d> cont(u) (halt_ok! u))" (Oid.to_int trigger_oid))
+   with
+  | Eval.Done Value.Unit -> ()
+  | o -> Alcotest.failf "ontrigger: %a" Eval.pp_outcome o);
+  (match
+     run_tml ctx bindings
+       "(tuple 21 cont(t) (insert r t halt_err! cont(u) (halt_ok! u)))"
+   with
+  | Eval.Done Value.Unit -> ()
+  | o -> Alcotest.failf "insert with trigger: %a" Eval.pp_outcome o);
+  check tint "row inserted" 1 (Array.length (Rel.rows ctx data));
+  check tint "trigger fired into audit" 1 (Array.length (Rel.rows ctx log));
+  let audit_row = Rel.row_tuple ctx (Rel.rows ctx log).(0) in
+  check tbool "trigger saw the tuple" true (Value.identical audit_row.(0) (Value.Int 42));
+  (* a raising trigger propagates through the exception continuation; the
+     row stays inserted (triggers run after the update) *)
+  let bad = Sexp.parse_value "proc(row tce! tcc!) (tce! \"trigger says no\")" in
+  let bad_oid = Value.Heap.alloc_func heap ~name:"bad_trigger" bad in
+  (match
+     run_tml ctx bindings
+       (Printf.sprintf "(ontrigger r <oid %d> cont(u) (halt_ok! u))" (Oid.to_int bad_oid))
+   with
+  | Eval.Done Value.Unit -> ()
+  | o -> Alcotest.failf "ontrigger 2: %a" Eval.pp_outcome o);
+  (match
+     run_tml ctx bindings
+       "(tuple 5 cont(t) (insert r t halt_err! cont(u) (halt_ok! u)))"
+   with
+  | Eval.Raised (Value.Str "trigger says no") -> ()
+  | o -> Alcotest.failf "raising trigger: %a" Eval.pp_outcome o);
+  check tint "row still inserted" 2 (Array.length (Rel.rows ctx data))
+
+let test_prim_aggregates () =
+  with_employees (fun ctx rel ->
+      let salary = "proc(x ace! acc!) ([] x 2 acc!)" in
+      (match
+         run_tml ctx
+           [ "r", Value.Oidv rel ]
+           (Printf.sprintf "(minagg %s r halt_err! cont(m) (halt_ok! m))" salary)
+       with
+      | Eval.Done (Value.Int 4100) -> ()
+      | o -> Alcotest.failf "minagg: %a" Eval.pp_outcome o);
+      (match
+         run_tml ctx
+           [ "r", Value.Oidv rel ]
+           (Printf.sprintf "(maxagg %s r halt_err! cont(m) (halt_ok! m))" salary)
+       with
+      | Eval.Done (Value.Int 8000) -> ()
+      | o -> Alcotest.failf "maxagg: %a" Eval.pp_outcome o);
+      (* empty relation raises *)
+      let empty_rel = Rel.create ctx ~name:"none" [] in
+      match
+        run_tml ctx
+          [ "r", Value.Oidv empty_rel ]
+          (Printf.sprintf "(minagg %s r halt_err! cont(m) (halt_ok! m))" salary)
+      with
+      | Eval.Raised _ -> ()
+      | o -> Alcotest.failf "minagg on empty: %a" Eval.pp_outcome o)
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic rewrite rules                                              *)
+(* ------------------------------------------------------------------ *)
+
+let count_prim name a =
+  let n = ref 0 in
+  Term.iter_apps
+    (fun node ->
+      match node.Term.func with
+      | Term.Prim p when p = name -> incr n
+      | _ -> ())
+    a;
+  !n
+
+let field_pred ~field ~value =
+  Printf.sprintf
+    "proc(x pce%d! pcc%d!) ([] x %d cont(t%d) (== t%d %d cont() (pcc%d! true) cont() (pcc%d! \
+     false)))"
+    field field field field field value field field
+
+let test_merge_select_applies () =
+  let src =
+    Printf.sprintf
+      "(select %s r ce! cont(tmp) (select %s tmp ce! k!))"
+      (field_pred ~field:0 ~value:1)
+      (field_pred ~field:1 ~value:2)
+  in
+  let a = Sexp.parse_app src in
+  check tint "two selects before" 2 (count_prim "select" a);
+  let a' = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+  check tint "one select after" 1 (count_prim "select" a')
+
+let test_merge_select_preconditions () =
+  (* different exception continuations block the merge *)
+  let src =
+    Printf.sprintf "(select %s r ce1! cont(tmp) (select %s tmp ce2! k!))"
+      (field_pred ~field:0 ~value:1)
+      (field_pred ~field:1 ~value:2)
+  in
+  let a = Sexp.parse_app src in
+  let a' = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+  check tint "merge blocked by differing ce" 2 (count_prim "select" a');
+  (* intermediate relation used twice blocks the merge *)
+  let src2 =
+    Printf.sprintf "(select %s r ce! cont(tmp) (select %s tmp ce! cont(out) (join jp tmp out \
+     ce! k!)))"
+      (field_pred ~field:0 ~value:1)
+      (field_pred ~field:1 ~value:2)
+  in
+  let a2 = Sexp.parse_app src2 in
+  let a2' = Rewrite.reduce_app ~rules:Qopt.static_rules a2 in
+  check tint "merge blocked by shared intermediate" 2 (count_prim "select" a2')
+
+let test_merge_select_semantics () =
+  (* chained and merged runs produce the same rows *)
+  with_employees (fun ctx rel ->
+      let chained_src =
+        Printf.sprintf
+          "(select %s r halt_err! cont(tmp) (select %s tmp halt_err! cont(out) (sum \
+           proc(x spce! spcc!) ([] x 0 spcc!) out halt_err! cont(s) (halt_ok! s))))"
+          (field_pred ~field:1 ~value:38)
+          (field_pred ~field:2 ~value:5200)
+      in
+      let a = Sexp.parse_app chained_src in
+      let merged = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+      let run term =
+        let frees = Ident.Set.elements (Term.free_vars_app term) in
+        let env =
+          List.fold_left
+            (fun env id ->
+              let v =
+                match id.Ident.name with
+                | "r" -> Some (Value.Oidv rel)
+                | "halt_ok" -> Some (Value.Halt true)
+                | "halt_err" -> Some (Value.Halt false)
+                | _ -> None
+              in
+              match v with
+              | Some v -> Ident.Map.add id v env
+              | None -> env)
+            Ident.Map.empty frees
+        in
+        Eval.run_app ctx ~env term
+      in
+      match run a, run merged with
+      | Eval.Done v1, Eval.Done v2 ->
+        check tbool "same aggregate" true (Value.identical v1 v2);
+        check tbool "expected id sum" true (Value.identical v1 (Value.Int 3))
+      | o1, o2 ->
+        Alcotest.failf "chained %a, merged %a" Eval.pp_outcome o1 Eval.pp_outcome o2)
+
+let test_merge_project () =
+  let proj body_field =
+    Printf.sprintf
+      "proc(x qce%d! qcc%d!) ([] x %d cont(v%d) (tuple v%d cont(t%d) (qcc%d! t%d)))"
+      body_field body_field body_field body_field body_field body_field body_field body_field
+  in
+  let src =
+    Printf.sprintf "(project %s r ce! cont(tmp) (project %s tmp ce! k!))" (proj 1) (proj 0)
+  in
+  let a = Sexp.parse_app src in
+  let a' = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+  check tint "projects fused" 1 (count_prim "project" a')
+
+let test_constant_select () =
+  let a = Sexp.parse_app "(select proc(x pce! pcc!) (pcc! true) r ce! k!)" in
+  let a' = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+  check tint "σtrue eliminated" 0 (count_prim "select" a');
+  check tbool "relation passed through" true
+    (Term.alpha_equal_by_name_app a' (Sexp.parse_app "(k! r)"));
+  let a2 = Sexp.parse_app "(select proc(x pce! pcc!) (pcc! false) r ce! k!)" in
+  let a2' = Rewrite.reduce_app ~rules:Qopt.static_rules a2 in
+  check tbool "σfalse becomes empty relation" true
+    (Term.alpha_equal_by_name_app a2' (Sexp.parse_app "(relation k!)"))
+
+let test_trivial_exists () =
+  (* x unused and pure predicate: rewrite applies *)
+  let a =
+    Sexp.parse_app
+      "(exists proc(x pce! pcc!) (> y 0 cont() (pcc! true) cont() (pcc! false)) r ce! k!)"
+  in
+  let a' = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+  check tint "exists eliminated" 0 (count_prim "exists" a');
+  check tint "empty introduced" 1 (count_prim "empty" a');
+  (* x used: precondition |p|_x = 0 fails *)
+  let a2 =
+    Sexp.parse_app
+      "(exists proc(x pce! pcc!) ([] x 0 cont(t) (> t 0 cont() (pcc! true) cont() (pcc! \
+       false))) r ce! k!)"
+  in
+  let a2' = Rewrite.reduce_app ~rules:Qopt.static_rules a2 in
+  check tint "exists kept when x occurs" 1 (count_prim "exists" a2');
+  (* impure predicate (unknown call): purity guard blocks *)
+  let a3 =
+    Sexp.parse_app
+      "(exists proc(x pce! pcc!) (somefn 1 pce! cont(t) (pcc! t)) r ce! k!)"
+  in
+  let a3' = Rewrite.reduce_app ~rules:Qopt.static_rules a3 in
+  check tint "exists kept for impure predicate" 1 (count_prim "exists" a3')
+
+let test_trivial_exists_semantics () =
+  with_employees (fun ctx rel ->
+      let src =
+        "(exists proc(x pce! pcc!) (> y 0 cont() (pcc! true) cont() (pcc! false)) r \
+         halt_err! cont(b) (halt_ok! b))"
+      in
+      let a = Sexp.parse_app src in
+      let rewritten = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+      let run term y =
+        let frees = Ident.Set.elements (Term.free_vars_app term) in
+        let env =
+          List.fold_left
+            (fun env id ->
+              let v =
+                match id.Ident.name with
+                | "r" -> Some (Value.Oidv rel)
+                | "y" -> Some (Value.Int y)
+                | "halt_ok" -> Some (Value.Halt true)
+                | "halt_err" -> Some (Value.Halt false)
+                | _ -> None
+              in
+              match v with
+              | Some v -> Ident.Map.add id v env
+              | None -> env)
+            Ident.Map.empty frees
+        in
+        Eval.run_app ctx ~env term
+      in
+      List.iter
+        (fun y ->
+          match run a y, run rewritten y with
+          | Eval.Done v1, Eval.Done v2 ->
+            check tbool (Printf.sprintf "same result for y=%d" y) true (Value.identical v1 v2)
+          | o1, o2 ->
+            Alcotest.failf "original %a, rewritten %a" Eval.pp_outcome o1 Eval.pp_outcome o2)
+        [ -1; 1 ])
+
+let test_select_union_rule () =
+  let src =
+    Printf.sprintf "(union r1 r2 cont(t) (select %s t ce! k!))"
+      (field_pred ~field:0 ~value:1)
+  in
+  let a = Sexp.parse_app src in
+  let a' = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+  check tint "selection distributed over union" 2 (count_prim "select" a');
+  (* behaviour preserved *)
+  let ctx = fresh_ctx () in
+  let r1 = Rel.create ctx ~name:"a" [ [| Value.Int 1 |]; [| Value.Int 2 |] ] in
+  let r2 = Rel.create ctx ~name:"b" [ [| Value.Int 1 |]; [| Value.Int 3 |] ] in
+  let wrap term =
+    let frees = Ident.Set.elements (Term.free_vars_app term) in
+    let env =
+      List.fold_left
+        (fun env id ->
+          let v =
+            match id.Ident.name with
+            | "r1" -> Some (Value.Oidv r1)
+            | "r2" -> Some (Value.Oidv r2)
+            | "k" -> Some (Value.Halt true)
+            | "ce" -> Some (Value.Halt false)
+            | _ -> None
+          in
+          match v with
+          | Some v -> Ident.Map.add id v env
+          | None -> env)
+        Ident.Map.empty frees
+    in
+    match Eval.run_app ctx ~env term with
+    | Eval.Done (Value.Oidv rel) -> Array.length (Rel.rows ctx rel)
+    | o -> Alcotest.failf "select-union run: %a" Eval.pp_outcome o
+  in
+  check tint "same cardinality" (wrap a) (wrap a')
+
+let test_distinct_rules () =
+  (* δ∘δ collapses *)
+  let a = Sexp.parse_app "(distinct r cont(t) (distinct t k!))" in
+  let a' = Rewrite.reduce_app ~rules:Qopt.static_rules a in
+  check tint "idempotent distinct" 1 (count_prim "distinct" a');
+  (* δ(σp(R)): select first for row-local predicates *)
+  let src =
+    Printf.sprintf "(distinct r cont(t) (select %s t ce! k!))" (field_pred ~field:0 ~value:1)
+  in
+  let b = Sexp.parse_app src in
+  let b' = Rewrite.reduce_app ~rules:Qopt.static_rules b in
+  (match b'.Term.func with
+  | Term.Prim "select" -> ()
+  | _ -> Alcotest.fail "select should come first after the rewrite");
+  (* an identity-observing predicate blocks the swap: x escapes into a
+     continuation argument position other than a field read *)
+  let c =
+    Sexp.parse_app
+      "(distinct r cont(t) (select proc(x pce! pcc!) (== x probe cont() (pcc! true) cont() \
+       (pcc! false)) t ce! k!))"
+  in
+  let c' = Rewrite.reduce_app ~rules:Qopt.static_rules c in
+  match c'.Term.func with
+  | Term.Prim "distinct" -> ()
+  | _ -> Alcotest.fail "identity-observing predicate must block the swap"
+
+(* ------------------------------------------------------------------ *)
+(* Runtime (store-dependent) rules                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_field_eq_recognition () =
+  let pred = Sexp.parse_value (field_pred ~field:1 ~value:38) in
+  (match Qrewrite.field_eq_predicate pred with
+  | Some (1, Literal.Int 38) -> ()
+  | _ -> Alcotest.fail "field-equality predicate not recognized");
+  (* a > predicate is not an equality *)
+  let pred2 =
+    Sexp.parse_value
+      "proc(x pce! pcc!) ([] x 1 cont(t) (> t 38 cont() (pcc! true) cont() (pcc! false)))"
+  in
+  check tbool "non-equality rejected" true (Qrewrite.field_eq_predicate pred2 = None)
+
+let test_index_select_runtime () =
+  with_employees (fun ctx rel ->
+      let src =
+        Printf.sprintf "(select %s <oid %d> ce! k!)" (field_pred ~field:1 ~value:38)
+          (Oid.to_int rel)
+      in
+      let a = Sexp.parse_app src in
+      (* without an index: no rewrite *)
+      let a_no = Rewrite.reduce_app ~rules:(Qopt.runtime_rules ctx) a in
+      check tint "no index, no rewrite" 1 (count_prim "select" a_no);
+      (* with the index: select becomes indexselect *)
+      Rel.add_index ctx rel 1;
+      let a_yes = Rewrite.reduce_app ~rules:(Qopt.runtime_rules ctx) a in
+      check tint "indexselect introduced" 1 (count_prim "indexselect" a_yes);
+      check tint "select eliminated" 0 (count_prim "select" a_yes))
+
+let () =
+  Alcotest.run "tml_query"
+    [
+      ( "rel",
+        [
+          Alcotest.test_case "basics" `Quick test_rel_basics;
+          Alcotest.test_case "indexes" `Quick test_rel_index;
+        ] );
+      ( "prims",
+        [
+          Alcotest.test_case "select and count" `Quick test_prim_select_count;
+          Alcotest.test_case "row identity preserved" `Quick test_prim_select_preserves_identity;
+          Alcotest.test_case "project" `Quick test_prim_project;
+          Alcotest.test_case "join" `Quick test_prim_join;
+          Alcotest.test_case "exists, empty, sum" `Quick test_prim_exists_empty_sum;
+          Alcotest.test_case "predicate exceptions propagate" `Quick
+            test_prim_exceptions_propagate;
+          Alcotest.test_case "indexselect" `Quick test_prim_indexselect;
+          Alcotest.test_case "union, inter, diff, distinct" `Quick test_prim_set_ops;
+          Alcotest.test_case "aggregates" `Quick test_prim_aggregates;
+          Alcotest.test_case "triggers" `Quick test_triggers;
+        ] );
+      ( "rewrites",
+        [
+          Alcotest.test_case "merge-select applies" `Quick test_merge_select_applies;
+          Alcotest.test_case "merge-select preconditions" `Quick
+            test_merge_select_preconditions;
+          Alcotest.test_case "merge-select semantics" `Quick test_merge_select_semantics;
+          Alcotest.test_case "merge-project" `Quick test_merge_project;
+          Alcotest.test_case "constant selections" `Quick test_constant_select;
+          Alcotest.test_case "trivial-exists" `Quick test_trivial_exists;
+          Alcotest.test_case "trivial-exists semantics" `Quick test_trivial_exists_semantics;
+          Alcotest.test_case "select over union" `Quick test_select_union_rule;
+          Alcotest.test_case "distinct rules" `Quick test_distinct_rules;
+        ] );
+      ( "runtime-rules",
+        [
+          Alcotest.test_case "field equality recognition" `Quick test_field_eq_recognition;
+          Alcotest.test_case "index-select needs the runtime binding" `Quick
+            test_index_select_runtime;
+        ] );
+    ]

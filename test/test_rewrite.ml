@@ -1,0 +1,338 @@
+(* Unit tests for the core TML rewrite rules (section 3) and the reduction
+   pass. *)
+
+open Tml_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let parse = Sexp.parse_app
+let parse_v = Sexp.parse_value
+
+let reduce ?rules a = Rewrite.reduce_app ?rules a
+
+(* assert that [a] reduces to something α-equal to [b] *)
+let reduces_to ?rules msg a b =
+  let a' = reduce ?rules (parse a) in
+  let b' = parse b in
+  if not (Term.alpha_equal_by_name_app a' b') then
+    Alcotest.failf "%s:@.%s@.reduced to@.%s@.expected@.%s" msg a (Sexp.print_app a')
+      (Sexp.print_app b')
+
+(* ------------------------------------------------------------------ *)
+(* subst / remove / reduce (β)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_beta_subst_trivial () =
+  (* trivial values substitute even with multiple uses *)
+  reduces_to "literal into two uses" "(cont(x) (k! x x) 5)" "(k! 5 5)";
+  reduces_to "variable copy propagation" "(cont(x) (k! x) y)" "(k! y)";
+  reduces_to "primitive as value" "(cont(f) (k! f) +)" "(k! +)"
+
+let test_beta_single_use_abs () =
+  (* an abstraction bound to a variable referenced exactly once is moved *)
+  reduces_to "single-use abstraction inlined"
+    "(cont(f!) (f! 1) cont(x) (k! x))" "(k! 1)"
+
+let test_beta_multi_use_abs_blocked () =
+  let a =
+    parse "(cont(f) (f 1 ce! cont(t) (f t ce! cc!)) proc(x ce2! cc2!) (cc2! x))"
+  in
+  let stats = Rewrite.fresh_stats () in
+  let a' = Rewrite.reduce_app ~stats a in
+  (* the subst precondition blocks inlining a multi-use abstraction: the
+     binding must survive *)
+  check tbool "binding survives" true
+    (match a'.Term.func with
+    | Term.Abs _ -> true
+    | _ -> false);
+  check tint "no abstraction substitution" 0 stats.Rewrite.subst
+
+let test_beta_remove_unused () =
+  reduces_to "unused parameter struck out" "(cont(x y) (k! y) 5 6)" "(k! 6)";
+  (* dropping an abstraction argument is sound: values cannot contain
+     side-effecting calls *)
+  reduces_to "unused abstraction dropped"
+    "(cont(f g) (g! f) proc(x ce! cc!) (cc! x) 7)"
+    "(g! proc(x ce! cc!) (cc! x))"
+
+let test_beta_reduce_empty () =
+  reduces_to "nullary application" "(cont() (k! 1))" "(k! 1)"
+
+(* ------------------------------------------------------------------ *)
+(* fold                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fold_arith () =
+  reduces_to "addition folds" "(+ 1 2 ce! cc!)" "(cc! 3)";
+  reduces_to "nested folds cascade" "(+ 1 2 ce! cont(t) (* t t ce! cc!))" "(cc! 9)";
+  reduces_to "division by zero folds to the exception continuation"
+    "(/ 1 0 ce! cc!)" "(ce! \"division by zero\")";
+  reduces_to "modulo" "(% 7 3 ce! cc!)" "(cc! 1)"
+
+let test_fold_overflow () =
+  let max_s = string_of_int max_int in
+  reduces_to "overflow folds to the exception continuation"
+    (Printf.sprintf "(+ %s 1 ce! cc!)" max_s)
+    "(ce! \"integer overflow\")";
+  reduces_to "multiplication overflow"
+    (Printf.sprintf "(* %s 2 ce! cc!)" max_s)
+    "(ce! \"integer overflow\")";
+  reduces_to "min_int / -1 overflow"
+    (Printf.sprintf "(/ %d -1 ce! cc!)" min_int)
+    "(ce! \"integer overflow\")"
+
+let test_fold_identities () =
+  reduces_to "x + 0" "(+ x 0 ce! cc!)" "(cc! x)";
+  reduces_to "0 + x" "(+ 0 x ce! cc!)" "(cc! x)";
+  reduces_to "x - 0" "(- x 0 ce! cc!)" "(cc! x)";
+  reduces_to "x * 1" "(* x 1 ce! cc!)" "(cc! x)";
+  reduces_to "x * 0" "(* x 0 ce! cc!)" "(cc! 0)";
+  reduces_to "x / 1" "(/ x 1 ce! cc!)" "(cc! x)";
+  reduces_to "x % 1" "(% x 1 ce! cc!)" "(cc! 0)"
+
+let test_fold_comparisons () =
+  reduces_to "1 < 2" "(< 1 2 k1! k2!)" "(k1!)";
+  reduces_to "2 <= 1" "(<= 2 1 k1! k2!)" "(k2!)";
+  reduces_to "x < x is false" "(< x x k1! k2!)" "(k2!)";
+  reduces_to "x >= x is true" "(>= x x k1! k2!)" "(k1!)"
+
+let test_fold_bits () =
+  reduces_to "band" "(band 12 10 cc!)" "(cc! 8)";
+  reduces_to "bor with zero" "(bor x 0 cc!)" "(cc! x)";
+  reduces_to "bshl" "(bshl 3 4 cc!)" "(cc! 48)";
+  reduces_to "bnot" "(bnot 0 cc!)" "(cc! -1)"
+
+let test_fold_conversions () =
+  reduces_to "char2int" "(char2int 'a' cc!)" "(cc! 97)";
+  reduces_to "int2char wraps" "(int2char 353 cc!)" "(cc! 'a')";
+  reduces_to "int2real" "(int2real 2 cc!)" "(cc! 2.0)";
+  reduces_to "real2int" "(real2int 3.7 cc!)" "(cc! 3)"
+
+let test_fold_reals () =
+  reduces_to "f+" "(f+ 1.5 2.5 cc!)" "(cc! 4.0)";
+  reduces_to "sqrt" "(sqrt 9.0 cc!)" "(cc! 3.0)";
+  reduces_to "f< branches" "(f< 1.0 2.0 k1! k2!)" "(k1!)"
+
+let test_fold_bools () =
+  reduces_to "and lits" "(and true false cc!)" "(cc! false)";
+  reduces_to "and true x" "(and true x cc!)" "(cc! x)";
+  reduces_to "and false x short-circuits" "(and false x cc!)" "(cc! false)";
+  reduces_to "or false x" "(or false x cc!)" "(cc! x)";
+  reduces_to "not" "(not true cc!)" "(cc! false)"
+
+let test_fold_case () =
+  reduces_to "literal scrutinee picks branch" "(== 2 1 2 3 k1! k2! k3!)" "(k2!)";
+  reduces_to "default branch" "(== 9 1 2 k1! k2! kd!)" "(kd!)";
+  reduces_to "identical variables match" "(== x x k1! k2!)" "(k1!)";
+  (* a variable tag before a matching literal blocks folding *)
+  let a = parse "(== 2 y 2 k1! k2!)" in
+  let a' = reduce a in
+  check tbool "undecidable tag blocks fold" true
+    (match a'.Term.func with
+    | Term.Prim "==" -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* case-subst                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_case_subst () =
+  (* inside the branch selected by tag 1, v is known to be 1; the branch
+     then folds *)
+  reduces_to "case-subst enables folding"
+    "(== v 1 cont() (+ v 1 ce! cc!) cont() (cc! 0))"
+    "(== v 1 cont() (cc! 2) cont() (cc! 0))"
+
+let test_case_subst_stats () =
+  let stats = Rewrite.fresh_stats () in
+  let a = parse "(== v 5 cont() (k! v) cont() (k! 0))" in
+  let _ = Rewrite.reduce_app ~stats a in
+  check tint "one case-subst" 1 stats.Rewrite.case_subst
+
+(* ------------------------------------------------------------------ *)
+(* η-reduce                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_eta () =
+  (match Rewrite.try_eta (parse_v "cont(x y) (k! x y)") with
+  | Some (Term.Var id) -> check tbool "reduces to k" true (id.Ident.name = "k")
+  | _ -> Alcotest.fail "η expected");
+  (* parameter used in the function position value blocks η *)
+  check tbool "self-application blocks η" true
+    (Rewrite.try_eta (parse_v "cont(x) (x x)") = None);
+  (* argument order must match exactly *)
+  check tbool "swapped arguments block η" true
+    (Rewrite.try_eta (parse_v "cont(x y) (k! y x)") = None);
+  (* nullary η *)
+  match Rewrite.try_eta (parse_v "cont() (k!)") with
+  | Some (Term.Var _) -> ()
+  | _ -> Alcotest.fail "nullary η expected"
+
+let test_eta_not_on_special_prims () =
+  check tbool "== is not exposed by η" true
+    (Rewrite.try_eta (parse_v "cont(a b k1! k2!) (== a b k1! k2!)") = None)
+
+let test_eta_end_to_end () =
+  (* the return-forwarding continuation η-reduces, after which the whole
+     wrapper procedure η-reduces to g itself *)
+  reduces_to "η inside reduction cascades"
+    "(f proc(x ce! k!) (g x ce! cont(t) (k! t)) ce! cc!)"
+    "(f g ce! cc!)"
+
+(* ------------------------------------------------------------------ *)
+(* Y rules                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_y_remove () =
+  (* 'dead' is referenced by nobody else: struck out *)
+  reduces_to "unused nest member removed"
+    "(Y lambda(c0! live! dead! c!) (c! cont() (live! 1) cont(i) (k! i) cont(j) (dead! j)))"
+    "(Y lambda(c0! live! c!) (c! cont() (live! 1) cont(i) (k! i)))"
+
+let test_y_keep_mutual () =
+  (* mutually recursive members survive *)
+  let a =
+    parse
+      "(Y lambda(c0! even! odd! c!) (c! cont() (even! 4) cont(i) (<= i 0 cont() (k! 1) cont() \
+       (- i 1 ce! cont(i2) (odd! i2))) cont(j) (<= j 0 cont() (k! 0) cont() (- j 1 ce! \
+       cont(j2) (even! j2)))))"
+  in
+  let a' = reduce a in
+  match a'.Term.args with
+  | [ Term.Abs binder ] ->
+    check tint "all parameters remain (c0, even, odd, c)" 4 (List.length binder.Term.params)
+  | _ -> Alcotest.fail "Y application expected"
+
+let test_y_reduce () =
+  reduces_to "empty fixpoint reduces to the entry body"
+    "(Y lambda(c0! c!) (c! cont() (k! 42)))" "(k! 42)";
+  (* c0 referenced: no reduction *)
+  let a = parse "(Y lambda(c0! c!) (c! cont() (c0!)))" in
+  let a' = reduce a in
+  check tbool "self-restarting loop kept" true
+    (match a'.Term.func with
+    | Term.Prim "Y" -> true
+    | _ -> false)
+
+let test_y_remove_then_reduce () =
+  reduces_to "removal emptying the nest triggers Y-reduce"
+    "(Y lambda(c0! dead! c!) (c! cont() (k! 5) cont(j) (dead! j)))" "(k! 5)"
+
+(* ------------------------------------------------------------------ *)
+(* The reduction pass as a whole                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_size_decrease () =
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 200 do
+    let proc = Gen.proc2 rng ~size:25 in
+    let reduced = Rewrite.reduce_value proc in
+    check tbool "reduction never grows the tree" true
+      (Term.size_value reduced <= Term.size_value proc)
+  done
+
+let test_wf_preservation () =
+  let rng = Random.State.make [| 8 |] in
+  for _ = 1 to 200 do
+    let proc = Gen.proc2 rng ~size:25 in
+    let reduced = Rewrite.reduce_value proc in
+    match Wf.check_value reduced with
+    | Ok () -> ()
+    | Error es ->
+      Alcotest.failf "reduction broke well-formedness:@.%s@.%s" (Sexp.print_value reduced)
+        (String.concat "; " (List.map (fun e -> e.Wf.message) es))
+  done
+
+let test_constant_program () =
+  (* an entire first-order computation over literals evaluates away *)
+  reduces_to "program folds to its result"
+    "(+ 1 2 ce! cont(a) (* a a ce! cont(b) (< b 10 cont() (k! b) cont() (+ b 1 ce! cont(c) \
+     (k! c)))))"
+    "(k! 9)"
+
+let test_domain_rule_hook () =
+  (* a domain rule is consulted and its applications counted *)
+  let hits = ref 0 in
+  let rule (a : Term.app) =
+    match a.Term.func with
+    | Term.Prim "size" ->
+      incr hits;
+      (match a.Term.args with
+      | [ _; k ] -> Some (Term.app k [ Term.int 99 ])
+      | _ -> None)
+    | _ -> None
+  in
+  let stats = Rewrite.fresh_stats () in
+  let a = parse "(size arr cc!)" in
+  let a' = Rewrite.reduce_app ~stats ~rules:[ rule ] a in
+  check tbool "rule applied" true (Term.alpha_equal_by_name_app a' (parse "(cc! 99)"));
+  check tint "domain counter" 1 stats.Rewrite.domain;
+  check tint "rule fired once" 1 !hits
+
+let test_fuel_bound () =
+  (* a pathological self-renaming domain rule is stopped by the fuel *)
+  let rule (a : Term.app) =
+    match a.Term.func with
+    | Term.Prim "size" -> Some a
+    | _ -> None
+  in
+  let a = parse "(size arr cc!)" in
+  match Rewrite.reduce_app ~rules:[ rule ] ~max_steps:50 a with
+  | exception Rewrite.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+
+let () =
+  Primitives.install ();
+  Alcotest.run "tml_rewrite"
+    [
+      ( "beta",
+        [
+          Alcotest.test_case "subst trivial values" `Quick test_beta_subst_trivial;
+          Alcotest.test_case "single-use abstraction" `Quick test_beta_single_use_abs;
+          Alcotest.test_case "multi-use abstraction blocked" `Quick
+            test_beta_multi_use_abs_blocked;
+          Alcotest.test_case "remove unused" `Quick test_beta_remove_unused;
+          Alcotest.test_case "reduce nullary" `Quick test_beta_reduce_empty;
+        ] );
+      ( "fold",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_fold_arith;
+          Alcotest.test_case "overflow" `Quick test_fold_overflow;
+          Alcotest.test_case "algebraic identities" `Quick test_fold_identities;
+          Alcotest.test_case "comparisons" `Quick test_fold_comparisons;
+          Alcotest.test_case "bit operations" `Quick test_fold_bits;
+          Alcotest.test_case "conversions" `Quick test_fold_conversions;
+          Alcotest.test_case "reals" `Quick test_fold_reals;
+          Alcotest.test_case "booleans" `Quick test_fold_bools;
+          Alcotest.test_case "case analysis" `Quick test_fold_case;
+        ] );
+      ( "case-subst",
+        [
+          Alcotest.test_case "substitutes tag in branch" `Quick test_case_subst;
+          Alcotest.test_case "statistics" `Quick test_case_subst_stats;
+        ] );
+      ( "eta",
+        [
+          Alcotest.test_case "basic" `Quick test_eta;
+          Alcotest.test_case "special primitives protected" `Quick
+            test_eta_not_on_special_prims;
+          Alcotest.test_case "within reduction" `Quick test_eta_end_to_end;
+        ] );
+      ( "y",
+        [
+          Alcotest.test_case "Y-remove" `Quick test_y_remove;
+          Alcotest.test_case "mutual recursion kept" `Quick test_y_keep_mutual;
+          Alcotest.test_case "Y-reduce" `Quick test_y_reduce;
+          Alcotest.test_case "remove then reduce" `Quick test_y_remove_then_reduce;
+        ] );
+      ( "reduction-pass",
+        [
+          Alcotest.test_case "size never grows" `Quick test_size_decrease;
+          Alcotest.test_case "well-formedness preserved" `Quick test_wf_preservation;
+          Alcotest.test_case "constant program" `Quick test_constant_program;
+          Alcotest.test_case "domain rule hook" `Quick test_domain_rule_hook;
+          Alcotest.test_case "fuel bound" `Quick test_fuel_bound;
+        ] );
+    ]

@@ -1,0 +1,49 @@
+The tmlc command-line driver, end to end.
+
+  $ cat > prog.tl <<'TL'
+  > let fib(n: Int): Int = if n < 2 then n else fib(n - 1) + fib(n - 2) end
+  > do io.print_int(fib(10)); io.newline() end
+  > TL
+
+Type checking:
+
+  $ tmlc check prog.tl
+  prog.tl: 49 definitions type-check
+
+Running (the abstract machine's instruction counts are deterministic):
+
+  $ tmlc run prog.tl
+  55
+  -- done nil, 10483 abstract instructions
+
+Dynamic (reflective) optimization executes fewer instructions, same output:
+
+  $ tmlc run prog.tl --dynamic
+  55
+  -- done nil, 4571 abstract instructions
+
+The TML of a definition:
+
+  $ tmlc dump prog.tl --def fib | head -5
+  === fib ===
+  proc(n_316 ce_317 cc_318)
+    (intlib.lt_319
+     n_316
+     2
+
+Store images survive a process boundary:
+
+  $ cat > db.tl <<'TL'
+  > let squares = relation(tuple(1, 1), tuple(2, 4), tuple(3, 9))
+  > let lookup(n: Int): Int =
+  >   var r := 0;
+  >   foreach q in (select s from s in squares where s.1 == n end) do r := q.2 end;
+  >   r
+  > do io.print_int(lookup(2)); io.newline() end
+  > TL
+
+  $ tmlc save db.tl store.img
+  4
+  -- store image written to store.img
+  $ tmlc exec store.img lookup 3
+  -- done 9, 157 abstract instructions

@@ -1,0 +1,25 @@
+An interactive session piped through stdin: definitions, queries,
+mutation, reflective optimization, redefinition.
+
+  $ tmlsh <<'IN'
+  > let double(x: Int): Int = x * 2
+  > double(21)
+  > let r = relation(tuple(1, 10), tuple(2, 20))
+  > do insert(r, tuple(3, 30)) end
+  > count(r)
+  > var total := 0; foreach e in r do total := total + e.2 end; total
+  > :optimize double
+  > double(21)
+  > let double(x: Int): Int = x * 4
+  > double(21)
+  > :quit
+  > IN
+  defined double
+  - : 42 (in 24 instructions)
+  defined r
+  - : 3 (in 6 instructions)
+  - : 60 (in 125 instructions)
+  optimized double: static cost 9 -> 3, 1 calls inlined
+  - : 42 (in 14 instructions)
+  defined double
+  - : 84 (in 24 instructions)

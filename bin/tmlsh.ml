@@ -1,6 +1,7 @@
 (* tmlsh — an interactive, persistent TL session (the Tycoon working
    style: one live store, incremental compilation and linking, reflective
-   re-optimization of linked code, store images on demand).
+   re-optimization of linked code, durable log-structured stores and
+   store images on demand).
 
      $ dune exec bin/tmlsh.exe
      tml> let double(x: Int): Int = x * 2
@@ -12,7 +13,8 @@
      - : 42 (in 12 instructions)
 
    Commands: :help :names :dump NAME :disasm NAME :optimize NAME
-             :optimize-all :save FILE :steps :quit *)
+             :optimize-all :open FILE :commit :compact :stats
+             :save FILE :steps :quit *)
 
 open Tml_core
 open Tml_vm
@@ -36,6 +38,12 @@ let help () =
     \  :disasm NAME     print its abstract machine code\n\
     \  :optimize NAME   reflectively optimize it in place\n\
     \  :optimize-all    reflectively optimize every function\n\
+    \  :open FILE       open a durable store: restore the session from it,\n\
+    \                   or bind a new file to this session (lazy faulting;\n\
+    \                   crash recovery on open)\n\
+    \  :commit          seal the session state into the open store\n\
+    \  :compact         commit, then rewrite the store keeping live objects\n\
+    \  :stats           store counters (commits, faults, cache, recovery)\n\
     \  :save FILE       write the store image (run functions later with\n\
     \                   'tmlc exec FILE name args')\n\
     \  :steps           abstract instructions executed so far\n\
@@ -46,7 +54,69 @@ let with_func session name f =
   | Some oid -> f oid
   | None -> Printf.printf "no function named %s\n" name
 
-let command session line =
+(* The open durable store, if any; :commit seals into it and the
+   reflective optimizer commits through ctx.durable_commit. *)
+let store : Pstore.t option ref = ref None
+
+let wire_store session pstore =
+  store := Some pstore;
+  (Repl.ctx session).Runtime.durable_commit <-
+    Some (fun () -> ignore (Repl.persist session pstore))
+
+let commit_store session =
+  match !store with
+  | None -> Printf.printf "no store open (use :open FILE)\n"
+  | Some pstore ->
+    let n = Repl.persist session pstore in
+    Printf.printf "committed %d objects to %s\n" n (Pstore.path pstore)
+
+let unwire_store session_ref =
+  match !store with
+  | Some old ->
+    (Repl.ctx !session_ref).Runtime.durable_commit <- None;
+    store := None;
+    Pstore.close old
+  | None -> ()
+
+let open_store session_ref file =
+  if Sys.file_exists file then begin
+    (* build the replacement session completely before detaching the
+       current store, so a failed :open leaves the session usable *)
+    let pstore = Pstore.open_ file in
+    match Repl.restore pstore with
+    | exception e ->
+      Pstore.close pstore;
+      raise e
+    | session ->
+      unwire_store session_ref;
+      session_ref := session;
+      wire_store session pstore;
+      let st = Pstore.stats pstore in
+      if st.Tml_store.Store_stats.recovery_truncations > 0 then
+        Printf.printf "recovered %s (truncated %d torn bytes)\n" file
+          st.Tml_store.Store_stats.truncated_bytes;
+      Printf.printf "restored session from %s (%d objects, faulted on demand)\n" file
+        (Tml_store.Log_store.object_count (Pstore.log pstore))
+  end
+  else begin
+    let heap = (Repl.ctx !session_ref).Runtime.heap in
+    (* the new store adopts the session heap: materialize any objects
+       still backed by the old store before cutting it loose *)
+    (match !store with
+    | Some _ ->
+      for i = 0 to Value.Heap.size heap - 1 do
+        ignore (Value.Heap.get_opt heap (Oid.of_int i))
+      done
+    | None -> ());
+    unwire_store session_ref;
+    let pstore = Pstore.attach file heap in
+    wire_store !session_ref pstore;
+    let n = Repl.persist !session_ref pstore in
+    Printf.printf "new store %s (committed %d objects)\n" file n
+  end
+
+let command session_ref line =
+  let session = !session_ref in
   match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
   | [ ":help" ] -> help ()
   | [ ":names" ] ->
@@ -80,6 +150,26 @@ let command session line =
     Tml_reflect.Reflect.optimize_all (Repl.ctx session)
       (List.map snd (Repl.function_oids session));
     Printf.printf "optimized %d functions\n" (List.length (Repl.function_oids session))
+  | [ ":open"; file ] -> open_store session_ref file
+  | [ ":commit" ] -> commit_store session
+  | [ ":compact" ] -> (
+    match !store with
+    | None -> Printf.printf "no store open (use :open FILE)\n"
+    | Some pstore ->
+      let log = Pstore.log pstore in
+      let before = Tml_store.Log_store.file_bytes log in
+      Pstore.compact pstore;
+      Printf.printf "compacted %s: %d -> %d bytes\n" (Pstore.path pstore) before
+        (Tml_store.Log_store.file_bytes log))
+  | [ ":stats" ] -> (
+    match !store with
+    | None -> Printf.printf "no store open (use :open FILE)\n"
+    | Some pstore ->
+      Format.printf "%a@." Tml_store.Store_stats.pp (Pstore.stats pstore);
+      Printf.printf "loaded %d of %d objects, %d dirty\n"
+        (Value.Heap.loaded_count (Repl.ctx session).Runtime.heap)
+        (Tml_store.Log_store.object_count (Pstore.log pstore))
+        (Pstore.dirty_count pstore))
   | [ ":save"; file ] ->
     Image.save_file (Repl.ctx session).Runtime.heap file;
     Printf.printf "store image written to %s\n" file
@@ -102,7 +192,7 @@ let show_result (r : Repl.feed_result) =
 let () =
   if interactive then
     print_endline "tmlsh — persistent TL session (:help for commands, :quit to leave)";
-  let session = Repl.create () in
+  let session = ref (Repl.create ()) in
   let rec loop () =
     prompt ();
     match In_channel.input_line stdin with
@@ -112,9 +202,14 @@ let () =
       if line = ":quit" || line = ":q" then ()
       else begin
         if line = "" then ()
-        else if line.[0] = ':' then command session line
+        else if line.[0] = ':' then begin
+          try command session line with
+          | Runtime.Fault msg -> Format.printf "runtime fault: %s@." msg
+          | Tml_store.Log_store.Store_error msg | Pstore.Store_error msg ->
+            Format.printf "store error: %s@." msg
+        end
         else begin
-          try show_result (Repl.feed session line) with
+          try show_result (Repl.feed !session line) with
           | Lexer.Lex_error (pos, msg) ->
             Format.printf "lexical error at %a: %s@." Ast.pp_pos pos msg
           | Parser.Parse_error (pos, msg) ->

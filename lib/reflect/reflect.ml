@@ -159,6 +159,10 @@ let optimize ?(config = default) ctx oid =
     ];
   fo.Value.fo_attrs <-
     ("optimized_as", Oid.to_int new_oid) :: List.remove_assoc "optimized_as" fo.Value.fo_attrs;
+  (* persist the rewrite and its derived attributes with the system state *)
+  (match ctx.Runtime.durable_commit with
+  | Some commit -> commit ()
+  | None -> ());
   { oid = new_oid; original_tml; optimized_tml = optimized; report; inlined_calls = !count }
 
 let optimize_inplace ?(config = default) ctx oid =
@@ -194,6 +198,9 @@ let optimize_inplace ?(config = default) ctx oid =
     }
   in
   Value.Heap.set ctx.Runtime.heap oid (Value.Func new_fo);
+  (match ctx.Runtime.durable_commit with
+  | Some commit -> commit ()
+  | None -> ());
   { oid; original_tml; optimized_tml = optimized; report; inlined_calls = !count }
 
 let optimize_all ?(config = default) ?(passes = 2) ctx oids =

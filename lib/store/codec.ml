@@ -5,7 +5,7 @@ module W = struct
   let u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
 
   let varint buf v =
-    assert (v >= 0);
+    if v < 0 then invalid_arg "Codec.W.varint: negative argument";
     let rec go v =
       if v < 0x80 then u8 buf v
       else begin
@@ -53,6 +53,7 @@ module R = struct
   }
 
   exception Truncated
+  exception Malformed of string
 
   let of_string data = { data; pos = 0 }
 
@@ -62,23 +63,40 @@ module R = struct
     r.pos <- r.pos + 1;
     v
 
+  (* OCaml ints are 63-bit: a non-negative value carries at most 62
+     significant bits, which LEB128 spreads over at most 9 bytes (the 9th
+     holding 6 bits).  Anything longer, or a 9th byte with high bits set,
+     would silently wrap around [lsl] — reject it instead. *)
   let varint r =
     let rec go shift acc =
       let b = u8 r in
-      let acc = acc lor ((b land 0x7f) lsl shift) in
+      let low = b land 0x7f in
+      if shift > 56 || (shift = 56 && low > 0x3f) then
+        raise (Malformed "varint overflows the 63-bit integer range");
+      let acc = acc lor (low lsl shift) in
       if b land 0x80 <> 0 then go (shift + 7) acc else acc
     in
     go 0 0
 
+  (* Sign-extended LEB128 of a 63-bit value fits in 9 bytes; reading a 10th
+     would shift past bit 63 and drop bits silently. *)
   let svarint r =
     let rec go shift acc =
+      if shift >= 63 then raise (Malformed "svarint longer than 9 bytes");
       let b = u8 r in
       let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
       let shift = shift + 7 in
       if b land 0x80 <> 0 then go shift acc
-      else if shift < 64 && b land 0x40 <> 0 then
-        Int64.to_int (Int64.logor acc (Int64.shift_left (-1L) shift))
-      else Int64.to_int acc
+      else begin
+        let v =
+          if shift < 64 && b land 0x40 <> 0 then
+            Int64.logor acc (Int64.shift_left (-1L) shift)
+          else acc
+        in
+        if Int64.of_int (Int64.to_int v) <> v then
+          raise (Malformed "svarint overflows the integer range");
+        Int64.to_int v
+      end
     in
     go 0 0L
 
@@ -100,5 +118,10 @@ module R = struct
     raw r n
 
   let pos r = r.pos
+
+  let seek r pos =
+    if pos < 0 || pos > String.length r.data then invalid_arg "Codec.R.seek";
+    r.pos <- pos
+
   let at_end r = r.pos >= String.length r.data
 end

@@ -26,14 +26,28 @@ module R : sig
   type t
 
   exception Truncated
+  (** the input ended in the middle of a value *)
+
+  exception Malformed of string
+  (** the input is long enough but not a valid encoding: an LEB128
+      sequence that never terminates within, or whose value exceeds, the
+      63-bit OCaml integer range *)
 
   val of_string : string -> t
   val u8 : t -> int
+
+  (** @raise Truncated @raise Malformed *)
   val varint : t -> int
+
+  (** @raise Truncated @raise Malformed *)
   val svarint : t -> int
   val float64 : t -> float
   val str : t -> string
   val raw : t -> int -> string
   val pos : t -> int
+
+  val seek : t -> int -> unit
+  (** reposition the cursor (used by the log store's recovery scan) *)
+
   val at_end : t -> bool
 end

@@ -1,0 +1,10 @@
+(** CRC-32 checksums (IEEE 802.3 polynomial), used to detect torn or
+    corrupted records in the log-structured store. *)
+
+val string : string -> int
+(** [string s] — the CRC-32 of the whole string, in [0, 2^32). *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] folds [len] bytes of [s] starting at [pos] into
+    a running checksum, so a record can be checksummed without copying.
+    [update 0 s 0 (String.length s) = string s]. *)

@@ -1,0 +1,327 @@
+exception Store_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Store_error s)) fmt
+
+let magic = "TMLLOG1\n"
+
+type entry = {
+  e_off : int;  (* absolute file offset of the payload bytes *)
+  e_len : int;
+}
+
+type t = {
+  ls_path : string;
+  mutable fd : Unix.file_descr;
+  dir : (int, entry) Hashtbl.t;
+  staged : (int, string) Hashtbl.t;
+  mutable staged_order : int list;  (* reverse order of first staging *)
+  mutable tail : int;  (* end of the last sealed transaction = append point *)
+  mutable seq : int;  (* sequence number of the last sealed transaction *)
+  mutable sroot : int option;
+  mutable fsync : bool;
+  mutable closed : bool;
+  stats : Store_stats.t;
+}
+
+let path t = t.ls_path
+let stats t = t.stats
+let root t = t.sroot
+let seq t = t.seq
+let file_bytes t = t.tail
+let object_count t = Hashtbl.length t.dir
+let mem t oid = Hashtbl.mem t.staged oid || Hashtbl.mem t.dir oid
+let staged_count t = Hashtbl.length t.staged
+let set_fsync t b = t.fsync <- b
+
+let check_open t = if t.closed then fail "store %s is closed" t.ls_path
+
+let max_oid t =
+  let m = Hashtbl.fold (fun oid _ acc -> max oid acc) t.dir (-1) in
+  Hashtbl.fold (fun oid _ acc -> max oid acc) t.staged m
+
+let live_bytes t = Hashtbl.fold (fun _ e acc -> acc + e.e_len) t.dir 0
+
+(* ------------------------------------------------------------------ *)
+(* Low-level file I/O                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go pos =
+    if pos < len then go (pos + Unix.write_substring fd s pos (len - pos))
+  in
+  go 0
+
+let read_exactly fd off len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create len in
+  let rec go pos =
+    if pos < len then begin
+      let n = Unix.read fd b pos (len - pos) in
+      if n = 0 then fail "unexpected end of store file";
+      go (pos + n)
+    end
+  in
+  go 0;
+  Bytes.unsafe_to_string b
+
+let read_whole fd =
+  let len = (Unix.fstat fd).Unix.st_size in
+  read_exactly fd 0 len
+
+(* ------------------------------------------------------------------ *)
+(* Record encoding                                                      *)
+(*                                                                      *)
+(* put:    0x01  varint oid  varint len  payload  crc32(le, 4 bytes)    *)
+(* commit: 0x02  varint seq  varint count  varint root+1|0  crc32       *)
+(*                                                                      *)
+(* Each CRC covers every byte of its record before the CRC field.  A    *)
+(* commit record seals the transaction formed by the puts since the     *)
+(* previous seal; recovery discards any tail not ending in a valid      *)
+(* seal.                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let add_crc32_le buf crc =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((crc lsr (8 * i)) land 0xff))
+  done
+
+(* Appends the record for [oid -> payload] to [buf]; returns the offset
+   of the payload within [buf]. *)
+let encode_put buf oid payload =
+  let w = Codec.W.create ~initial:(String.length payload + 16) () in
+  Codec.W.u8 w 1;
+  Codec.W.varint w oid;
+  Codec.W.str w payload;
+  let s = Codec.W.contents w in
+  let payload_off = Buffer.length buf + (String.length s - String.length payload) in
+  Buffer.add_string buf s;
+  add_crc32_le buf (Crc32.string s);
+  payload_off
+
+let encode_commit buf ~seq ~count ~root =
+  let w = Codec.W.create ~initial:16 () in
+  Codec.W.u8 w 2;
+  Codec.W.varint w seq;
+  Codec.W.varint w count;
+  Codec.W.varint w (match root with None -> 0 | Some r -> r + 1);
+  let s = Codec.W.contents w in
+  Buffer.add_string buf s;
+  add_crc32_le buf (Crc32.string s)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Torn
+
+let check_crc data start stop r =
+  (* [start, stop) is the checksummed span; the 4 CRC bytes follow *)
+  if stop + 4 > String.length data then raise Torn;
+  let stored = ref 0 in
+  for i = 3 downto 0 do
+    stored := (!stored lsl 8) lor Char.code data.[stop + i]
+  done;
+  if Crc32.update 0 data start (stop - start) <> !stored then raise Torn;
+  Codec.R.seek r (stop + 4)
+
+(* Scans [data]; returns the directory, the sealed end offset, the last
+   sequence number and the root.  Raises [Store_error] on a corrupt
+   header; a torn or corrupt tail is cut, never fatal. *)
+let recover data =
+  if String.length data < String.length magic || not (String.sub data 0 8 = magic) then
+    fail "not a TML store file (bad magic)";
+  let dir = Hashtbl.create 256 in
+  let r = Codec.R.of_string data in
+  Codec.R.seek r (String.length magic);
+  let sealed = ref (String.length magic) in
+  let seq = ref 0 in
+  let root = ref None in
+  let pending = ref [] in
+  (try
+     while not (Codec.R.at_end r) do
+       let start = Codec.R.pos r in
+       match Codec.R.u8 r with
+       | 1 ->
+         let oid = Codec.R.varint r in
+         let len = Codec.R.varint r in
+         let off = Codec.R.pos r in
+         if len > String.length data - off then raise Torn;
+         Codec.R.seek r (off + len);
+         check_crc data start (off + len) r;
+         pending := (oid, { e_off = off; e_len = len }) :: !pending
+       | 2 ->
+         let s = Codec.R.varint r in
+         let count = Codec.R.varint r in
+         let root_field = Codec.R.varint r in
+         check_crc data start (Codec.R.pos r) r;
+         if count <> List.length !pending then raise Torn;
+         List.iter (fun (oid, e) -> Hashtbl.replace dir oid e) (List.rev !pending);
+         pending := [];
+         sealed := Codec.R.pos r;
+         seq := s;
+         root := if root_field = 0 then None else Some (root_field - 1)
+       | _ -> raise Torn
+     done
+   with
+  | Torn | Codec.R.Truncated | Codec.R.Malformed _ -> ());
+  dir, !sealed, !seq, !root
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make ~path ~fd ~dir ~tail ~seq ~root ~fsync =
+  {
+    ls_path = path;
+    fd;
+    dir;
+    staged = Hashtbl.create 64;
+    staged_order = [];
+    tail;
+    seq;
+    sroot = root;
+    fsync;
+    closed = false;
+    stats = Store_stats.create ();
+  }
+
+let create ?(fsync = true) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_all fd magic;
+  if fsync then Unix.fsync fd;
+  make ~path ~fd ~dir:(Hashtbl.create 256) ~tail:(String.length magic) ~seq:0 ~root:None
+    ~fsync
+
+let open_ ?(fsync = true) path =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDWR ] 0o644 with
+    | Unix.Unix_error (Unix.ENOENT, _, _) -> fail "no store file at %s" path
+  in
+  let data = read_whole fd in
+  match recover data with
+  | exception e ->
+    Unix.close fd;
+    raise e
+  | dir, sealed, seq, root ->
+    let t = make ~path ~fd ~dir ~tail:sealed ~seq ~root ~fsync in
+    let dropped = String.length data - sealed in
+    if dropped > 0 then begin
+      Unix.ftruncate fd sealed;
+      if fsync then Unix.fsync fd;
+      t.stats.Store_stats.recovery_truncations <- 1;
+      t.stats.Store_stats.truncated_bytes <- dropped
+    end;
+    t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let find t oid =
+  check_open t;
+  match Hashtbl.find_opt t.staged oid with
+  | Some payload -> Some payload
+  | None -> (
+    match Hashtbl.find_opt t.dir oid with
+    | Some e -> Some (read_exactly t.fd e.e_off e.e_len)
+    | None -> None)
+
+let iter_live f t =
+  check_open t;
+  let oids = Hashtbl.fold (fun oid _ acc -> oid :: acc) t.dir [] in
+  List.iter
+    (fun oid ->
+      match Hashtbl.find_opt t.dir oid with
+      | Some e -> f oid (read_exactly t.fd e.e_off e.e_len)
+      | None -> ())
+    (List.sort compare oids)
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let put t oid payload =
+  check_open t;
+  if oid < 0 then fail "negative oid %d" oid;
+  if not (Hashtbl.mem t.staged oid) then t.staged_order <- oid :: t.staged_order;
+  Hashtbl.replace t.staged oid payload
+
+let commit ?root t =
+  check_open t;
+  let new_root =
+    match root with
+    | Some _ -> root
+    | None -> t.sroot
+  in
+  if Hashtbl.length t.staged = 0 && new_root = t.sroot then 0
+  else begin
+    let buf = Buffer.create 4096 in
+    let entries =
+      List.rev_map (fun oid -> oid, Hashtbl.find t.staged oid) t.staged_order
+    in
+    let located =
+      List.map
+        (fun (oid, payload) ->
+          let payload_off = t.tail + encode_put buf oid payload in
+          oid, { e_off = payload_off; e_len = String.length payload })
+        entries
+    in
+    let seq' = t.seq + 1 in
+    encode_commit buf ~seq:seq' ~count:(List.length entries) ~root:new_root;
+    ignore (Unix.lseek t.fd t.tail Unix.SEEK_SET);
+    write_all t.fd (Buffer.contents buf);
+    if t.fsync then Unix.fsync t.fd;
+    List.iter (fun (oid, e) -> Hashtbl.replace t.dir oid e) located;
+    t.tail <- t.tail + Buffer.length buf;
+    t.seq <- seq';
+    t.sroot <- new_root;
+    Hashtbl.reset t.staged;
+    t.staged_order <- [];
+    let n = List.length entries in
+    t.stats.Store_stats.commits <- t.stats.Store_stats.commits + 1;
+    t.stats.Store_stats.records_written <- t.stats.Store_stats.records_written + n;
+    t.stats.Store_stats.bytes_written <-
+      t.stats.Store_stats.bytes_written + Buffer.length buf;
+    n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let compact t =
+  check_open t;
+  if Hashtbl.length t.staged > 0 then fail "compact: uncommitted puts (commit first)";
+  let buf = Buffer.create (live_bytes t + 1024) in
+  Buffer.add_string buf magic;
+  let oids = List.sort compare (Hashtbl.fold (fun oid _ acc -> oid :: acc) t.dir []) in
+  let located =
+    List.map
+      (fun oid ->
+        let e = Hashtbl.find t.dir oid in
+        let payload = read_exactly t.fd e.e_off e.e_len in
+        let payload_off = encode_put buf oid payload in
+        oid, { e_off = payload_off; e_len = e.e_len })
+      oids
+  in
+  let seq' = t.seq + 1 in
+  encode_commit buf ~seq:seq' ~count:(List.length located) ~root:t.sroot;
+  let tmp = t.ls_path ^ ".compact" in
+  let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_all fd (Buffer.contents buf);
+  if t.fsync then Unix.fsync fd;
+  Unix.rename tmp t.ls_path;
+  Unix.close t.fd;
+  t.fd <- fd;
+  Hashtbl.reset t.dir;
+  List.iter (fun (oid, e) -> Hashtbl.replace t.dir oid e) located;
+  t.tail <- Buffer.length buf;
+  t.seq <- seq';
+  t.stats.Store_stats.compactions <- t.stats.Store_stats.compactions + 1

@@ -1,0 +1,91 @@
+(** An append-only, log-structured, single-file object store: the
+    durability layer underneath the persistent heap (see docs/STORE.md).
+
+    The file is a sequence of length-prefixed, CRC-32-checksummed records.
+    [put] stages an [oid -> payload] pair; [commit] appends one record per
+    staged pair followed by a {e commit record} that seals the transaction
+    (write-ahead semantics: the seal is the atomic point — a transaction
+    either ends in a valid seal or, after recovery, never happened).
+    [open_] replays the log, rebuilds the in-memory OID directory from the
+    sealed prefix and truncates any torn tail.
+
+    This layer deals in opaque payload strings; encoding and decoding of
+    store objects, lazy faulting and caching live in [Tml_vm.Pstore]. *)
+
+exception Store_error of string
+
+type t
+
+(** {1 Lifecycle} *)
+
+val create : ?fsync:bool -> string -> t
+(** [create path] starts a fresh, empty store, truncating any existing
+    file.  [fsync] (default [true]) controls whether commits flush to
+    stable storage before returning. *)
+
+val open_ : ?fsync:bool -> string -> t
+(** [open_ path] recovers an existing store: the directory is rebuilt
+    from the longest prefix ending in a valid commit record; anything
+    after it (a torn write, a crashed transaction) is cut off and counted
+    in {!stats}.  @raise Store_error if the file is missing or its header
+    is not a store header. *)
+
+val close : t -> unit
+
+(** {1 Transactions} *)
+
+val put : t -> int -> string -> unit
+(** stage a payload for [oid] in the current transaction (last staging of
+    an OID wins); durable only after {!commit} *)
+
+val commit : ?root:int -> t -> int
+(** [commit ?root t] appends all staged records and a sealing commit
+    record, then (by default) fsyncs.  [root] updates the distinguished
+    root OID stored in the seal (it is sticky across commits).  Returns
+    the number of object records written; a commit with nothing staged
+    and an unchanged root writes nothing and returns 0. *)
+
+val staged_count : t -> int
+
+(** {1 Reads} *)
+
+val find : t -> int -> string option
+(** [find t oid] — the current payload: a staged one if present, else the
+    last sealed one, read back from the file. *)
+
+val mem : t -> int -> bool
+
+val root : t -> int option
+(** the root OID recorded by the last seal — the entry point a client
+    faults first on reopen (e.g. the session manifest) *)
+
+val iter_live : (int -> string -> unit) -> t -> unit
+(** iterate the sealed directory in ascending OID order *)
+
+(** {1 Introspection} *)
+
+val path : t -> string
+val stats : t -> Store_stats.t
+
+val max_oid : t -> int
+(** highest OID present (staged or sealed); -1 when empty *)
+
+val object_count : t -> int
+val seq : t -> int
+
+val file_bytes : t -> int
+(** size of the sealed log in bytes *)
+
+val live_bytes : t -> int
+(** payload bytes reachable from the directory (excludes superseded
+    versions — the gap to {!file_bytes} is what {!compact} reclaims) *)
+
+val set_fsync : t -> bool -> unit
+
+(** {1 Compaction} *)
+
+val compact : t -> unit
+(** Rewrite only the live objects into a fresh file and atomically rename
+    it over the store (offline: the caller must be the only user, with no
+    staged puts).  Directory offsets, sequence number and root carry
+    over. *)

@@ -1,0 +1,61 @@
+(* Recency tracking for the decoded-object cache: an intrusive doubly
+   linked list over integer keys plus a hash table, all operations O(1). *)
+
+type node = {
+  key : int;
+  mutable prev : node option;  (* towards MRU *)
+  mutable next : node option;  (* towards LRU *)
+}
+
+type t = {
+  tbl : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+}
+
+let create () = { tbl = Hashtbl.create 64; head = None; tail = None }
+let length t = Hashtbl.length t.tbl
+let mem t key = Hashtbl.mem t.tbl key
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+  | Some h -> h.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    unlink t node;
+    push_front t node
+  | None ->
+    let node = { key; prev = None; next = None } in
+    Hashtbl.replace t.tbl key node;
+    push_front t node
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.tbl key
+  | None -> ()
+
+let pop_lru t =
+  match t.tail with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.tbl node.key;
+    Some node.key
+  | None -> None

@@ -1,0 +1,21 @@
+(** An O(1) least-recently-used recency tracker over integer keys (OIDs).
+
+    The tracker holds keys only; the cached objects themselves live in the
+    heap's slot array.  The object layer inserts a key when a {e clean}
+    (evictable) object is materialized, re-[touch]es it on every access,
+    [remove]s it when the object becomes dirty (pinned until the next
+    commit), and [pop_lru]s victims when over capacity. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val mem : t -> int -> bool
+
+val touch : t -> int -> unit
+(** insert [key], or move it to the most-recently-used position *)
+
+val remove : t -> int -> unit
+
+val pop_lru : t -> int option
+(** remove and return the least-recently-used key *)

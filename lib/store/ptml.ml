@@ -194,6 +194,7 @@ let decode_value s =
     v
   with
   | Codec.R.Truncated -> fail "truncated input"
+  | Codec.R.Malformed msg -> fail "malformed input: %s" msg
 
 let decode_app s =
   let r = Codec.R.of_string s in
@@ -204,5 +205,6 @@ let decode_app s =
     a
   with
   | Codec.R.Truncated -> fail "truncated input"
+  | Codec.R.Malformed msg -> fail "malformed input: %s" msg
 
 let encoded_size_value v = String.length (encode_value v)

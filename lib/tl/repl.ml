@@ -9,6 +9,7 @@ type session = {
   globals : (string, Value.t) Hashtbl.t;
   mutable funcs : (string * Oid.t) list;  (* link order *)
   mutable expr_counter : int;
+  mutable src_log : string list;  (* definition sources, reverse order *)
 }
 
 let ctx session = session.sctx
@@ -153,6 +154,7 @@ let create ?(mode = Lower.Library) () =
       globals = Hashtbl.create 64;
       funcs = [];
       expr_counter = 0;
+      src_log = [];
     }
   in
   (* compile and link the standard library *)
@@ -171,7 +173,182 @@ let feed session src =
   in
   let out_before = Buffer.length session.sctx.Runtime.out in
   let defined, result = process session items in
+  if defined <> [] then session.src_log <- src :: session.src_log;
   let full = Buffer.contents session.sctx.Runtime.out in
   let output = String.sub full out_before (String.length full - out_before) in
   (* standard-library names were linked by [create]; don't echo them *)
   { defined; result; output }
+
+(* ------------------------------------------------------------------ *)
+(* Durable sessions                                                     *)
+(*                                                                      *)
+(* A session persists as a manifest module (the store root) referring   *)
+(* to three vectors: the definition sources fed so far, the global      *)
+(* bindings and the linked-function table.  [restore] replays the       *)
+(* sources through the type checker and the lowering environment only — *)
+(* no code is linked, no initializer runs, no object is allocated — and *)
+(* then installs globals and functions from the manifest, so the        *)
+(* persisted objects are faulted in lazily on first use.                *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_name = "#session"
+
+(* Values that survive the object codec: literals (including OIDs) and
+   primitives.  Live closures cannot persist; a global holding one is
+   dropped from the manifest. *)
+let persistable v =
+  match v with
+  | Value.Primv _ -> true
+  | _ -> Value.to_literal v <> None
+
+let manifest_vectors session =
+  let sources = Array.of_list (List.rev_map (fun s -> Value.Str s) session.src_log) in
+  let globals =
+    Hashtbl.fold
+      (fun name v acc -> if persistable v then Value.Str name :: v :: acc else acc)
+      session.globals []
+    |> Array.of_list
+  in
+  let funcs =
+    List.concat_map
+      (fun (name, oid) -> [ Value.Str name; Value.Oidv oid ])
+      session.funcs
+    |> Array.of_list
+  in
+  sources, globals, funcs
+
+let manifest_export (m : Value.module_obj) key =
+  match Array.find_opt (fun (k, _) -> String.equal k key) m.Value.exports with
+  | Some (_, v) -> v
+  | None -> Runtime.fault "corrupt session manifest: missing %s" key
+
+let persist session pstore =
+  let heap = session.sctx.Runtime.heap in
+  if heap != Pstore.heap pstore then
+    invalid_arg "Repl.persist: session is not running on this store's heap";
+  let sources, globals, funcs = manifest_vectors session in
+  let exports ~s ~g ~f =
+    [|
+      "#sources", Value.Oidv s;
+      "#globals", Value.Oidv g;
+      "#funcs", Value.Oidv f;
+      "#expr_counter", Value.Int session.expr_counter;
+    |]
+  in
+  let root =
+    match Pstore.root pstore with
+    | Some moid when
+        (match Value.Heap.get_opt heap moid with
+        | Some (Value.Module m) -> String.equal m.Value.mod_name manifest_name
+        | _ -> false) ->
+      (* update the existing manifest objects in place *)
+      let m =
+        match Value.Heap.get heap moid with
+        | Value.Module m -> m
+        | _ -> assert false
+      in
+      let vec key =
+        match manifest_export m key with
+        | Value.Oidv o -> o
+        | _ -> Runtime.fault "corrupt session manifest: %s is not a reference" key
+      in
+      let s = vec "#sources" and g = vec "#globals" and f = vec "#funcs" in
+      Value.Heap.set heap s (Value.Vector sources);
+      Value.Heap.set heap g (Value.Vector globals);
+      Value.Heap.set heap f (Value.Vector funcs);
+      Value.Heap.set heap moid
+        (Value.Module { Value.mod_name = manifest_name; exports = exports ~s ~g ~f });
+      moid
+    | _ ->
+      let s = Value.Heap.alloc heap (Value.Vector sources) in
+      let g = Value.Heap.alloc heap (Value.Vector globals) in
+      let f = Value.Heap.alloc heap (Value.Vector funcs) in
+      Value.Heap.alloc heap
+        (Value.Module { Value.mod_name = manifest_name; exports = exports ~s ~g ~f })
+  in
+  Pstore.commit ~root pstore
+
+(* Replay one definition source: type-check it against everything replayed
+   so far and lower it, purely to regrow the incremental environments. *)
+let replay_defs session src =
+  let items = Parser.parse_program src in
+  let defs =
+    List.filter
+      (function
+        | Ast.Imodule _ | Ast.Idef _ -> true
+        | Ast.Ido _ -> false)
+      items
+  in
+  let tprog =
+    Typecheck.check_with_prelude ~prelude:(Stdlib_tl.program ()) (session.accumulated @ defs)
+  in
+  let new_tdefs = drop session.lowered_count tprog.Typecheck.tdefs in
+  ignore (Lower.lower_defs session.lower_env new_tdefs);
+  session.accumulated <- session.accumulated @ defs;
+  session.lowered_count <- List.length tprog.Typecheck.tdefs;
+  session.src_log <- src :: session.src_log
+
+let restore ?(mode = Lower.Library) pstore =
+  Tml_query.Qprims.install ();
+  let heap = Pstore.heap pstore in
+  let session =
+    {
+      sctx = Runtime.create heap;
+      lower_env = Lower.env_create ~mode;
+      accumulated = [];
+      lowered_count = 0;
+      globals = Hashtbl.create 64;
+      funcs = [];
+      expr_counter = 0;
+      src_log = [];
+    }
+  in
+  (* regrow the standard library's type and lowering environments; its
+     linked objects come back from the store like everything else *)
+  let tprog = Typecheck.check_with_prelude ~prelude:(Stdlib_tl.program ()) [] in
+  ignore (Lower.lower_defs session.lower_env tprog.Typecheck.tdefs);
+  session.lowered_count <- List.length tprog.Typecheck.tdefs;
+  let moid =
+    match Pstore.root pstore with
+    | Some moid -> moid
+    | None -> Runtime.fault "store %s holds no session manifest" (Pstore.path pstore)
+  in
+  let m =
+    match Value.Heap.get_opt heap moid with
+    | Some (Value.Module m) when String.equal m.Value.mod_name manifest_name -> m
+    | _ -> Runtime.fault "store %s holds no session manifest" (Pstore.path pstore)
+  in
+  let vec key =
+    match manifest_export m key with
+    | Value.Oidv o -> (
+      match Value.Heap.get_opt heap o with
+      | Some (Value.Vector vs) -> vs
+      | _ -> Runtime.fault "corrupt session manifest: bad %s vector" key)
+    | _ -> Runtime.fault "corrupt session manifest: %s is not a reference" key
+  in
+  Array.iter
+    (function
+      | Value.Str src -> replay_defs session src
+      | v -> Runtime.fault "corrupt session manifest: source %s" (Value.to_string v))
+    (vec "#sources");
+  let pairs key f =
+    let vs = vec key in
+    if Array.length vs mod 2 <> 0 then
+      Runtime.fault "corrupt session manifest: odd %s vector" key;
+    for i = 0 to (Array.length vs / 2) - 1 do
+      match vs.(2 * i) with
+      | Value.Str name -> f name vs.((2 * i) + 1)
+      | v -> Runtime.fault "corrupt session manifest: name %s" (Value.to_string v)
+    done
+  in
+  pairs "#globals" (fun name v -> Hashtbl.replace session.globals name v);
+  let funcs = ref [] in
+  pairs "#funcs" (fun name v ->
+      match v with
+      | Value.Oidv oid -> funcs := (name, oid) :: !funcs
+      | v -> Runtime.fault "corrupt session manifest: function %s" (Value.to_string v));
+  session.funcs <- List.rev !funcs;
+  (match manifest_export m "#expr_counter" with
+  | Value.Int n -> session.expr_counter <- n
+  | v -> Runtime.fault "corrupt session manifest: counter %s" (Value.to_string v));
+  session

@@ -51,3 +51,23 @@ val feed : session -> string -> feed_result
 (** [lookup_tml session name] — the current TML of a linked function
     (for [:dump]). *)
 val lookup_tml : session -> string -> Tml_core.Term.value option
+
+(** {1 Durable sessions}
+
+    A session running on a store-backed heap ({!Pstore}) persists as a
+    manifest module recorded as the store root: the definition sources
+    fed so far, the global bindings, the linked-function table and the
+    expression counter. *)
+
+(** [persist session pstore] writes the manifest and commits every dirty
+    and new object; returns the number of objects written.  The session
+    must be running on [pstore]'s heap (created with [Pstore.attach] or
+    restored with {!restore}). *)
+val persist : session -> Pstore.t -> int
+
+(** [restore pstore] rebuilds a session from the store's manifest:
+    sources are replayed through the type checker and the lowering
+    environment only — nothing is linked, no initializer re-runs, and no
+    object is decoded until first use.
+    @raise Runtime.Fault if the store has no session manifest *)
+val restore : ?mode:Lower.mode -> Pstore.t -> session

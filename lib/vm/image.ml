@@ -7,183 +7,20 @@ let fail fmt = Format.kasprintf (fun s -> raise (Image_error s)) fmt
 
 let magic = "TMLIMG1"
 
-let w_value w (v : Value.t) =
-  match v with
-  | Value.Unit -> Codec.W.u8 w 0
-  | Value.Bool false -> Codec.W.u8 w 1
-  | Value.Bool true -> Codec.W.u8 w 2
-  | Value.Int i ->
-    Codec.W.u8 w 3;
-    Codec.W.svarint w i
-  | Value.Char c ->
-    Codec.W.u8 w 4;
-    Codec.W.u8 w (Char.code c)
-  | Value.Real r ->
-    Codec.W.u8 w 5;
-    Codec.W.float64 w r
-  | Value.Str s ->
-    Codec.W.u8 w 6;
-    Codec.W.str w s
-  | Value.Oidv o ->
-    Codec.W.u8 w 7;
-    Codec.W.varint w (Oid.to_int o)
-  | Value.Primv name ->
-    Codec.W.u8 w 8;
-    Codec.W.str w name
-  | Value.Closure _ | Value.Mclosure _ | Value.Mblock _ | Value.Halt _ ->
-    fail "cannot persist a live %s (functions must be store objects)" (Value.type_name v)
-
-let r_value r : Value.t =
-  match Codec.R.u8 r with
-  | 0 -> Value.Unit
-  | 1 -> Value.Bool false
-  | 2 -> Value.Bool true
-  | 3 -> Value.Int (Codec.R.svarint r)
-  | 4 -> Value.Char (Char.chr (Codec.R.u8 r land 0xff))
-  | 5 -> Value.Real (Codec.R.float64 r)
-  | 6 -> Value.Str (Codec.R.str r)
-  | 7 -> Value.Oidv (Oid.of_int (Codec.R.varint r))
-  | 8 -> Value.Primv (Codec.R.str r)
-  | t -> fail "bad value tag %d" t
-
-let w_values w vs =
-  Codec.W.varint w (Array.length vs);
-  Array.iter (w_value w) vs
-
-let r_values r =
-  let n = Codec.R.varint r in
-  Array.init n (fun _ -> r_value r)
-
-let w_ident w (id : Ident.t) =
-  Codec.W.str w id.Ident.name;
-  Codec.W.varint w id.Ident.stamp;
-  Codec.W.u8 w (if Ident.is_cont id then 1 else 0)
-
-let r_ident r =
-  let name = Codec.R.str r in
-  let stamp = Codec.R.varint r in
-  let sort = if Codec.R.u8 r = 1 then Ident.Cont else Ident.Value in
-  Ident.make ~name ~stamp ~sort
-
-let w_obj w (obj : Value.obj) =
-  match obj with
-  | Value.Array vs ->
-    Codec.W.u8 w 0;
-    w_values w vs
-  | Value.Vector vs ->
-    Codec.W.u8 w 1;
-    w_values w vs
-  | Value.Bytes b ->
-    Codec.W.u8 w 2;
-    Codec.W.str w (Bytes.to_string b)
-  | Value.Tuple vs ->
-    Codec.W.u8 w 3;
-    w_values w vs
-  | Value.Module m ->
-    Codec.W.u8 w 4;
-    Codec.W.str w m.Value.mod_name;
-    Codec.W.varint w (Array.length m.Value.exports);
-    Array.iter
-      (fun (name, v) ->
-        Codec.W.str w name;
-        w_value w v)
-      m.Value.exports
-  | Value.Relation rel ->
-    Codec.W.u8 w 5;
-    Codec.W.str w rel.Value.rel_name;
-    w_values w rel.Value.rows;
-    (* persist which fields are indexed; the hash tables are rebuilt *)
-    Codec.W.varint w (List.length rel.Value.indexes);
-    List.iter (fun (field, _) -> Codec.W.varint w field) rel.Value.indexes;
-    Codec.W.varint w (List.length rel.Value.triggers);
-    List.iter (w_value w) rel.Value.triggers
-  | Value.Func fo ->
-    Codec.W.u8 w 6;
-    Codec.W.str w fo.Value.fo_name;
-    Codec.W.str w fo.Value.fo_ptml;
-    Codec.W.varint w (List.length fo.Value.fo_bindings);
-    List.iter
-      (fun (id, v) ->
-        w_ident w id;
-        w_value w v)
-      fo.Value.fo_bindings;
-    Codec.W.varint w (List.length fo.Value.fo_attrs);
-    List.iter
-      (fun (name, value) ->
-        Codec.W.str w name;
-        Codec.W.svarint w value)
-      fo.Value.fo_attrs
-
-let r_obj r : Value.obj * int list (* indexed fields, relations only *) =
-  match Codec.R.u8 r with
-  | 0 -> Value.Array (r_values r), []
-  | 1 -> Value.Vector (r_values r), []
-  | 2 -> Value.Bytes (Bytes.of_string (Codec.R.str r)), []
-  | 3 -> Value.Tuple (r_values r), []
-  | 4 ->
-    let mod_name = Codec.R.str r in
-    let n = Codec.R.varint r in
-    let exports =
-      Array.init n (fun _ ->
-          let name = Codec.R.str r in
-          let v = r_value r in
-          name, v)
-    in
-    Value.Module { Value.mod_name; exports }, []
-  | 5 ->
-    let rel_name = Codec.R.str r in
-    let rows = r_values r in
-    let n = Codec.R.varint r in
-    let fields = List.init n (fun _ -> Codec.R.varint r) in
-    let nt = Codec.R.varint r in
-    let triggers = List.init nt (fun _ -> r_value r) in
-    Value.Relation { Value.rel_name; rows; indexes = []; triggers }, fields
-  | 6 ->
-    let fo_name = Codec.R.str r in
-    let fo_ptml = Codec.R.str r in
-    let nb = Codec.R.varint r in
-    let fo_bindings =
-      List.init nb (fun _ ->
-          let id = r_ident r in
-          let v = r_value r in
-          id, v)
-    in
-    let na = Codec.R.varint r in
-    let fo_attrs =
-      List.init na (fun _ ->
-          let name = Codec.R.str r in
-          let value = Codec.R.svarint r in
-          name, value)
-    in
-    let tml =
-      try Tml_store.Ptml.decode_value fo_ptml with
-      | Tml_store.Ptml.Decode_error msg -> fail "function %s: corrupt PTML: %s" fo_name msg
-    in
-    ( Value.Func
-        {
-          Value.fo_name;
-          fo_tml = tml;
-          fo_ptml;
-          fo_bindings;
-          fo_tree_impl = None;
-          fo_mach_impl = None;
-          fo_code = None;
-          fo_attrs;
-        },
-      [] )
-  | t -> fail "bad object tag %d" t
-
 let save heap =
   let w = Codec.W.create ~initial:4096 () in
   Codec.W.raw w magic;
   Codec.W.varint w (Value.Heap.size heap);
-  for ix = 0 to Value.Heap.size heap - 1 do
-    match Value.Heap.get_opt heap (Oid.of_int ix) with
-    | Some obj ->
-      Codec.W.u8 w 1;
-      w_obj w obj
-    | None -> Codec.W.u8 w 0
-  done;
+  (try
+     for ix = 0 to Value.Heap.size heap - 1 do
+       match Value.Heap.get_opt heap (Oid.of_int ix) with
+       | Some obj ->
+         Codec.W.u8 w 1;
+         Obj_codec.w_obj w obj
+       | None -> Codec.W.u8 w 0
+     done
+   with
+  | Obj_codec.Codec_error msg -> fail "%s" msg);
   Codec.W.contents w
 
 let load bytes =
@@ -192,7 +29,7 @@ let load bytes =
      let m = Codec.R.raw r (String.length magic) in
      if m <> magic then fail "bad image magic"
    with
-  | Codec.R.Truncated -> fail "truncated image");
+  | Codec.R.Truncated | Codec.R.Malformed _ -> fail "truncated image");
   let n = Codec.R.varint r in
   if n > 50_000_000 then fail "implausible image size %d" n;
   let heap = Value.Heap.create () in
@@ -204,43 +41,22 @@ let load bytes =
          (* hole: allocate a placeholder to keep OIDs aligned *)
          ignore (Value.Heap.alloc heap (Value.Vector [||]))
        | 1 ->
-         let obj, indexed_fields = r_obj r in
+         let obj, indexed_fields = Obj_codec.r_obj r in
          let oid = Value.Heap.alloc heap obj in
          assert (Oid.to_int oid = ix);
          if indexed_fields <> [] then rebuilds := (oid, indexed_fields) :: !rebuilds
        | t -> fail "bad slot tag %d" t
      done
    with
-  | Codec.R.Truncated -> fail "truncated image");
+  | Codec.R.Truncated | Codec.R.Malformed _ -> fail "truncated image"
+  | Obj_codec.Codec_error msg -> fail "%s" msg);
   (* Rebuild relation indexes against the loaded heap. *)
-  let key_of v =
-    match Value.to_literal v with
-    | Some l -> l
-    | None -> fail "non-literal index key in image"
-  in
-  List.iter
-    (fun (oid, fields) ->
-      match Value.Heap.get heap oid with
-      | Value.Relation rel ->
-        List.iter
-          (fun field ->
-            let idx = Hashtbl.create (max 16 (Array.length rel.Value.rows)) in
-            Array.iteri
-              (fun pos row ->
-                match row with
-                | Value.Oidv roid -> (
-                  match Value.Heap.get_opt heap roid with
-                  | Some (Value.Tuple slots) when field < Array.length slots ->
-                    let key = key_of slots.(field) in
-                    let old = Option.value ~default:[] (Hashtbl.find_opt idx key) in
-                    Hashtbl.replace idx key (pos :: old)
-                  | _ -> fail "relation row %d is not a valid tuple" pos)
-                | _ -> fail "relation row %d is not a reference" pos)
-              rel.Value.rows;
-            rel.Value.indexes <- (field, idx) :: rel.Value.indexes)
-          fields
-      | _ -> assert false)
-    !rebuilds;
+  (try
+     List.iter
+       (fun (oid, fields) -> Obj_codec.rebuild_relation_indexes heap oid fields)
+       !rebuilds
+   with
+  | Obj_codec.Codec_error msg -> fail "%s" msg);
   heap
 
 let save_file heap path =

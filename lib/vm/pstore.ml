@@ -1,0 +1,186 @@
+open Tml_core
+module Ls = Tml_store.Log_store
+module Lru = Tml_store.Lru
+module Stats = Tml_store.Store_stats
+
+exception Store_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Store_error s)) fmt
+
+type t = {
+  store : Ls.t;
+  heap : Value.Heap.heap;
+  capacity : int;  (* max clean cached objects; <= 0 means unbounded *)
+  lru : Lru.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable watermark : int;  (* OIDs >= watermark have never been committed *)
+  mutable in_fault : int;  (* depth of nested faults; suppresses hook bookkeeping *)
+  mutable closed : bool;
+}
+
+let heap t = t.heap
+let log t = t.store
+let stats t = Ls.stats t.store
+let path t = Ls.path t.store
+let root t = Option.map Oid.of_int (Ls.root t.store)
+let dirty_count t = Hashtbl.length t.dirty
+let cached_clean_count t = Lru.length t.lru
+let set_fsync t b = Ls.set_fsync t.store b
+let check_open t = if t.closed then fail "persistent store %s is closed" (path t)
+
+(* Mutable objects observed through an access may be updated in place
+   behind the heap's back, so any access dirties them; immutable kinds
+   stay clean and evictable. *)
+let mutable_kind = function
+  | Value.Array _ | Value.Bytes _ | Value.Relation _ | Value.Func _ -> true
+  | Value.Vector _ | Value.Tuple _ | Value.Module _ -> false
+
+let mark_dirty t ix =
+  if not (Hashtbl.mem t.dirty ix) then begin
+    Hashtbl.replace t.dirty ix ();
+    Lru.remove t.lru ix
+  end
+
+let enforce_capacity t =
+  if t.capacity > 0 then begin
+    let continue_ = ref true in
+    while !continue_ && Lru.length t.lru > t.capacity do
+      match Lru.pop_lru t.lru with
+      | None -> continue_ := false
+      | Some ix ->
+        Value.Heap.evict t.heap (Oid.of_int ix);
+        let st = stats t in
+        st.Stats.evictions <- st.Stats.evictions + 1
+    done
+  end
+
+(* --- heap hooks --------------------------------------------------- *)
+
+let note_access t oid obj =
+  if (not t.closed) && t.in_fault = 0 then begin
+    let ix = Oid.to_int oid in
+    if ix < t.watermark then begin
+      let st = stats t in
+      st.Stats.cache_hits <- st.Stats.cache_hits + 1
+    end;
+    if Hashtbl.mem t.dirty ix then ()
+    else if mutable_kind obj then mark_dirty t ix
+    else if ix < t.watermark then begin
+      Lru.touch t.lru ix;
+      enforce_capacity t
+    end
+  end
+
+let note_update t oid _obj =
+  if (not t.closed) && t.in_fault = 0 then mark_dirty t (Oid.to_int oid)
+
+let fault t oid =
+  if t.closed then None
+  else begin
+    let ix = Oid.to_int oid in
+    match Ls.find t.store ix with
+    | None -> None
+    | Some payload ->
+      let st = stats t in
+      st.Stats.faults <- st.Stats.faults + 1;
+      st.Stats.cache_misses <- st.Stats.cache_misses + 1;
+      let obj, indexed =
+        try Obj_codec.decode_obj payload with
+        | Obj_codec.Codec_error msg -> fail "corrupt object %d: %s" ix msg
+      in
+      t.in_fault <- t.in_fault + 1;
+      Fun.protect
+        ~finally:(fun () -> t.in_fault <- t.in_fault - 1)
+        (fun () ->
+          (* Install before rebuilding indexes so rows referring back to
+             the relation resolve instead of re-faulting forever. *)
+          Value.Heap.set t.heap oid obj;
+          if indexed <> [] then begin
+            try Obj_codec.rebuild_relation_indexes t.heap oid indexed with
+            | Obj_codec.Codec_error msg -> fail "corrupt relation %d: %s" ix msg
+          end);
+      if mutable_kind obj then mark_dirty t ix
+      else begin
+        Lru.touch t.lru ix;
+        enforce_capacity t
+      end;
+      Some obj
+  end
+
+(* --- lifecycle ---------------------------------------------------- *)
+
+let make ~store ~heap ~capacity ~watermark =
+  let t =
+    {
+      store;
+      heap;
+      capacity;
+      lru = Lru.create ();
+      dirty = Hashtbl.create 64;
+      watermark;
+      in_fault = 0;
+      closed = false;
+    }
+  in
+  Value.Heap.set_fault_hook heap (fun oid -> fault t oid);
+  Value.Heap.set_access_hook heap (note_access t);
+  Value.Heap.set_update_hook heap (note_update t);
+  t
+
+let create ?(cache_capacity = 0) ?fsync path =
+  make
+    ~store:(Ls.create ?fsync path)
+    ~heap:(Value.Heap.create ()) ~capacity:cache_capacity ~watermark:0
+
+let attach ?(cache_capacity = 0) ?fsync path heap =
+  make ~store:(Ls.create ?fsync path) ~heap ~capacity:cache_capacity ~watermark:0
+
+let open_ ?(cache_capacity = 0) ?fsync path =
+  let store = Ls.open_ ?fsync path in
+  let heap = Value.Heap.create () in
+  let watermark = Ls.max_oid store + 1 in
+  Value.Heap.reserve heap watermark;
+  make ~store ~heap ~capacity:cache_capacity ~watermark
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Value.Heap.clear_hooks t.heap;
+    Ls.close t.store
+  end
+
+(* --- transactions ------------------------------------------------- *)
+
+let commit ?root t =
+  check_open t;
+  let to_write = Hashtbl.create 64 in
+  Hashtbl.iter (fun ix () -> Hashtbl.replace to_write ix ()) t.dirty;
+  for ix = t.watermark to Value.Heap.size t.heap - 1 do
+    Hashtbl.replace to_write ix ()
+  done;
+  let oids = List.sort compare (Hashtbl.fold (fun ix () acc -> ix :: acc) to_write []) in
+  List.iter
+    (fun ix ->
+      match Value.Heap.peek t.heap (Oid.of_int ix) with
+      | None -> ()
+      | Some obj ->
+        let payload =
+          try Obj_codec.encode_obj obj with
+          | Obj_codec.Codec_error msg -> fail "cannot commit object %d: %s" ix msg
+        in
+        Ls.put t.store ix payload)
+    oids;
+  let n = Ls.commit ?root:(Option.map Oid.to_int root) t.store in
+  List.iter
+    (fun ix ->
+      Hashtbl.remove t.dirty ix;
+      if Value.Heap.is_loaded t.heap (Oid.of_int ix) then Lru.touch t.lru ix)
+    oids;
+  t.watermark <- max t.watermark (Value.Heap.size t.heap);
+  enforce_capacity t;
+  n
+
+let compact t =
+  check_open t;
+  ignore (commit t);
+  Ls.compact t.store

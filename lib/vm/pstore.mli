@@ -1,0 +1,78 @@
+(** The persistent heap: a [Value.Heap.heap] backed by the durable log
+    store ([Tml_store.Log_store]), with on-demand object faulting.
+
+    Opening a store materializes {e nothing}: the heap's address space is
+    reserved and every object is faulted in — decoded from its log
+    record — on first dereference.  Accesses are tracked through the
+    heap hooks:
+
+    - an access to a {e mutable-kind} object (arrays, byte arrays,
+      relations, functions) marks it dirty, pinning it in memory until
+      the next {!commit} writes it back;
+    - clean {e immutable-kind} objects (vectors, tuples, modules) sit in
+      an LRU of configurable capacity and may be silently evicted — the
+      next dereference faults them back in;
+    - objects allocated since the last commit are new and always
+      committed.
+
+    {!commit} encodes every dirty and new object, stages the records and
+    seals them with one write-ahead commit record — after a crash the
+    store recovers exactly the last sealed state.  All counters (faults,
+    hits, misses, evictions, commits, recovery truncations) are exposed
+    via {!stats}. *)
+
+exception Store_error of string
+
+type t
+
+(** {1 Lifecycle} *)
+
+val create : ?cache_capacity:int -> ?fsync:bool -> string -> t
+(** fresh store file with a fresh, empty heap.  [cache_capacity] bounds
+    the number of clean cached objects ([<= 0], the default, means
+    unbounded); [fsync] as in {!Tml_store.Log_store.create}. *)
+
+val attach : ?cache_capacity:int -> ?fsync:bool -> string -> Value.Heap.heap -> t
+(** fresh store file adopting an existing in-memory heap; every object
+    in it is treated as new and written by the first {!commit} *)
+
+val open_ : ?cache_capacity:int -> ?fsync:bool -> string -> t
+(** recover an existing store (torn tail truncated, directory rebuilt)
+    and hand back a lazy heap: no object is decoded until dereferenced.
+    @raise Tml_store.Log_store.Store_error as {!Tml_store.Log_store.open_} *)
+
+val close : t -> unit
+(** detach the hooks and close the file.  The heap survives with
+    whatever was materialized, as a plain in-memory heap. *)
+
+(** {1 Transactions} *)
+
+val commit : ?root:Tml_core.Oid.t -> t -> int
+(** write back every dirty and new object and seal the transaction;
+    returns the number of objects written (0 when there is nothing to
+    do).  [root] updates the store's sticky root OID — the entry point
+    {!root} reports after reopening.
+    @raise Store_error if an object holds a live closure *)
+
+val compact : t -> unit
+(** commit, then rewrite the file keeping only live objects (see
+    {!Tml_store.Log_store.compact}) *)
+
+(** {1 Access} *)
+
+val heap : t -> Value.Heap.heap
+val root : t -> Tml_core.Oid.t option
+val log : t -> Tml_store.Log_store.t
+
+(** {1 Introspection} *)
+
+val stats : t -> Tml_store.Store_stats.t
+val path : t -> string
+
+val dirty_count : t -> int
+(** objects pinned for the next commit *)
+
+val cached_clean_count : t -> int
+(** clean objects currently cached (the LRU population) *)
+
+val set_fsync : t -> bool -> unit

@@ -8,6 +8,7 @@ type ctx = {
   out : Buffer.t;
   ccalls : (string, ccall_impl) Hashtbl.t;
   mutable subcall : Value.t -> Value.t list -> (Value.t, Value.t) result;
+  mutable durable_commit : (unit -> unit) option;
 }
 
 and ccall_impl = ctx -> Value.t list -> (Value.t, Value.t) result
@@ -486,6 +487,7 @@ let create ?(fuel = max_int) heap =
       out = Buffer.create 256;
       ccalls = Hashtbl.create 16;
       subcall = (fun _ _ -> fault "no engine installed for re-entrant calls");
+      durable_commit = None;
     }
   in
   List.iter (fun (name, f) -> Hashtbl.replace ctx.ccalls name f) default_ccalls;

@@ -24,6 +24,11 @@ type ctx = {
       (** re-entrant procedure call provided by the running engine, used by
           higher-order primitives (e.g. [select] applying its predicate);
           [Error] carries an exception value raised by the callee *)
+  mutable durable_commit : (unit -> unit) option;
+      (** installed when the heap is backed by a durable store ([Pstore]):
+          commits the current heap state.  The reflective optimizer calls it
+          after rewriting a function so optimized code and its derived
+          attributes persist with the system state (section 4.1). *)
 }
 
 and ccall_impl = ctx -> Value.t list -> (Value.t, Value.t) result

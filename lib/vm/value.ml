@@ -70,24 +70,69 @@ module Heap = struct
   type heap = {
     mutable objs : obj option array;
     mutable next : int;
+    mutable fault : (Oid.t -> obj option) option;
+    mutable on_access : (Oid.t -> obj -> unit) option;
+    mutable on_update : (Oid.t -> obj -> unit) option;
   }
 
-  let create () = { objs = Array.make 64 None; next = 0 }
+  let create () =
+    { objs = Array.make 64 None; next = 0; fault = None; on_access = None; on_update = None }
 
-  let alloc heap obj =
-    if heap.next >= Array.length heap.objs then begin
-      let bigger = Array.make (2 * Array.length heap.objs) None in
+  let set_fault_hook heap f = heap.fault <- Some f
+  let set_access_hook heap f = heap.on_access <- Some f
+  let set_update_hook heap f = heap.on_update <- Some f
+
+  let clear_hooks heap =
+    heap.fault <- None;
+    heap.on_access <- None;
+    heap.on_update <- None
+
+  let ensure_capacity heap n =
+    if n > Array.length heap.objs then begin
+      let cap = ref (Array.length heap.objs) in
+      while n > !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap None in
       Array.blit heap.objs 0 bigger 0 heap.next;
       heap.objs <- bigger
-    end;
+    end
+
+  let reserve heap n =
+    ensure_capacity heap n;
+    if n > heap.next then heap.next <- n
+
+  let alloc heap obj =
+    ensure_capacity heap (heap.next + 1);
     let ix = heap.next in
     heap.objs.(ix) <- Some obj;
     heap.next <- ix + 1;
     Oid.of_int ix
 
-  let get_opt heap oid =
+  let peek heap oid =
     let ix = Oid.to_int oid in
     if ix >= 0 && ix < heap.next then heap.objs.(ix) else None
+
+  let get_opt heap oid =
+    let ix = Oid.to_int oid in
+    if ix < 0 || ix >= heap.next then None
+    else begin
+      match heap.objs.(ix) with
+      | Some obj as r ->
+        (match heap.on_access with
+        | Some f -> f oid obj
+        | None -> ());
+        r
+      | None -> (
+        match heap.fault with
+        | None -> None
+        | Some f -> (
+          match f oid with
+          | Some obj as r ->
+            heap.objs.(ix) <- Some obj;
+            r
+          | None -> None))
+    end
 
   let get heap oid =
     match get_opt heap oid with
@@ -98,7 +143,32 @@ module Heap = struct
     let ix = Oid.to_int oid in
     if ix < 0 || ix >= heap.next then
       invalid_arg (Printf.sprintf "Heap.set: dangling %s" (Oid.to_string oid));
-    heap.objs.(ix) <- Some obj
+    heap.objs.(ix) <- Some obj;
+    (match heap.on_update with
+    | Some f -> f oid obj
+    | None -> ())
+
+  let evict heap oid =
+    let ix = Oid.to_int oid in
+    if ix >= 0 && ix < heap.next then heap.objs.(ix) <- None
+
+  let is_loaded heap oid =
+    let ix = Oid.to_int oid in
+    ix >= 0
+    && ix < heap.next
+    &&
+    match heap.objs.(ix) with
+    | Some _ -> true
+    | None -> false
+
+  let loaded_count heap =
+    let n = ref 0 in
+    for ix = 0 to heap.next - 1 do
+      match heap.objs.(ix) with
+      | Some _ -> incr n
+      | None -> ()
+    done;
+    !n
 
   let size heap = heap.next
 

@@ -103,8 +103,47 @@ module Heap : sig
   val set : heap -> Tml_core.Oid.t -> obj -> unit
   val size : heap -> int
 
-  (** [iter f heap] applies [f] to every live object. *)
+  (** [iter f heap] applies [f] to every live object.  On a store-backed
+      heap only materialized objects are visited; no faulting happens. *)
   val iter : (Tml_core.Oid.t -> obj -> unit) -> heap -> unit
+
+  (** {2 Backing-store hooks}
+
+      A durable store ([Pstore]) attaches itself to a heap through three
+      hooks, making dereference the faulting point: [get]/[get_opt] on an
+      empty slot consult the fault hook and install whatever object it
+      returns; every access to a present object reports to the access
+      hook (dirty tracking, LRU recency); every [set] reports to the
+      update hook.  A heap with no hooks behaves exactly as before —
+      empty slots are dangling references. *)
+
+  val set_fault_hook : heap -> (Tml_core.Oid.t -> obj option) -> unit
+  val set_access_hook : heap -> (Tml_core.Oid.t -> obj -> unit) -> unit
+  val set_update_hook : heap -> (Tml_core.Oid.t -> obj -> unit) -> unit
+
+  val clear_hooks : heap -> unit
+  (** detach the backing store: the heap keeps its materialized objects
+      and reverts to plain in-memory behaviour *)
+
+  val reserve : heap -> int -> unit
+  (** [reserve heap n] extends the address space so OIDs [0..n-1] are
+      valid (empty slots); used when opening a store whose objects are
+      faulted in on demand *)
+
+  val peek : heap -> Tml_core.Oid.t -> obj option
+  (** like [get_opt] but never faults and fires no hooks — a raw slot
+      read for the store's own bookkeeping *)
+
+  val evict : heap -> Tml_core.Oid.t -> unit
+  (** drop a materialized object, returning its slot to the faultable
+      state.  Only safe for clean objects of a store-backed heap: on a
+      plain heap this turns the OID into a dangling reference. *)
+
+  val is_loaded : heap -> Tml_core.Oid.t -> bool
+  (** whether the slot is materialized (no hooks fired) *)
+
+  val loaded_count : heap -> int
+  (** number of materialized slots *)
 
   (** [alloc_func heap ~name tml] allocates a [Func] object, computing its
       PTML encoding; bindings start empty. *)

@@ -1,0 +1,143 @@
+(* Hardening and round-trip properties of the binary codec: LEB128
+   varints must reject non-terminating and >63-bit sequences instead of
+   silently wrapping, and every primitive encoder round-trips on its edge
+   values. *)
+
+module Codec = Tml_store.Codec
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let encode f x =
+  let w = Codec.W.create () in
+  f w x;
+  Codec.W.contents w
+
+let decode f s = f (Codec.R.of_string s)
+
+let expect_malformed what f s =
+  match decode f s with
+  | exception Codec.R.Malformed _ -> ()
+  | v -> Alcotest.failf "%s: accepted as %d" what v
+
+let expect_truncated what f s =
+  match decode f s with
+  | exception Codec.R.Truncated -> ()
+  | v -> Alcotest.failf "%s: accepted as %d" what v
+
+(* --- varint ------------------------------------------------------- *)
+
+let test_varint_edges () =
+  List.iter
+    (fun v -> check tint (string_of_int v) v (decode Codec.R.varint (encode Codec.W.varint v)))
+    [ 0; 1; 127; 128; 16383; 16384; max_int - 1; max_int ];
+  (* max_int is the largest encodable value: exactly 9 bytes, final byte 0x3f *)
+  check tint "max_int is 9 bytes" 9 (String.length (encode Codec.W.varint max_int));
+  match encode Codec.W.varint (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative varint accepted"
+
+let test_varint_rejects_overflow () =
+  (* 9 bytes whose final byte has bit 6 set: value needs a 64th bit *)
+  expect_malformed "64-bit varint" Codec.R.varint "\xff\xff\xff\xff\xff\xff\xff\xff\x40";
+  (* 10-byte sequence: longer than any 63-bit value *)
+  expect_malformed "10-byte varint" Codec.R.varint
+    "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01";
+  (* a sequence that never terminates must not loop or wrap *)
+  expect_malformed "non-terminating varint" Codec.R.varint (String.make 32 '\x80');
+  (* still-truncated input is Truncated, not Malformed *)
+  expect_truncated "truncated varint" Codec.R.varint "\x80\x80";
+  expect_truncated "empty varint" Codec.R.varint ""
+
+(* --- svarint ------------------------------------------------------ *)
+
+let test_svarint_edges () =
+  List.iter
+    (fun v ->
+      check tint (string_of_int v) v (decode Codec.R.svarint (encode Codec.W.svarint v)))
+    [ 0; 1; -1; 63; 64; -64; -65; 8191; -8192; max_int; min_int; max_int - 1; min_int + 1 ]
+
+let test_svarint_rejects_overflow () =
+  (* 10-byte sequence shifts past bit 63 *)
+  expect_malformed "10-byte svarint" Codec.R.svarint
+    "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01";
+  expect_malformed "non-terminating svarint" Codec.R.svarint (String.make 16 '\x80');
+  (* a full 9-byte sequence is the longest legal form; its sign extension
+     keeps it inside the 63-bit [int] range *)
+  check tint "-2^56" (-72057594037927936)
+    (decode Codec.R.svarint "\x80\x80\x80\x80\x80\x80\x80\x80\x7f");
+  expect_truncated "truncated svarint" Codec.R.svarint "\x80"
+
+(* --- float64 / str ------------------------------------------------ *)
+
+let roundtrip_float v = decode Codec.R.float64 (encode Codec.W.float64 v)
+
+let test_float_edges () =
+  List.iter
+    (fun v ->
+      let v' = roundtrip_float v in
+      if not (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v')) then
+        Alcotest.failf "float %h round-tripped as %h" v v')
+    [
+      0.0;
+      -0.0;
+      1.5;
+      -1.5;
+      Float.nan;
+      Float.infinity;
+      Float.neg_infinity;
+      Float.max_float;
+      Float.min_float;
+      epsilon_float;
+      4.9e-324 (* smallest subnormal *);
+    ]
+
+let test_str_roundtrip () =
+  List.iter
+    (fun s -> check tstr "str" s (decode Codec.R.str (encode Codec.W.str s)))
+    [ ""; "x"; String.make 300 'a'; "\x00\xff\x80binary" ]
+
+(* --- properties --------------------------------------------------- *)
+
+let prop_varint =
+  QCheck.Test.make ~name:"varint round trip" ~count:1000
+    QCheck.(map abs int)
+    (fun v ->
+      let v = abs v in
+      decode Codec.R.varint (encode Codec.W.varint v) = v)
+
+let prop_svarint =
+  QCheck.Test.make ~name:"svarint round trip" ~count:1000 QCheck.int (fun v ->
+      decode Codec.R.svarint (encode Codec.W.svarint v) = v)
+
+let prop_float64 =
+  QCheck.Test.make ~name:"float64 round trip (bit-exact)" ~count:1000 QCheck.float (fun v ->
+      Int64.equal (Int64.bits_of_float (roundtrip_float v)) (Int64.bits_of_float v))
+
+let prop_varint_never_wraps =
+  (* arbitrary byte strings: the reader answers, or raises Truncated or
+     Malformed — but never returns a negative value (silent wrap) *)
+  QCheck.Test.make ~name:"varint never wraps negative" ~count:1000
+    QCheck.(string_of_size Gen.(int_bound 16))
+    (fun s ->
+      match decode Codec.R.varint s with
+      | v -> v >= 0
+      | exception (Codec.R.Truncated | Codec.R.Malformed _) -> true)
+
+let () =
+  Alcotest.run "tml_codec"
+    [
+      ( "hardening",
+        [
+          Alcotest.test_case "varint edge values" `Quick test_varint_edges;
+          Alcotest.test_case "varint rejects overflow" `Quick test_varint_rejects_overflow;
+          Alcotest.test_case "svarint edge values" `Quick test_svarint_edges;
+          Alcotest.test_case "svarint rejects overflow" `Quick test_svarint_rejects_overflow;
+          Alcotest.test_case "float64 edge values" `Quick test_float_edges;
+          Alcotest.test_case "str round trip" `Quick test_str_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_varint; prop_svarint; prop_float64; prop_varint_never_wraps ] );
+    ]

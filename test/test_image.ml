@@ -132,6 +132,45 @@ let test_corrupt_image () =
   | exception Image.Image_error _ -> ()
   | _ -> Alcotest.fail "truncated image accepted"
 
+(* A pre-built image guarding byte-compatibility of the format across
+   refactorings of the codec.  Heap: array, vector (with NaN-free edge
+   reals), bytes, tuple, module, a function with explicit binder stamps
+   and derived attributes, two rows and a relation with one index. *)
+let golden_hex =
+  "544d4c494d473109010003032a060a70657273697374656e740001010405000000000000044002047a"
+  ^ "0500000000000000800102040001feff0103030700037908012b0104016d010166070301060273713"
+  ^ "550544d4c31040178026365026363012a0a0300a9460001aa460102ab46010903040800a946000800"
+  ^ "a946000801aa46010802ab460100020b636f73745f6265666f72650b0a636f73745f6166746572030"
+  ^ "1030203010601610103020302060162010501720207060707010000"
+
+let of_hex s =
+  let b = Bytes.create (String.length s / 2) in
+  for i = 0 to Bytes.length b - 1 do
+    Bytes.set b i (Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+  done;
+  Bytes.unsafe_to_string b
+
+let test_golden_image () =
+  let bytes = of_hex golden_hex in
+  let heap = Image.load bytes in
+  check tint "size" 9 (Value.Heap.size heap);
+  (match Value.Heap.get heap (Oid.of_int 0) with
+  | Value.Array [| Value.Int 42; Value.Str "persistent"; Value.Unit |] -> ()
+  | _ -> Alcotest.fail "golden array corrupted");
+  (match Value.Heap.get heap (Oid.of_int 5) with
+  | Value.Func fo ->
+    check tbool "golden attrs" true
+      (fo.Value.fo_attrs = [ "cost_before", 11; "cost_after", 3 ]);
+    let ctx = Runtime.create heap in
+    (match Machine.run_proc ctx (Value.Oidv (Oid.of_int 5)) [ Value.Int 6 ] with
+    | Eval.Done (Value.Int 36) -> ()
+    | o -> Alcotest.failf "golden function: %a" Eval.pp_outcome o)
+  | _ -> Alcotest.fail "golden function corrupted");
+  (match Value.Heap.get heap (Oid.of_int 8) with
+  | Value.Relation rel -> check tint "golden index" 1 (List.length rel.Value.indexes)
+  | _ -> Alcotest.fail "golden relation corrupted");
+  check tbool "byte-identical resave" true (String.equal (Image.save heap) bytes)
+
 let test_file_roundtrip () =
   let heap = Value.Heap.create () in
   ignore (Value.Heap.alloc heap (Value.Array [| Value.Int 7 |]));
@@ -159,6 +198,7 @@ let () =
           Alcotest.test_case "triggers persist" `Quick test_triggers_persist;
           Alcotest.test_case "live closures rejected" `Quick test_live_closure_rejected;
           Alcotest.test_case "corrupt images rejected" `Quick test_corrupt_image;
+          Alcotest.test_case "golden image byte-compatible" `Quick test_golden_image;
           Alcotest.test_case "file round trip" `Quick test_file_roundtrip;
         ] );
     ]

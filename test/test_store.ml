@@ -1,0 +1,369 @@
+(* The durable log-structured store: write-ahead commit semantics, crash
+   recovery at every possible torn-write point, CRC rejection, compaction,
+   and the persistent heap above it (lazy faulting, LRU eviction, dirty
+   write-back, durable reflective optimization). *)
+
+open Tml_core
+open Tml_vm
+module Ls = Tml_store.Log_store
+module Stats = Tml_store.Store_stats
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let temp_store () =
+  let path = Filename.temp_file "tml_store_test" ".tmlstore" in
+  Sys.remove path;
+  path
+
+let with_store f =
+  let path = temp_store () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+(* --- write-ahead log ---------------------------------------------- *)
+
+let test_wal_basics () =
+  with_store (fun path ->
+      let t = Ls.create ~fsync:false path in
+      Ls.put t 0 "alpha";
+      Ls.put t 1 "beta";
+      check tint "staged" 2 (Ls.staged_count t);
+      check tbool "staged readable" true (Ls.find t 1 = Some "beta");
+      check tint "two records" 2 (Ls.commit t);
+      check tint "nothing staged" 0 (Ls.staged_count t);
+      check tint "empty commit writes nothing" 0 (Ls.commit t);
+      Ls.put t 0 "alpha2";
+      Ls.put t 0 "alpha3" (* last staging wins *);
+      check tint "one record" 1 (Ls.commit ~root:1 t);
+      check tbool "superseded" true (Ls.find t 0 = Some "alpha3");
+      Ls.close t;
+      let t = Ls.open_ ~fsync:false path in
+      check tint "objects back" 2 (Ls.object_count t);
+      check tbool "latest version" true (Ls.find t 0 = Some "alpha3");
+      check tbool "root sticky" true (Ls.root t = Some 1);
+      check tint "no truncation" 0 (Ls.stats t).Stats.recovery_truncations;
+      check tint "two transactions" 2 (Ls.seq t);
+      Ls.close t)
+
+let test_uncommitted_puts_are_lost () =
+  with_store (fun path ->
+      let t = Ls.create ~fsync:false path in
+      Ls.put t 0 "durable";
+      ignore (Ls.commit t);
+      Ls.put t 1 "volatile" (* never committed *);
+      Ls.close t;
+      let t = Ls.open_ ~fsync:false path in
+      check tbool "sealed survives" true (Ls.find t 0 = Some "durable");
+      check tbool "unsealed gone" true (Ls.find t 1 = None);
+      Ls.close t)
+
+(* Write two transactions, then replay recovery from every byte-length
+   prefix of the file covering the whole last transaction: every cut must
+   recover exactly the first transaction's state, and the truncated tail
+   must be counted. *)
+let test_truncation_sweep () =
+  with_store (fun path ->
+      let t = Ls.create ~fsync:false path in
+      Ls.put t 0 "first";
+      Ls.put t 1 (String.make 200 'x');
+      ignore (Ls.commit ~root:0 t);
+      let sealed_len = Ls.file_bytes t in
+      Ls.put t 1 "second-version";
+      Ls.put t 2 "second-new";
+      ignore (Ls.commit ~root:2 t);
+      let full_len = Ls.file_bytes t in
+      Ls.close t;
+      let data = read_file path in
+      check tint "file length" full_len (String.length data);
+      for cut = sealed_len to full_len do
+        let p = temp_store () in
+        write_file p (String.sub data 0 cut);
+        let t = Ls.open_ ~fsync:false p in
+        if cut = full_len then begin
+          check tint "full file: no truncation" 0 (Ls.stats t).Stats.recovery_truncations;
+          check tbool "full file: second txn" true (Ls.find t 2 = Some "second-new")
+        end
+        else begin
+          check tbool
+            (Printf.sprintf "cut %d: first txn state" cut)
+            true
+            (Ls.find t 0 = Some "first"
+            && Ls.find t 1 = Some (String.make 200 'x')
+            && Ls.find t 2 = None
+            && Ls.root t = Some 0
+            && Ls.seq t = 1);
+          if cut > sealed_len then begin
+            check tint
+              (Printf.sprintf "cut %d: truncation counted" cut)
+              1
+              (Ls.stats t).Stats.recovery_truncations;
+            check tint
+              (Printf.sprintf "cut %d: truncated bytes" cut)
+              (cut - sealed_len)
+              (Ls.stats t).Stats.truncated_bytes
+          end;
+          (* recovery must also have repaired the file on disk *)
+          check tint
+            (Printf.sprintf "cut %d: file repaired" cut)
+            sealed_len
+            (Unix.stat p).Unix.st_size
+        end;
+        (* the recovered store accepts new transactions *)
+        Ls.put t 7 "after-recovery";
+        ignore (Ls.commit t);
+        Ls.close t;
+        let t = Ls.open_ ~fsync:false p in
+        check tbool "recovered store usable" true (Ls.find t 7 = Some "after-recovery");
+        Ls.close t;
+        Sys.remove p
+      done)
+
+let test_crc_corruption_cuts_tail () =
+  with_store (fun path ->
+      let t = Ls.create ~fsync:false path in
+      Ls.put t 0 "good";
+      ignore (Ls.commit t);
+      let sealed_len = Ls.file_bytes t in
+      Ls.put t 1 "to-be-corrupted";
+      ignore (Ls.commit t);
+      Ls.close t;
+      let data = Bytes.of_string (read_file path) in
+      (* flip one payload byte inside the second transaction *)
+      Bytes.set data (sealed_len + 3) (Char.chr (Char.code (Bytes.get data (sealed_len + 3)) lxor 0xff));
+      write_file path (Bytes.to_string data);
+      let t = Ls.open_ ~fsync:false path in
+      check tint "corrupt tail truncated" 1 (Ls.stats t).Stats.recovery_truncations;
+      check tbool "first txn intact" true (Ls.find t 0 = Some "good");
+      check tbool "corrupt txn gone" true (Ls.find t 1 = None);
+      Ls.close t)
+
+let test_bad_magic_rejected () =
+  with_store (fun path ->
+      write_file path "definitely not a store";
+      match Ls.open_ ~fsync:false path with
+      | exception Ls.Store_error _ -> ()
+      | t ->
+        Ls.close t;
+        Alcotest.fail "bad magic accepted")
+
+let test_compaction () =
+  with_store (fun path ->
+      let t = Ls.create ~fsync:false path in
+      for round = 1 to 10 do
+        Ls.put t 0 (Printf.sprintf "version-%d" round);
+        Ls.put t round (Printf.sprintf "object-%d" round);
+        ignore (Ls.commit ~root:0 t)
+      done;
+      let before = Ls.file_bytes t in
+      check tbool "garbage accumulated" true (Ls.live_bytes t < before);
+      Ls.compact t;
+      let after = Ls.file_bytes t in
+      check tbool "file shrank" true (after < before);
+      check tbool "latest version" true (Ls.find t 0 = Some "version-10");
+      check tbool "all objects live" true (Ls.object_count t = 11);
+      check tbool "root survives" true (Ls.root t = Some 0);
+      Ls.put t 99 "post-compact";
+      ignore (Ls.commit t);
+      Ls.close t;
+      let t = Ls.open_ ~fsync:false path in
+      check tbool "reopen after compact" true
+        (Ls.find t 5 = Some "object-5" && Ls.find t 99 = Some "post-compact");
+      check tint "clean reopen" 0 (Ls.stats t).Stats.recovery_truncations;
+      Ls.close t)
+
+(* --- persistent heap ---------------------------------------------- *)
+
+let test_pstore_lazy_faulting () =
+  with_store (fun path ->
+      let ps = Pstore.create ~fsync:false path in
+      let heap = Pstore.heap ps in
+      let oids =
+        Array.init 20 (fun i ->
+            Value.Heap.alloc heap (Value.Vector [| Value.Int i; Value.Str (string_of_int i) |]))
+      in
+      check tint "everything new" 20 (Pstore.commit ps);
+      Pstore.close ps;
+      let ps = Pstore.open_ ~fsync:false path in
+      let heap = Pstore.heap ps in
+      (* a cold open decodes nothing *)
+      check tint "cold open: no faults" 0 (Pstore.stats ps).Stats.faults;
+      check tint "cold open: nothing loaded" 0 (Value.Heap.loaded_count heap);
+      (match Value.Heap.get heap oids.(7) with
+      | Value.Vector [| Value.Int 7; Value.Str "7" |] -> ()
+      | _ -> Alcotest.fail "faulted object corrupted");
+      check tint "one fault" 1 (Pstore.stats ps).Stats.faults;
+      check tint "one loaded" 1 (Value.Heap.loaded_count heap);
+      (* second access is a cache hit, not a fault *)
+      ignore (Value.Heap.get heap oids.(7));
+      check tint "still one fault" 1 (Pstore.stats ps).Stats.faults;
+      check tbool "hit counted" true ((Pstore.stats ps).Stats.cache_hits > 0);
+      Pstore.close ps)
+
+let test_pstore_mutation_roundtrip () =
+  with_store (fun path ->
+      let ps = Pstore.create ~fsync:false path in
+      let heap = Pstore.heap ps in
+      let arr = Value.Heap.alloc heap (Value.Array [| Value.Int 1; Value.Int 2 |]) in
+      ignore (Pstore.commit ps);
+      (* in-place mutation: the access dirties the array, commit rewrites it *)
+      (match Value.Heap.get heap arr with
+      | Value.Array slots -> slots.(0) <- Value.Int 99
+      | _ -> assert false);
+      check tbool "dirty tracked" true (Pstore.dirty_count ps > 0);
+      check tint "one object rewritten" 1 (Pstore.commit ps);
+      Pstore.close ps;
+      let ps = Pstore.open_ ~fsync:false path in
+      (match Value.Heap.get (Pstore.heap ps) arr with
+      | Value.Array [| Value.Int 99; Value.Int 2 |] -> ()
+      | _ -> Alcotest.fail "mutation lost");
+      Pstore.close ps)
+
+let test_pstore_uncommitted_lost () =
+  with_store (fun path ->
+      let ps = Pstore.create ~fsync:false path in
+      let heap = Pstore.heap ps in
+      let a = Value.Heap.alloc heap (Value.Vector [| Value.Int 1 |]) in
+      ignore (Pstore.commit ps);
+      let b = Value.Heap.alloc heap (Value.Vector [| Value.Int 2 |]) in
+      ignore b;
+      (* no commit: simulate a crash by reopening the file directly *)
+      Pstore.close ps;
+      let ps = Pstore.open_ ~fsync:false path in
+      let heap = Pstore.heap ps in
+      check tbool "committed survives" true (Value.Heap.get_opt heap a <> None);
+      check tint "uncommitted gone" (Oid.to_int a + 1) (Value.Heap.size heap);
+      Pstore.close ps)
+
+let test_pstore_lru_eviction () =
+  with_store (fun path ->
+      let ps = Pstore.create ~fsync:false path in
+      let heap = Pstore.heap ps in
+      let oids =
+        Array.init 16 (fun i -> Value.Heap.alloc heap (Value.Vector [| Value.Int i |]))
+      in
+      ignore (Pstore.commit ps);
+      Pstore.close ps;
+      let ps = Pstore.open_ ~cache_capacity:4 ~fsync:false path in
+      let heap = Pstore.heap ps in
+      Array.iter (fun oid -> ignore (Value.Heap.get heap oid)) oids;
+      check tbool "evictions happened" true ((Pstore.stats ps).Stats.evictions > 0);
+      check tbool "cache bounded" true (Value.Heap.loaded_count heap <= 5);
+      (* evicted objects fault back in with the right contents *)
+      Array.iteri
+        (fun i oid ->
+          match Value.Heap.get heap oid with
+          | Value.Vector [| Value.Int j |] when i = j -> ()
+          | _ -> Alcotest.failf "object %d wrong after re-fault" i)
+        oids;
+      check tbool "refaults counted" true ((Pstore.stats ps).Stats.faults > 16);
+      Pstore.close ps)
+
+let test_pstore_relation_refault () =
+  with_store (fun path ->
+      let ps = Pstore.create ~fsync:false path in
+      let heap = Pstore.heap ps in
+      let ctx = Runtime.create heap in
+      let rel =
+        Tml_query.Rel.create ctx ~name:"r"
+          [ [| Value.Int 1; Value.Str "a" |]; [| Value.Int 2; Value.Str "b" |] ]
+      in
+      Tml_query.Rel.add_index ctx rel 0;
+      ignore (Pstore.commit ps);
+      Pstore.close ps;
+      let ps = Pstore.open_ ~fsync:false path in
+      let ctx = Runtime.create (Pstore.heap ps) in
+      (* faulting the relation rebuilds its index, faulting the rows *)
+      (match Tml_query.Rel.lookup ctx rel ~field:0 (Literal.Int 2) with
+      | Some [ _ ] -> ()
+      | _ -> Alcotest.fail "index not rebuilt on fault");
+      check tbool "rows faulted too" true ((Pstore.stats ps).Stats.faults >= 3);
+      Pstore.close ps)
+
+let test_optimize_commits_durably () =
+  with_store (fun path ->
+      let ps = Pstore.create ~fsync:false path in
+      let heap = Pstore.heap ps in
+      let ctx = Runtime.create heap in
+      ctx.Runtime.durable_commit <- Some (fun () -> ignore (Pstore.commit ps));
+      let proc = Sexp.parse_value "proc(x ce! cc!) (* x x ce! cc!)" in
+      let oid = Value.Heap.alloc_func heap ~name:"square" proc in
+      ignore (Pstore.commit ps);
+      let r = Tml_reflect.Reflect.optimize_inplace ctx oid in
+      check tbool "optimizer reported" true
+        (r.Tml_reflect.Reflect.report.Tml_core.Optimizer.cost_after
+        <= r.Tml_reflect.Reflect.report.Tml_core.Optimizer.cost_before);
+      (* no explicit commit: the optimizer committed through the hook *)
+      Pstore.close ps;
+      let ps = Pstore.open_ ~fsync:false path in
+      let heap = Pstore.heap ps in
+      (match Value.Heap.get heap oid with
+      | Value.Func fo ->
+        check tbool "derived attributes persisted" true
+          (List.mem_assoc "cost_before" fo.Value.fo_attrs
+          && List.mem_assoc "cost_after" fo.Value.fo_attrs)
+      | _ -> Alcotest.fail "function lost");
+      let ctx = Runtime.create heap in
+      (match Machine.run_proc ctx (Value.Oidv oid) [ Value.Int 9 ] with
+      | Eval.Done (Value.Int 81) -> ()
+      | o -> Alcotest.failf "optimized function broken: %a" Eval.pp_outcome o);
+      Pstore.close ps)
+
+let test_pstore_crash_recovery () =
+  with_store (fun path ->
+      let ps = Pstore.create ~fsync:false path in
+      let heap = Pstore.heap ps in
+      let a = Value.Heap.alloc heap (Value.Array [| Value.Int 1 |]) in
+      ignore (Pstore.commit ps);
+      (match Value.Heap.get heap a with
+      | Value.Array slots -> slots.(0) <- Value.Int 2
+      | _ -> assert false);
+      ignore (Pstore.commit ps);
+      Pstore.close ps;
+      (* tear the last transaction in half *)
+      let data = read_file path in
+      write_file path (String.sub data 0 (String.length data - 3));
+      let ps = Pstore.open_ ~fsync:false path in
+      check tint "torn tail cut" 1 (Pstore.stats ps).Stats.recovery_truncations;
+      (match Value.Heap.get (Pstore.heap ps) a with
+      | Value.Array [| Value.Int 1 |] -> ()
+      | _ -> Alcotest.fail "did not recover the sealed state");
+      Pstore.close ps)
+
+let () =
+  Runtime.install ();
+  Tml_query.Qprims.install ();
+  Alcotest.run "tml_store"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "write-ahead basics" `Quick test_wal_basics;
+          Alcotest.test_case "uncommitted puts are lost" `Quick test_uncommitted_puts_are_lost;
+          Alcotest.test_case "recovery at every truncation point" `Quick test_truncation_sweep;
+          Alcotest.test_case "CRC corruption cuts the tail" `Quick test_crc_corruption_cuts_tail;
+          Alcotest.test_case "bad magic rejected" `Quick test_bad_magic_rejected;
+          Alcotest.test_case "compaction" `Quick test_compaction;
+        ] );
+      ( "pstore",
+        [
+          Alcotest.test_case "lazy faulting" `Quick test_pstore_lazy_faulting;
+          Alcotest.test_case "mutations round trip" `Quick test_pstore_mutation_roundtrip;
+          Alcotest.test_case "uncommitted objects lost" `Quick test_pstore_uncommitted_lost;
+          Alcotest.test_case "LRU eviction and re-fault" `Quick test_pstore_lru_eviction;
+          Alcotest.test_case "relation index rebuilt on fault" `Quick test_pstore_relation_refault;
+          Alcotest.test_case "optimizer commits durably" `Quick test_optimize_commits_durably;
+          Alcotest.test_case "crash recovery" `Quick test_pstore_crash_recovery;
+        ] );
+    ]

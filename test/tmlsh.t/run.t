@@ -23,3 +23,49 @@ mutation, reflective optimization, redefinition.
   - : 42 (in 14 instructions)
   defined double
   - : 84 (in 24 instructions)
+
+A durable session: bind a store file, mutate, commit, leave.
+
+  $ tmlsh <<'IN'
+  > let triple(x: Int): Int = x * 3
+  > let r = relation(tuple(1, 10), tuple(2, 20))
+  > :open s.tmlstore
+  > do insert(r, tuple(3, 30)) end
+  > count(r)
+  > :commit
+  > :quit
+  > IN
+  defined triple
+  defined r
+  new store s.tmlstore (committed 57 objects)
+  - : 3 (in 6 instructions)
+  committed 9 objects to s.tmlstore
+
+A fresh process restores the session from the store: the inserted row is
+back, objects are faulted on first dereference, and the reflective
+optimizer commits its rewrites durably.
+
+  $ tmlsh <<'IN'
+  > :open s.tmlstore
+  > count(r)
+  > triple(14)
+  > :optimize triple
+  > :quit
+  > IN
+  restored session from s.tmlstore (61 objects, faulted on demand)
+  - : 3 (in 6 instructions)
+  - : 42 (in 24 instructions)
+  optimized triple: static cost 9 -> 3, 1 calls inlined
+
+The optimized function and its derived attributes survived the last
+commit; compaction drops superseded versions.
+
+  $ tmlsh <<'IN' | sed 's/: [0-9]* -> [0-9]* bytes/: LOG -> LIVE bytes/'
+  > :open s.tmlstore
+  > triple(14)
+  > :compact
+  > :quit
+  > IN
+  restored session from s.tmlstore (63 objects, faulted on demand)
+  - : 42 (in 14 instructions)
+  compacted s.tmlstore: LOG -> LIVE bytes

@@ -1,0 +1,191 @@
+(* tmlfuzz — differential fuzzing and translation validation driver.
+
+   Subcommands:
+     tmlfuzz run              run a fuzz campaign over generated programs
+     tmlfuzz replay FILE..    replay saved corpus entries (minimized
+                              reproducers) through their oracles
+     tmlfuzz show FILE        print a corpus entry's generated term
+
+   A campaign runs every seed through the selected oracles (differential
+   execution, query differential, PTML round trip, durable store reopen),
+   minimizes any failure with the integrated shrinker and reports the
+   shrunk reproducer; `--save-failures DIR` writes each one as a corpus
+   file that `tmlfuzz replay` (and the regression suite) replays. *)
+
+open Tml_check
+open Cmdliner
+
+let () = Tml_query.Qprims.install ()
+
+let oracle_conv =
+  let parse s =
+    match Harness.oracle_of_name s with
+    | Some o -> Ok o
+    | None -> Error (`Msg (Printf.sprintf "unknown oracle %S (diff|query|ptml|store)" s))
+  in
+  Arg.conv (parse, fun ppf o -> Format.pp_print_string ppf (Harness.oracle_name o))
+
+let oracles_arg =
+  Arg.(
+    value
+    & opt_all oracle_conv []
+    & info [ "oracle" ] ~docv:"ORACLE"
+        ~doc:
+          "Oracle to run: $(b,diff) (tree vs machine vs optimized vs reflective), \
+           $(b,query) (the same over query pipelines), $(b,ptml) (codec round trip), \
+           $(b,store) (durable reopen).  Repeatable; default all four.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"First seed of the campaign.")
+
+let count_arg =
+  Arg.(value & opt int 1000 & info [ "count" ] ~docv:"N" ~doc:"Number of seeds to run.")
+
+let min_size_arg =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "min-size" ] ~docv:"N" ~doc:"Minimum generated program size (operations).")
+
+let max_size_arg =
+  Arg.(
+    value
+    & opt int 45
+    & info [ "max-size" ] ~docv:"N" ~doc:"Maximum generated program size (operations).")
+
+let no_validate_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-validate" ]
+        ~doc:
+          "Disable the optimizer's pass-level translation validation (it is on by \
+           default: every reduction/expansion pass re-checks well-formedness, free \
+           variables and accounting).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit campaign statistics as JSON on stdout.")
+
+let save_failures_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-failures" ] ~docv:"DIR"
+        ~doc:"Write each minimized failure as a corpus file in $(docv).")
+
+let progress_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "progress" ] ~doc:"Print a progress line to stderr every 100 seeds.")
+
+let write_failure dir i (f : Harness.failure) =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-seed%d-%d.corpus" (Harness.oracle_name f.Harness.f_oracle)
+         f.Harness.f_seed i)
+  in
+  Out_channel.with_open_bin path (fun oc -> output_string oc f.Harness.f_entry);
+  path
+
+let run_cmd =
+  let run oracles seed count min_size max_size no_validate json save_failures progress =
+    let oracles = if oracles = [] then Harness.all_oracles else oracles in
+    let validate = not no_validate in
+    let progress_fn =
+      if progress then (fun done_ ->
+        if done_ mod 100 = 0 then Printf.eprintf "tmlfuzz: %d/%d seeds\n%!" done_ count)
+      else fun _ -> ()
+    in
+    let stats, failures =
+      Harness.run_campaign ~progress:progress_fn ~min_size ~max_size ~oracles ~validate
+        ~first_seed:seed ~count ()
+    in
+    if json then print_endline (Harness.stats_json stats failures)
+    else begin
+      Printf.printf "tmlfuzz: oracles [%s], seeds %d..%d, validation %s\n"
+        (String.concat " " (List.map Harness.oracle_name oracles))
+        seed (seed + count - 1)
+        (if validate then "on" else "off");
+      Printf.printf "executed %d cases: %d agreed, %d skipped, %d failed\n"
+        stats.Harness.executed stats.Harness.agreed stats.Harness.skipped
+        stats.Harness.failed;
+      List.iteri
+        (fun i f ->
+          Printf.printf "\n-- failure %d: oracle %s, seed %d --\n%s\n" (i + 1)
+            (Harness.oracle_name f.Harness.f_oracle)
+            f.Harness.f_seed f.Harness.f_detail;
+          print_string f.Harness.f_entry)
+        failures
+    end;
+    (match save_failures with
+    | Some dir ->
+      List.iteri
+        (fun i f ->
+          let path = write_failure dir i f in
+          Printf.eprintf "tmlfuzz: wrote %s\n" path)
+        failures
+    | None -> ());
+    if failures <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a fuzz campaign")
+    Term.(
+      const run $ oracles_arg $ seed_arg $ count_arg $ min_size_arg $ max_size_arg
+      $ no_validate_arg $ json_arg $ save_failures_arg $ progress_arg)
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Corpus entries to replay.")
+
+let replay_cmd =
+  let run files no_validate =
+    let validate = not no_validate in
+    let failed = ref 0 in
+    List.iter
+      (fun path ->
+        match Harness.load_entry path with
+        | exception Failure msg ->
+          incr failed;
+          Printf.printf "%s: unreadable entry: %s\n" path msg
+        | oracle, case -> (
+          match Harness.replay ~validate oracle case with
+          | Ok () -> Printf.printf "%s: ok (%s)\n" path (Harness.oracle_name oracle)
+          | Error detail ->
+            incr failed;
+            Printf.printf "%s: FAILED (%s)\n%s\n" path (Harness.oracle_name oracle) detail))
+      files;
+    if !failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Replay saved corpus entries through their oracles")
+    Term.(const run $ files_arg $ no_validate_arg)
+
+let show_cmd =
+  let run file =
+    match Harness.load_entry file with
+    | exception Failure msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+    | oracle, case ->
+      Printf.printf "oracle: %s\n" (Harness.oracle_name oracle);
+      (match case with
+      | Harness.Cdiff c ->
+        Printf.printf "inputs: a=%d b=%d\n" c.Tgen.a c.Tgen.b;
+        Format.printf "%a@." Tml_core.Pp.pp_value c.Tgen.proc
+      | Harness.Cquery q ->
+        Printf.printf "rows: %s\n"
+          (String.concat "; "
+             (List.map
+                (fun r -> String.concat "," (List.map string_of_int r))
+                q.Tgen.rows));
+        Format.printf "%a@." Tml_core.Pp.pp_value q.Tgen.qproc)
+  in
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "show" ~doc:"Pretty-print a corpus entry") Term.(const run $ file_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "tmlfuzz" ~version:"1.0.0"
+       ~doc:"Differential fuzzing and translation validation for the TML system")
+    [ run_cmd; replay_cmd; show_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,223 @@
+open Tml_core
+open Tml_vm
+module Reflect_ = Tml_reflect.Reflect
+
+let fuel = 3_000_000
+let installed = lazy (Tml_query.Qprims.install ())
+
+type engine =
+  | Tree
+  | Mach
+  | Opt of string * Optimizer.config
+  | Reflect of string * Reflect_.config
+
+let engine_name = function
+  | Tree -> "tree"
+  | Mach -> "mach"
+  | Opt (name, _) -> name
+  | Reflect (name, _) -> name
+
+let engines ~validate =
+  let ov (c : Optimizer.config) = { c with Optimizer.validate } in
+  let refl use_query_rules =
+    {
+      Reflect_.default with
+      Reflect_.optimizer = ov Reflect_.default.Reflect_.optimizer;
+      use_ptml = true;
+      use_query_rules;
+    }
+  in
+  [
+    Tree;
+    Mach;
+    Opt ("o1", ov Optimizer.o1);
+    Opt ("o2", ov Optimizer.o2);
+    Opt ("o3", ov Optimizer.o3);
+    Reflect ("reflect", refl false);
+    Reflect ("reflect-q", refl true);
+  ]
+
+type observation = {
+  outcome : Eval.outcome;
+  output : string;
+  store : string;
+  steps : int;
+}
+
+let pp_observation ppf o =
+  Format.fprintf ppf "@[<v>outcome: %a@ output: %S@ steps: %d@ store:@ %s@]" Eval.pp_outcome
+    o.outcome o.output o.steps o.store
+
+let observation_equal a b =
+  Eval.outcome_equal a.outcome b.outcome && String.equal a.output b.output
+  && String.equal a.store b.store
+
+type disagreement = {
+  engine : string;
+  baseline : observation option;
+  got : (observation, string) result;
+}
+
+type verdict =
+  | Agree of observation
+  | Disagree of disagreement list
+
+let pp_verdict ppf = function
+  | Agree o -> Format.fprintf ppf "@[<v>agree (%d steps on the tree evaluator)@]" o.steps
+  | Disagree ds ->
+    Format.fprintf ppf "@[<v>";
+    List.iteri
+      (fun i d ->
+        if i > 0 then Format.fprintf ppf "@ ";
+        (match d.got with
+        | Error e -> Format.fprintf ppf "engine %s errored: %s" d.engine e
+        | Ok o -> Format.fprintf ppf "engine %s observed:@ %a" d.engine pp_observation o);
+        match d.baseline with
+        | None -> ()
+        | Some b -> Format.fprintf ppf "@ tree baseline:@ %a" pp_observation b)
+      ds;
+    Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Running one engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_ctx () =
+  Lazy.force installed;
+  let heap = Value.Heap.create () in
+  Runtime.create ~fuel heap
+
+let as_abs = function
+  | Term.Abs f -> f
+  | _ -> Runtime.fault "oracle: generated program is not an abstraction"
+
+(* Run [proc] on [args] under [engine] in context [ctx].  The persistent
+   engines register the program as a store function object first; when
+   [bindings] is nonempty the given identifiers are left free in the stored
+   term and linked as R-value bindings instead of being passed as runtime
+   arguments — the reflective optimizer then sees them as literal store
+   references. *)
+let run_engine engine ctx ~(proc : Term.value) ~(bindings : (Ident.t * Value.t) list)
+    ~(args : Value.t list) =
+  match engine with
+  | Tree ->
+    let v = Eval.eval_value ctx ~env:Ident.Map.empty proc in
+    Eval.run_proc ctx v args
+  | Mach -> Machine.run_abs ctx (as_abs proc) args
+  | Opt (_, config) -> (
+    let optimized, _report = Optimizer.optimize_value ~config proc in
+    (* η-reduction can legitimately collapse a whole procedure to a bare
+       primitive (or another non-abstraction value); fall back to the
+       machine's value-application entry point in that case *)
+    match optimized with
+    | Term.Abs f -> Machine.run_abs ctx f args
+    | v -> Machine.run_proc ctx (Eval.eval_value ctx ~env:Ident.Map.empty v) args)
+  | Reflect (_, config) ->
+    let f = as_abs proc in
+    let stored, passed_args =
+      if bindings = [] then proc, args
+      else begin
+        (* drop the leading value parameters: they stay free and get linked *)
+        let nbind = List.length bindings in
+        let rec drop n xs = if n = 0 then xs else drop (n - 1) (List.tl xs) in
+        Term.Abs { f with Term.params = drop nbind f.Term.params }, []
+      end
+    in
+    let oid = Value.Heap.alloc_func ctx.Runtime.heap ~name:"fuzz" stored in
+    (match Value.Heap.get ctx.Runtime.heap oid with
+    | Value.Func fo -> fo.Value.fo_bindings <- List.map (fun (id, v) -> id, v) bindings
+    | _ -> assert false);
+    let _result = Reflect_.optimize_inplace ~config ctx oid in
+    Machine.run_proc ctx (Value.Oidv oid) passed_args
+
+(* Exactly one of [mk_args]/[mk_bindings] runs per observation: the
+   persistent engines link store references as bindings, everything else
+   receives them as runtime arguments.  (Both closures may allocate — e.g.
+   the query relation — so only one may execute.) *)
+let observe engine ~proc ~mk_args ~mk_bindings ~store_of =
+  let ctx = fresh_ctx () in
+  let bindings =
+    match engine with
+    | Reflect _ -> mk_bindings ctx
+    | Tree | Mach | Opt _ -> []
+  in
+  let args = if bindings = [] then mk_args ctx else [] in
+  let outcome = run_engine engine ctx ~proc ~bindings ~args in
+  {
+    outcome;
+    output = Buffer.contents ctx.Runtime.out;
+    store = store_of ctx args bindings;
+    steps = ctx.Runtime.steps;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Differential comparison                                             *)
+(* ------------------------------------------------------------------ *)
+
+let try_observe engine ~proc ~mk_args ~mk_bindings ~store_of =
+  match observe engine ~proc ~mk_args ~mk_bindings ~store_of with
+  | o -> Ok o
+  | exception Optimizer.Validation_error msg -> Error ("Validation_error: " ^ msg)
+  | exception Runtime.Fault msg -> Error ("Fault outside the run: " ^ msg)
+  | exception Failure msg -> Error ("Failure: " ^ msg)
+  | exception Stack_overflow -> Error "Stack_overflow"
+
+let differential ~engines ~proc ~mk_args ~mk_bindings ~store_of =
+  match try_observe Tree ~proc ~mk_args ~mk_bindings ~store_of with
+  | Error e -> Disagree [ { engine = "tree"; baseline = None; got = Error e } ]
+  | Ok base ->
+    let disagreements =
+      List.filter_map
+        (fun engine ->
+          match engine with
+          | Tree -> None
+          | _ -> (
+            match try_observe engine ~proc ~mk_args ~mk_bindings ~store_of with
+            | Error e ->
+              Some { engine = engine_name engine; baseline = Some base; got = Error e }
+            | Ok o ->
+              if observation_equal base o then None
+              else Some { engine = engine_name engine; baseline = Some base; got = Ok o }))
+        engines
+    in
+    if disagreements = [] then Agree base else Disagree disagreements
+
+let check_case ~engines (c : Tgen.case) =
+  differential ~engines ~proc:c.Tgen.proc
+    ~mk_bindings:(fun _ -> [])
+    ~mk_args:(fun _ -> [ Value.Int c.Tgen.a; Value.Int c.Tgen.b ])
+    ~store_of:(fun ctx _ _ -> Canon.dump_heap ctx.Runtime.heap)
+
+let check_query ~engines (c : Tgen.query_case) =
+  let mk_rel ctx =
+    Tml_query.Rel.create ctx ~name:"t"
+      (List.map (fun row -> Array.of_list (List.map (fun x -> Value.Int x) row)) c.Tgen.rows)
+  in
+  (* the relation parameter is linked as a binding on the persistent path,
+     passed as an argument everywhere else *)
+  let rel_param =
+    match c.Tgen.qproc with
+    | Term.Abs { Term.params = r :: _; _ } -> r
+    | _ -> Runtime.fault "oracle: query program is not an abstraction"
+  in
+  differential ~engines ~proc:c.Tgen.qproc
+    ~mk_bindings:(fun ctx -> [ rel_param, Value.Oidv (mk_rel ctx) ])
+    ~mk_args:(fun ctx -> [ Value.Oidv (mk_rel ctx) ])
+    ~store_of:(fun ctx args bindings ->
+      let root =
+        match args, bindings with
+        | root :: _, _ -> root
+        | [], (_, root) :: _ -> root
+        | [], [] -> Value.Unit
+      in
+      Canon.dump_reachable ctx [ root ])
+
+let case_fails ~engines c =
+  match check_case ~engines c with
+  | Agree _ -> false
+  | Disagree _ -> true
+
+let query_fails ~engines c =
+  match check_query ~engines c with
+  | Agree _ -> false
+  | Disagree _ -> true

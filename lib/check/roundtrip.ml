@@ -1,0 +1,133 @@
+open Tml_core
+open Tml_vm
+
+type outcome =
+  | Pass
+  | Skip of string
+  | Fail of string
+
+let pp_outcome ppf = function
+  | Pass -> Format.fprintf ppf "pass"
+  | Skip m -> Format.fprintf ppf "skip (%s)" m
+  | Fail m -> Format.fprintf ppf "FAIL: %s" m
+
+let failf fmt = Format.kasprintf (fun m -> Fail m) fmt
+
+(* [Term.alpha_equal_app] compares applications; wrap values in a dummy
+   application node to compare them. *)
+let wrap v = Term.app (Term.prim "rt-wrap") [ v ]
+
+let ptml_value (v : Term.value) =
+  match Tml_store.Ptml.decode_value (Tml_store.Ptml.encode_value v) with
+  | exception e -> failf "PTML decode raised %s" (Printexc.to_string e)
+  | v' ->
+    if not (Term.alpha_equal_app (wrap v) (wrap v')) then
+      failf "PTML round trip not α-equivalent:@.%a@.!=@.%a" Pp.pp_value v Pp.pp_value v'
+    else if not (Term.equal_app (wrap v) (wrap v')) then
+      failf "PTML round trip α-equivalent but stamps not preserved:@.%a@.!=@.%a" Pp.pp_value
+        v Pp.pp_value v'
+    else Pass
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let live_closure_reject msg =
+  (* the one specified rejection: live closures are not persistable *)
+  contains ~sub:"persist a live" msg
+
+let index_fields (o : Value.obj) =
+  match o with
+  | Value.Relation rel -> List.sort compare (List.map fst rel.Value.indexes)
+  | _ -> []
+
+(* decoded relations come back with their indexes unbuilt: compare the
+   structural payload with indexes stripped, and the persisted index-field
+   list separately *)
+let strip_indexes (o : Value.obj) =
+  match o with
+  | Value.Relation rel -> Value.Relation { rel with Value.indexes = [] }
+  | o -> o
+
+let obj (o : Value.obj) =
+  match Obj_codec.encode_obj o with
+  | exception Obj_codec.Codec_error m when live_closure_reject m -> Skip m
+  | exception e -> failf "encode_obj raised %s" (Printexc.to_string e)
+  | bytes -> (
+    match Obj_codec.decode_obj bytes with
+    | exception e -> failf "decode_obj raised %s" (Printexc.to_string e)
+    | o', fields ->
+      let before = Canon.render_obj_full (strip_indexes o) in
+      let after = Canon.render_obj_full o' in
+      if not (String.equal before after) then
+        failf "object round trip differs:@.%s@.!=@.%s" before after
+      else if index_fields o <> List.sort compare fields then
+        failf "persisted index fields differ: [%s] != [%s]"
+          (String.concat " " (List.map string_of_int (index_fields o)))
+          (String.concat " " (List.map string_of_int (List.sort compare fields)))
+      else Pass)
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i la lb =
+    match la, lb with
+    | [], [] -> "dumps differ (?)"
+    | x :: _, [] -> Printf.sprintf "line %d only before reopen: %s" i x
+    | [], y :: _ -> Printf.sprintf "line %d only after reopen: %s" i y
+    | x :: la', y :: lb' ->
+      if String.equal x y then go (i + 1) la' lb'
+      else Printf.sprintf "line %d: %s != %s" i x y
+  in
+  go 1 la lb
+
+let heap_reopen ~path setup =
+  Tml_query.Qprims.install ();
+  let cleanup () = try if Sys.file_exists path then Sys.remove path with Sys_error _ -> () in
+  cleanup ();
+  let finish outcome =
+    cleanup ();
+    outcome
+  in
+  let heap = Value.Heap.create () in
+  let ps = Pstore.attach ~fsync:false path heap in
+  let ctx = Runtime.create heap in
+  match setup ctx with
+  | exception e ->
+    Pstore.close ps;
+    finish (failf "setup raised %s" (Printexc.to_string e))
+  | () -> (
+    let before = Canon.dump_heap_all heap in
+    match Pstore.commit ps with
+    | exception Obj_codec.Codec_error m when live_closure_reject m ->
+      Pstore.close ps;
+      finish (Skip m)
+    | exception Pstore.Store_error m when live_closure_reject m ->
+      Pstore.close ps;
+      finish (Skip m)
+    | exception e ->
+      Pstore.close ps;
+      finish (failf "commit raised %s" (Printexc.to_string e))
+    | _bytes_written -> (
+      Pstore.close ps;
+      match Pstore.open_ ~fsync:false path with
+      | exception e -> finish (failf "reopen raised %s" (Printexc.to_string e))
+      | ps2 ->
+        let heap2 = Pstore.heap ps2 in
+        (* fault every object back in through the lazy heap *)
+        let refault_error = ref None in
+        for i = 0 to Value.Heap.size heap2 - 1 do
+          match Value.Heap.get_opt heap2 (Oid.of_int i) with
+          | _ -> ()
+          | exception e -> if !refault_error = None then refault_error := Some (i, e)
+        done;
+        let outcome =
+          match !refault_error with
+          | Some (i, e) -> failf "refaulting oid %d raised %s" i (Printexc.to_string e)
+          | None ->
+            let after = Canon.dump_heap_all heap2 in
+            if String.equal before after then Pass
+            else failf "reopened store differs: %s" (first_diff before after)
+        in
+        Pstore.close ps2;
+        finish outcome))

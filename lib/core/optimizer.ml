@@ -4,7 +4,10 @@ type config = {
   expand : Expand.config;
   rules : Rewrite.rule list;
   max_steps : int;
+  validate : bool;
 }
+
+exception Validation_error of string
 
 let default =
   {
@@ -13,6 +16,7 @@ let default =
     expand = Expand.default;
     rules = [];
     max_steps = 200_000;
+    validate = false;
   }
 
 let o1 = { default with max_rounds = 1 }
@@ -44,19 +48,72 @@ let pp_report ppf r =
     r.rounds r.penalty r.expansions r.size_before r.size_after r.cost_before r.cost_after
     Rewrite.pp_stats r.stats
 
+(* Translation validation of one optimizer pass (enabled by
+   [config.validate]): the rewritten tree must still be well-formed, must
+   not acquire free identifiers the input did not have, and the pass's own
+   accounting must agree with the tree it produced.  Violations indicate a
+   broken rewrite rule (most likely a domain rule) and raise
+   [Validation_error] rather than silently corrupting the program. *)
+let validation_failed ~phase ~round fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Validation_error (Printf.sprintf "round %d, %s pass: %s" round phase msg)))
+    fmt
+
+let validate_pass ~config ~frees0 ~phase ~round ~before ~after ~growth =
+  (match Wf.check_app ~free_allowed:(fun id -> Ident.Set.mem id (Lazy.force frees0)) after with
+  | Ok () -> ()
+  | Error errs ->
+    let msg =
+      match errs with
+      | e :: _ -> Format.asprintf "%a" Wf.pp_error e
+      | [] -> "ill-formed"
+    in
+    validation_failed ~phase ~round "%s" msg);
+  match growth with
+  | Some (g, expansions) ->
+    (* the expansion pass replaces one [Var] node per expansion by a copy
+       whose size it adds to [growth], so its accounting is exact *)
+    let actual = Term.size_app after - Term.size_app before in
+    if actual <> g - expansions then
+      validation_failed ~phase ~round
+        "growth accounting mismatch: reported %d over %d expansions, actual size delta %d" g
+        expansions actual
+  | None ->
+    (* the core reduction rules strictly shrink the tree and never increase
+       the static cost; domain rules (inlining, index selection) may
+       legitimately trade size for speed, so the accounting check only
+       applies to the pure-core configuration *)
+    if config.rules = [] then begin
+      if Term.size_app after > Term.size_app before then
+        validation_failed ~phase ~round "reduction grew the tree: %d -> %d"
+          (Term.size_app before) (Term.size_app after);
+      if Cost.app_cost after > Cost.app_cost before then
+        validation_failed ~phase ~round "reduction increased static cost: %d -> %d"
+          (Cost.app_cost before) (Cost.app_cost after)
+    end
+
 let optimize_app ?(config = default) (a : Term.app) =
   let stats = Rewrite.fresh_stats () in
   let size_before = Term.size_app a in
   let cost_before = Cost.app_cost a in
   let expansions = ref 0 in
+  let frees0 = lazy (Term.free_vars_app a) in
+  let validate = validate_pass ~config ~frees0 in
   let reduce a = Rewrite.reduce_app ~stats ~rules:config.rules ~max_steps:config.max_steps a in
   let rec loop round penalty a =
-    let a = reduce a in
+    let a' = reduce a in
+    if config.validate then
+      validate ~phase:"reduction" ~round ~before:a ~after:a' ~growth:None;
+    let a = a' in
     if round >= config.max_rounds || penalty >= config.penalty_limit then a, round, penalty
     else begin
       let r = Expand.expand_app config.expand a in
       if r.expansions = 0 then a, round, penalty
       else begin
+        if config.validate then
+          validate ~phase:"expansion" ~round ~before:a ~after:r.term
+            ~growth:(Some (r.growth, r.expansions));
         expansions := !expansions + r.expansions;
         (* each round of the reduction/expansion phases accumulates a
            penalty proportional to the growth it caused *)
@@ -87,6 +144,16 @@ let optimize_value ?(config = default) (v : Term.value) =
     (* η-reduction may apply to the rebuilt abstraction itself *)
     let v' = Term.Abs { f with body } in
     let v' = Option.value ~default:v' (Rewrite.try_eta ~stats:report.stats v') in
+    if config.validate then begin
+      let frees0 = Term.free_vars_value v in
+      match
+        Wf.check_value ~free_allowed:(fun id -> Ident.Set.mem id frees0) v'
+      with
+      | Ok () -> ()
+      | Error (e :: _) ->
+        raise (Validation_error (Format.asprintf "final value: %a" Wf.pp_error e))
+      | Error [] -> raise (Validation_error "final value: ill-formed")
+    end;
     v', report
   | Term.Lit _ | Term.Var _ | Term.Prim _ ->
     ( v,

@@ -22,7 +22,19 @@ type config = {
   expand : Expand.config;
   rules : Rewrite.rule list;  (** domain-specific rewrite rules *)
   max_steps : int;            (** reduction fuel per pass *)
+  validate : bool;
+      (** translation validation (off by default): after every reduction and
+          expansion pass, re-check well-formedness ({!Wf.check_app}),
+          free-variable preservation (the tree may lose but never acquire
+          free identifiers), and the pass's size/cost accounting.  A
+          violation raises {!Validation_error}.  Intended for the
+          differential test harness ([Tml_check]) and for debugging domain
+          rules; the checks cost one tree traversal per pass. *)
 }
+
+(** Raised (only when [validate] is on) when a pass produces an ill-formed
+    tree, introduces a free identifier, or mis-reports its accounting. *)
+exception Validation_error of string
 
 val default : config
 

@@ -9,10 +9,11 @@
     same reduction engine as the core λ-calculus rules, which is exactly the
     integration of program and query optimization that figure 4 describes.
 
-    Caveat shared with the relational algebra: the algebraic rules reason
-    about relations as multisets of rows; a program that observes the object
-    identity of intermediate result relations can distinguish σtrue(R) from
-    R. *)
+    The rules reason about relations as multisets of rows; the ones whose
+    algebraic reading is only valid for read-only consumers (σtrue(R) ≡ R,
+    which aliases instead of copying) carry explicit syntactic
+    preconditions restricting them to contexts where the aliasing is
+    unobservable. *)
 
 open Tml_core
 
@@ -24,7 +25,12 @@ val merge_select : Rewrite.rule
 (** πf(πg(R)) ≡ πf∘g(R). *)
 val merge_project : Rewrite.rule
 
-(** σtrue(R) ≡ R and σfalse(R) ≡ ∅ for constant predicates. *)
+(** σtrue(R) ≡ R and σfalse(R) ≡ ∅ for constant predicates.  The σtrue
+    direction aliases the result to [R] instead of copying, so it only
+    fires when the continuation consumes the relation read-only and cannot
+    mutate the store or call unknown procedures while the alias is live
+    (the differential fuzzer caught an [insert] through the alias mutating
+    the base relation). *)
 val constant_select : Rewrite.rule
 
 (** ∃x∈R: p ≡ p ∧ R≠∅ when x does not occur in p — the [trivial-exists]

@@ -117,6 +117,27 @@ let inline_query_arg ctx ~budget ~limit ~count (a : Term.app) =
     | _ -> None)
   | _ -> None
 
+(* Translation validation of the reflective pipeline itself (enabled through
+   [config.optimizer.validate], which the optimizer also honours per pass):
+   the optimized function must be well-formed and its free identifiers must
+   be a subset of the leftover (non-literal) bindings plus the frees of the
+   closed input — anything else would dangle at re-link time. *)
+let validate_result ~closed ~leftover optimized =
+  let allowed =
+    List.fold_left
+      (fun s (id, _) -> Ident.Set.add id s)
+      (Term.free_vars_value closed)
+      leftover
+  in
+  match
+    Wf.check_value ~free_allowed:(fun id -> Ident.Set.mem id allowed) optimized
+  with
+  | Ok () -> ()
+  | Error (e :: _) ->
+    raise
+      (Optimizer.Validation_error (Format.asprintf "reflect.optimize: %a" Wf.pp_error e))
+  | Error [] -> raise (Optimizer.Validation_error "reflect.optimize: ill-formed result")
+
 (* The store-aware rule set used by both optimize variants. *)
 let store_rules ctx config ~budget ~count =
   [
@@ -143,6 +164,7 @@ let optimize ?(config = default) ctx oid =
   let rules = store_rules ctx config ~budget ~count in
   let opt_config = Optimizer.with_rules config.optimizer rules in
   let optimized, report = Optimizer.optimize_value ~config:opt_config closed in
+  if opt_config.Optimizer.validate then validate_result ~closed ~leftover optimized;
   let new_oid =
     Value.Heap.alloc_func ctx.Runtime.heap ~name:(fo.Value.fo_name ^ "!opt") optimized
   in
@@ -178,6 +200,7 @@ let optimize_inplace ?(config = default) ctx oid =
   let rules = store_rules ctx config ~budget ~count in
   let opt_config = Optimizer.with_rules config.optimizer rules in
   let optimized, report = Optimizer.optimize_value ~config:opt_config closed in
+  if opt_config.Optimizer.validate then validate_result ~closed ~leftover optimized;
   let new_fo =
     {
       fo with

@@ -1,0 +1,208 @@
+(* Tests for the translation-validation / differential-fuzzing subsystem
+   (lib/check): bounded qcheck differential suites with fixed seeds, the
+   object-codec round-trip oracle over hand-built store objects, and the
+   deterministic replay of every minimized reproducer in test/corpus/.
+
+   The long campaigns live behind `dune build @fuzz`; these suites are the
+   always-on slice of the same oracles. *)
+
+open Tml_core
+open Tml_vm
+open Tml_check
+
+let () = Tml_query.Qprims.install ()
+
+(* every optimizing engine runs with the pass-level validation hook on *)
+let engines = Oracle.engines ~validate:true
+
+(* ------------------------------------------------------------------ *)
+(* qcheck differential suites                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Cases derive from an integer seed through Tgen's own deterministic
+   generator, so a qcheck counterexample is reproducible from one number
+   (`tmlfuzz run --seed N --count 1`). *)
+
+let diff_case_gen = QCheck2.Gen.(map Tgen.case_of_seed (int_bound 100_000))
+
+let print_diff_case (c : Tgen.case) =
+  Printf.sprintf "seed=%d a=%d b=%d\n%s" c.Tgen.seed c.Tgen.a c.Tgen.b
+    (Sexp.print_value c.Tgen.proc)
+
+let query_case_gen = QCheck2.Gen.(map Tgen.query_case_of_seed (int_bound 100_000))
+
+let print_query_case (c : Tgen.query_case) =
+  Printf.sprintf "seed=%d rows=%d\n%s" c.Tgen.qseed
+    (List.length c.Tgen.rows)
+    (Sexp.print_value c.Tgen.qproc)
+
+let verdict_ok = function
+  | Oracle.Agree _ -> true
+  | Oracle.Disagree _ as v ->
+    QCheck2.Test.fail_reportf "%a" Oracle.pp_verdict v
+
+let prop_engines_agree =
+  QCheck2.Test.make ~name:"all engines agree on generated programs" ~count:120
+    ~print:print_diff_case diff_case_gen (fun c ->
+      verdict_ok (Oracle.check_case ~engines c))
+
+let prop_query_engines_agree =
+  QCheck2.Test.make ~name:"all engines agree on generated query pipelines" ~count:80
+    ~print:print_query_case query_case_gen (fun c ->
+      verdict_ok (Oracle.check_query ~engines c))
+
+let prop_ptml_roundtrip =
+  QCheck2.Test.make ~name:"PTML round trip is exact on generated programs" ~count:150
+    ~print:print_diff_case diff_case_gen (fun c ->
+      match Roundtrip.ptml_value c.Tgen.proc with
+      | Roundtrip.Pass -> true
+      | o -> QCheck2.Test.fail_reportf "%a" Roundtrip.pp_outcome o)
+
+let prop_store_reopen =
+  (* each case commits/reopens a temporary store file: keep the count low *)
+  QCheck2.Test.make ~name:"durable store survives reopen on generated heaps" ~count:25
+    ~print:string_of_int
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      match Harness.run_seed ~validate:true Harness.Store seed with
+      | `Agree | `Skip _ -> true
+      | `Fail f -> QCheck2.Test.fail_reportf "%s" f.Harness.f_detail)
+
+(* ------------------------------------------------------------------ *)
+(* Validation hook                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* the hook is also exercised by every Opt/Reflect engine above; this checks
+   it directly against each optimizer level over a seed sweep *)
+let test_validation_hook () =
+  for seed = 0 to 30 do
+    let c = Tgen.case_of_seed seed in
+    List.iter
+      (fun config ->
+        let config = { config with Optimizer.validate = true } in
+        match Optimizer.optimize_value ~config c.Tgen.proc with
+        | exception Optimizer.Validation_error msg ->
+          Alcotest.failf "seed %d: validation failed: %s" seed msg
+        | _ -> ())
+      [ Optimizer.o1; Optimizer.o2; Optimizer.o3 ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Object-codec round trips over hand-built store objects              *)
+(* ------------------------------------------------------------------ *)
+
+let rt_outcome = Alcotest.testable Roundtrip.pp_outcome ( = )
+let check_rt name expected got = Alcotest.check rt_outcome name expected got
+
+let test_obj_simple () =
+  check_rt "bytes" Roundtrip.Pass
+    (Roundtrip.obj (Value.Bytes (Bytes.of_string "hello\x00\xffworld")));
+  check_rt "array" Roundtrip.Pass
+    (Roundtrip.obj (Value.Array [| Value.Int 1; Value.Real 2.5; Value.Str "x" |]));
+  check_rt "vector" Roundtrip.Pass
+    (Roundtrip.obj
+       (Value.Vector [| Value.Bool true; Value.Char 'q'; Value.Unit; Value.Oidv (Oid.of_int 7) |]));
+  check_rt "tuple" Roundtrip.Pass
+    (Roundtrip.obj (Value.Tuple [| Value.Int 42; Value.Str "row" |]));
+  check_rt "module" Roundtrip.Pass
+    (Roundtrip.obj
+       (Value.Module
+          { Value.mod_name = "m"; exports = [| "one", Value.Int 1; "two", Value.Int 2 |] }))
+
+let test_obj_relation () =
+  let heap = Value.Heap.create () in
+  let ctx = Runtime.create heap in
+  let oid =
+    Tml_query.Rel.create ctx ~name:"t"
+      [ [| Value.Int 1; Value.Int 2 |]; [| Value.Int 3; Value.Int 4 |] ]
+  in
+  Tml_query.Rel.add_index ctx oid 0;
+  (* the relation round-trips with indexes persisted as a field list and
+     rebuilt on fault; the row tuples round-trip as plain tuples *)
+  check_rt "relation" Roundtrip.Pass (Roundtrip.obj (Value.Heap.get heap oid));
+  Array.iter
+    (fun row ->
+      match row with
+      | Value.Oidv t ->
+        check_rt "row tuple" Roundtrip.Pass (Roundtrip.obj (Value.Heap.get heap t))
+      | _ -> Alcotest.fail "relation row is not an Oidv")
+    (Tml_query.Rel.get ctx oid).Value.rows
+
+let test_obj_func () =
+  let heap = Value.Heap.create () in
+  let proc =
+    Sexp.parse_value "proc(a b ce! cc!) (+ a b ce! cont(t) (cc! t))"
+  in
+  let oid = Value.Heap.alloc_func heap ~name:"f" proc in
+  check_rt "func" Roundtrip.Pass (Roundtrip.obj (Value.Heap.get heap oid));
+  (* a live tree closure in the R-value bindings is the one specified
+     rejection: the codec must refuse it, the oracle records a skip *)
+  (match Value.Heap.get heap oid with
+  | Value.Func fo ->
+    let clo =
+      match proc with
+      | Term.Abs f -> Value.Closure { Value.t_abs = f; t_env = Ident.Map.empty }
+      | _ -> assert false
+    in
+    fo.Value.fo_bindings <- [ (Ident.fresh "g", clo) ];
+    (match Roundtrip.obj (Value.Heap.get heap oid) with
+    | Roundtrip.Skip _ -> ()
+    | o -> Alcotest.failf "live closure not rejected: %a" Roundtrip.pp_outcome o)
+  | _ -> Alcotest.fail "alloc_func did not produce a Func")
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay: every minimized reproducer, as a named test          *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_dir = "corpus"
+
+let corpus_files () =
+  if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".corpus")
+    |> List.sort compare
+  else []
+
+let corpus_tests =
+  let replay_one file () =
+    let oracle, case = Harness.load_entry (Filename.concat corpus_dir file) in
+    match Harness.replay ~validate:true oracle case with
+    | Ok () -> ()
+    | Error detail -> Alcotest.failf "%s regressed:\n%s" file detail
+  in
+  let present () =
+    if corpus_files () = [] then
+      Alcotest.fail "test/corpus is empty or not wired as a test dependency"
+  in
+  Alcotest.test_case "corpus present" `Quick present
+  :: List.map (fun f -> Alcotest.test_case f `Quick (replay_one f)) (corpus_files ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let to_alcotest =
+    (* fixed PRNG: the suite is deterministic run to run *)
+    QCheck_alcotest.to_alcotest ~speed_level:`Quick
+      ~rand:(Random.State.make [| 0x7e57; 0xc8ec |])
+  in
+  Alcotest.run "tml_check"
+    [
+      ( "differential",
+        List.map to_alcotest
+          [
+            prop_engines_agree;
+            prop_query_engines_agree;
+            prop_ptml_roundtrip;
+            prop_store_reopen;
+          ] );
+      ( "validation",
+        [ Alcotest.test_case "optimizer passes validate on a seed sweep" `Quick
+            test_validation_hook ] );
+      ( "obj round trip",
+        [
+          Alcotest.test_case "simple objects" `Quick test_obj_simple;
+          Alcotest.test_case "relation and rows" `Quick test_obj_relation;
+          Alcotest.test_case "functions and live closures" `Quick test_obj_func;
+        ] );
+      ("corpus", corpus_tests);
+    ]

@@ -387,11 +387,29 @@ let test_merge_project () =
   check tint "projects fused" 1 (count_prim "project" a')
 
 let test_constant_select () =
-  let a = Sexp.parse_app "(select proc(x pce! pcc!) (pcc! true) r ce! k!)" in
+  (* σtrue fires when the temp is consumed read-only by a literal
+     continuation *)
+  let a =
+    Sexp.parse_app "(select proc(x pce! pcc!) (pcc! true) r ce! cont(s) (count s k!))"
+  in
   let a' = Rewrite.reduce_app ~rules:Qopt.static_rules a in
   check tint "σtrue eliminated" 0 (count_prim "select" a');
   check tbool "relation passed through" true
-    (Term.alpha_equal_by_name_app a' (Sexp.parse_app "(k! r)"));
+    (Term.alpha_equal_by_name_app a' (Sexp.parse_app "(count r k!)"));
+  (* ... but not when the temp escapes to an unknown continuation: the
+     caller could mutate it through the alias *)
+  let esc = Sexp.parse_app "(select proc(x pce! pcc!) (pcc! true) r ce! k!)" in
+  let esc' = Rewrite.reduce_app ~rules:Qopt.static_rules esc in
+  check tint "σtrue kept when the result escapes" 1 (count_prim "select" esc');
+  (* ... and not when the temp is mutated: the insert must hit a copy
+     (minimized differential-fuzzer counterexample) *)
+  let mut =
+    Sexp.parse_app
+      "(select proc(x pce! pcc!) (pcc! true) r ce! cont(s) (tuple 0 cont(t) (insert s t \
+       ce! cont(u) (k! 0))))"
+  in
+  let mut' = Rewrite.reduce_app ~rules:Qopt.static_rules mut in
+  check tint "σtrue kept when the result is mutated" 1 (count_prim "select" mut');
   let a2 = Sexp.parse_app "(select proc(x pce! pcc!) (pcc! false) r ce! k!)" in
   let a2' = Rewrite.reduce_app ~rules:Qopt.static_rules a2 in
   check tbool "σfalse becomes empty relation" true

@@ -1,0 +1,54 @@
+Every example program must behave identically at every optimization level.
+The final `-- done ..., N abstract instructions` line legitimately varies
+with the level (that is the point of optimizing), so it is stripped before
+diffing; everything the program prints must match the -O0 baseline exactly.
+
+The -O0 baselines, anchored:
+
+  $ tmlc run -O 0 ../../examples/tl/bank.tl | sed '$d'
+  low balances: 2
+  assets: 25130
+  withdraw result: -1
+
+  $ tmlc run -O 0 ../../examples/tl/inventory.tl | sed '$d'
+  items: 7
+  scarce: 4
+  scarce and cheap: 2
+  reorders pending: 1
+  stock value: 16730
+
+  $ tmlc run -O 0 ../../examples/tl/queens.tl | sed '$d'
+  solutions: 92
+
+Static levels 1-3 and the reflective whole-program optimizer (--dynamic)
+against the baseline:
+
+  $ for ex in bank inventory queens; do
+  >   tmlc run -O 0 ../../examples/tl/$ex.tl | sed '$d' > $ex.base
+  >   for opt in "-O 1" "-O 2" "-O 3" "--dynamic"; do
+  >     if tmlc run $opt ../../examples/tl/$ex.tl | sed '$d' | diff $ex.base - > /dev/null
+  >     then echo "$ex $opt: agrees"
+  >     else echo "$ex $opt: DIFFERS"
+  >     fi
+  >   done
+  > done
+  bank -O 1: agrees
+  bank -O 2: agrees
+  bank -O 3: agrees
+  bank --dynamic: agrees
+  inventory -O 1: agrees
+  inventory -O 2: agrees
+  inventory -O 3: agrees
+  inventory --dynamic: agrees
+  queens -O 1: agrees
+  queens -O 2: agrees
+  queens -O 3: agrees
+  queens --dynamic: agrees
+
+Optimization must not make programs slower: the dynamic optimizer's
+instruction count on queens stays below the unoptimized count.
+
+  $ base=$(tmlc run -O 0 ../../examples/tl/queens.tl | tail -1 | grep -o '[0-9]* abstract' | grep -o '[0-9]*')
+  $ dyn=$(tmlc run --dynamic ../../examples/tl/queens.tl | tail -1 | grep -o '[0-9]* abstract' | grep -o '[0-9]*')
+  $ test "$dyn" -lt "$base" && echo "dynamic executes fewer instructions"
+  dynamic executes fewer instructions

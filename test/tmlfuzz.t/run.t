@@ -1,0 +1,45 @@
+The differential fuzzer, end to end.  A short smoke campaign: every seed
+runs through all four oracles (differential execution, query differential,
+PTML round trip, durable store reopen) with pass-level translation
+validation enabled in every optimizing engine.  Skips are query programs
+that install closure-valued triggers: such a heap is specified to be
+rejected by the persistent store, not a failure.
+
+  $ tmlfuzz run --count 25
+  tmlfuzz: oracles [diff query ptml store], seeds 0..24, validation on
+  executed 100 cases: 95 agreed, 5 skipped, 0 failed
+
+Campaign statistics as JSON (for longer, scripted campaigns):
+
+  $ tmlfuzz run --count 10 --oracle diff --oracle ptml --json
+  {"executed":20,"agreed":20,"skipped":0,"failed":0,"failures":[]}
+
+Corpus entries are small text files: headers plus the S-expression of the
+generated procedure.  `replay` re-runs one through its oracle, `show`
+pretty-prints it.
+
+  $ cat > entry.corpus <<'EOF'
+  > ; oracle: diff
+  > ; kind: diff
+  > ; seed: 0
+  > ; a: 3
+  > ; b: 4
+  > (hold proc(a b ce! cc!) (+ a b ce! cont(t) (cc! t)))
+  > EOF
+
+  $ tmlfuzz replay entry.corpus
+  entry.corpus: ok (diff)
+
+  $ tmlfuzz show entry.corpus
+  oracle: diff
+  inputs: a=3 b=4
+  proc(a_2 b_3 ce_4 cc_5) (+ a_2 b_3 ce_4 cont(t_6) (cc_5 t_6))
+
+A deliberately broken entry (the machine and the tree evaluator cannot
+disagree on this program, so we check the failure path with a malformed
+file instead):
+
+  $ echo "garbage" > bad.corpus
+  $ tmlfuzz replay bad.corpus
+  bad.corpus: unreadable entry: corpus entry: missing '; oracle:' header
+  [1]

@@ -454,6 +454,91 @@ let ablation () =
         (steps Optimizer.o3))
     names
 
+(* ------------------------------------------------------------------ *)
+(* E10: static-analysis overhead (JSON)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-number wall timing: warm up once, then repeat the thunk until it
+   accumulates >= 50ms and report ns/run. *)
+let time_ns f =
+  ignore (f ());
+  let rec calibrate n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= 0.05 then dt /. float_of_int n *. 1e9 else calibrate (n * 4)
+  in
+  calibrate 1
+
+let e10 () =
+  section
+    "E10 — static-analysis overhead: analysis-pass and tmllint timings\n\
+     (JSON, one object per line, for the perf trajectory)";
+  let rng = Random.State.make [| 2025 |] in
+  let medium = Gen.proc2 rng ~size:80 in
+  List.iter
+    (fun (name, config) ->
+      let plain = time_ns (fun () -> Optimizer.optimize_value ~config medium) in
+      let with_analysis =
+        time_ns (fun () ->
+            Optimizer.optimize_value ~config:(Tml_analysis.Bridge.with_analysis config) medium)
+      in
+      Printf.printf
+        "{\"experiment\":\"analysis-overhead\",\"level\":\"%s\",\"plain_ns\":%.1f,\"analysis_ns\":%.1f,\"overhead\":%.3f}\n%!"
+        name plain with_analysis (with_analysis /. plain))
+    [ "O1", Optimizer.o1; "O2", Optimizer.o2; "O3", Optimizer.o3 ];
+  let summarize_ns =
+    time_ns (fun () ->
+        match medium with
+        | Term.Abs a -> Tml_analysis.Infer.summarize Tml_analysis.Infer.empty_env a
+        | _ -> assert false)
+  in
+  Printf.printf
+    "{\"experiment\":\"analysis-pass\",\"target\":\"gen/proc2-80\",\"summarize_ns\":%.1f}\n%!"
+    summarize_ns;
+  (* tmllint wall time: the binary lives next to this benchmark inside
+     _build; the example sources sit at the repo root. *)
+  let exe_dir = Filename.dirname Sys.executable_name in
+  let find candidates = List.find_opt Sys.file_exists candidates in
+  let tmllint =
+    find
+      [ Filename.concat exe_dir "../bin/tmllint.exe"; "_build/default/bin/tmllint.exe" ]
+  in
+  let example name =
+    find
+      [
+        Filename.concat "examples/tl" name;
+        Filename.concat exe_dir ("../../../examples/tl/" ^ name);
+      ]
+  in
+  match tmllint with
+  | None -> Printf.printf "{\"experiment\":\"tmllint\",\"skipped\":\"binary not found\"}\n%!"
+  | Some lint ->
+    List.iter
+      (fun name ->
+        match example name with
+        | None ->
+          Printf.printf
+            "{\"experiment\":\"tmllint\",\"target\":\"%s\",\"skipped\":\"source not found\"}\n%!"
+            name
+        | Some path ->
+          let cmd =
+            Printf.sprintf "%s --stdlib %s > /dev/null" (Filename.quote lint)
+              (Filename.quote path)
+          in
+          let best = ref infinity in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            if Sys.command cmd <> 0 then failwith ("tmllint failed on " ^ path);
+            let dt = Unix.gettimeofday () -. t0 in
+            if dt < !best then best := dt
+          done;
+          Printf.printf "{\"experiment\":\"tmllint\",\"target\":\"%s\",\"wall_ms\":%.2f}\n%!"
+            name (!best *. 1e3))
+      [ "bank.tl"; "inventory.tl"; "queens.tl" ]
+
 let () =
   Printf.printf
     "TML benchmark harness — reproduction of Gawecki & Matthes, EDBT 1996\n\
@@ -468,4 +553,5 @@ let () =
   e9 ();
   ablation ();
   e8 ();
+  e10 ();
   Printf.printf "\nAll experiments completed.\n"

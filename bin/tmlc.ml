@@ -24,16 +24,17 @@ let print_output out =
   print_string out;
   if out <> "" && out.[String.length out - 1] <> '\n' then print_newline ()
 
-let options_of ~direct ~static_opt =
+let options_of ?(no_analysis = false) ~direct ~static_opt () =
+  if no_analysis then Tml_analysis.Bridge.enabled := false;
   {
     Link.default_options with
     mode = (if direct then Lower.Direct else Lower.Library);
     static_opt =
       (match static_opt with
       | 0 -> None
-      | 1 -> Some Optimizer.o1
-      | 2 -> Some Optimizer.o2
-      | _ -> Some Optimizer.o3);
+      | 1 -> Some (Tml_analysis.Bridge.with_analysis Optimizer.o1)
+      | 2 -> Some (Tml_analysis.Bridge.with_analysis Optimizer.o2)
+      | _ -> Some (Tml_analysis.Bridge.with_analysis Optimizer.o3));
   }
 
 let handle_errors f =
@@ -63,6 +64,14 @@ let opt_arg =
     value & opt int 0
     & info [ "O" ] ~docv:"LEVEL" ~doc:"Static optimization level (0-3) applied per definition.")
 
+let fno_analysis_arg =
+  Arg.(
+    value & flag
+    & info [ "fno-analysis" ]
+        ~doc:
+          "Disable the effect/alias analysis bridge: optimize with the purely \
+           syntactic rules only.")
+
 let dynamic_arg =
   Arg.(
     value & flag
@@ -89,10 +98,12 @@ let check_cmd =
 (* ---- dump ---- *)
 
 let dump_cmd =
-  let run file direct opt_level name =
+  let run file direct opt_level no_analysis name =
     handle_errors (fun () ->
         let compiled =
-          Link.compile ~options:(options_of ~direct ~static_opt:opt_level) (read_file file)
+          Link.compile
+            ~options:(options_of ~no_analysis ~direct ~static_opt:opt_level ())
+            (read_file file)
         in
         let dump (d : Lower.compiled_def) =
           Format.printf "=== %s ===@.%a@.@." d.Lower.c_name Pp.pp_value d.Lower.c_tml
@@ -116,15 +127,17 @@ let dump_cmd =
     Arg.(value & opt (some string) None & info [ "def" ] ~docv:"NAME" ~doc:"Dump only this definition.")
   in
   Cmd.v (Cmd.info "dump" ~doc:"Print the TML intermediate representation")
-    Term.(const run $ file_arg $ direct_arg $ opt_arg $ name_arg)
+    Term.(const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ name_arg)
 
 (* ---- disasm ---- *)
 
 let disasm_cmd =
-  let run file direct opt_level name =
+  let run file direct opt_level no_analysis name =
     handle_errors (fun () ->
         let program =
-          Link.load ~options:(options_of ~direct ~static_opt:opt_level) (read_file file)
+          Link.load
+            ~options:(options_of ~no_analysis ~direct ~static_opt:opt_level ())
+            (read_file file)
         in
         let ctx = program.Link.ctx in
         let dump (fname, oid) =
@@ -148,15 +161,17 @@ let disasm_cmd =
     Arg.(value & opt (some string) None & info [ "def" ] ~docv:"NAME" ~doc:"Disassemble only this definition.")
   in
   Cmd.v (Cmd.info "disasm" ~doc:"Print abstract machine code")
-    Term.(const run $ file_arg $ direct_arg $ opt_arg $ name_arg)
+    Term.(const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ name_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file direct opt_level dynamic engine =
+  let run file direct opt_level no_analysis dynamic engine =
     handle_errors (fun () ->
         let program =
-          Link.load ~options:(options_of ~direct ~static_opt:opt_level) (read_file file)
+          Link.load
+            ~options:(options_of ~no_analysis ~direct ~static_opt:opt_level ())
+            (read_file file)
         in
         if dynamic then
           Tml_reflect.Reflect.optimize_all program.Link.ctx (Link.all_function_oids program);
@@ -168,7 +183,9 @@ let run_cmd =
         | _ -> exit 1)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, link and execute a TL program")
-    Term.(const run $ file_arg $ direct_arg $ opt_arg $ dynamic_arg $ engine_arg)
+    Term.(
+      const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ dynamic_arg
+      $ engine_arg)
 
 (* ---- stanford ---- *)
 

@@ -21,7 +21,7 @@ let oracle_conv =
   let parse s =
     match Harness.oracle_of_name s with
     | Some o -> Ok o
-    | None -> Error (`Msg (Printf.sprintf "unknown oracle %S (diff|query|ptml|store)" s))
+    | None -> Error (`Msg (Printf.sprintf "unknown oracle %S (diff|query|ptml|store|purity)" s))
   in
   Arg.conv (parse, fun ppf o -> Format.pp_print_string ppf (Harness.oracle_name o))
 

@@ -1,0 +1,46 @@
+open Tml_core
+
+type entry = {
+  e_summary : Infer.summary option;
+  e_size : int;
+}
+
+(* OIDs are only unique within one heap; every context that creates a fresh
+   heap for reuse of OID numbers (the fuzz oracle does, per observation)
+   must [clear] the cache or stale summaries would resolve for unrelated
+   procedures. *)
+let table : (Oid.t, entry) Hashtbl.t = Hashtbl.create 64
+let hits = ref 0
+let misses = ref 0
+
+let find oid =
+  match Hashtbl.find_opt table oid with
+  | Some e ->
+    incr hits;
+    Some e
+  | None ->
+    incr misses;
+    None
+
+let remember oid (v : Term.value) =
+  Hashtbl.replace table oid
+    { e_summary = Infer.summary_of_value v; e_size = Term.size_value v }
+
+let invalidate oid = Hashtbl.remove table oid
+
+let clear () =
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0
+
+let stats () = !hits, !misses
+
+(* Install the per-OID resolution hook: stored procedures appearing as
+   literal OIDs during reflective optimization resolve to their cached
+   summaries. *)
+let () =
+  Infer.oid_resolver :=
+    fun oid ->
+      match find oid with
+      | Some e -> e.e_summary
+      | None -> None

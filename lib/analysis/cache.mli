@@ -1,0 +1,29 @@
+(** Per-OID analysis results.
+
+    [Reflect.optimize] summarizes each function it optimizes and remembers
+    the summary under the function's OID; later (re-)optimizations — of the
+    same function or of callers that reference it as a literal OID — reuse
+    the summary through {!Infer.oid_resolver} instead of re-deriving it.
+    Module initialization installs the resolver hook. *)
+
+open Tml_core
+
+type entry = {
+  e_summary : Infer.summary option;
+  e_size : int;
+}
+
+val find : Oid.t -> entry option
+
+(** [remember oid v] summarizes [v] and caches it for [oid] (replacing any
+    previous entry). *)
+val remember : Oid.t -> Term.value -> unit
+
+val invalidate : Oid.t -> unit
+
+(** OIDs are only unique within one heap: whoever creates a fresh heap that
+    reuses OID numbers must clear the cache. *)
+val clear : unit -> unit
+
+(** (hits, misses) of [find] since start or the last [clear]. *)
+val stats : unit -> int * int

@@ -6,21 +6,24 @@ type oracle =
   | Query
   | Ptml
   | Store
+  | Purity
 
 let oracle_name = function
   | Diff -> "diff"
   | Query -> "query"
   | Ptml -> "ptml"
   | Store -> "store"
+  | Purity -> "purity"
 
 let oracle_of_name = function
   | "diff" -> Some Diff
   | "query" -> Some Query
   | "ptml" -> Some Ptml
   | "store" -> Some Store
+  | "purity" -> Some Purity
   | _ -> None
 
-let all_oracles = [ Diff; Query; Ptml; Store ]
+let all_oracles = [ Diff; Query; Ptml; Store; Purity ]
 
 type failure = {
   f_oracle : oracle;
@@ -255,6 +258,28 @@ let run_seed ~validate ?min_size ?max_size oracle seed =
           f_entry = entry_to_string oracle (Cquery m);
           f_detail = detail;
         })
+  | Purity -> (
+    let q = Tgen.query_case_of_seed seed in
+    match Oracle.check_purity q with
+    | Oracle.Purity_agree -> `Agree
+    | Oracle.Purity_untestable m -> `Skip m
+    | Oracle.Purity_violation _ ->
+      let m =
+        Tgen.minimize ~shrink:Tgen.shrink_query_case ~fails:Oracle.purity_fails
+          ~max_steps:minimize_steps q
+      in
+      let detail =
+        match Oracle.check_purity m with
+        | Oracle.Purity_violation d -> d
+        | _ -> "minimization lost the failure (reporting the original)"
+      in
+      `Fail
+        {
+          f_oracle = oracle;
+          f_seed = seed;
+          f_entry = entry_to_string oracle (Cquery m);
+          f_detail = detail;
+        })
 
 let run_campaign ?(progress = fun _ -> ()) ?min_size ?max_size ~oracles ~validate ~first_seed
     ~count () =
@@ -296,7 +321,11 @@ let replay ~validate oracle (case : corpus_case) =
   | Ptml, Cdiff c -> of_outcome (Roundtrip.ptml_value c.Tgen.proc)
   | Ptml, Cquery q -> of_outcome (Roundtrip.ptml_value q.Tgen.qproc)
   | Store, Cquery q -> of_outcome (store_outcome q)
-  | Diff, Cquery _ | Query, Cdiff _ | Store, Cdiff _ ->
+  | Purity, Cquery q -> (
+    match Oracle.check_purity q with
+    | Oracle.Purity_violation d -> Error d
+    | Oracle.Purity_agree | Oracle.Purity_untestable _ -> Ok ())
+  | Diff, Cquery _ | Query, Cdiff _ | Store, Cdiff _ | Purity, Cdiff _ ->
     Error "corpus entry kind does not match its oracle"
 
 (* ------------------------------------------------------------------ *)

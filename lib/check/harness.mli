@@ -14,6 +14,10 @@ type oracle =
   | Query   (** the same battery over query pipelines and a generated relation *)
   | Ptml    (** PTML encode/decode round trip of the generated program *)
   | Store   (** run on a durable heap, commit, reopen, refault, compare *)
+  | Purity
+      (** inferred effect signature vs observed behaviour
+          ({!Oracle.check_purity}): read-only may not mutate or print,
+          fault-free may not fault, terminating may not exhaust fuel *)
 
 val oracle_name : oracle -> string
 val oracle_of_name : string -> oracle option

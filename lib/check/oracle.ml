@@ -84,6 +84,9 @@ let pp_verdict ppf = function
 
 let fresh_ctx () =
   Lazy.force installed;
+  (* OIDs restart in a fresh heap: drop the per-OID analysis summaries or
+     stale entries would resolve for unrelated procedures. *)
+  Tml_analysis.Cache.clear ();
   let heap = Value.Heap.create () in
   Runtime.create ~fuel heap
 
@@ -221,3 +224,80 @@ let query_fails ~engines c =
   match check_query ~engines c with
   | Agree _ -> false
   | Disagree _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Purity cross-check                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type purity_verdict =
+  | Purity_agree
+  | Purity_untestable of string
+  | Purity_violation of string
+
+(* The differential oracles validate the OPTIMIZER against the evaluators;
+   this one validates the ANALYSIS against an execution.  The inferred
+   signature of a generated query procedure makes up to three testable
+   claims: a read-only procedure may neither mutate the store reachable
+   from the base relation nor write output, a fault-free procedure may not
+   fault, and a terminating one may not exhaust the (generous) fuel.  Any
+   observed counter-example is an unsoundness in the inference — exactly
+   the bug class the analysis-gated rewrites rely on never happening. *)
+let check_purity (q : Tgen.query_case) =
+  match q.Tgen.qproc with
+  | Term.Abs f -> (
+    let s =
+      Tml_analysis.Infer.strip
+        (Tml_analysis.Infer.summarize Tml_analysis.Infer.empty_env f)
+    in
+    let claims_read_only = Tml_analysis.Effsig.read_only s in
+    let claims_no_fault = not s.Tml_analysis.Effsig.faults in
+    let claims_terminates = not s.Tml_analysis.Effsig.diverges in
+    if not (claims_read_only || claims_no_fault || claims_terminates) then
+      Purity_untestable "no testable claim (worst-case signature)"
+    else
+      let ctx = fresh_ctx () in
+      let root =
+        Value.Oidv
+          (Tml_query.Rel.create ctx ~name:"t"
+             (List.map
+                (fun row -> Array.of_list (List.map (fun x -> Value.Int x) row))
+                q.Tgen.rows))
+      in
+      let before = Canon.dump_reachable ctx [ root ] in
+      match
+        let v = Eval.eval_value ctx ~env:Ident.Map.empty q.Tgen.qproc in
+        Eval.run_proc ctx v [ root ]
+      with
+      | exception Runtime.Fault msg -> Purity_untestable ("fault outside the run: " ^ msg)
+      | exception Stack_overflow -> Purity_untestable "stack overflow"
+      | outcome ->
+        let after = Canon.dump_reachable ctx [ root ] in
+        let output = Buffer.contents ctx.Runtime.out in
+        let violations =
+          List.filter_map
+            (fun (active, broken, msg) -> if active && broken then Some msg else None)
+            [
+              ( claims_read_only,
+                not (String.equal before after),
+                "claimed read-only, but the store reachable from the base relation changed" );
+              claims_read_only, output <> "", "claimed read-only, but wrote output";
+              ( claims_no_fault,
+                (match outcome with Eval.Fault _ -> true | _ -> false),
+                "claimed fault-free, but faulted" );
+              ( claims_terminates,
+                (match outcome with Eval.No_fuel -> true | _ -> false),
+                "claimed terminating, but exhausted the fuel budget" );
+            ]
+        in
+        if violations = [] then Purity_agree
+        else
+          Purity_violation
+            (Format.asprintf "@[<v>%a@ inferred: %a@]"
+               (Format.pp_print_list Format.pp_print_string)
+               violations Tml_analysis.Effsig.pp s))
+  | _ -> Purity_untestable "query program is not an abstraction"
+
+let purity_fails q =
+  match check_purity q with
+  | Purity_violation _ -> true
+  | Purity_agree | Purity_untestable _ -> false

@@ -84,3 +84,24 @@ val check_query : engines:engine list -> Tgen.query_case -> verdict
 val case_fails : engines:engine list -> Tgen.case -> bool
 
 val query_fails : engines:engine list -> Tgen.query_case -> bool
+
+(** {1 Purity cross-check}
+
+    The differential oracles validate the optimizer against the evaluators;
+    this one validates the {e effect analysis} against an execution: claims
+    the inferred signature makes about a generated query procedure
+    (read-only, fault-free, terminating) are checked against what actually
+    happened on the reference evaluator.  A violation is an analysis
+    unsoundness — the bug class the analysis-gated rewrites depend on never
+    happening. *)
+
+type purity_verdict =
+  | Purity_agree  (** every claim held (or the run made none testable) *)
+  | Purity_untestable of string
+      (** worst-case signature, or the run could not be judged *)
+  | Purity_violation of string  (** an inferred claim was observably false *)
+
+val check_purity : Tgen.query_case -> purity_verdict
+
+(** Predicate form for {!Tgen.minimize}. *)
+val purity_fails : Tgen.query_case -> bool

@@ -5,9 +5,17 @@ type config = {
   y_inline_limit : int;
   growth_limit : int;
   expand_y : bool;
+  effect_bonus : (Term.abs -> int) option;
 }
 
-let default = { inline_limit = 40; y_inline_limit = 20; growth_limit = 512; expand_y = false }
+let default =
+  {
+    inline_limit = 40;
+    y_inline_limit = 20;
+    growth_limit = 512;
+    expand_y = false;
+    effect_bonus = None;
+  }
 
 type binding = {
   b_abs : abs;
@@ -27,7 +35,13 @@ let expand_app cfg (root : app) =
     let sz = Term.size_app b.b_abs.body in
     let savings = Cost.inline_savings ~body:b.b_abs.body ~args in
     let limit = if b.b_recursive then cfg.y_inline_limit else cfg.inline_limit in
-    sz - savings <= limit && !growth + sz <= cfg.growth_limit
+    (* the effect bonus (an analysis hook; see Tml_analysis.Bridge) only
+       matters — and is only computed — when the plain size test fails *)
+    let bonus =
+      if sz - savings <= limit then 0
+      else match cfg.effect_bonus with None -> 0 | Some f -> f b.b_abs
+    in
+    sz - savings - bonus <= limit && !growth + sz <= cfg.growth_limit
   in
   let rec go_app env (a : app) =
     (* Collect bindings contributed by this node: a surviving β-redex binds

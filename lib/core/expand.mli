@@ -22,6 +22,12 @@ type config = {
           those performs one step of loop unrolling *)
   growth_limit : int;  (** total tree growth allowed in one pass *)
   expand_y : bool;     (** enable unrolling of [Y]-bound procedures *)
+  effect_bonus : (Term.abs -> int) option;
+      (** extra budget granted to a candidate binding by an (external)
+          effect analysis — bodies known to be pure or read-only enable
+          more post-inlining reductions than the size heuristic alone
+          predicts.  [None] (the default) grants nothing; the analysis
+          library installs its scorer via [Tml_analysis.Bridge]. *)
 }
 
 val default : config

@@ -1,13 +1,31 @@
 open Term
 
+(* All counts are of occurrences that are free relative to the term handed
+   in: an abstraction whose parameter list re-binds the variable
+   contributes nothing.  On alphatized terms (the unique binding rule) the
+   shadowing checks never fire and the counts coincide with the paper's
+   |E|_v; on terms where bindings have been duplicated — case arms sharing
+   a continuation variable, Y-bound recursive nests mid-rewrite — the naive
+   count over-approximates and can both block [remove] (a dead binding
+   "occurs" only under a re-binder) and unblock [try_beta]'s used-once
+   inlining with the wrong occurrence. *)
+let shadowed v (a : abs) = List.exists (Ident.equal v) a.params
+
 let rec count_value v = function
   | Var v' -> if Ident.equal v v' then 1 else 0
   | Lit _ | Prim _ -> 0
-  | Abs a -> count_app v a.body
+  | Abs a -> if shadowed v a then 0 else count_app v a.body
 
 and count_app v { func; args } =
   List.fold_left (fun n value -> n + count_value v value) (count_value v func) args
 
+(* Unlike the per-variable counts above, the flat table deliberately counts
+   EVERY variable use: a use under a re-binder of the same identifier is
+   still a use of that identifier (of the inner binding), and a flat table
+   keyed by identifier cannot attribute it to one binding site or the
+   other.  Callers asking "is THIS binding dead / used once" on terms that
+   may contain duplicated binders must use [count_app], which is
+   shadow-aware. *)
 let count_all_app a =
   let counts = Ident.Tbl.create 32 in
   let bump id =
@@ -32,7 +50,7 @@ let occurs_value v value =
   let rec go = function
     | Var v' -> if Ident.equal v v' then raise Found
     | Lit _ | Prim _ -> ()
-    | Abs a -> go_app a.body
+    | Abs a -> if not (shadowed v a) then go_app a.body
   and go_app { func; args } =
     go func;
     List.iter go args

@@ -6,16 +6,22 @@
     of the number of occurrences of a variable in a term. *)
 
 (** [count_value v value] is |value|_v, defined inductively on the abstract
-    syntax exactly as in the paper.  Thanks to the unique binding rule no
-    shadowing can occur, so no scope tracking is needed. *)
+    syntax as in the paper, counting only occurrences free relative to
+    [value]: an abstraction whose parameters re-bind [v] contributes
+    nothing.  On alphatized terms (the unique binding rule) this coincides
+    with the naive structural count; on terms with duplicated binders
+    (case arms, Y nests mid-rewrite) the naive count over-approximates. *)
 val count_value : Ident.t -> Term.value -> int
 
-(** [count_app v app] is |app|_v. *)
+(** [count_app v app] is |app|_v (free occurrences, as above). *)
 val count_app : Ident.t -> Term.app -> int
 
 (** [count_all_app app] returns a table mapping every identifier that occurs
-    (as a variable use) in [app] to its occurrence count, in one traversal.
-    Identifiers with zero occurrences are absent. *)
+    (as a variable use, bound or free) in [app] to its occurrence count, in
+    one traversal.  Identifiers with zero occurrences are absent.  On terms
+    with duplicated binders the flat table cannot attribute a use to one
+    binding site or the other — ask [count_app] about a specific binding
+    instead. *)
 val count_all_app : Term.app -> int Ident.Tbl.t
 
 (** [occurs_value v value] = [count_value v value > 0], short-circuiting. *)

@@ -19,7 +19,71 @@ let index_select ctx (a : app) =
     | None -> None)
   | _ -> None
 
-let runtime_rules ctx = [ index_select ctx ]
+(* Hoist a base-relation selection past an intervening read-only
+   computation so the two selections become adjacent and [merge_select]
+   can fuse them:
+
+     (select q R ce cont(t) (OP … cont(u…) (select p t ce2 k)))
+     --> (OP … cont(u…) (select q R ce cont(t) (select p t ce2 k)))
+
+   This is the reordering the purely syntactic rules cannot express: it
+   commutes the outer selection with OP, which is only unobservable when
+   the analysis can prove (a) the outer selection cannot fault, diverge or
+   touch the store — [R] resolves to a heap relation and the predicate's
+   inferred signature is pure, total and confined to its return
+   continuation with well-arity jumps — and (b) the intervening
+   computation is read-only, so the two cannot communicate through the
+   store.  Scope is preserved by requiring [t]'s only use to be the inner
+   selection's source and OP's continuation parameters to be free in
+   neither the predicate nor the exception continuation. *)
+let select_past ctx (a : app) =
+  match a.func, a.args with
+  | Prim "select", [ (Abs qabs as q); (Lit (Literal.Oid rel_oid) as rel); ce; Abs kont ]
+    -> (
+    match Tml_vm.Value.Heap.get_opt ctx.Tml_vm.Runtime.heap rel_oid with
+    | Some (Tml_vm.Value.Relation _) -> (
+      match kont.params, kont.body with
+      | [ t ], ({ func = Prim op; args = op_args } as mid) when op <> "select" -> (
+        match List.rev op_args with
+        | Abs u :: rev_rest when Term.abs_kind u = `Cont -> (
+          let rest = List.rev rev_rest in
+          match u.body with
+          | { func = Prim "select"; args = [ _p; Var t'; _ce2; _k ] }
+            when Ident.equal t t'
+                 && Occurs.count_app t kont.body = 1
+                 && List.for_all (fun v -> not (Occurs.occurs_value t v)) rest
+                 && (let outer_frees =
+                       Ident.Set.union
+                         (Term.free_vars_value q)
+                         (Ident.Set.union (Term.free_vars_value rel) (Term.free_vars_value ce))
+                     in
+                     List.for_all
+                       (fun p -> not (Ident.Set.mem p outer_frees))
+                       u.params)
+                 && (match qabs.params with
+                    | [ _x; _qce; qcc ] ->
+                      let open Tml_analysis in
+                      let s = (Infer.summarize Infer.empty_env qabs).Infer.body_sig in
+                      s.Effsig.eff = Prim.Pure
+                      && (not s.Effsig.diverges)
+                      && (not s.Effsig.faults)
+                      && Effsig.exits_within s (Ident.Set.singleton qcc)
+                      && Infer.jumps_with_arity qcc 1 qabs.body
+                    | _ -> false)
+                 && Tml_analysis.Effsig.read_only (Tml_analysis.Infer.sig_of_app mid) ->
+            let hoisted =
+              app (prim "select") [ q; rel; ce; Abs { params = [ t ]; body = u.body } ]
+            in
+            Some { func = mid.func; args = rest @ [ Abs { u with body = hoisted } ] }
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let runtime_rules ctx =
+  index_select ctx
+  :: (if !Tml_analysis.Bridge.enabled then [ select_past ctx ] else [])
 
 let optimize ?(config = Optimizer.default) ctx a =
   install ();

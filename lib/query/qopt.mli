@@ -25,7 +25,17 @@ val static_rules : Rewrite.rule list
     cannot happen at compile time. *)
 val index_select : Tml_vm.Runtime.ctx -> Rewrite.rule
 
-(** [runtime_rules ctx] — all store-dependent rules. *)
+(** [select_past ctx] — hoist a selection over a base relation past an
+    intervening read-only computation so two selections become adjacent
+    (and [Qrewrite.merge_select] can fuse them).  Gated on the effect
+    analysis: the hoisted selection's predicate must be provably pure,
+    terminating and fault-free, and the intervening computation read-only;
+    the relation must resolve (at runtime) to a live heap relation so the
+    selection itself cannot fault. *)
+val select_past : Tml_vm.Runtime.ctx -> Rewrite.rule
+
+(** [runtime_rules ctx] — all store-dependent rules ([select_past] only
+    while [Tml_analysis.Bridge.enabled]). *)
 val runtime_rules : Tml_vm.Runtime.ctx -> Rewrite.rule list
 
 (** [optimize ?config ctx a] — convenience: run the full TML optimizer with

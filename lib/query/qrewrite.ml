@@ -128,7 +128,17 @@ let rec alias_safe tmp (a : app) =
   && List.for_all sub_ok (a.func :: a.args)
 
 (* σtrue(R) ≡ R (when aliasing is unobservable, see above),
-   σfalse(R) ≡ ∅ *)
+   σfalse(R) ≡ ∅.
+
+   The aliasing gate is layered: the syntactic [alias_safe] walk decides
+   the easy cases, and when the analysis bridge is enabled the flow-based
+   [Tml_analysis.Alias.select_alias_ok] additionally accepts regions where
+   the alias only reaches readers through local procedure bindings — calls
+   [alias_safe] must reject outright. *)
+let alias_ok tmp body =
+  alias_safe tmp body
+  || (!Tml_analysis.Bridge.enabled && Tml_analysis.Alias.select_alias_ok ~tmp body)
+
 let constant_select (a : app) =
   match a.func, a.args with
   | Prim "select", [ Abs p; r; _ce; k ] -> (
@@ -137,7 +147,7 @@ let constant_select (a : app) =
       when Ident.equal pcc cc' ->
       if bool_result then
         match k with
-        | Abs { params = [ tmp ]; body } when alias_safe tmp body -> Some (app k [ r ])
+        | Abs { params = [ tmp ]; body } when alias_ok tmp body -> Some (app k [ r ])
         | _ -> None
       else Some (app (prim "relation") [ k ])
     | _ -> None)

@@ -138,6 +138,25 @@ let validate_result ~closed ~leftover optimized =
       (Optimizer.Validation_error (Format.asprintf "reflect.optimize: %a" Wf.pp_error e))
   | Error [] -> raise (Optimizer.Validation_error "reflect.optimize: ill-formed result")
 
+(* Effect attributes derived by the analysis, persisted with the function
+   object like the cost/size ones; the analysis cache additionally keeps
+   the full summary so later reflective optimizations of callers that
+   reference this function as a literal OID can reuse it. *)
+let effect_attrs optimized =
+  if not !Tml_analysis.Bridge.enabled then []
+  else
+    match Tml_analysis.Infer.summary_of_value optimized with
+    | Some summ ->
+      let s = Tml_analysis.Infer.strip summ in
+      [
+        "effect_class", Tml_analysis.Effsig.class_rank s.Tml_analysis.Effsig.eff;
+        "diverges", (if s.Tml_analysis.Effsig.diverges then 1 else 0);
+      ]
+    | None -> []
+
+let cache_summary oid optimized =
+  if !Tml_analysis.Bridge.enabled then Tml_analysis.Cache.remember oid optimized
+
 (* The store-aware rule set used by both optimize variants. *)
 let store_rules ctx config ~budget ~count =
   [
@@ -162,7 +181,9 @@ let optimize ?(config = default) ctx oid =
   let budget = ref config.inline_budget in
   let count = ref 0 in
   let rules = store_rules ctx config ~budget ~count in
-  let opt_config = Optimizer.with_rules config.optimizer rules in
+  let opt_config =
+    Tml_analysis.Bridge.with_analysis (Optimizer.with_rules config.optimizer rules)
+  in
   let optimized, report = Optimizer.optimize_value ~config:opt_config closed in
   if opt_config.Optimizer.validate then validate_result ~closed ~leftover optimized;
   let new_oid =
@@ -170,6 +191,7 @@ let optimize ?(config = default) ctx oid =
   in
   let new_fo = func_obj ctx new_oid in
   new_fo.Value.fo_bindings <- leftover;
+  cache_summary new_oid optimized;
   (* attach derived attributes to the persistent system state *)
   new_fo.Value.fo_attrs <-
     [
@@ -178,7 +200,8 @@ let optimize ?(config = default) ctx oid =
       "size_before", report.Optimizer.size_before;
       "size_after", report.Optimizer.size_after;
       "inlined_calls", !count;
-    ];
+    ]
+    @ effect_attrs optimized;
   fo.Value.fo_attrs <-
     ("optimized_as", Oid.to_int new_oid) :: List.remove_assoc "optimized_as" fo.Value.fo_attrs;
   (* persist the rewrite and its derived attributes with the system state *)
@@ -198,7 +221,9 @@ let optimize_inplace ?(config = default) ctx oid =
   let budget = ref config.inline_budget in
   let count = ref 0 in
   let rules = store_rules ctx config ~budget ~count in
-  let opt_config = Optimizer.with_rules config.optimizer rules in
+  let opt_config =
+    Tml_analysis.Bridge.with_analysis (Optimizer.with_rules config.optimizer rules)
+  in
   let optimized, report = Optimizer.optimize_value ~config:opt_config closed in
   if opt_config.Optimizer.validate then validate_result ~closed ~leftover optimized;
   let new_fo =
@@ -217,10 +242,13 @@ let optimize_inplace ?(config = default) ctx oid =
           "size_before", report.Optimizer.size_before;
           "size_after", report.Optimizer.size_after;
           "inlined_calls", !count;
-        ];
+        ]
+        @ effect_attrs optimized;
     }
   in
   Value.Heap.set ctx.Runtime.heap oid (Value.Func new_fo);
+  (* the function at [oid] changed: refresh its cached summary *)
+  cache_summary oid optimized;
   (match ctx.Runtime.durable_commit with
   | Some commit -> commit ()
   | None -> ());

@@ -290,6 +290,9 @@ let replay_defs session src =
 
 let restore ?(mode = Lower.Library) pstore =
   Tml_query.Qprims.install ();
+  (* a restored store brings its own OID space: per-OID analysis summaries
+     from any previously open heap would be stale *)
+  Tml_analysis.Cache.clear ();
   let heap = Pstore.heap pstore in
   let session =
     {

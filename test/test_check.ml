@@ -68,6 +68,13 @@ let prop_store_reopen =
       | `Agree | `Skip _ -> true
       | `Fail f -> QCheck2.Test.fail_reportf "%s" f.Harness.f_detail)
 
+let prop_purity_sound =
+  QCheck2.Test.make ~name:"inferred effect claims hold on generated query pipelines"
+    ~count:60 ~print:print_query_case query_case_gen (fun c ->
+      match Oracle.check_purity c with
+      | Oracle.Purity_agree | Oracle.Purity_untestable _ -> true
+      | Oracle.Purity_violation d -> QCheck2.Test.fail_reportf "%s" d)
+
 (* ------------------------------------------------------------------ *)
 (* Validation hook                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -177,6 +184,18 @@ let corpus_tests =
   Alcotest.test_case "corpus present" `Quick present
   :: List.map (fun f -> Alcotest.test_case f `Quick (replay_one f)) (corpus_files ())
 
+(* the purity entry must stay *testable*: replay maps "no testable claims"
+   to ok, so this checks the analysis still claims read-only/fault-free on
+   the checked-in pipeline and that execution still agrees *)
+let test_purity_corpus_testable () =
+  match Harness.load_entry (Filename.concat corpus_dir "purity-readonly-select.corpus") with
+  | Harness.Purity, Harness.Cquery q -> (
+    match Oracle.check_purity q with
+    | Oracle.Purity_agree -> ()
+    | Oracle.Purity_untestable m -> Alcotest.failf "claims became untestable: %s" m
+    | Oracle.Purity_violation d -> Alcotest.failf "analysis unsoundness: %s" d)
+  | _ -> Alcotest.fail "expected a purity query entry"
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -194,6 +213,7 @@ let () =
             prop_query_engines_agree;
             prop_ptml_roundtrip;
             prop_store_reopen;
+            prop_purity_sound;
           ] );
       ( "validation",
         [ Alcotest.test_case "optimizer passes validate on a seed sweep" `Quick
@@ -204,5 +224,10 @@ let () =
           Alcotest.test_case "relation and rows" `Quick test_obj_relation;
           Alcotest.test_case "functions and live closures" `Quick test_obj_func;
         ] );
-      ("corpus", corpus_tests);
+      ( "corpus",
+        corpus_tests
+        @ [
+            Alcotest.test_case "purity entry makes live claims" `Quick
+              test_purity_corpus_testable;
+          ] );
     ]

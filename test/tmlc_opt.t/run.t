@@ -52,3 +52,19 @@ instruction count on queens stays below the unoptimized count.
   $ dyn=$(tmlc run --dynamic ../../examples/tl/queens.tl | tail -1 | grep -o '[0-9]* abstract' | grep -o '[0-9]*')
   $ test "$dyn" -lt "$base" && echo "dynamic executes fewer instructions"
   dynamic executes fewer instructions
+
+The effect/alias analysis bridge is on by default at every static level;
+-O3 with it enabled must behave exactly like -O3 with the purely syntactic
+rules (--fno-analysis):
+
+  $ for ex in bank inventory queens; do
+  >   tmlc run -O 3 ../../examples/tl/$ex.tl | sed '$d' > $ex.analysis
+  >   tmlc run -O 3 --fno-analysis ../../examples/tl/$ex.tl | sed '$d' > $ex.syntactic
+  >   if diff $ex.analysis $ex.syntactic > /dev/null
+  >   then echo "$ex -O 3 analysis on/off: agrees"
+  >   else echo "$ex -O 3 analysis on/off: DIFFERS"
+  >   fi
+  > done
+  bank -O 3 analysis on/off: agrees
+  inventory -O 3 analysis on/off: agrees
+  queens -O 3 analysis on/off: agrees

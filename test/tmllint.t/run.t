@@ -1,0 +1,49 @@
+tmllint reports every documented diagnostic class on bad.tl — unused and
+shadowed bindings, dead code after reduction (both the TL constant-condition
+form and the TML dead-binding form), discarded non-unit results, and writes
+through a selection the optimizer would otherwise treat as constant:
+
+  $ tmllint bad.tl
+  bad.tl:11:3: [dead-code] f: 1 dead binding(s) deleted by reduction
+  bad.tl:11:3: [unused-binding] binding waste is never used
+  bad.tl:12:3: [unused-binding] binding helper is never used
+  bad.tl:13:3: [shadowed-binding] binding n shadows an earlier binding of the same name
+  bad.tl:14:6: [dead-code] condition is constantly true; the else branch is unreachable after reduction
+  bad.tl:19:4: [discarded-result] expression result of type Int is discarded
+  bad.tl:20:9: [dead-code] loop condition is constantly false; the body is unreachable
+  bad.tl:26:3: [aliased-mutation] h: 1 constant-true selection(s) whose result may be written through; the optimizer keeps the copy
+  8 diagnostics
+
+Without --strict the exit status is zero even with diagnostics; with it the
+tool exits 2:
+
+  $ tmllint bad.tl > /dev/null; echo $?
+  0
+  $ tmllint --strict bad.tl > /dev/null; echo $?
+  2
+
+Machine-readable output:
+
+  $ tmllint --json bad.tl | tr ',' '\n' | grep -c '"class"'
+  8
+
+The diagnostic-rich program is still a correct program — it type-checks and
+runs (9 = g() + h() = 7 + 2):
+
+  $ tmlc run bad.tl | sed '$d'
+  9
+
+The TML-level diagnostics also work on a persistent store image, where no
+source positions exist:
+
+  $ tmlc save bad.tl bad.img > /dev/null
+  $ tmllint --image bad.img
+  bad.img:0:0: [aliased-mutation] h: 1 constant-true selection(s) whose result may be written through; the optimizer keeps the copy
+  bad.img:0:0: [dead-code] f: 1 dead binding(s) deleted by reduction
+  2 diagnostics
+
+The shipped example programs and the TL standard library are lint-clean
+under --strict (this is the @lint alias's check):
+
+  $ tmllint --strict --stdlib ../../examples/tl/*.tl
+  0 diagnostics

@@ -16,6 +16,10 @@ open Cmdliner
 
 let () = Tml_query.Qprims.install ()
 
+(* the core library defaults to Sys.time (no Unix dependency); the
+   binary upgrades the profiler to wall-clock time *)
+let () = Profile.clock := Unix.gettimeofday
+
 let read_file path =
   In_channel.with_open_bin path In_channel.input_all
 
@@ -24,18 +28,44 @@ let print_output out =
   print_string out;
   if out <> "" && out.[String.length out - 1] <> '\n' then print_newline ()
 
-let options_of ?(no_analysis = false) ~direct ~static_opt () =
+let options_of ?(no_analysis = false) ?(no_incremental = false) ~direct ~static_opt () =
   if no_analysis then Tml_analysis.Bridge.enabled := false;
+  let tune config =
+    Tml_analysis.Bridge.with_analysis
+      { config with Optimizer.incremental = not no_incremental }
+  in
   {
     Link.default_options with
     mode = (if direct then Lower.Direct else Lower.Library);
     static_opt =
       (match static_opt with
       | 0 -> None
-      | 1 -> Some (Tml_analysis.Bridge.with_analysis Optimizer.o1)
-      | 2 -> Some (Tml_analysis.Bridge.with_analysis Optimizer.o2)
-      | _ -> Some (Tml_analysis.Bridge.with_analysis Optimizer.o3));
+      | 1 -> Some (tune Optimizer.o1)
+      | 2 -> Some (tune Optimizer.o2)
+      | _ -> Some (tune Optimizer.o3));
   }
+
+let reflect_config ~no_incremental =
+  let d = Tml_reflect.Reflect.default in
+  {
+    d with
+    Tml_reflect.Reflect.optimizer =
+      { d.Tml_reflect.Reflect.optimizer with Optimizer.incremental = not no_incremental };
+  }
+
+(* [--profile]: run [f] with the optimizer profiler on and print the
+   per-pass summary table afterwards (also on error) *)
+let with_profile profile f =
+  if not profile then f ()
+  else begin
+    Profile.reset ();
+    Profile.enabled := true;
+    Fun.protect
+      ~finally:(fun () ->
+        Profile.enabled := false;
+        Format.printf "%a@." Profile.pp Profile.global)
+      f
+  end
 
 let handle_errors f =
   try f () with
@@ -72,6 +102,23 @@ let fno_analysis_arg =
           "Disable the effect/alias analysis bridge: optimize with the purely \
            syntactic rules only.")
 
+let fno_incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "fno-incremental" ]
+        ~doc:
+          "Disable the incremental rewrite engine (normal-form memoization, \
+           shared-subtree skipping, delta validation): every pass re-sweeps \
+           the whole term, as the legacy optimizer did.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print per-pass optimizer wall-clock timings, rule-fire counters \
+           and memo/hash-consing statistics after the command.")
+
 let dynamic_arg =
   Arg.(
     value & flag
@@ -98,12 +145,13 @@ let check_cmd =
 (* ---- dump ---- *)
 
 let dump_cmd =
-  let run file direct opt_level no_analysis name =
+  let run file direct opt_level no_analysis no_incremental profile name =
     handle_errors (fun () ->
         let compiled =
-          Link.compile
-            ~options:(options_of ~no_analysis ~direct ~static_opt:opt_level ())
-            (read_file file)
+          with_profile profile (fun () ->
+              Link.compile
+                ~options:(options_of ~no_analysis ~no_incremental ~direct ~static_opt:opt_level ())
+                (read_file file))
         in
         let dump (d : Lower.compiled_def) =
           Format.printf "=== %s ===@.%a@.@." d.Lower.c_name Pp.pp_value d.Lower.c_tml
@@ -127,17 +175,20 @@ let dump_cmd =
     Arg.(value & opt (some string) None & info [ "def" ] ~docv:"NAME" ~doc:"Dump only this definition.")
   in
   Cmd.v (Cmd.info "dump" ~doc:"Print the TML intermediate representation")
-    Term.(const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ name_arg)
+    Term.(
+      const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
+      $ profile_arg $ name_arg)
 
 (* ---- disasm ---- *)
 
 let disasm_cmd =
-  let run file direct opt_level no_analysis name =
+  let run file direct opt_level no_analysis no_incremental profile name =
     handle_errors (fun () ->
         let program =
-          Link.load
-            ~options:(options_of ~no_analysis ~direct ~static_opt:opt_level ())
-            (read_file file)
+          with_profile profile (fun () ->
+              Link.load
+                ~options:(options_of ~no_analysis ~no_incremental ~direct ~static_opt:opt_level ())
+                (read_file file))
         in
         let ctx = program.Link.ctx in
         let dump (fname, oid) =
@@ -161,21 +212,30 @@ let disasm_cmd =
     Arg.(value & opt (some string) None & info [ "def" ] ~docv:"NAME" ~doc:"Disassemble only this definition.")
   in
   Cmd.v (Cmd.info "disasm" ~doc:"Print abstract machine code")
-    Term.(const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ name_arg)
+    Term.(
+      const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
+      $ profile_arg $ name_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file direct opt_level no_analysis dynamic engine =
+  let run file direct opt_level no_analysis no_incremental profile dynamic engine =
     handle_errors (fun () ->
-        let program =
-          Link.load
-            ~options:(options_of ~no_analysis ~direct ~static_opt:opt_level ())
-            (read_file file)
+        let program, outcome, steps =
+          with_profile profile (fun () ->
+              let program =
+                Link.load
+                  ~options:
+                    (options_of ~no_analysis ~no_incremental ~direct ~static_opt:opt_level ())
+                  (read_file file)
+              in
+              if dynamic then
+                Tml_reflect.Reflect.optimize_all
+                  ~config:(reflect_config ~no_incremental)
+                  program.Link.ctx (Link.all_function_oids program);
+              let outcome, steps = Link.run_main program ~engine () in
+              program, outcome, steps)
         in
-        if dynamic then
-          Tml_reflect.Reflect.optimize_all program.Link.ctx (Link.all_function_oids program);
-        let outcome, steps = Link.run_main program ~engine () in
         print_output (Link.output program);
         Format.printf "-- %a, %d abstract instructions@." Eval.pp_outcome outcome steps;
         match outcome with
@@ -184,8 +244,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, link and execute a TL program")
     Term.(
-      const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ dynamic_arg
-      $ engine_arg)
+      const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
+      $ profile_arg $ dynamic_arg $ engine_arg)
 
 (* ---- stanford ---- *)
 

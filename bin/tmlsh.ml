@@ -22,6 +22,13 @@ open Tml_frontend
 
 let interactive = Unix.isatty Unix.stdin
 
+(* the session keeps the optimizer profiler running so :stats can report
+   per-pass times and rule fires at any point; the overhead is a clock
+   read per optimizer pass *)
+let () =
+  Profile.clock := Unix.gettimeofday;
+  Profile.enabled := true
+
 let prompt () =
   if interactive then begin
     print_string "tml> ";
@@ -43,7 +50,8 @@ let help () =
     \                   crash recovery on open)\n\
     \  :commit          seal the session state into the open store\n\
     \  :compact         commit, then rewrite the store keeping live objects\n\
-    \  :stats           store counters (commits, faults, cache, recovery)\n\
+    \  :stats           optimizer profile, specialization cache and store\n\
+    \                   counters (commits, faults, cache, recovery)\n\
     \  :save FILE       write the store image (run functions later with\n\
     \                   'tmlc exec FILE name args')\n\
     \  :steps           abstract instructions executed so far\n\
@@ -162,6 +170,13 @@ let command session_ref line =
       Printf.printf "compacted %s: %d -> %d bytes\n" (Pstore.path pstore) before
         (Tml_store.Log_store.file_bytes log))
   | [ ":stats" ] -> (
+    Format.printf "%a@." Profile.pp Profile.global;
+    let sc = Speccache.stats () in
+    Printf.printf
+      "speccache: %d entries, %d hits, %d misses, %d stores, %d verify failures, %d \
+       invalidations, %d evictions\n"
+      (Speccache.length ()) sc.Speccache.hits sc.Speccache.misses sc.Speccache.stores
+      sc.Speccache.verify_failures sc.Speccache.invalidations sc.Speccache.evictions;
     match !store with
     | None -> Printf.printf "no store open (use :open FILE)\n"
     | Some pstore ->

@@ -10,12 +10,14 @@ type engine =
   | Mach
   | Opt of string * Optimizer.config
   | Reflect of string * Reflect_.config
+  | Reflect_cached of string * Reflect_.config
 
 let engine_name = function
   | Tree -> "tree"
   | Mach -> "mach"
   | Opt (name, _) -> name
   | Reflect (name, _) -> name
+  | Reflect_cached (name, _) -> name
 
 let engines ~validate =
   let ov (c : Optimizer.config) = { c with Optimizer.validate } in
@@ -35,6 +37,7 @@ let engines ~validate =
     Opt ("o3", ov Optimizer.o3);
     Reflect ("reflect", refl false);
     Reflect ("reflect-q", refl true);
+    Reflect_cached ("reflect-cached", refl true);
   ]
 
 type observation = {
@@ -84,9 +87,11 @@ let pp_verdict ppf = function
 
 let fresh_ctx () =
   Lazy.force installed;
-  (* OIDs restart in a fresh heap: drop the per-OID analysis summaries or
-     stale entries would resolve for unrelated procedures. *)
+  (* OIDs restart in a fresh heap: drop the per-OID analysis summaries and
+     cached specializations or stale entries would resolve for unrelated
+     procedures. *)
   Tml_analysis.Cache.clear ();
+  Tml_vm.Speccache.clear ();
   let heap = Value.Heap.create () in
   Runtime.create ~fuel heap
 
@@ -115,7 +120,7 @@ let run_engine engine ctx ~(proc : Term.value) ~(bindings : (Ident.t * Value.t) 
     match optimized with
     | Term.Abs f -> Machine.run_abs ctx f args
     | v -> Machine.run_proc ctx (Eval.eval_value ctx ~env:Ident.Map.empty v) args)
-  | Reflect (_, config) ->
+  | Reflect (_, config) | Reflect_cached (_, config) ->
     let f = as_abs proc in
     let stored, passed_args =
       if bindings = [] then proc, args
@@ -130,7 +135,19 @@ let run_engine engine ctx ~(proc : Term.value) ~(bindings : (Ident.t * Value.t) 
     (match Value.Heap.get ctx.Runtime.heap oid with
     | Value.Func fo -> fo.Value.fo_bindings <- List.map (fun (id, v) -> id, v) bindings
     | _ -> assert false);
-    let _result = Reflect_.optimize_inplace ~config ctx oid in
+    (match engine with
+    | Reflect_cached _ ->
+      (* warm the specialization cache with a first optimization of the
+         same function, then require the in-place pass to be served from
+         it — the cached-vs-fresh pair: a stale or mis-keyed cache entry
+         shows up as a disagreement with the tree baseline, a silent miss
+         as an engine error (the comparison would otherwise be vacuous) *)
+      ignore (Reflect_.optimize ~config ctx oid);
+      let hits_before = (Speccache.stats ()).Speccache.hits in
+      ignore (Reflect_.optimize_inplace ~config ctx oid);
+      if (Speccache.stats ()).Speccache.hits <= hits_before then
+        Runtime.fault "speccache: warm specialization was not served from the cache"
+    | _ -> ignore (Reflect_.optimize_inplace ~config ctx oid));
     Machine.run_proc ctx (Value.Oidv oid) passed_args
 
 (* Exactly one of [mk_args]/[mk_bindings] runs per observation: the
@@ -141,7 +158,7 @@ let observe engine ~proc ~mk_args ~mk_bindings ~store_of =
   let ctx = fresh_ctx () in
   let bindings =
     match engine with
-    | Reflect _ -> mk_bindings ctx
+    | Reflect _ | Reflect_cached _ -> mk_bindings ctx
     | Tree | Mach | Opt _ -> []
   in
   let args = if bindings = [] then mk_args ctx else [] in

@@ -35,13 +35,21 @@ type engine =
   | Mach
   | Opt of string * Optimizer.config
   | Reflect of string * Tml_reflect.Reflect.config
+  | Reflect_cached of string * Tml_reflect.Reflect.config
+      (** like [Reflect], but the function is specialized twice: a first
+          [optimize] populates the specialization cache, then the in-place
+          pass must be {e served from it} — so the executed code is the
+          cached (PTML-round-tripped, α-freshened) specialization, compared
+          against the tree baseline exactly like a fresh one.  A miss on
+          the second pass is reported as an engine error: a silently cold
+          cache would make the comparison vacuous. *)
 
 val engine_name : engine -> string
 
 (** The standard battery: tree, machine, O1/O2/O3, reflective (program
-    rules) and reflective (program + query rules).  [validate] turns the
-    optimizer's pass-level translation validation on in every optimizing
-    engine. *)
+    rules), reflective (program + query rules) and the cached reflective
+    pair.  [validate] turns the optimizer's pass-level translation
+    validation on in every optimizing engine. *)
 val engines : validate:bool -> engine list
 
 (** What one engine observed.  [steps] is informational only. *)

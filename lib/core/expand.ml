@@ -82,10 +82,18 @@ let expand_app cfg (root : app) =
         | _ -> a.func)
       | v -> v
     in
-    { func = go_value env func; args = List.map (go_value env) a.args }
-  and go_value env = function
-    | Abs f -> Abs { f with body = go_app env f.body }
-    | (Lit _ | Var _ | Prim _) as v -> v
+    let func' = go_value env func in
+    let args' = Term.map_sharing (go_value env) a.args in
+    (* preserve physical identity when nothing was inlined below: unchanged
+       subtrees stay shared, so the next reduction round's memo checks and
+       the validator's skip marks see them as O(1) "already done" *)
+    if func' == a.func && args' == a.args then a else { func = func'; args = args' }
+  and go_value env v =
+    match v with
+    | Abs f ->
+      let body = go_app env f.body in
+      if body == f.body then v else Abs { f with body }
+    | Lit _ | Var _ | Prim _ -> v
   in
   let term = go_app Ident.Map.empty root in
   { term; growth = !growth; expansions = !expansions }

@@ -1,0 +1,304 @@
+(* Maximal-subterm sharing for TML trees (the ATerm lesson: give every
+   distinct structure one small integer handle, then equality, hashing and
+   the common measures become table lookups instead of tree walks).
+
+   Terms themselves stay the plain immutable [Term.t] trees — nothing in
+   the rewrite engine has to change representation.  This module maintains:
+
+   - a {e physical} memo (keyed by pointer identity) from visited nodes to
+     their handle, so re-interning a shared subtree is O(1);
+   - a {e structural} intern table from shallow keys (child handles plus
+     the node's own payload) to handles, so structurally equal nodes —
+     even physically distinct ones — receive the same handle;
+   - metric memos keyed by handle for size, static cost, structural hash,
+     free-variable sets, binder sets and per-variable occurrence counts.
+
+   Handles are never reused: [clear] drops the tables but keeps the
+   counter, so a stale handle held by a caller can miss but never alias a
+   different structure. *)
+
+open Term
+
+(* ------------------------------------------------------------------ *)
+(* Shallow structural keys                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Keys mirror [Term.equal_*] exactly: identifiers compare by stamp only
+   and literals by [Literal.equal] (bit-for-bit reals), so handle equality
+   coincides with structural equality — the property the tests pin down. *)
+module Key = struct
+  type t =
+    | Klit of Literal.t
+    | Kvar of int
+    | Kprim of string
+    | Kabs of int list * int  (* parameter stamps, body handle *)
+    | Kapp of int * int list  (* function handle, argument handles *)
+
+  let equal a b =
+    match a, b with
+    | Klit x, Klit y -> Literal.equal x y
+    | Kvar x, Kvar y -> Int.equal x y
+    | Kprim x, Kprim y -> String.equal x y
+    | Kabs (p1, b1), Kabs (p2, b2) -> Int.equal b1 b2 && List.equal Int.equal p1 p2
+    | Kapp (f1, a1), Kapp (f2, a2) -> Int.equal f1 f2 && List.equal Int.equal a1 a2
+    | (Klit _ | Kvar _ | Kprim _ | Kabs _ | Kapp _), _ -> false
+
+  (* [Literal.equal] is bitwise on reals, so the hash must be too. *)
+  let hash_literal = function
+    | Literal.Real r -> Hashtbl.hash (Int64.bits_of_float r)
+    | l -> Hashtbl.hash l
+
+  let combine h x = (h * 31) + x
+
+  let hash = function
+    | Klit l -> combine 0x11 (hash_literal l)
+    | Kvar stamp -> combine 0x22 stamp
+    | Kprim name -> combine 0x33 (Hashtbl.hash name)
+    | Kabs (params, body) -> List.fold_left combine (combine 0x44 body) params
+    | Kapp (func, args) -> List.fold_left combine (combine 0x55 func) args
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+(* Physical memos: pointer equality with the depth-bounded generic hash
+   for bucket spread (it hashes contents, not addresses, so it is stable
+   under the moving GC; collisions between look-alike nodes just chain). *)
+module Pv = Hashtbl.Make (struct
+  type t = Term.value
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+module Pa = Hashtbl.Make (struct
+  type t = Term.app
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type stats = {
+  mutable interned : int;  (** distinct structures given a handle *)
+  mutable phys_hits : int;  (** O(1) reuses through the pointer memo *)
+  mutable struct_hits : int;  (** structurally shared nodes deduplicated *)
+  mutable clears : int;  (** capacity-triggered or explicit table resets *)
+}
+
+let stats_ = { interned = 0; phys_hits = 0; struct_hits = 0; clears = 0 }
+let stats () = stats_
+
+(* ------------------------------------------------------------------ *)
+(* State                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let keys : int Ktbl.t = Ktbl.create 4096
+let phys_v : int Pv.t = Pv.create 4096
+let phys_a : int Pa.t = Pa.create 4096
+let counter = ref 0
+
+(* handle-keyed metric memos *)
+let size_memo : (int, int) Hashtbl.t = Hashtbl.create 1024
+let cost_memo : (int, int * int) Hashtbl.t = Hashtbl.create 1024  (* epoch, cost *)
+let hash_memo : (int, int) Hashtbl.t = Hashtbl.create 1024
+let free_memo : (int, Ident.Set.t) Hashtbl.t = Hashtbl.create 1024
+let binder_memo : (int, Ident.Set.t * bool) Hashtbl.t = Hashtbl.create 1024
+let count_memo : (int * int, int) Hashtbl.t = Hashtbl.create 1024
+
+(* Safety valve: interning is append-only, so a long-lived session would
+   otherwise grow the tables without bound.  Past the capacity the tables
+   are dropped wholesale (handles are not reused, so surviving references
+   degrade to misses, never to aliasing). *)
+let capacity = ref 2_000_000
+let set_capacity n = capacity := n
+
+let clear () =
+  Ktbl.reset keys;
+  Pv.reset phys_v;
+  Pa.reset phys_a;
+  Hashtbl.reset size_memo;
+  Hashtbl.reset cost_memo;
+  Hashtbl.reset hash_memo;
+  Hashtbl.reset free_memo;
+  Hashtbl.reset binder_memo;
+  Hashtbl.reset count_memo;
+  stats_.clears <- stats_.clears + 1
+
+let table_size () = Ktbl.length keys
+
+let intern key =
+  match Ktbl.find_opt keys key with
+  | Some i ->
+    stats_.struct_hits <- stats_.struct_hits + 1;
+    i
+  | None ->
+    if Ktbl.length keys >= !capacity then clear ();
+    incr counter;
+    stats_.interned <- stats_.interned + 1;
+    Ktbl.add keys key !counter;
+    !counter
+
+let rec id_value v =
+  match Pv.find_opt phys_v v with
+  | Some i ->
+    stats_.phys_hits <- stats_.phys_hits + 1;
+    i
+  | None ->
+    let key =
+      match v with
+      | Lit l -> Key.Klit l
+      | Var id -> Key.Kvar id.Ident.stamp
+      | Prim name -> Key.Kprim name
+      | Abs a -> Key.Kabs (List.map (fun p -> p.Ident.stamp) a.params, id_app a.body)
+    in
+    let i = intern key in
+    Pv.replace phys_v v i;
+    i
+
+and id_app a =
+  match Pa.find_opt phys_a a with
+  | Some i ->
+    stats_.phys_hits <- stats_.phys_hits + 1;
+    i
+  | None ->
+    let key = Key.Kapp (id_value a.func, List.map id_value a.args) in
+    let i = intern key in
+    Pa.replace phys_a a i;
+    i
+
+let equal_value v1 v2 = v1 == v2 || Int.equal (id_value v1) (id_value v2)
+let equal_app a1 a2 = a1 == a2 || Int.equal (id_app a1) (id_app a2)
+
+(* ------------------------------------------------------------------ *)
+(* Memoized measures                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let memoize tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = compute () in
+    Hashtbl.replace tbl key r;
+    r
+
+let rec size_value v =
+  match v with
+  | Lit _ | Var _ | Prim _ -> 1
+  | Abs a ->
+    memoize size_memo (id_value v) (fun () ->
+        1 + List.length a.params + size_app a.body)
+
+and size_app a =
+  memoize size_memo (id_app a) (fun () ->
+      1 + size_value a.func + List.fold_left (fun n v -> n + size_value v) 0 a.args)
+
+(* The static cost consults the primitive registry, which grows when a
+   domain installs its primitives (e.g. [Qprims.install]); memoized costs
+   are tagged with the registry epoch and recomputed when it moves. *)
+let rec cost_value v =
+  match v with
+  | Lit _ | Var _ | Prim _ -> 0
+  | Abs a -> cost_app a.body
+
+and cost_app a =
+  let epoch = Prim.epoch () in
+  let i = id_app a in
+  match Hashtbl.find_opt cost_memo i with
+  | Some (e, c) when Int.equal e epoch -> c
+  | _ ->
+    let here = Prim.cost_of_app a in
+    let c = List.fold_left (fun acc v -> acc + cost_value v) (here + cost_value a.func) a.args in
+    Hashtbl.replace cost_memo i (epoch, c);
+    c
+
+(* Structural hash, independent of interning order (so it is reproducible
+   across processes and across PTML encode/decode, which preserves
+   stamps). *)
+let rec hash_value v =
+  match v with
+  | Lit l -> Key.combine 0x11 (Key.hash_literal l)
+  | Var id -> Key.combine 0x22 id.Ident.stamp
+  | Prim name -> Key.combine 0x33 (Hashtbl.hash name)
+  | Abs a ->
+    memoize hash_memo (id_value v) (fun () ->
+        List.fold_left
+          (fun h p -> Key.combine h p.Ident.stamp)
+          (Key.combine 0x44 (hash_app a.body))
+          a.params)
+
+and hash_app a =
+  memoize hash_memo (id_app a) (fun () ->
+      List.fold_left
+        (fun h v -> Key.combine h (hash_value v))
+        (Key.combine 0x55 (hash_value a.func))
+        a.args)
+
+let rec free_vars_value v =
+  match v with
+  | Lit _ | Prim _ -> Ident.Set.empty
+  | Var id -> Ident.Set.singleton id
+  | Abs a ->
+    memoize free_memo (id_value v) (fun () ->
+        List.fold_left
+          (fun s p -> Ident.Set.remove p s)
+          (free_vars_app a.body) a.params)
+
+and free_vars_app a =
+  memoize free_memo (id_app a) (fun () ->
+      List.fold_left
+        (fun s v -> Ident.Set.union s (free_vars_value v))
+        (free_vars_value a.func) a.args)
+
+(* Binder inventory: the set of identifiers bound anywhere inside, plus
+   whether they are internally unique (no binder binds twice) — the
+   boundary information the delta validator needs to skip a subtree while
+   still enforcing the unique-binding rule against its surroundings.
+   Disjointness falls out of cardinal arithmetic: a union is disjoint iff
+   its cardinal is the sum of its parts'. *)
+let rec binders_value v =
+  match v with
+  | Lit _ | Var _ | Prim _ -> Ident.Set.empty, true
+  | Abs a ->
+    memoize binder_memo (id_value v) (fun () ->
+        let inner, inner_unique = binders_app a.body in
+        let params = List.fold_left (fun s p -> Ident.Set.add p s) Ident.Set.empty a.params in
+        let all = Ident.Set.union params inner in
+        let unique =
+          inner_unique
+          && Ident.Set.cardinal params = List.length a.params
+          && Ident.Set.cardinal all
+             = Ident.Set.cardinal params + Ident.Set.cardinal inner
+        in
+        all, unique)
+
+and binders_app a =
+  memoize binder_memo (id_app a) (fun () ->
+      List.fold_left
+        (fun (s, u) v ->
+          let s', u' = binders_value v in
+          let all = Ident.Set.union s s' in
+          ( all,
+            u && u' && Ident.Set.cardinal all = Ident.Set.cardinal s + Ident.Set.cardinal s' ))
+        (binders_value a.func) a.args)
+
+(* Occurrence checks ride on the memoized free sets: [v] occurs free in
+   [t] iff it is a member of frees(t) — the same shadow-aware notion
+   [Occurs] computes by walking. *)
+let occurs_value v t = Ident.Set.mem v (free_vars_value t)
+let occurs_app v a = Ident.Set.mem v (free_vars_app a)
+
+(* Shadow-aware free-occurrence count (the paper's |E|_v on alphatized
+   terms), memoized per (subterm, variable) pair. *)
+let rec count_value v t =
+  match t with
+  | Var v' -> if Ident.equal v v' then 1 else 0
+  | Lit _ | Prim _ -> 0
+  | Abs a ->
+    if List.exists (Ident.equal v) a.params then 0
+    else if not (occurs_value v t) then 0
+    else count_app v a.body
+
+and count_app v a =
+  if not (occurs_app v a) then 0
+  else
+    memoize count_memo (id_app a, v.Ident.stamp) (fun () ->
+        List.fold_left (fun n t -> n + count_value v t) (count_value v a.func) a.args)

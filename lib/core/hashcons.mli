@@ -1,0 +1,106 @@
+(** Maximal-subterm sharing and memoized term metrics.
+
+    The rewrite engine's inner loop repeatedly asks the same questions of
+    the same subtrees: "how big is this term?", "does [v] occur free?",
+    "how often?", "is this the node I saw last round?".  Answered by
+    walking, each is O(n) and the optimizer's full fixpoint degenerates
+    toward O(n²).  Following the ATerm experience from the ASF+SDF
+    compiler, this module interns every distinct term structure to a small
+    integer {e handle}: structural equality becomes an integer comparison
+    and the common measures become per-handle memo-table lookups.
+
+    Terms keep their plain [Term.t] representation — interning is an
+    external index, not a representation change — so every existing
+    consumer of [Term] is untouched.  A physical (pointer-keyed) memo
+    makes re-interning shared or already-seen nodes O(1), which is what
+    lets the incremental optimizer skip unchanged siblings cheaply.
+
+    All state is global and append-only up to a capacity valve; handles
+    are never reused, so stale handles can miss but never alias.  The
+    tables are not thread-safe (neither is the rest of the system). *)
+
+(** {1 Interning} *)
+
+(** [id_value v] / [id_app a] intern the term bottom-up and return its
+    handle.  Two terms receive the same handle iff they are structurally
+    equal in the sense of [Term.equal_value]/[Term.equal_app]
+    (identifiers by stamp, literals by [Literal.equal], i.e. bit-for-bit
+    reals). *)
+val id_value : Term.value -> int
+
+val id_app : Term.app -> int
+
+(** O(1)-amortized structural equality: handle comparison after interning
+    (with a pointer-equality fast path). *)
+val equal_value : Term.value -> Term.value -> bool
+
+val equal_app : Term.app -> Term.app -> bool
+
+(** {1 Memoized measures}
+
+    Each agrees with its walking counterpart ([Term.size_*],
+    [Cost.app_cost] summation, [Term.free_vars_*], [Occurs.*]) and is
+    memoized per handle. *)
+
+(** Node count, as [Term.size_value]/[Term.size_app]. *)
+val size_value : Term.value -> int
+
+val size_app : Term.app -> int
+
+(** Total static cost: the sum of [Prim.cost_of_app] over every
+    application node.  Entries are tagged with [Prim.epoch] and recomputed
+    if primitives were (re)registered since. *)
+val cost_value : Term.value -> int
+
+val cost_app : Term.app -> int
+
+(** Deterministic structural hash — a pure function of the term structure
+    (stamps, literals bit-for-bit, primitive names), independent of
+    interning order and therefore stable across processes and across PTML
+    encode/decode round trips. *)
+val hash_value : Term.value -> int
+
+val hash_app : Term.app -> int
+
+(** Free variables, as [Term.free_vars_value]/[Term.free_vars_app]. *)
+val free_vars_value : Term.value -> Ident.Set.t
+
+val free_vars_app : Term.app -> Ident.Set.t
+
+(** [binders_value v] returns the set of identifiers bound {e anywhere}
+    inside [v], together with a flag telling whether they are internally
+    unique (no identifier is bound twice within [v]).  This is the
+    boundary summary the incremental validator uses to skip a known-good
+    subtree while still enforcing the global unique-binding rule. *)
+val binders_value : Term.value -> Ident.Set.t * bool
+
+val binders_app : Term.app -> Ident.Set.t * bool
+
+(** Shadow-aware free-occurrence test and count, as [Occurs.occurs_app] /
+    [Occurs.count_app] (not the flat [Occurs.count_all_app]). *)
+val occurs_value : Ident.t -> Term.value -> bool
+
+val occurs_app : Ident.t -> Term.app -> bool
+val count_value : Ident.t -> Term.value -> int
+val count_app : Ident.t -> Term.app -> int
+
+(** {1 Maintenance} *)
+
+type stats = {
+  mutable interned : int;  (** distinct structures given a handle *)
+  mutable phys_hits : int;  (** O(1) reuses through the pointer memo *)
+  mutable struct_hits : int;  (** structurally shared nodes deduplicated *)
+  mutable clears : int;  (** capacity-triggered or explicit table resets *)
+}
+
+val stats : unit -> stats
+
+(** Number of live keys in the intern table. *)
+val table_size : unit -> int
+
+(** [set_capacity n] bounds the intern table; when an intern would exceed
+    it, all tables are dropped (handles are not reused).  Default 2M. *)
+val set_capacity : int -> unit
+
+(** Drop all tables and memos.  The handle counter is {e not} reset. *)
+val clear : unit -> unit

@@ -5,6 +5,7 @@ type config = {
   rules : Rewrite.rule list;
   max_steps : int;
   validate : bool;
+  incremental : bool;
 }
 
 exception Validation_error of string
@@ -17,6 +18,7 @@ let default =
     rules = [];
     max_steps = 200_000;
     validate = false;
+    incremental = true;
   }
 
 let o1 = { default with max_rounds = 1 }
@@ -48,6 +50,24 @@ let pp_report ppf r =
     r.rounds r.penalty r.expansions r.size_before r.size_after r.cost_before r.cost_after
     Rewrite.pp_stats r.stats
 
+(* The incremental engine uses the hash-consed measures (memoized, same
+   numbers); the legacy engine kept behind [--fno-incremental] pays the
+   original walking versions so benchmark comparisons stay honest. *)
+let size_of config a = if config.incremental then Hashcons.size_app a else Term.size_app a
+let cost_of config a = if config.incremental then Hashcons.cost_app a else Cost.app_cost a
+
+(* Physical-identity table of application nodes that were part of a tree
+   that passed validation earlier in this optimizer invocation.  Terms are
+   immutable, so a node recognized here is exactly the subtree previously
+   checked; only its boundary obligations need re-verification (Wf's
+   [skip]). *)
+module Pa = Hashtbl.Make (struct
+  type t = Term.app
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
 (* Translation validation of one optimizer pass (enabled by
    [config.validate]): the rewritten tree must still be well-formed, must
    not acquire free identifiers the input did not have, and the pass's own
@@ -60,8 +80,17 @@ let validation_failed ~phase ~round fmt =
       raise (Validation_error (Printf.sprintf "round %d, %s pass: %s" round phase msg)))
     fmt
 
-let validate_pass ~config ~frees0 ~phase ~round ~before ~after ~growth =
-  (match Wf.check_app ~free_allowed:(fun id -> Ident.Set.mem id (Lazy.force frees0)) after with
+let validate_pass ~config ~frees0 ~validated ~phase ~round ~before ~after ~growth =
+  let skip =
+    match validated with
+    | Some tbl -> Some (fun a -> Pa.mem tbl a)
+    | None -> None
+  in
+  (match
+     Wf.check_app ?skip
+       ~free_allowed:(fun id -> Ident.Set.mem id (Lazy.force frees0))
+       after
+   with
   | Ok () -> ()
   | Error errs ->
     let msg =
@@ -70,11 +99,11 @@ let validate_pass ~config ~frees0 ~phase ~round ~before ~after ~growth =
       | [] -> "ill-formed"
     in
     validation_failed ~phase ~round "%s" msg);
-  match growth with
+  (match growth with
   | Some (g, expansions) ->
     (* the expansion pass replaces one [Var] node per expansion by a copy
        whose size it adds to [growth], so its accounting is exact *)
-    let actual = Term.size_app after - Term.size_app before in
+    let actual = size_of config after - size_of config before in
     if actual <> g - expansions then
       validation_failed ~phase ~round
         "growth accounting mismatch: reported %d over %d expansions, actual size delta %d" g
@@ -85,35 +114,69 @@ let validate_pass ~config ~frees0 ~phase ~round ~before ~after ~growth =
        legitimately trade size for speed, so the accounting check only
        applies to the pure-core configuration *)
     if config.rules = [] then begin
-      if Term.size_app after > Term.size_app before then
+      if size_of config after > size_of config before then
         validation_failed ~phase ~round "reduction grew the tree: %d -> %d"
-          (Term.size_app before) (Term.size_app after);
-      if Cost.app_cost after > Cost.app_cost before then
+          (size_of config before) (size_of config after);
+      if cost_of config after > cost_of config before then
         validation_failed ~phase ~round "reduction increased static cost: %d -> %d"
-          (Cost.app_cost before) (Cost.app_cost after)
-    end
+          (cost_of config before) (cost_of config after)
+    end);
+  (* The tree passed: mark every node as validated for later passes.  The
+     walk stops at already-marked nodes (their subtrees are marked too), so
+     its cost is proportional to the changed region, not the whole term. *)
+  match validated with
+  | None -> ()
+  | Some tbl ->
+    let rec mark_app a =
+      if not (Pa.mem tbl a) then begin
+        Pa.add tbl a ();
+        mark_value a.Term.func;
+        List.iter mark_value a.Term.args
+      end
+    and mark_value = function
+      | Term.Abs f -> mark_app f.Term.body
+      | Term.Lit _ | Term.Var _ | Term.Prim _ -> ()
+    in
+    mark_app after
 
-let optimize_app ?(config = default) (a : Term.app) =
+let optimize_app ?(config = default) ?memo (a : Term.app) =
   let stats = Rewrite.fresh_stats () in
-  let size_before = Term.size_app a in
-  let cost_before = Cost.app_cost a in
+  let size_before = size_of config a in
+  let cost_before = cost_of config a in
   let expansions = ref 0 in
   let frees0 = lazy (Term.free_vars_app a) in
-  let validate = validate_pass ~config ~frees0 in
-  let reduce a = Rewrite.reduce_app ~stats ~rules:config.rules ~max_steps:config.max_steps a in
+  let memo =
+    match memo with
+    | Some _ as m -> m
+    | None -> if config.incremental then Some (Rewrite.fresh_memo ()) else None
+  in
+  let memo_seen_hits = ref 0 and memo_seen_misses = ref 0 in
+  (match memo with
+  | Some m ->
+    memo_seen_hits := Rewrite.memo_hits m;
+    memo_seen_misses := Rewrite.memo_misses m
+  | None -> ());
+  let validated = if config.validate && config.incremental then Some (Pa.create 256) else None in
+  let validate = validate_pass ~config ~frees0 ~validated in
+  let reduce a =
+    Profile.timed Profile.Reduce (fun () ->
+        Rewrite.reduce_app ~stats ~rules:config.rules ~max_steps:config.max_steps ?memo a)
+  in
   let rec loop round penalty a =
     let a' = reduce a in
     if config.validate then
-      validate ~phase:"reduction" ~round ~before:a ~after:a' ~growth:None;
+      Profile.timed Profile.Validate (fun () ->
+          validate ~phase:"reduction" ~round ~before:a ~after:a' ~growth:None);
     let a = a' in
     if round >= config.max_rounds || penalty >= config.penalty_limit then a, round, penalty
     else begin
-      let r = Expand.expand_app config.expand a in
+      let r = Profile.timed Profile.Expand (fun () -> Expand.expand_app config.expand a) in
       if r.expansions = 0 then a, round, penalty
       else begin
         if config.validate then
-          validate ~phase:"expansion" ~round ~before:a ~after:r.term
-            ~growth:(Some (r.growth, r.expansions));
+          Profile.timed Profile.Validate (fun () ->
+              validate ~phase:"expansion" ~round ~before:a ~after:r.term
+                ~growth:(Some (r.growth, r.expansions)));
         expansions := !expansions + r.expansions;
         (* each round of the reduction/expansion phases accumulates a
            penalty proportional to the growth it caused *)
@@ -122,6 +185,16 @@ let optimize_app ?(config = default) (a : Term.app) =
     end
   in
   let a', rounds, penalty = loop 1 0 a in
+  if !Profile.enabled then begin
+    Profile.record_call ();
+    Profile.record_fires stats;
+    match memo with
+    | Some m ->
+      Profile.record_memo
+        ~hits:(Rewrite.memo_hits m - !memo_seen_hits)
+        ~misses:(Rewrite.memo_misses m - !memo_seen_misses)
+    | None -> ()
+  end;
   let report =
     {
       rounds;
@@ -129,18 +202,17 @@ let optimize_app ?(config = default) (a : Term.app) =
       stats;
       expansions = !expansions;
       size_before;
-      size_after = Term.size_app a';
+      size_after = size_of config a';
       cost_before;
-      cost_after = Cost.app_cost a';
+      cost_after = cost_of config a';
     }
   in
   a', report
 
-let optimize_value ?(config = default) (v : Term.value) =
+let optimize_value ?(config = default) ?memo (v : Term.value) =
   match v with
   | Term.Abs f ->
-    let body, report = optimize_app ~config f.body
-    in
+    let body, report = optimize_app ~config ?memo f.body in
     (* η-reduction may apply to the rebuilt abstraction itself *)
     let v' = Term.Abs { f with body } in
     let v' = Option.value ~default:v' (Rewrite.try_eta ~stats:report.stats v') in

@@ -1,0 +1,113 @@
+type t = {
+  mutable reduce_s : float;
+  mutable expand_s : float;
+  mutable validate_s : float;
+  mutable reduce_passes : int;
+  mutable expand_passes : int;
+  mutable validate_passes : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable optimize_calls : int;
+  fires : Rewrite.stats;
+}
+
+let fresh () =
+  {
+    reduce_s = 0.;
+    expand_s = 0.;
+    validate_s = 0.;
+    reduce_passes = 0;
+    expand_passes = 0;
+    validate_passes = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    optimize_calls = 0;
+    fires = Rewrite.fresh_stats ();
+  }
+
+let global = fresh ()
+let enabled = ref false
+
+(* tml_core depends on nothing outside the stdlib, so the default clock is
+   [Sys.time] (CPU seconds); binaries that link Unix install a wall clock
+   at startup. *)
+let clock = ref Sys.time
+
+let reset () =
+  let z = fresh () in
+  global.reduce_s <- z.reduce_s;
+  global.expand_s <- z.expand_s;
+  global.validate_s <- z.validate_s;
+  global.reduce_passes <- 0;
+  global.expand_passes <- 0;
+  global.validate_passes <- 0;
+  global.memo_hits <- 0;
+  global.memo_misses <- 0;
+  global.optimize_calls <- 0;
+  let f = global.fires in
+  f.subst <- 0;
+  f.remove <- 0;
+  f.reduce <- 0;
+  f.eta <- 0;
+  f.fold <- 0;
+  f.case_subst <- 0;
+  f.y_remove <- 0;
+  f.y_reduce <- 0;
+  f.domain <- 0
+
+type pass =
+  | Reduce
+  | Expand
+  | Validate
+
+let record_pass pass secs =
+  match pass with
+  | Reduce ->
+    global.reduce_s <- global.reduce_s +. secs;
+    global.reduce_passes <- global.reduce_passes + 1
+  | Expand ->
+    global.expand_s <- global.expand_s +. secs;
+    global.expand_passes <- global.expand_passes + 1
+  | Validate ->
+    global.validate_s <- global.validate_s +. secs;
+    global.validate_passes <- global.validate_passes + 1
+
+let timed pass f =
+  if not !enabled then f ()
+  else begin
+    let t0 = !clock () in
+    let finish () = record_pass pass (!clock () -. t0) in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let record_memo ~hits ~misses =
+  global.memo_hits <- global.memo_hits + hits;
+  global.memo_misses <- global.memo_misses + misses
+
+let record_fires s = Rewrite.add_stats global.fires s
+let record_call () = global.optimize_calls <- global.optimize_calls + 1
+
+let pp ppf t =
+  let total = t.reduce_s +. t.expand_s +. t.validate_s in
+  let pct s = if total > 0. then 100. *. s /. total else 0. in
+  Format.fprintf ppf "@[<v>optimizer profile (%d optimize calls)@," t.optimize_calls;
+  Format.fprintf ppf "  %-10s %8s %12s %7s@," "pass" "runs" "seconds" "%";
+  Format.fprintf ppf "  %-10s %8d %12.6f %6.1f%%@," "reduce" t.reduce_passes t.reduce_s
+    (pct t.reduce_s);
+  Format.fprintf ppf "  %-10s %8d %12.6f %6.1f%%@," "expand" t.expand_passes t.expand_s
+    (pct t.expand_s);
+  Format.fprintf ppf "  %-10s %8d %12.6f %6.1f%%@," "validate" t.validate_passes t.validate_s
+    (pct t.validate_s);
+  Format.fprintf ppf "  rule fires: %a@," Rewrite.pp_stats t.fires;
+  let lookups = t.memo_hits + t.memo_misses in
+  let rate = if lookups > 0 then 100. *. float_of_int t.memo_hits /. float_of_int lookups else 0. in
+  Format.fprintf ppf "  rewrite memo: %d hits / %d lookups (%.1f%%)@," t.memo_hits lookups rate;
+  let h = Hashcons.stats () in
+  Format.fprintf ppf "  hashcons: %d interned, %d phys hits, %d struct hits, table %d@]"
+    h.Hashcons.interned h.Hashcons.phys_hits h.Hashcons.struct_hits (Hashcons.table_size ())

@@ -1,0 +1,52 @@
+(** Optimizer pass profiling.
+
+    A global accumulator of per-pass wall-clock time (reduce vs expand vs
+    validate), rule-fire counters, rewrite-memo effectiveness and
+    hash-consing table statistics.  Off by default — the optimizer only
+    touches the clock when [enabled] is set, so the hot path pays a single
+    ref read otherwise.  [tmlc --profile] and [tmlsh :stats] render the
+    summary table. *)
+
+type t = {
+  mutable reduce_s : float;
+  mutable expand_s : float;
+  mutable validate_s : float;
+  mutable reduce_passes : int;
+  mutable expand_passes : int;
+  mutable validate_passes : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable optimize_calls : int;
+  fires : Rewrite.stats;
+}
+
+val global : t
+
+(** Master switch: when false, [timed] runs its thunk untimed and the
+    optimizer skips all recording. *)
+val enabled : bool ref
+
+(** The time source, in seconds.  Defaults to [Sys.time] (CPU time — the
+    core library has no Unix dependency); binaries install
+    [Unix.gettimeofday] at startup for wall-clock numbers. *)
+val clock : (unit -> float) ref
+
+val reset : unit -> unit
+
+type pass =
+  | Reduce
+  | Expand
+  | Validate
+
+(** [timed pass f] runs [f ()], charging its duration to [pass] in
+    [global] when [enabled] (also on exception). *)
+val timed : pass -> (unit -> 'a) -> 'a
+
+val record_pass : pass -> float -> unit
+val record_memo : hits:int -> misses:int -> unit
+val record_fires : Rewrite.stats -> unit
+val record_call : unit -> unit
+
+(** Render the summary table (pass times, rule fires, memo hit rate,
+    hash-consing stats). *)
+val pp : Format.formatter -> t -> unit

@@ -241,7 +241,34 @@ exception Out_of_fuel
 
 let default_max_steps = 200_000
 
-let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps) () =
+(* Normal-form memo, keyed by hash-consed handle.  Reduction is local —
+   the normal form of a subtree depends only on the subtree and the rule
+   set, never on the surrounding context — so within one optimization
+   (rules fixed, heap frozen for any store-aware domain rules) a subtree
+   seen again, whether physically shared across rounds or structurally
+   duplicated by substitution, is already done.  η-full and η-free value
+   normalization are distinct functions and get distinct tables. *)
+type memo = {
+  m_app : (int, Term.app) Hashtbl.t;
+  m_value : (int, Term.value) Hashtbl.t;
+  m_value_no_eta : (int, Term.value) Hashtbl.t;
+  mutable m_hits : int;
+  mutable m_misses : int;
+}
+
+let fresh_memo () =
+  {
+    m_app = Hashtbl.create 256;
+    m_value = Hashtbl.create 256;
+    m_value_no_eta = Hashtbl.create 256;
+    m_hits = 0;
+    m_misses = 0;
+  }
+
+let memo_hits m = m.m_hits
+let memo_misses m = m.m_misses
+
+let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps) ?memo () =
   let fuel = ref max_steps in
   let spend () =
     decr fuel;
@@ -274,7 +301,34 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
           | Some _ as r -> r
           | None -> try_domain a)))
   in
+  (* Memo plumbing: look up / record normal forms by hash-consed handle.
+     A recorded normal form is also its own normal form, so both the input
+     and the output handle map to it — re-reducing an already-normal tree
+     (the common case in later optimizer rounds) is then a single lookup. *)
+  let find tbl key v m =
+    match Hashtbl.find_opt tbl (key v) with
+    | Some _ as r ->
+      m.m_hits <- m.m_hits + 1;
+      r
+    | None ->
+      m.m_misses <- m.m_misses + 1;
+      None
+  in
+  let record tbl key v r =
+    Hashtbl.replace tbl (key v) r;
+    if not (r == v) then Hashtbl.replace tbl (key r) r
+  in
   let rec norm_app a =
+    match memo with
+    | None -> norm_app_fresh a
+    | Some m -> (
+      match find m.m_app Hashcons.id_app a m with
+      | Some r -> r
+      | None ->
+        let r = norm_app_fresh a in
+        record m.m_app Hashcons.id_app a r;
+        r)
+  and norm_app_fresh a =
     match step a with
     | Some a' ->
       spend ();
@@ -288,14 +342,14 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
              evaluator rely on), so η-reduction is not applied at their top
              level. *)
           let body = binder.body in
-          let body' =
-            { body with args = List.map norm_value_no_eta body.args }
-          in
-          { a with args = [ Abs { binder with body = body' } ] }
+          let args' = Term.map_sharing norm_value_no_eta body.args in
+          if args' == body.args then a
+          else
+            { a with args = [ Abs { binder with body = { body with args = args' } } ] }
         | _ ->
           let func = norm_value a.func in
-          let args = List.map norm_value a.args in
-          { func; args }
+          let args = Term.map_sharing norm_value a.args in
+          if func == a.func && args == a.args then a else { func; args }
       in
       (* Normalizing children can enable rules at this node (e.g. folding a
          branch away makes a parameter single-use). *)
@@ -307,24 +361,47 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
   and norm_value_no_eta v =
     match v with
     | Lit _ | Var _ | Prim _ -> v
-    | Abs a -> Abs { a with body = norm_app a.body }
+    | Abs a -> (
+      match memo with
+      | None -> norm_value_no_eta_fresh v a
+      | Some m -> (
+        match find m.m_value_no_eta Hashcons.id_value v m with
+        | Some r -> r
+        | None ->
+          let r = norm_value_no_eta_fresh v a in
+          record m.m_value_no_eta Hashcons.id_value v r;
+          r))
+  and norm_value_no_eta_fresh v a =
+    let body = norm_app a.body in
+    if body == a.body then v else Abs { a with body }
   and norm_value v =
     match v with
     | Lit _ | Var _ | Prim _ -> v
     | Abs a -> (
-      let v' = Abs { a with body = norm_app a.body } in
-      match try_eta ~stats v' with
-      | Some v'' ->
-        spend ();
-        v''
-      | None -> v')
+      match memo with
+      | None -> norm_value_fresh v a
+      | Some m -> (
+        match find m.m_value Hashcons.id_value v m with
+        | Some r -> r
+        | None ->
+          let r = norm_value_fresh v a in
+          record m.m_value Hashcons.id_value v r;
+          r))
+  and norm_value_fresh v a =
+    let body = norm_app a.body in
+    let v' = if body == a.body then v else Abs { a with body } in
+    match try_eta ~stats v' with
+    | Some v'' ->
+      spend ();
+      v''
+    | None -> v'
   in
   norm_app, norm_value
 
-let reduce_app ?stats ?rules ?max_steps a =
-  let norm_app, _ = reduce ?stats ?rules ?max_steps () in
+let reduce_app ?stats ?rules ?max_steps ?memo a =
+  let norm_app, _ = reduce ?stats ?rules ?max_steps ?memo () in
   norm_app a
 
-let reduce_value ?stats ?rules ?max_steps v =
-  let _, norm_value = reduce ?stats ?rules ?max_steps () in
+let reduce_value ?stats ?rules ?max_steps ?memo v =
+  let _, norm_value = reduce ?stats ?rules ?max_steps ?memo () in
   norm_value v

@@ -72,10 +72,32 @@ val try_eta : ?stats:stats -> Term.value -> Term.value option
     non-size-reducing domain rules; the core rules always terminate. *)
 exception Out_of_fuel
 
-(** [reduce_app ?stats ?rules ?max_steps app] normalizes [app]: applies the
-    core rules (plus the domain [rules]) bottom-up to fixpoint.
-    [max_steps] (default 200_000) bounds the number of rule applications as
-    a safety net for non-size-reducing domain rules. *)
-val reduce_app : ?stats:stats -> ?rules:rule list -> ?max_steps:int -> Term.app -> Term.app
+(** Normal-form memo keyed by hash-consed handles ([Hashcons]).  Reduction
+    is context-free — a subtree's normal form depends only on the subtree
+    and the rule set — so memoized results are reusable for any subtree
+    seen again: physically shared across optimizer rounds or structurally
+    duplicated by substitution.  A memo is sound for as long as the rule
+    set behaves as a pure function of the term; scope it to one optimizer
+    invocation when domain rules consult mutable state (the store rules
+    do), and reuse it across invocations only for pure rule sets. *)
+type memo
 
-val reduce_value : ?stats:stats -> ?rules:rule list -> ?max_steps:int -> Term.value -> Term.value
+val fresh_memo : unit -> memo
+
+(** [memo_hits m] / [memo_misses m] count lookups that were answered from /
+    had to be computed into [m]. *)
+val memo_hits : memo -> int
+
+val memo_misses : memo -> int
+
+(** [reduce_app ?stats ?rules ?max_steps ?memo app] normalizes [app]:
+    applies the core rules (plus the domain [rules]) bottom-up to fixpoint.
+    [max_steps] (default 200_000) bounds the number of rule applications as
+    a safety net for non-size-reducing domain rules.  With [memo],
+    already-normalized subtrees are skipped in O(1); unchanged siblings
+    keep their physical identity, so later rounds' checks stay O(1). *)
+val reduce_app :
+  ?stats:stats -> ?rules:rule list -> ?max_steps:int -> ?memo:memo -> Term.app -> Term.app
+
+val reduce_value :
+  ?stats:stats -> ?rules:rule list -> ?max_steps:int -> ?memo:memo -> Term.value -> Term.value

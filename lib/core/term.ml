@@ -46,6 +46,22 @@ let is_trivial = function
   | Lit _ | Var _ | Prim _ -> true
   | Abs _ -> false
 
+(* Identity-preserving map: returns the original list (physically) when no
+   element changed, so rebuilding passes keep unchanged subtrees shared —
+   the property the incremental optimizer's O(1) "did this change?" checks
+   rely on. *)
+let map_sharing f l =
+  let changed = ref false in
+  let l' =
+    List.map
+      (fun x ->
+        let x' = f x in
+        if not (x' == x) then changed := true;
+        x')
+      l
+  in
+  if !changed then l' else l
+
 let rec size_value = function
   | Lit _ | Var _ | Prim _ -> 1
   | Abs a -> 1 + List.length a.params + size_app a.body

@@ -60,6 +60,12 @@ val is_trivial : value -> bool
 (** [is_trivial v] is true for literals, variables and primitives — the
     values the [subst] rule may duplicate freely. *)
 
+(** [map_sharing f l] maps [f] over [l] but returns [l] itself (physically)
+    when every element mapped to itself.  Rebuilding passes use it so
+    unchanged subtrees stay physically shared, which is what makes the
+    incremental optimizer's "did this change?" checks O(1). *)
+val map_sharing : ('a -> 'a) -> 'a list -> 'a list
+
 (** {1 Measures} *)
 
 (** [size_app a] (resp. [size_value v]) is the number of abstract syntax

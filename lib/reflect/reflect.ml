@@ -7,6 +7,7 @@ type config = {
   inline_budget : int;
   use_ptml : bool;
   use_query_rules : bool;
+  use_speccache : bool;
 }
 
 let default =
@@ -16,6 +17,7 @@ let default =
     inline_budget = 96;
     use_ptml = true;
     use_query_rules = true;
+    use_speccache = true;
   }
 
 type result = {
@@ -168,24 +170,154 @@ let store_rules ctx config ~budget ~count =
        Tml_query.Qopt.static_rules @ Tml_query.Qopt.runtime_rules ctx
      else [])
 
-let optimize ?(config = default) ctx oid =
-  Tml_query.Qopt.install ();
-  let fo = func_obj ctx oid in
+(* ------------------------------------------------------------------ *)
+(* Specialization cache glue                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything that parameterizes the pipeline beyond the callee and the
+   store must be part of the cache key; a rendering of the configuration
+   knobs (plus whether the analysis bridge is live) does it. *)
+let config_token config =
+  let o = config.optimizer in
+  let e = o.Optimizer.expand in
+  Printf.sprintf "mr%d;pl%d;ms%d;v%b;inc%b;il%d;yl%d;gl%d;ey%b;xr%d;iol%d;ib%d;p%b;q%b;an%b"
+    o.Optimizer.max_rounds o.Optimizer.penalty_limit o.Optimizer.max_steps o.Optimizer.validate
+    o.Optimizer.incremental e.Expand.inline_limit e.Expand.y_inline_limit e.Expand.growth_limit
+    e.Expand.expand_y
+    (List.length o.Optimizer.rules)
+    config.inline_oid_limit config.inline_budget config.use_ptml config.use_query_rules
+    !Tml_analysis.Bridge.enabled
+
+(* OID literals of the closed term: what the analysis bridge may resolve
+   through [Analysis.Cache] without touching the heap — recorded as
+   dependencies alongside the access-hook trace. *)
+let oid_literals (v : Term.value) =
+  let acc = ref [] in
+  let rec go_value = function
+    | Term.Lit (Literal.Oid o) -> acc := o :: !acc
+    | Term.Abs a -> go_app a.Term.body
+    | Term.Lit _ | Term.Var _ | Term.Prim _ -> ()
+  and go_app (a : Term.app) =
+    go_value a.Term.func;
+    List.iter go_value a.Term.args
+  in
+  go_value v;
+  !acc
+
+(* The full specialization pipeline for one function object, behind the
+   cache: a verified hit re-materializes the optimized PTML (α-freshened —
+   decoded stamps must not collide with live trees); a miss runs the
+   optimizer while recording every heap object the rules consult (by
+   chaining the heap's access hook) and stores the outcome keyed by
+   (callee, fingerprint) with digests of those dependencies. *)
+let specialize ~config ctx oid (fo : Value.func_obj) =
+  let heap = ctx.Runtime.heap in
   let original_tml =
     if config.use_ptml then Tml_store.Ptml.decode_value fo.Value.fo_ptml else fo.Value.fo_tml
   in
-  (* α-convert: the decoded tree must not share binder stamps with anything
-     already live, and the in-memory tree is shared with the running code. *)
-  let fresh = Alpha.freshen_value original_tml in
-  let closed, leftover = close_over_bindings fo fresh in
-  let budget = ref config.inline_budget in
-  let count = ref 0 in
-  let rules = store_rules ctx config ~budget ~count in
-  let opt_config =
-    Tml_analysis.Bridge.with_analysis (Optimizer.with_rules config.optimizer rules)
+  let fp =
+    if config.use_speccache then
+      Speccache.fingerprint ~ptml:fo.Value.fo_ptml ~bindings:fo.Value.fo_bindings
+        ~config:(config_token config)
+    else ""
   in
-  let optimized, report = Optimizer.optimize_value ~config:opt_config closed in
-  if opt_config.Optimizer.validate then validate_result ~closed ~leftover optimized;
+  let cached = if config.use_speccache then Speccache.find heap ~callee:oid ~fp else None in
+  match cached with
+  | Some o ->
+    let optimized = Alpha.freshen_value (Tml_store.Ptml.decode_value o.Speccache.sc_ptml) in
+    (* the leftover (non-literal) bindings are recomputed from the current
+       binding list — same ids, cheap, and they carry the live values *)
+    let leftover =
+      List.filter (fun (_, v) -> Value.to_literal v = None) fo.Value.fo_bindings
+    in
+    let report =
+      {
+        Optimizer.rounds = o.Speccache.sc_rounds;
+        penalty = o.Speccache.sc_penalty;
+        stats = Rewrite.fresh_stats ();
+        expansions = o.Speccache.sc_expansions;
+        size_before = o.Speccache.sc_size_before;
+        size_after = o.Speccache.sc_size_after;
+        cost_before = o.Speccache.sc_cost_before;
+        cost_after = o.Speccache.sc_cost_after;
+      }
+    in
+    original_tml, optimized, leftover, report, o.Speccache.sc_attrs, o.Speccache.sc_inlined
+  | None ->
+    (* α-convert: the decoded tree must not share binder stamps with
+       anything already live, and the in-memory tree is shared with the
+       running code. *)
+    let fresh = Alpha.freshen_value original_tml in
+    let closed, leftover = close_over_bindings fo fresh in
+    let budget = ref config.inline_budget in
+    let count = ref 0 in
+    let rules = store_rules ctx config ~budget ~count in
+    let opt_config =
+      Tml_analysis.Bridge.with_analysis (Optimizer.with_rules config.optimizer rules)
+    in
+    let deps = ref [] in
+    let saved_access = Value.Heap.access_hook heap in
+    let saved_fault = Value.Heap.fault_hook heap in
+    if config.use_speccache then begin
+      (* chain in front of the store's hooks: accesses of present objects
+         report to the access hook, first touches of unloaded objects only
+         to the fault hook — both are dependencies *)
+      Value.Heap.set_access_hook heap (fun o obj ->
+          deps := o :: !deps;
+          match saved_access with
+          | Some f -> f o obj
+          | None -> ());
+      match saved_fault with
+      | Some f ->
+        Value.Heap.set_fault_hook heap (fun o ->
+            let r = f o in
+            if r <> None then deps := o :: !deps;
+            r)
+      | None -> ()
+    end;
+    let optimized, report =
+      Fun.protect
+        ~finally:(fun () ->
+          if config.use_speccache then begin
+            Value.Heap.set_access_hook_opt heap saved_access;
+            Value.Heap.set_fault_hook_opt heap saved_fault
+          end)
+        (fun () -> Optimizer.optimize_value ~config:opt_config closed)
+    in
+    if opt_config.Optimizer.validate then validate_result ~closed ~leftover optimized;
+    let attrs =
+      [
+        "cost_before", report.Optimizer.cost_before;
+        "cost_after", report.Optimizer.cost_after;
+        "size_before", report.Optimizer.size_before;
+        "size_after", report.Optimizer.size_after;
+        "inlined_calls", !count;
+      ]
+      @ effect_attrs optimized
+    in
+    if config.use_speccache then
+      Speccache.store heap ~callee:oid ~fp
+        ~deps:(!deps @ oid_literals closed)
+        {
+          Speccache.sc_ptml = Tml_store.Ptml.encode_value optimized;
+          sc_attrs = attrs;
+          sc_inlined = !count;
+          sc_rounds = report.Optimizer.rounds;
+          sc_penalty = report.Optimizer.penalty;
+          sc_expansions = report.Optimizer.expansions;
+          sc_size_before = report.Optimizer.size_before;
+          sc_size_after = report.Optimizer.size_after;
+          sc_cost_before = report.Optimizer.cost_before;
+          sc_cost_after = report.Optimizer.cost_after;
+        };
+    original_tml, optimized, leftover, report, attrs, !count
+
+let optimize ?(config = default) ctx oid =
+  Tml_query.Qopt.install ();
+  let fo = func_obj ctx oid in
+  let original_tml, optimized, leftover, report, attrs, inlined =
+    specialize ~config ctx oid fo
+  in
   let new_oid =
     Value.Heap.alloc_func ctx.Runtime.heap ~name:(fo.Value.fo_name ^ "!opt") optimized
   in
@@ -193,39 +325,21 @@ let optimize ?(config = default) ctx oid =
   new_fo.Value.fo_bindings <- leftover;
   cache_summary new_oid optimized;
   (* attach derived attributes to the persistent system state *)
-  new_fo.Value.fo_attrs <-
-    [
-      "cost_before", report.Optimizer.cost_before;
-      "cost_after", report.Optimizer.cost_after;
-      "size_before", report.Optimizer.size_before;
-      "size_after", report.Optimizer.size_after;
-      "inlined_calls", !count;
-    ]
-    @ effect_attrs optimized;
+  new_fo.Value.fo_attrs <- attrs;
   fo.Value.fo_attrs <-
     ("optimized_as", Oid.to_int new_oid) :: List.remove_assoc "optimized_as" fo.Value.fo_attrs;
   (* persist the rewrite and its derived attributes with the system state *)
   (match ctx.Runtime.durable_commit with
   | Some commit -> commit ()
   | None -> ());
-  { oid = new_oid; original_tml; optimized_tml = optimized; report; inlined_calls = !count }
+  { oid = new_oid; original_tml; optimized_tml = optimized; report; inlined_calls = inlined }
 
 let optimize_inplace ?(config = default) ctx oid =
   Tml_query.Qopt.install ();
   let fo = func_obj ctx oid in
-  let original_tml =
-    if config.use_ptml then Tml_store.Ptml.decode_value fo.Value.fo_ptml else fo.Value.fo_tml
+  let original_tml, optimized, leftover, report, attrs, inlined =
+    specialize ~config ctx oid fo
   in
-  let fresh = Alpha.freshen_value original_tml in
-  let closed, leftover = close_over_bindings fo fresh in
-  let budget = ref config.inline_budget in
-  let count = ref 0 in
-  let rules = store_rules ctx config ~budget ~count in
-  let opt_config =
-    Tml_analysis.Bridge.with_analysis (Optimizer.with_rules config.optimizer rules)
-  in
-  let optimized, report = Optimizer.optimize_value ~config:opt_config closed in
-  if opt_config.Optimizer.validate then validate_result ~closed ~leftover optimized;
   let new_fo =
     {
       fo with
@@ -235,24 +349,18 @@ let optimize_inplace ?(config = default) ctx oid =
       fo_tree_impl = None;
       fo_mach_impl = None;
       fo_code = None;
-      fo_attrs =
-        [
-          "cost_before", report.Optimizer.cost_before;
-          "cost_after", report.Optimizer.cost_after;
-          "size_before", report.Optimizer.size_before;
-          "size_after", report.Optimizer.size_after;
-          "inlined_calls", !count;
-        ]
-        @ effect_attrs optimized;
+      fo_attrs = attrs;
     }
   in
   Value.Heap.set ctx.Runtime.heap oid (Value.Func new_fo);
-  (* the function at [oid] changed: refresh its cached summary *)
+  (* the function at [oid] changed: entries specialized against its old
+     content (or inlining it into callers) are stale; its summary too *)
+  Speccache.invalidate oid;
   cache_summary oid optimized;
   (match ctx.Runtime.durable_commit with
   | Some commit -> commit ()
   | None -> ());
-  { oid; original_tml; optimized_tml = optimized; report; inlined_calls = !count }
+  { oid; original_tml; optimized_tml = optimized; report; inlined_calls = inlined }
 
 let optimize_all ?(config = default) ?(passes = 2) ctx oids =
   for _ = 1 to passes do

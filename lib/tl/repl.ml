@@ -31,7 +31,7 @@ type feed_result = {
   output : string;
 }
 
-let resolve_bindings session (fo : Value.func_obj) =
+let resolve_bindings session oid (fo : Value.func_obj) =
   let frees = Ident.Set.elements (Term.free_vars_value fo.Value.fo_tml) in
   fo.Value.fo_bindings <-
     List.map
@@ -42,13 +42,18 @@ let resolve_bindings session (fo : Value.func_obj) =
       frees;
   fo.Value.fo_tree_impl <- None;
   fo.Value.fo_mach_impl <- None;
-  fo.Value.fo_code <- None
+  fo.Value.fo_code <- None;
+  (* rebinding changes what specialization would observe: drop cached
+     specializations of — and depending on — this function, alongside the
+     per-OID analysis summary *)
+  Speccache.invalidate oid;
+  Tml_analysis.Cache.invalidate oid
 
 let relink_all session =
   List.iter
     (fun (_, oid) ->
       match Value.Heap.get_opt session.sctx.Runtime.heap oid with
-      | Some (Value.Func fo) -> resolve_bindings session fo
+      | Some (Value.Func fo) -> resolve_bindings session oid fo
       | _ -> ())
     session.funcs
 
@@ -80,7 +85,7 @@ let link_batch session (defs : Lower.compiled_def list) =
         note_defined d.Lower.c_name;
         let oid = Value.Heap.alloc_func heap ~name:(d.Lower.c_name ^ "!init") d.Lower.c_tml in
         (match Value.Heap.get heap oid with
-        | Value.Func fo -> resolve_bindings session fo
+        | Value.Func fo -> resolve_bindings session oid fo
         | _ -> assert false);
         match Machine.run_proc session.sctx (Value.Oidv oid) [] with
         | Eval.Done v -> Hashtbl.replace session.globals d.Lower.c_name v
@@ -94,7 +99,7 @@ let link_batch session (defs : Lower.compiled_def list) =
   List.iter
     (fun (_, oid) ->
       match Value.Heap.get heap oid with
-      | Value.Func fo -> resolve_bindings session fo
+      | Value.Func fo -> resolve_bindings session oid fo
       | _ -> assert false)
     new_funcs;
   (* redefinition: existing callers must see the new binding *)
@@ -135,7 +140,7 @@ let process session (items : Ast.item list) =
       let name = Printf.sprintf "it%d" session.expr_counter in
       let oid = Value.Heap.alloc_func session.sctx.Runtime.heap ~name tml in
       (match Value.Heap.get session.sctx.Runtime.heap oid with
-      | Value.Func fo -> resolve_bindings session fo
+      | Value.Func fo -> resolve_bindings session oid fo
       | _ -> assert false);
       let before = session.sctx.Runtime.steps in
       let outcome = Machine.run_proc session.sctx (Value.Oidv oid) [] in
@@ -227,11 +232,16 @@ let persist session pstore =
   if heap != Pstore.heap pstore then
     invalid_arg "Repl.persist: session is not running on this store's heap";
   let sources, globals, funcs = manifest_vectors session in
-  let exports ~s ~g ~f =
+  (* the specialization cache travels with the session image, so a
+     reopened store serves repeated optimizations without re-running the
+     optimizer *)
+  let spec = Bytes.of_string (Speccache.encode ()) in
+  let exports ~s ~g ~f ~c =
     [|
       "#sources", Value.Oidv s;
       "#globals", Value.Oidv g;
       "#funcs", Value.Oidv f;
+      "#speccache", Value.Oidv c;
       "#expr_counter", Value.Int session.expr_counter;
     |]
   in
@@ -256,15 +266,24 @@ let persist session pstore =
       Value.Heap.set heap s (Value.Vector sources);
       Value.Heap.set heap g (Value.Vector globals);
       Value.Heap.set heap f (Value.Vector funcs);
+      (* images written before the cache existed lack the entry *)
+      let c =
+        match Array.find_opt (fun (k, _) -> String.equal k "#speccache") m.Value.exports with
+        | Some (_, Value.Oidv o) ->
+          Value.Heap.set heap o (Value.Bytes spec);
+          o
+        | _ -> Value.Heap.alloc heap (Value.Bytes spec)
+      in
       Value.Heap.set heap moid
-        (Value.Module { Value.mod_name = manifest_name; exports = exports ~s ~g ~f });
+        (Value.Module { Value.mod_name = manifest_name; exports = exports ~s ~g ~f ~c });
       moid
     | _ ->
       let s = Value.Heap.alloc heap (Value.Vector sources) in
       let g = Value.Heap.alloc heap (Value.Vector globals) in
       let f = Value.Heap.alloc heap (Value.Vector funcs) in
+      let c = Value.Heap.alloc heap (Value.Bytes spec) in
       Value.Heap.alloc heap
-        (Value.Module { Value.mod_name = manifest_name; exports = exports ~s ~g ~f })
+        (Value.Module { Value.mod_name = manifest_name; exports = exports ~s ~g ~f ~c })
   in
   Pstore.commit ~root pstore
 
@@ -291,8 +310,10 @@ let replay_defs session src =
 let restore ?(mode = Lower.Library) pstore =
   Tml_query.Qprims.install ();
   (* a restored store brings its own OID space: per-OID analysis summaries
-     from any previously open heap would be stale *)
+     and cached specializations from any previously open heap would be
+     stale *)
   Tml_analysis.Cache.clear ();
+  Speccache.clear ();
   let heap = Pstore.heap pstore in
   let session =
     {
@@ -354,4 +375,14 @@ let restore ?(mode = Lower.Library) pstore =
   (match manifest_export m "#expr_counter" with
   | Value.Int n -> session.expr_counter <- n
   | v -> Runtime.fault "corrupt session manifest: counter %s" (Value.to_string v));
+  (* reload the persisted specialization cache; images written before the
+     cache existed simply lack the entry, and a damaged image costs only
+     re-optimization, never the session *)
+  (match Array.find_opt (fun (k, _) -> String.equal k "#speccache") m.Value.exports with
+  | Some (_, Value.Oidv o) -> (
+    match Value.Heap.get_opt heap o with
+    | Some (Value.Bytes b) -> (
+      try Speccache.decode (Bytes.to_string b) with Speccache.Corrupt _ -> Speccache.clear ())
+    | _ -> ())
+  | _ -> ());
   session

@@ -79,7 +79,11 @@ module Heap = struct
     { objs = Array.make 64 None; next = 0; fault = None; on_access = None; on_update = None }
 
   let set_fault_hook heap f = heap.fault <- Some f
+  let fault_hook heap = heap.fault
+  let set_fault_hook_opt heap f = heap.fault <- f
   let set_access_hook heap f = heap.on_access <- Some f
+  let access_hook heap = heap.on_access
+  let set_access_hook_opt heap f = heap.on_access <- f
   let set_update_hook heap f = heap.on_update <- Some f
 
   let clear_hooks heap =

@@ -121,6 +121,18 @@ module Heap : sig
   val set_access_hook : heap -> (Tml_core.Oid.t -> obj -> unit) -> unit
   val set_update_hook : heap -> (Tml_core.Oid.t -> obj -> unit) -> unit
 
+  (** Read / replace the current access and fault hooks.  Temporary
+      observers (the specialization cache's dependency recorder) chain
+      themselves in front of whatever the backing store installed and
+      restore the saved hooks when done.  Both must be wrapped to see
+      every dereference: a first touch of an unloaded object reports to
+      the fault hook only, later touches to the access hook only. *)
+  val access_hook : heap -> (Tml_core.Oid.t -> obj -> unit) option
+
+  val set_access_hook_opt : heap -> (Tml_core.Oid.t -> obj -> unit) option -> unit
+  val fault_hook : heap -> (Tml_core.Oid.t -> obj option) option
+  val set_fault_hook_opt : heap -> (Tml_core.Oid.t -> obj option) option -> unit
+
   val clear_hooks : heap -> unit
   (** detach the backing store: the heap keeps its materialized objects
       and reverts to plain in-memory behaviour *)

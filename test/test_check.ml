@@ -75,6 +75,29 @@ let prop_purity_sound =
       | Oracle.Purity_agree | Oracle.Purity_untestable _ -> true
       | Oracle.Purity_violation d -> QCheck2.Test.fail_reportf "%s" d)
 
+(* the cached-vs-fresh reflective pair in isolation: only the reflective
+   engines (one specializing fresh, one served from the specialization
+   cache) against the tree baseline, so a divergence is attributable to
+   the cache — a stale entry, a mis-keyed fingerprint, or a PTML round
+   trip of the cached body.  The full battery above also runs the cached
+   engine; this suite keeps the failure signal narrow. *)
+let cached_pair_engines =
+  List.filter
+    (function
+      | Oracle.Tree | Oracle.Reflect _ | Oracle.Reflect_cached _ -> true
+      | Oracle.Mach | Oracle.Opt _ -> false)
+    engines
+
+let prop_cached_matches_fresh =
+  QCheck2.Test.make ~name:"cached specializations match fresh ones on programs" ~count:80
+    ~print:print_diff_case diff_case_gen (fun c ->
+      verdict_ok (Oracle.check_case ~engines:cached_pair_engines c))
+
+let prop_cached_matches_fresh_query =
+  QCheck2.Test.make ~name:"cached specializations match fresh ones on query pipelines"
+    ~count:60 ~print:print_query_case query_case_gen (fun c ->
+      verdict_ok (Oracle.check_query ~engines:cached_pair_engines c))
+
 (* ------------------------------------------------------------------ *)
 (* Validation hook                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -211,6 +234,8 @@ let () =
           [
             prop_engines_agree;
             prop_query_engines_agree;
+            prop_cached_matches_fresh;
+            prop_cached_matches_fresh_query;
             prop_ptml_roundtrip;
             prop_store_reopen;
             prop_purity_sound;

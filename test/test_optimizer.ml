@@ -136,6 +136,89 @@ let test_with_rules () =
   let _ = Optimizer.optimize_value ~config v in
   check tbool "domain rule consulted" true (!hits >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental engine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* the incremental engine (normal-form memo + physical sharing + delta
+   validation) must be a pure performance change: same results as the
+   legacy full-re-sweep engine, modulo the stamps freshened by inlining *)
+let test_incremental_matches_legacy () =
+  let rng = Random.State.make [| 31 |] in
+  for _ = 1 to 60 do
+    let v = Gen.proc2 rng ~size:30 in
+    let inc =
+      { Optimizer.o3 with Optimizer.incremental = true; validate = true }
+    in
+    let leg =
+      { Optimizer.o3 with Optimizer.incremental = false; validate = true }
+    in
+    let vi, ri = Optimizer.optimize_value ~config:inc v in
+    let vl, rl = Optimizer.optimize_value ~config:leg v in
+    check tbool "same optimized term" true (Term.alpha_equal_by_name_value vi vl);
+    check tint "same final cost" rl.Optimizer.cost_after ri.Optimizer.cost_after;
+    check tint "same final size" rl.Optimizer.size_after ri.Optimizer.size_after
+  done
+
+let test_normal_forms_shared () =
+  (* a term already in normal form must come back physically unchanged:
+     that identity is what lets later rounds skip unchanged siblings O(1) *)
+  let a = Sexp.parse_app "(+ x y ce! cc!)" in
+  check tbool "normal form returned physically" true (Rewrite.reduce_app a == a);
+  let r = Expand.expand_app Expand.default a in
+  check tbool "expansion shares an unchanged tree" true (r.Expand.term == a)
+
+let test_reduce_memo_reuse () =
+  let memo = Rewrite.fresh_memo () in
+  let a = multi_use_term () in
+  let r1 = Rewrite.reduce_app ~memo a in
+  let misses_after_first = Rewrite.memo_misses memo in
+  let r2 = Rewrite.reduce_app ~memo a in
+  check tbool "memoized result identical" true (r1 == r2);
+  check tbool "second run hits the memo" true (Rewrite.memo_hits memo > 0);
+  check tint "second run recomputes nothing" misses_after_first (Rewrite.memo_misses memo);
+  (* the memo also short-circuits normal forms: reducing the result again
+     through the same memo is a single lookup *)
+  check tbool "normal form maps to itself" true (Rewrite.reduce_app ~memo r1 == r1)
+
+let test_delta_validation_catches_breakage () =
+  (* delta validation must still reject a rule that breaks scoping, even
+     when most of the tree is skippable: the broken region is new, so it
+     is never marked validated *)
+  let rogue (a : Term.app) =
+    match a.Term.func, a.Term.args with
+    | Term.Prim "+", _ ->
+      (* rewrite to a reference to a variable that does not exist *)
+      Some (Term.app (Term.var (Ident.fresh "ghost")) [])
+    | _ -> None
+  in
+  let config =
+    Optimizer.with_rules
+      { Optimizer.o2 with Optimizer.validate = true; incremental = true }
+      [ rogue ]
+  in
+  let v = parse_v "proc(x ce! cc!) (+ x 1 ce! cont(t) (cc! t))" in
+  match Optimizer.optimize_value ~config v with
+  | exception Optimizer.Validation_error _ -> ()
+  | _ -> Alcotest.fail "delta validation accepted an out-of-scope reference"
+
+let test_profile_records () =
+  Profile.reset ();
+  Profile.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.enabled := false;
+      Profile.reset ())
+    (fun () ->
+      let v = parse_v "proc(x ce! cc!) (+ 1 2 ce! cont(t) (cc! t))" in
+      let _ = Optimizer.optimize_value ~config:Optimizer.o2 v in
+      let p = Profile.global in
+      check tbool "reduce passes counted" true (p.Profile.reduce_passes > 0);
+      check tbool "optimize calls counted" true (p.Profile.optimize_calls > 0);
+      check tbool "rule fires recorded" true (p.Profile.fires.Rewrite.fold >= 1);
+      let table = Format.asprintf "%a" Profile.pp p in
+      check tbool "report renders" true (String.length table > 0))
+
 let () =
   Primitives.install ();
   Alcotest.run "tml_optimizer"
@@ -156,5 +239,15 @@ let () =
           Alcotest.test_case "preserves well-formedness" `Quick test_wf_preserved;
           Alcotest.test_case "report fields" `Quick test_report_fields;
           Alcotest.test_case "domain rules plug in" `Quick test_with_rules;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "matches the legacy engine" `Quick
+            test_incremental_matches_legacy;
+          Alcotest.test_case "normal forms are shared" `Quick test_normal_forms_shared;
+          Alcotest.test_case "reduction memo reuse" `Quick test_reduce_memo_reuse;
+          Alcotest.test_case "delta validation still catches breakage" `Quick
+            test_delta_validation_catches_breakage;
+          Alcotest.test_case "profile records passes" `Quick test_profile_records;
         ] );
     ]

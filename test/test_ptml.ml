@@ -134,6 +134,21 @@ let test_compactness () =
     (Printf.sprintf "binary (%d) < text (%d)" binary text)
     true (binary < text)
 
+(* The hashcons structural hash is a pure function of stamps, literals and
+   primitive names — all of which the codec preserves exactly — so it must
+   be bit-identical across an encode/decode round trip.  The specialization
+   cache relies on this: fingerprints computed against decoded PTML must
+   match ones computed against the live tree. *)
+let test_hash_stable_roundtrip () =
+  let rng = Random.State.make [| 0x9a5 |] in
+  for i = 0 to 30 do
+    let v = Gen.proc2 rng ~size:(10 + (2 * i)) in
+    let v' = Ptml.decode_value (Ptml.encode_value v) in
+    check tint "hash stable across encode/decode" (Hashcons.hash_value v)
+      (Hashcons.hash_value v');
+    check tbool "hashcons equality across encode/decode" true (Hashcons.equal_value v v')
+  done
+
 let () =
   Primitives.install ();
   Alcotest.run "tml_ptml"
@@ -155,5 +170,6 @@ let () =
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
           Alcotest.test_case "application payload" `Quick test_app_roundtrip;
           Alcotest.test_case "compact vs text" `Quick test_compactness;
+          Alcotest.test_case "structural hash stable" `Quick test_hash_stable_roundtrip;
         ] );
     ]

@@ -215,6 +215,157 @@ let test_errors () =
   | exception Runtime.Fault _ -> ()
   | _ -> Alcotest.fail "optimizing a non-reference must fault"
 
+(* ------------------------------------------------------------------ *)
+(* Specialization cache                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_speccache_hit () =
+  Speccache.clear ();
+  let program = Link.load abs_source in
+  let ctx = program.Link.ctx in
+  let abs_oid = Link.function_oid program "cabs" in
+  let r1 = Reflect.optimize ctx abs_oid in
+  let s = Speccache.stats () in
+  let hits0 = s.Speccache.hits and stores0 = s.Speccache.stores in
+  check tbool "first optimization stored an entry" true (stores0 >= 1);
+  let r2 = Reflect.optimize ctx abs_oid in
+  let s = Speccache.stats () in
+  check tbool "second optimization is a cache hit" true (s.Speccache.hits > hits0);
+  check tint "hit stores nothing new" stores0 s.Speccache.stores;
+  check tbool "cached result agrees with the fresh one" true
+    (Term.alpha_equal_value r1.Reflect.optimized_tml r2.Reflect.optimized_tml);
+  check tint "cached report: rounds" r1.Reflect.report.Optimizer.rounds
+    r2.Reflect.report.Optimizer.rounds;
+  check tint "cached report: final cost" r1.Reflect.report.Optimizer.cost_after
+    r2.Reflect.report.Optimizer.cost_after;
+  check tint "cached inline count" r1.Reflect.inlined_calls r2.Reflect.inlined_calls
+
+let test_speccache_invalidate_on_dep_change () =
+  Speccache.clear ();
+  let program = Link.load abs_source in
+  let ctx = program.Link.ctx in
+  let abs_oid = Link.function_oid program "cabs" in
+  let re_oid = Link.function_oid program "complex.re" in
+  ignore (Reflect.optimize ctx abs_oid);
+  (* cabs inlined complex.re, so its entry depends on that object;
+     rewriting it in place must drop the entry *)
+  let misses0 = (Speccache.stats ()).Speccache.misses in
+  ignore (Reflect.optimize_inplace ctx re_oid);
+  ignore (Reflect.optimize ctx abs_oid);
+  check tbool "re-optimization after dependency rewrite is a miss" true
+    ((Speccache.stats ()).Speccache.misses > misses0)
+
+let test_speccache_verify_on_hit () =
+  (* a dependency mutated behind the cache's back (no [invalidate] call)
+     is caught by digest verification at [find] time *)
+  Speccache.clear ();
+  let heap = Value.Heap.create () in
+  let ctx = Runtime.create heap in
+  let vec = Value.Heap.alloc heap (Value.Vector [| Value.Int 10; Value.Int 20 |]) in
+  let tml =
+    Sexp.parse_value
+      (Printf.sprintf "proc(u ce! cc!) ([] <oid %d> 1 cont(t) (cc! t))" (Oid.to_int vec))
+  in
+  let f = Value.Heap.alloc_func heap ~name:"readvec" tml in
+  let r1 = Reflect.optimize ctx f in
+  let folded v =
+    Term.exists_app
+      (fun node -> List.exists (fun a -> Term.equal_value a (Term.int v)) node.Term.args)
+      (match r1.Reflect.optimized_tml with
+      | Term.Abs a -> a.Term.body
+      | _ -> Alcotest.fail "expected abs")
+  in
+  check tbool "vector read folded into the body" true (folded 20);
+  Value.Heap.set heap vec (Value.Vector [| Value.Int 10; Value.Int 77 |]);
+  let vf0 = (Speccache.stats ()).Speccache.verify_failures in
+  let r2 = Reflect.optimize ctx f in
+  check tbool "stale entry rejected by digest verification" true
+    ((Speccache.stats ()).Speccache.verify_failures > vf0);
+  check tbool "fresh optimization sees the new value" true
+    (Term.exists_app
+       (fun node -> List.exists (fun a -> Term.equal_value a (Term.int 77)) node.Term.args)
+       (match r2.Reflect.optimized_tml with
+       | Term.Abs a -> a.Term.body
+       | _ -> Alcotest.fail "expected abs"))
+
+let test_speccache_encode_decode () =
+  Speccache.clear ();
+  let program = Link.load abs_source in
+  let ctx = program.Link.ctx in
+  let abs_oid = Link.function_oid program "cabs" in
+  ignore (Reflect.optimize ctx abs_oid);
+  let n = Speccache.length () in
+  check tbool "entries live" true (n >= 1);
+  let image = Speccache.encode () in
+  Speccache.clear ();
+  check tint "cleared" 0 (Speccache.length ());
+  Speccache.decode image;
+  check tint "entries restored" n (Speccache.length ());
+  (* the restored entries serve hits against the same heap *)
+  let hits0 = (Speccache.stats ()).Speccache.hits in
+  ignore (Reflect.optimize ctx abs_oid);
+  check tbool "restored entry serves a hit" true ((Speccache.stats ()).Speccache.hits > hits0);
+  match Speccache.decode "not a speccache image" with
+  | exception Speccache.Corrupt _ -> ()
+  | () -> Alcotest.fail "garbage image accepted"
+
+let test_speccache_obj_digests () =
+  let rel rows indexes =
+    Value.Relation { Value.rel_name = "t"; rows; indexes; triggers = [] }
+  in
+  let d = Speccache.obj_digest in
+  (* rows influence execution, never plan shape: excluded from the digest *)
+  check tbool "relation rows excluded" true
+    (d (rel [| Value.Int 1 |] []) = d (rel [| Value.Int 2; Value.Int 3 |] []));
+  check tbool "relation indexes included" false
+    (d (rel [||] []) = d (rel [||] [ 0, Hashtbl.create 1 ]));
+  (* a function's derived attributes are optimizer output, not input *)
+  let fo attrs ptml =
+    Value.Func
+      {
+        Value.fo_name = "f";
+        fo_tml = Term.prim "id";
+        fo_ptml = ptml;
+        fo_bindings = [];
+        fo_tree_impl = None;
+        fo_mach_impl = None;
+        fo_code = None;
+        fo_attrs = attrs;
+      }
+  in
+  check tbool "func attrs excluded" true (d (fo [] "P") = d (fo [ "cost", 3 ] "P"));
+  check tbool "func ptml included" false (d (fo [] "P") = d (fo [] "Q"));
+  (* mutable slots: only the length is stable enough to key on *)
+  check tbool "array content excluded" true
+    (d (Value.Array [| Value.Int 1 |]) = d (Value.Array [| Value.Int 2 |]));
+  check tbool "array length included" false
+    (d (Value.Array [| Value.Int 1 |]) = d (Value.Array [| Value.Int 1; Value.Int 2 |]));
+  (* immutable slots are part of what store_fold reads *)
+  check tbool "vector content included" false
+    (d (Value.Vector [| Value.Int 1 |]) = d (Value.Vector [| Value.Int 2 |]))
+
+let test_speccache_lru_bound () =
+  Speccache.clear ();
+  Speccache.set_capacity 2;
+  Fun.protect
+    ~finally:(fun () ->
+      Speccache.set_capacity 256;
+      Speccache.clear ())
+    (fun () ->
+      let heap = Value.Heap.create () in
+      let ctx = Runtime.create heap in
+      let mk i =
+        Value.Heap.alloc_func heap
+          ~name:(Printf.sprintf "f%d" i)
+          (Sexp.parse_value (Printf.sprintf "proc(x ce! cc!) (+ x %d ce! cc!)" i))
+      in
+      let f1 = mk 1 and f2 = mk 2 and f3 = mk 3 in
+      ignore (Reflect.optimize ctx f1);
+      ignore (Reflect.optimize ctx f2);
+      ignore (Reflect.optimize ctx f3);
+      check tbool "capacity respected" true (Speccache.length () <= 2);
+      check tbool "eviction counted" true ((Speccache.stats ()).Speccache.evictions >= 1))
+
 let () =
   Runtime.install ();
   Alcotest.run "tml_reflect"
@@ -232,5 +383,16 @@ let () =
           Alcotest.test_case "query-argument inlining (view expansion)" `Quick
             test_inline_query_arg;
           Alcotest.test_case "error handling" `Quick test_errors;
+        ] );
+      ( "speccache",
+        [
+          Alcotest.test_case "repeated optimization hits" `Quick test_speccache_hit;
+          Alcotest.test_case "dependency rewrite invalidates" `Quick
+            test_speccache_invalidate_on_dep_change;
+          Alcotest.test_case "verify-on-hit catches silent mutation" `Quick
+            test_speccache_verify_on_hit;
+          Alcotest.test_case "encode/decode round trip" `Quick test_speccache_encode_decode;
+          Alcotest.test_case "per-kind digests" `Quick test_speccache_obj_digests;
+          Alcotest.test_case "LRU bound" `Quick test_speccache_lru_bound;
         ] );
     ]

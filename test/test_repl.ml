@@ -105,6 +105,38 @@ let test_session_image_roundtrip () =
   | Eval.Done (Value.Int 21) -> ()
   | o -> Alcotest.failf "loaded session function: %a" Eval.pp_outcome o
 
+let test_speccache_persists_with_session () =
+  Speccache.clear ();
+  let path = Filename.temp_file "tmlrepl" ".store" in
+  let s = Repl.create () in
+  ignore (Repl.feed s "let quad(x: Int): Int = x * 4");
+  let oid =
+    match Repl.function_oid s "quad" with
+    | Some o -> o
+    | None -> Alcotest.fail "quad not linked"
+  in
+  ignore (Tml_reflect.Reflect.optimize (Repl.ctx s) oid);
+  let n = Speccache.length () in
+  check tbool "specialization cached" true (n >= 1);
+  let pstore = Pstore.attach ~fsync:false path (Repl.ctx s).Runtime.heap in
+  ignore (Repl.persist s pstore);
+  Pstore.close pstore;
+  (* a different process: nothing in memory but the image *)
+  Speccache.clear ();
+  let pstore2 = Pstore.open_ ~fsync:false path in
+  let s2 = Repl.restore pstore2 in
+  check tint "cache restored from the image" n (Speccache.length ());
+  (* the reopened image serves the specialization without re-optimizing *)
+  let hits0 = (Speccache.stats ()).Speccache.hits in
+  (match Repl.function_oid s2 "quad" with
+  | Some oid2 -> ignore (Tml_reflect.Reflect.optimize (Repl.ctx s2) oid2)
+  | None -> Alcotest.fail "quad lost across the image");
+  check tbool "cold reopen skips re-optimization" true
+    ((Speccache.stats ()).Speccache.hits > hits0);
+  Pstore.close pstore2;
+  Speccache.clear ();
+  Sys.remove path
+
 let test_counts () =
   let s = Repl.create () in
   let n0 = List.length (Repl.function_oids s) in
@@ -130,6 +162,8 @@ let () =
           Alcotest.test_case "reflective optimization in session" `Quick
             test_reflective_optimize_in_session;
           Alcotest.test_case "session store images" `Quick test_session_image_roundtrip;
+          Alcotest.test_case "speccache persists with the session" `Quick
+            test_speccache_persists_with_session;
           Alcotest.test_case "function accounting" `Quick test_counts;
         ] );
     ]

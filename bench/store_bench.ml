@@ -24,16 +24,25 @@ let n_objects = getenv_int "TML_STORE_BENCH_OBJECTS" 2000
 let n_commits = getenv_int "TML_STORE_BENCH_COMMITS" 50
 let n_accesses = getenv_int "TML_STORE_BENCH_ACCESSES" 20000
 
+(* same clock as tracing and the optimizer profiler *)
+let () = Tml_obs.Trace.clock := Unix.gettimeofday
+
 let temp_store () =
   let path = Filename.temp_file "tml_store_bench" ".tmlstore" in
   Sys.remove path;
   path
 
-let time_us f =
+(* wall time in µs, also observed into the metrics registry so the
+   snapshot printed at the end carries every sample *)
+let time_us ?metric f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   let t1 = Unix.gettimeofday () in
-  v, (t1 -. t0) *. 1e6
+  let us = (t1 -. t0) *. 1e6 in
+  (match metric with
+  | Some name -> Tml_obs.Metrics.observe (Tml_obs.Metrics.histogram name) us
+  | None -> ());
+  v, us
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -84,7 +93,7 @@ let bench_commit () =
           | Value.Array slots -> slots.(0) <- Value.Int (round * 1000)
           | _ -> ()
         done;
-        let n, us = time_us (fun () -> Pstore.commit ps) in
+        let n, us = time_us ~metric:"store_bench.commit_us" (fun () -> Pstore.commit ps) in
         assert (n = dirty_per_round);
         samples := us :: !samples
       done;
@@ -107,14 +116,16 @@ let bench_cold_open () =
       populate ps n_objects;
       ignore (Pstore.commit ps);
       Pstore.close ps;
-      let ps, open_us = time_us (fun () -> Pstore.open_ path) in
+      let ps, open_us = time_us ~metric:"store_bench.open_us" (fun () -> Pstore.open_ path) in
       let loaded_after_open = Value.Heap.loaded_count (Pstore.heap ps) in
       let heap = Pstore.heap ps in
       let sample = min 500 n_objects in
       let samples = ref [] in
       for i = 0 to sample - 1 do
         let oid = Tml_core.Oid.of_int (i * (n_objects / sample)) in
-        let _, us = time_us (fun () -> Value.Heap.get heap oid) in
+        let _, us =
+          time_us ~metric:"store_bench.first_access_us" (fun () -> Value.Heap.get heap oid)
+        in
         samples := us :: !samples
       done;
       let faults = (Pstore.stats ps).Stats.faults in
@@ -180,8 +191,10 @@ let () =
   "store_bench": {
     "commit": %s,
     "cold_open": %s,
-    "zipf_cache": %s
+    "zipf_cache": %s,
+    "metrics": %s
   }
 }
 |}
     commit cold zipf
+    (Tml_obs.Metrics.snapshot_json ())

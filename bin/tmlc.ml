@@ -124,6 +124,24 @@ let dynamic_arg =
     value & flag
     & info [ "dynamic" ] ~doc:"Reflectively optimize the whole program after linking.")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Record optimization provenance and print each definition's \
+           derivation log (rule, site, enabling fact, size and cost deltas). \
+           Implies -O 2 when no level is given.")
+
+(* [--explain] support: provenance recording on, and a useful default
+   optimization level so there is a derivation to show *)
+let with_explain explain opt_level =
+  if explain then Tml_obs.Provenance.enabled := true;
+  if explain && opt_level = 0 then 2 else opt_level
+
+let print_derivation name prov =
+  Format.printf "=== %s: %a@.@." name Tml_obs.Provenance.pp prov
+
 let engine_arg =
   Arg.(
     value
@@ -145,8 +163,9 @@ let check_cmd =
 (* ---- dump ---- *)
 
 let dump_cmd =
-  let run file direct opt_level no_analysis no_incremental profile name =
+  let run file direct opt_level no_analysis no_incremental profile explain name =
     handle_errors (fun () ->
+        let opt_level = with_explain explain opt_level in
         let compiled =
           with_profile profile (fun () ->
               Link.compile
@@ -154,7 +173,9 @@ let dump_cmd =
                 (read_file file))
         in
         let dump (d : Lower.compiled_def) =
-          Format.printf "=== %s ===@.%a@.@." d.Lower.c_name Pp.pp_value d.Lower.c_tml
+          Format.printf "=== %s ===@.%a@.@." d.Lower.c_name Pp.pp_value d.Lower.c_tml;
+          if explain then
+            Format.printf "%s: %a@.@." d.Lower.c_name Tml_obs.Provenance.pp d.Lower.c_prov
         in
         (match name with
         | Some n ->
@@ -177,7 +198,7 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print the TML intermediate representation")
     Term.(
       const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
-      $ profile_arg $ name_arg)
+      $ profile_arg $ explain_arg $ name_arg)
 
 (* ---- disasm ---- *)
 
@@ -219,8 +240,9 @@ let disasm_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file direct opt_level no_analysis no_incremental profile dynamic engine =
+  let run file direct opt_level no_analysis no_incremental profile dynamic engine explain =
     handle_errors (fun () ->
+        let opt_level = with_explain explain opt_level in
         let program, outcome, steps =
           with_profile profile (fun () ->
               let program =
@@ -238,6 +260,18 @@ let run_cmd =
         in
         print_output (Link.output program);
         Format.printf "-- %a, %d abstract instructions@." Eval.pp_outcome outcome steps;
+        if explain then begin
+          List.iter
+            (fun (d : Lower.compiled_def) -> print_derivation d.Lower.c_name d.Lower.c_prov)
+            program.Link.compiled.Lower.c_defs;
+          if dynamic then
+            List.iter
+              (fun (name, oid) ->
+                match Tml_reflect.Reflect.provenance program.Link.ctx oid with
+                | Some prov -> print_derivation (name ^ " [reflective]") prov
+                | None -> ())
+              program.Link.func_oids
+        end;
         match outcome with
         | Eval.Done _ -> ()
         | _ -> exit 1)
@@ -245,7 +279,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile, link and execute a TL program")
     Term.(
       const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
-      $ profile_arg $ dynamic_arg $ engine_arg)
+      $ profile_arg $ dynamic_arg $ engine_arg $ explain_arg)
 
 (* ---- stanford ---- *)
 

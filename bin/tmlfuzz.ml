@@ -79,6 +79,38 @@ let progress_arg =
     & flag
     & info [ "progress" ] ~doc:"Print a progress line to stderr every 100 seeds.")
 
+let trace_failures_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-failures" ] ~docv:"DIR"
+        ~doc:
+          "Re-run each minimized failure with structured tracing enabled and \
+           write one Chrome trace (Perfetto-loadable) per failure in $(docv).")
+
+(* Re-run a minimized reproducer under an in-memory trace sink and dump
+   the events as a Chrome trace next to the corpus files: the rule fires,
+   cache probes and store activity leading up to the disagreement. *)
+let trace_failure dir i ~validate (f : Harness.failure) =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let oracle, case = Harness.entry_of_string f.Harness.f_entry in
+  let sink, drain = Tml_obs.Trace.memory_sink () in
+  let id = Tml_obs.Trace.add_sink sink in
+  Tml_obs.Trace.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Tml_obs.Trace.enabled := false;
+      Tml_obs.Trace.remove_sink id)
+    (fun () -> ignore (Harness.replay ~validate oracle case));
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-seed%d-%d.trace.json" (Harness.oracle_name f.Harness.f_oracle)
+         f.Harness.f_seed i)
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc (Tml_obs.Trace.chrome_of_events (drain ())));
+  path
+
 let write_failure dir i (f : Harness.failure) =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let path =
@@ -90,7 +122,8 @@ let write_failure dir i (f : Harness.failure) =
   path
 
 let run_cmd =
-  let run oracles seed count min_size max_size no_validate json save_failures progress =
+  let run oracles seed count min_size max_size no_validate json save_failures trace_failures
+      progress =
     let oracles = if oracles = [] then Harness.all_oracles else oracles in
     let validate = not no_validate in
     let progress_fn =
@@ -127,12 +160,20 @@ let run_cmd =
           Printf.eprintf "tmlfuzz: wrote %s\n" path)
         failures
     | None -> ());
+    (match trace_failures with
+    | Some dir ->
+      List.iteri
+        (fun i f ->
+          let path = trace_failure dir i ~validate f in
+          Printf.eprintf "tmlfuzz: traced %s\n" path)
+        failures
+    | None -> ());
     if failures <> [] then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a fuzz campaign")
     Term.(
       const run $ oracles_arg $ seed_arg $ count_arg $ min_size_arg $ max_size_arg
-      $ no_validate_arg $ json_arg $ save_failures_arg $ progress_arg)
+      $ no_validate_arg $ json_arg $ save_failures_arg $ trace_failures_arg $ progress_arg)
 
 let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Corpus entries to replay.")

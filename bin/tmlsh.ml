@@ -14,7 +14,7 @@
 
    Commands: :help :names :dump NAME :disasm NAME :optimize NAME
              :optimize-all :open FILE :commit :compact :stats
-             :save FILE :steps :quit *)
+             :explain NAME :trace on|off|dump :save FILE :steps :quit *)
 
 open Tml_core
 open Tml_vm
@@ -22,12 +22,16 @@ open Tml_frontend
 
 let interactive = Unix.isatty Unix.stdin
 
-(* the session keeps the optimizer profiler running so :stats can report
-   per-pass times and rule fires at any point; the overhead is a clock
-   read per optimizer pass *)
+(* the session keeps the optimizer profiler and provenance recorder
+   running so :stats and :explain can report at any point; the overhead
+   is a clock read per optimizer pass plus one small log per optimized
+   function *)
 let () =
   Profile.clock := Unix.gettimeofday;
-  Profile.enabled := true
+  Profile.enabled := true;
+  Tml_obs.Provenance.enabled := true;
+  Profile.register_metrics ();
+  Speccache.register_metrics ()
 
 let prompt () =
   if interactive then begin
@@ -50,8 +54,15 @@ let help () =
     \                   crash recovery on open)\n\
     \  :commit          seal the session state into the open store\n\
     \  :compact         commit, then rewrite the store keeping live objects\n\
-    \  :stats           optimizer profile, specialization cache and store\n\
-    \                   counters (commits, faults, cache, recovery)\n\
+    \  :stats           merged metrics report (optimizer, specialization\n\
+    \                   cache and store counters in one registry)\n\
+    \  :stats json      the same snapshot as one JSON object\n\
+    \  :stats reset     zero every counter in every source at once\n\
+    \  :explain NAME    why NAME's code looks the way it does: its\n\
+    \                   persistent optimization derivation log\n\
+    \  :trace on|off    structured tracing into an in-memory ring\n\
+    \  :trace dump [F]  write buffered events as a Chrome trace (stdout\n\
+    \                   or file F; load in Perfetto / chrome://tracing)\n\
     \  :save FILE       write the store image (run functions later with\n\
     \                   'tmlc exec FILE name args')\n\
     \  :steps           abstract instructions executed so far\n\
@@ -62,12 +73,26 @@ let with_func session name f =
   | Some oid -> f oid
   | None -> Printf.printf "no function named %s\n" name
 
+(* :trace state — the live in-memory ring sink, with its drain *)
+let trace : (int * (unit -> Tml_obs.Trace.event list)) option ref = ref None
+
 (* The open durable store, if any; :commit seals into it and the
    reflective optimizer commits through ctx.durable_commit. *)
 let store : Pstore.t option ref = ref None
 
 let wire_store session pstore =
   store := Some pstore;
+  Tml_store.Store_stats.register_metrics (Pstore.stats pstore);
+  let heap = (Repl.ctx session).Runtime.heap in
+  Tml_obs.Metrics.register_source ~name:"store.heap"
+    ~snapshot:(fun () ->
+      [
+        "loaded", Tml_obs.Metrics.I (Value.Heap.loaded_count heap);
+        ( "objects",
+          Tml_obs.Metrics.I (Tml_store.Log_store.object_count (Pstore.log pstore)) );
+        "dirty", Tml_obs.Metrics.I (Pstore.dirty_count pstore);
+      ])
+    ~reset:(fun () -> ());
   (Repl.ctx session).Runtime.durable_commit <-
     Some (fun () -> ignore (Repl.persist session pstore))
 
@@ -83,6 +108,8 @@ let unwire_store session_ref =
   | Some old ->
     (Repl.ctx !session_ref).Runtime.durable_commit <- None;
     store := None;
+    Tml_obs.Metrics.unregister_source "store";
+    Tml_obs.Metrics.unregister_source "store.heap";
     Pstore.close old
   | None -> ()
 
@@ -169,22 +196,46 @@ let command session_ref line =
       Pstore.compact pstore;
       Printf.printf "compacted %s: %d -> %d bytes\n" (Pstore.path pstore) before
         (Tml_store.Log_store.file_bytes log))
-  | [ ":stats" ] -> (
-    Format.printf "%a@." Profile.pp Profile.global;
-    let sc = Speccache.stats () in
-    Printf.printf
-      "speccache: %d entries, %d hits, %d misses, %d stores, %d verify failures, %d \
-       invalidations, %d evictions\n"
-      (Speccache.length ()) sc.Speccache.hits sc.Speccache.misses sc.Speccache.stores
-      sc.Speccache.verify_failures sc.Speccache.invalidations sc.Speccache.evictions;
-    match !store with
-    | None -> Printf.printf "no store open (use :open FILE)\n"
-    | Some pstore ->
-      Format.printf "%a@." Tml_store.Store_stats.pp (Pstore.stats pstore);
-      Printf.printf "loaded %d of %d objects, %d dirty\n"
-        (Value.Heap.loaded_count (Repl.ctx session).Runtime.heap)
-        (Tml_store.Log_store.object_count (Pstore.log pstore))
-        (Pstore.dirty_count pstore))
+  | [ ":stats" ] -> Format.printf "%a@?" Tml_obs.Metrics.pp_report ()
+  | [ ":stats"; "json" ] -> print_endline (Tml_obs.Metrics.snapshot_json ())
+  | [ ":stats"; "reset" ] ->
+    Tml_obs.Metrics.reset_all ();
+    print_endline "all metric sources reset"
+  | [ ":explain"; name ] ->
+    with_func session name (fun oid ->
+        match Tml_reflect.Reflect.provenance (Repl.ctx session) oid with
+        | Some prov -> Format.printf "%s: %a@." name Tml_obs.Provenance.pp prov
+        | None ->
+          Printf.printf "no recorded derivation for %s (not optimized yet?)\n" name)
+  | [ ":trace"; "on" ] -> (
+    match !trace with
+    | Some _ -> print_endline "tracing already on"
+    | None ->
+      let sink, drain = Tml_obs.Trace.memory_sink () in
+      let id = Tml_obs.Trace.add_sink sink in
+      Tml_obs.Trace.enabled := true;
+      trace := Some (id, drain);
+      print_endline "tracing on (:trace dump [FILE] for a Chrome trace)")
+  | [ ":trace"; "off" ] -> (
+    match !trace with
+    | None -> print_endline "tracing already off"
+    | Some (id, _) ->
+      Tml_obs.Trace.enabled := false;
+      Tml_obs.Trace.remove_sink id;
+      trace := None;
+      print_endline "tracing off")
+  | ":trace" :: "dump" :: rest -> (
+    match !trace with
+    | None -> print_endline "tracing is off (:trace on first)"
+    | Some (_, drain) -> (
+      let events = drain () in
+      let doc = Tml_obs.Trace.chrome_of_events events in
+      match rest with
+      | [] -> print_string doc
+      | [ file ] ->
+        Out_channel.with_open_bin file (fun oc -> output_string oc doc);
+        Printf.printf "wrote %d events to %s\n" (List.length events) file
+      | _ -> print_endline "usage: :trace dump [FILE]"))
   | [ ":save"; file ] ->
     Image.save_file (Repl.ctx session).Runtime.heap file;
     Printf.printf "store image written to %s\n" file

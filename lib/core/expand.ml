@@ -73,12 +73,19 @@ let expand_app cfg (root : app) =
       match a.func with
       | Var p -> (
         match Ident.Map.find_opt p env with
-        | Some b
-          when List.length b.b_abs.params = List.length a.args && decide b a.args ->
-          let copy = Alpha.freshen_value (Abs b.b_abs) in
-          growth := !growth + Term.size_value copy;
-          incr expansions;
-          copy
+        | Some b when List.length b.b_abs.params = List.length a.args ->
+          let ok = decide b a.args in
+          if !Tml_obs.Trace.enabled then
+            Tml_obs.Events.expand_site ~accepted:ok ~site:p.Ident.name
+              ~body_size:(Term.size_app b.b_abs.body) ~growth:!growth
+              ~growth_limit:cfg.growth_limit;
+          if ok then begin
+            let copy = Alpha.freshen_value (Abs b.b_abs) in
+            growth := !growth + Term.size_value copy;
+            incr expansions;
+            copy
+          end
+          else a.func
         | _ -> a.func)
       | v -> v
     in

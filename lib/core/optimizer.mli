@@ -69,6 +69,9 @@ type report = {
   size_after : int;
   cost_before : int;
   cost_after : int;
+  prov : Tml_obs.Provenance.t;
+      (** derivation log of this run; empty unless
+          [Tml_obs.Provenance.enabled] was set *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -87,3 +90,13 @@ val optimize_app : ?config:config -> ?memo:Rewrite.memo -> Term.app -> Term.app 
 (** [optimize_value ?config ?memo v] optimizes an abstraction (its body) or
     any other value. *)
 val optimize_value : ?config:config -> ?memo:Rewrite.memo -> Term.value -> Term.value * report
+
+(** [replay ?config pre log] re-optimizes [pre] under [config] with
+    provenance recording forced on and checks the resulting derivation
+    log equals [log].  [Ok v'] returns the re-derived optimized term
+    (α-equivalent to the original optimization's result — substitution
+    mints fresh stamps, so compare with [Term.alpha_equal_value]).
+    Derivation logs are deterministic for a given pre-term and pure
+    rule set, which is what makes a recorded log a checkable
+    explanation rather than free-form notes. *)
+val replay : ?config:config -> Term.value -> Tml_obs.Provenance.t -> (Term.value, string) result

@@ -8,6 +8,7 @@ type t = {
   mutable memo_hits : int;
   mutable memo_misses : int;
   mutable optimize_calls : int;
+  mutable budget_exhausted : int;
   fires : Rewrite.stats;
 }
 
@@ -22,16 +23,18 @@ let fresh () =
     memo_hits = 0;
     memo_misses = 0;
     optimize_calls = 0;
+    budget_exhausted = 0;
     fires = Rewrite.fresh_stats ();
   }
 
 let global = fresh ()
 let enabled = ref false
 
-(* tml_core depends on nothing outside the stdlib, so the default clock is
-   [Sys.time] (CPU seconds); binaries that link Unix install a wall clock
-   at startup. *)
-let clock = ref Sys.time
+(* The system-wide clock lives in the observability library so trace
+   timestamps, pass timings and bench measurements agree; the default is
+   still [Sys.time] (no Unix dependency down here) and binaries install a
+   wall clock at startup. *)
+let clock = Tml_obs.Trace.clock
 
 let reset () =
   let z = fresh () in
@@ -44,6 +47,7 @@ let reset () =
   global.memo_hits <- 0;
   global.memo_misses <- 0;
   global.optimize_calls <- 0;
+  global.budget_exhausted <- 0;
   let f = global.fires in
   f.subst <- 0;
   f.remove <- 0;
@@ -92,6 +96,7 @@ let record_memo ~hits ~misses =
 
 let record_fires s = Rewrite.add_stats global.fires s
 let record_call () = global.optimize_calls <- global.optimize_calls + 1
+let record_budget_exhausted () = global.budget_exhausted <- global.budget_exhausted + 1
 
 let pp ppf t =
   let total = t.reduce_s +. t.expand_s +. t.validate_s in
@@ -105,9 +110,47 @@ let pp ppf t =
   Format.fprintf ppf "  %-10s %8d %12.6f %6.1f%%@," "validate" t.validate_passes t.validate_s
     (pct t.validate_s);
   Format.fprintf ppf "  rule fires: %a@," Rewrite.pp_stats t.fires;
+  Format.fprintf ppf "  budget exhausted: %d optimize calls truncated by penalty limit@,"
+    t.budget_exhausted;
   let lookups = t.memo_hits + t.memo_misses in
   let rate = if lookups > 0 then 100. *. float_of_int t.memo_hits /. float_of_int lookups else 0. in
   Format.fprintf ppf "  rewrite memo: %d hits / %d lookups (%.1f%%)@," t.memo_hits lookups rate;
   let h = Hashcons.stats () in
   Format.fprintf ppf "  hashcons: %d interned, %d phys hits, %d struct hits, table %d@]"
     h.Hashcons.interned h.Hashcons.phys_hits h.Hashcons.struct_hits (Hashcons.table_size ())
+
+(* Expose the global profile (plus hashcons table stats) as a metrics
+   source so [tmlsh :stats] prints one merged report. *)
+let metrics_snapshot () =
+  let t = global in
+  let f = t.fires in
+  let h = Hashcons.stats () in
+  Tml_obs.Metrics.
+    [
+      ("optimize_calls", I t.optimize_calls);
+      ("reduce_passes", I t.reduce_passes);
+      ("reduce_s", F t.reduce_s);
+      ("expand_passes", I t.expand_passes);
+      ("expand_s", F t.expand_s);
+      ("validate_passes", I t.validate_passes);
+      ("validate_s", F t.validate_s);
+      ("fires.subst", I f.Rewrite.subst);
+      ("fires.remove", I f.Rewrite.remove);
+      ("fires.reduce", I f.Rewrite.reduce);
+      ("fires.eta", I f.Rewrite.eta);
+      ("fires.fold", I f.Rewrite.fold);
+      ("fires.case_subst", I f.Rewrite.case_subst);
+      ("fires.y_remove", I f.Rewrite.y_remove);
+      ("fires.y_reduce", I f.Rewrite.y_reduce);
+      ("fires.domain", I f.Rewrite.domain);
+      ("budget_exhausted", I t.budget_exhausted);
+      ("memo_hits", I t.memo_hits);
+      ("memo_misses", I t.memo_misses);
+      ("hashcons.interned", I h.Hashcons.interned);
+      ("hashcons.phys_hits", I h.Hashcons.phys_hits);
+      ("hashcons.struct_hits", I h.Hashcons.struct_hits);
+      ("hashcons.table", I (Hashcons.table_size ()));
+    ]
+
+let register_metrics () =
+  Tml_obs.Metrics.register_source ~name:"optimizer" ~snapshot:metrics_snapshot ~reset

@@ -17,6 +17,9 @@ type t = {
   mutable memo_hits : int;
   mutable memo_misses : int;
   mutable optimize_calls : int;
+  mutable budget_exhausted : int;
+      (** optimize calls whose expansion phase was truncated by the
+          penalty budget (see [Optimizer.config.penalty_limit]) *)
   fires : Rewrite.stats;
 }
 
@@ -46,7 +49,13 @@ val record_pass : pass -> float -> unit
 val record_memo : hits:int -> misses:int -> unit
 val record_fires : Rewrite.stats -> unit
 val record_call : unit -> unit
+val record_budget_exhausted : unit -> unit
 
 (** Render the summary table (pass times, rule fires, memo hit rate,
     hash-consing stats). *)
 val pp : Format.formatter -> t -> unit
+
+(** Register the global profile (plus hashcons stats) as the
+    ["optimizer"] source in the metrics registry; resetting the
+    registry then resets the profile too. *)
+val register_metrics : unit -> unit

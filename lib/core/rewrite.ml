@@ -47,6 +47,37 @@ let pp_stats ppf s =
 
 type rule = Term.app -> Term.app option
 
+(* ------------------------------------------------------------------ *)
+(* Observability hook                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The optimizer (and only the optimizer) installs [fire_hook] while
+   tracing or provenance recording is on; the reduction pass reports
+   every successful rule application through it with the before/after
+   redex.  Domain rules are anonymous functions, so they identify
+   themselves via [note_rule] (usually through the [named] wrapper)
+   just before returning [Some]; [try_domain] clears the note before
+   each attempt and reads it after a hit. *)
+
+type redex = Rapp of Term.app * Term.app | Rvalue of Term.value * Term.value
+
+let fire_hook : (rule:string -> fact:string -> redex -> unit) option ref = ref None
+
+let noted : (string * string) option ref = ref None
+let note_rule ?(fact = "") name = noted := Some (name, fact)
+
+let named ?fact name rule a =
+  match rule a with
+  | Some _ as r ->
+    note_rule ?fact name;
+    r
+  | None -> None
+
+let fire rule before after =
+  match !fire_hook with
+  | Some f -> f ~rule ~fact:"" (Rapp (before, after))
+  | None -> ()
+
 let dummy_stats = fresh_stats ()
 
 (* ------------------------------------------------------------------ *)
@@ -278,9 +309,15 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
     let rec go = function
       | [] -> None
       | rule :: rest -> (
+        noted := None;
         match rule a with
         | Some a' ->
           stats.domain <- stats.domain + 1;
+          (match !fire_hook with
+          | Some f ->
+            let name, fact = Option.value ~default:("domain", "") !noted in
+            f ~rule:name ~fact (Rapp (a, a'))
+          | None -> ());
           Some a'
         | None -> go rest)
     in
@@ -289,16 +326,24 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
   (* One top-level step at an application node. *)
   let step a =
     match try_beta ~stats a with
-    | Some _ as r -> r
+    | Some a' ->
+      fire "beta" a a';
+      Some a'
     | None -> (
       match try_fold ~stats a with
-      | Some _ as r -> r
+      | Some a' ->
+        fire "fold" a a';
+        Some a'
       | None -> (
         match try_case_subst ~stats a with
-        | Some _ as r -> r
+        | Some a' ->
+          fire "case-subst" a a';
+          Some a'
         | None -> (
           match try_y ~stats a with
-          | Some _ as r -> r
+          | Some a' ->
+            fire "y" a a';
+            Some a'
           | None -> try_domain a)))
   in
   (* Memo plumbing: look up / record normal forms by hash-consed handle.
@@ -392,6 +437,9 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
     let v' = if body == a.body then v else Abs { a with body } in
     match try_eta ~stats v' with
     | Some v'' ->
+      (match !fire_hook with
+      | Some f -> f ~rule:"eta" ~fact:"" (Rvalue (v', v''))
+      | None -> ());
       spend ();
       v''
     | None -> v'

@@ -35,6 +35,29 @@ val pp_stats : Format.formatter -> stats -> unit
     every application node alongside the core rules. *)
 type rule = Term.app -> Term.app option
 
+(** {1 Observability}
+
+    The optimizer installs {!fire_hook} while tracing or provenance
+    recording is enabled; the reduction pass then reports every
+    successful rule application with the before/after redex.  The hook
+    is [None] in normal operation — the fast path costs one ref read
+    per rule fire. *)
+
+(** A before/after pair at the rewritten node. *)
+type redex = Rapp of Term.app * Term.app | Rvalue of Term.value * Term.value
+
+val fire_hook : (rule:string -> fact:string -> redex -> unit) option ref
+
+(** Domain rules are anonymous; [note_rule ?fact name] records the rule
+    name (and the enabling analysis fact, if any) to attribute the
+    [Some] result the rule is about to return.  Cleared before each
+    domain-rule attempt; unnoted domain fires report as ["domain"]. *)
+val note_rule : ?fact:string -> string -> unit
+
+(** [named ?fact name rule] wraps [rule] so successful applications are
+    attributed to [name] — the usual way to build a named rule list. *)
+val named : ?fact:string -> string -> rule -> rule
+
 (** {1 Individual rules} (exposed for unit tests and ablation benches) *)
 
 (** [try_beta app] applies the combined [subst] / [remove] / [reduce] rules

@@ -1,0 +1,15 @@
+(** Minimal JSON string rendering shared by the trace sinks and the
+    metrics registry (the observability library has no dependencies). *)
+
+(** [add_escaped buf s] appends [s] to [buf] with JSON string escaping
+    applied (no surrounding quotes). *)
+val add_escaped : Buffer.t -> string -> unit
+
+(** [add_string buf s] appends [s] as a quoted JSON string. *)
+val add_string : Buffer.t -> string -> unit
+
+(** [quote s] is [s] as a quoted JSON string. *)
+val quote : string -> string
+
+(** [add_float buf f] appends [f] as a JSON number. *)
+val add_float : Buffer.t -> float -> unit

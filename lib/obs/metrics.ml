@@ -1,0 +1,203 @@
+(* Metrics registry: counters, gauges and histograms with optional
+   labels, plus external "sources" that adapt pre-existing stat blocks
+   (optimizer profile, store stats, speccache) behind the same
+   interface.  One snapshot endpoint renders everything as JSON; one
+   [reset_all] clears owned metrics and every source atomically. *)
+
+type num = I of int | F of float
+
+type counter = int ref
+type gauge = float ref
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+type source = { src_snapshot : unit -> (string * num) list; src_reset : unit -> unit }
+
+let sources : (string, source) Hashtbl.t = Hashtbl.create 16
+
+let full_name name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let pairs = List.map (fun (k, v) -> k ^ "=" ^ v) labels in
+    name ^ "{" ^ String.concat "," pairs ^ "}"
+
+(* Creation is idempotent: asking for an existing name returns the same
+   underlying cell, so call sites in loops need no caching of their own. *)
+let counter ?(labels = []) name : counter =
+  let key = full_name name labels in
+  match Hashtbl.find_opt registry key with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ key ^ " registered with another type")
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace registry key (Counter c);
+    c
+
+let inc c = incr c
+let add c n = c := !c + n
+let counter_value c = !c
+
+let gauge ?(labels = []) name : gauge =
+  let key = full_name name labels in
+  match Hashtbl.find_opt registry key with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ key ^ " registered with another type")
+  | None ->
+    let g = ref 0. in
+    Hashtbl.replace registry key (Gauge g);
+    g
+
+let set_gauge g v = g := v
+
+let histogram ?(labels = []) name : histogram =
+  let key = full_name name labels in
+  match Hashtbl.find_opt registry key with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ key ^ " registered with another type")
+  | None ->
+    let h = { h_count = 0; h_sum = 0.; h_min = infinity; h_max = neg_infinity } in
+    Hashtbl.replace registry key (Histogram h);
+    h
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let register_source ~name ~snapshot ~reset =
+  Hashtbl.replace sources name { src_snapshot = snapshot; src_reset = reset }
+
+let unregister_source name = Hashtbl.remove sources name
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c := 0
+      | Gauge g -> g := 0.
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity)
+    registry;
+  let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) sources []) in
+  List.iter (fun n -> (Hashtbl.find sources n).src_reset ()) names
+
+let sorted_metrics () =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [])
+
+let sorted_sources () =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) sources [])
+
+(* JSON snapshot *)
+
+let add_num buf = function
+  | I n -> Buffer.add_string buf (string_of_int n)
+  | F f -> Json.add_float buf f
+
+let add_kv_list buf kvs =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Json.add_string buf k;
+      Buffer.add_char buf ':';
+      add_num buf v)
+    kvs;
+  Buffer.add_char buf '}'
+
+let snapshot_json () =
+  let buf = Buffer.create 1024 in
+  let metrics = sorted_metrics () in
+  let section tag f =
+    Json.add_string buf tag;
+    Buffer.add_char buf ':';
+    f ()
+  in
+  Buffer.add_char buf '{';
+  section "counters" (fun () ->
+      add_kv_list buf
+        (List.filter_map (function k, Counter c -> Some (k, I !c) | _ -> None) metrics));
+  Buffer.add_char buf ',';
+  section "gauges" (fun () ->
+      add_kv_list buf (List.filter_map (function k, Gauge g -> Some (k, F !g) | _ -> None) metrics));
+  Buffer.add_char buf ',';
+  section "histograms" (fun () ->
+      Buffer.add_char buf '{';
+      let first = ref true in
+      List.iter
+        (function
+          | k, Histogram h ->
+            if !first then first := false else Buffer.add_char buf ',';
+            Json.add_string buf k;
+            Buffer.add_char buf ':';
+            let mean = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count in
+            add_kv_list buf
+              [
+                ("count", I h.h_count);
+                ("sum", F h.h_sum);
+                ("mean", F mean);
+                ("min", F (if h.h_count = 0 then 0. else h.h_min));
+                ("max", F (if h.h_count = 0 then 0. else h.h_max));
+              ]
+          | _ -> ())
+        metrics;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf ',';
+  section "sources" (fun () ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (name, src) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Json.add_string buf name;
+          Buffer.add_char buf ':';
+          add_kv_list buf (src.src_snapshot ()))
+        (sorted_sources ());
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Human-readable merged report *)
+
+let pp_num ppf = function
+  | I n -> Format.fprintf ppf "%d" n
+  | F f -> if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf ppf "%.0f" f else Format.fprintf ppf "%.4g" f
+
+let pp_report ppf () =
+  let metrics = sorted_metrics () in
+  let counters = List.filter_map (function k, Counter c -> Some (k, I !c) | _ -> None) metrics in
+  let gauges = List.filter_map (function k, Gauge g -> Some (k, F !g) | _ -> None) metrics in
+  let histos = List.filter_map (function k, Histogram h -> Some (k, h) | _ -> None) metrics in
+  Format.fprintf ppf "== metrics ==@.";
+  if counters <> [] || gauges <> [] then begin
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %a@." k pp_num v) counters;
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %a@." k pp_num v) gauges
+  end;
+  List.iter
+    (fun (k, h) ->
+      if h.h_count = 0 then Format.fprintf ppf "  %-32s count 0@." k
+      else
+        Format.fprintf ppf "  %-32s count %d  mean %.4g  min %.4g  max %.4g@." k h.h_count
+          (h.h_sum /. float_of_int h.h_count)
+          h.h_min h.h_max)
+    histos;
+  List.iter
+    (fun (name, src) ->
+      Format.fprintf ppf "-- %s --@." name;
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %a@." k pp_num v) (src.src_snapshot ()))
+    (sorted_sources ())

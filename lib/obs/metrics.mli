@@ -1,0 +1,54 @@
+(** Metrics registry: counters, gauges and histograms with optional
+    labels, plus adapter "sources" that unify pre-existing stat blocks
+    ({!Profile}, [Store_stats], speccache counters) behind one
+    interface with a single JSON snapshot endpoint. *)
+
+type num = I of int | F of float
+
+(** {1 Owned metrics}
+
+    Creation is idempotent: requesting an existing name (and label set)
+    returns the same underlying cell.  Labels render as
+    [name{k=v,...}] in snapshots. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?labels:(string * string) list -> string -> counter
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : ?labels:(string * string) list -> string -> gauge
+val set_gauge : gauge -> float -> unit
+
+val histogram : ?labels:(string * string) list -> string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Sources}
+
+    A source exposes an external stats block (a snapshot of key/value
+    pairs and a reset action).  Registering an existing name replaces
+    the previous source. *)
+
+val register_source :
+  name:string -> snapshot:(unit -> (string * num) list) -> reset:(unit -> unit) -> unit
+
+val unregister_source : string -> unit
+
+(** {1 Snapshot / report / reset} *)
+
+(** JSON object
+    [{"counters":{...},"gauges":{...},"histograms":{...},"sources":{...}}]
+    with names sorted for stable output. *)
+val snapshot_json : unit -> string
+
+(** Merged human-readable report of all metrics and sources. *)
+val pp_report : Format.formatter -> unit -> unit
+
+(** Zero every owned metric and reset every registered source, in one
+    pass (sources in name order). *)
+val reset_all : unit -> unit

@@ -1,0 +1,59 @@
+(* Optimization provenance: a compact derivation log recorded while the
+   optimizer runs.  Each entry names the rule that fired, a stamp-free
+   rendering of the redex site, the enabling analysis fact (if any) and
+   the local size/cost deltas.  Logs are deterministic for a given
+   pre-term and optimizer configuration, which is what makes the replay
+   property (re-deriving the optimized term from the pre-term) testable
+   and lets `tmlc --explain` / `tmlsh :explain` reconstruct a
+   specialization decision even across a durable reopen. *)
+
+type entry = {
+  pv_rule : string; (* e.g. "beta", "q.merge-select", "expand" *)
+  pv_site : string; (* stamp-free head-of-redex rendering *)
+  pv_fact : string; (* enabling analysis fact, "" when none *)
+  pv_size_delta : int;
+  pv_cost_delta : int;
+}
+
+type t = entry list
+
+(* Off by default: recording costs a list append per rule fire plus a
+   site rendering, so only explain-style tooling turns it on. *)
+let enabled = ref false
+
+type buf = { mutable entries : entry list; mutable count : int }
+
+let create () = { entries = []; count = 0 }
+
+let add b e =
+  b.entries <- e :: b.entries;
+  b.count <- b.count + 1
+
+let contents b = List.rev b.entries
+let length b = b.count
+
+let entry_equal a b =
+  a.pv_rule = b.pv_rule && a.pv_site = b.pv_site && a.pv_fact = b.pv_fact
+  && a.pv_size_delta = b.pv_size_delta
+  && a.pv_cost_delta = b.pv_cost_delta
+
+let equal xs ys = List.length xs = List.length ys && List.for_all2 entry_equal xs ys
+
+let summary t =
+  let size = List.fold_left (fun acc e -> acc + e.pv_size_delta) 0 t in
+  let cost = List.fold_left (fun acc e -> acc + e.pv_cost_delta) 0 t in
+  let n = List.length t in
+  Printf.sprintf "%d step%s, size %+d, cost %+d" n (if n = 1 then "" else "s") size cost
+
+let pp_entry ppf i e =
+  Format.fprintf ppf "  %3d. %-24s %+4d size %+4d cost  at %s" (i + 1) e.pv_rule e.pv_size_delta
+    e.pv_cost_delta e.pv_site;
+  if e.pv_fact <> "" then Format.fprintf ppf "  [%s]" e.pv_fact;
+  Format.fprintf ppf "@."
+
+let pp ppf t =
+  match t with
+  | [] -> Format.fprintf ppf "  (no rewrite steps recorded)@."
+  | _ ->
+    Format.fprintf ppf "derivation (%s):@." (summary t);
+    List.iteri (fun i e -> pp_entry ppf i e) t

@@ -13,6 +13,9 @@ let index_select ctx (a : app) =
       | Some (Tml_vm.Value.Relation _) -> (
         match Rel.find_index ctx rel_oid field with
         | Some _ ->
+          Rewrite.note_rule
+            ~fact:(Printf.sprintf "index on field %d of %s" field (Oid.to_string rel_oid))
+            "q.index-select";
           Some (app (prim "indexselect") [ rel; int field; lit key; ce; k ])
         | None -> None)
       | _ -> None)
@@ -74,6 +77,10 @@ let select_past ctx (a : app) =
             let hoisted =
               app (prim "select") [ q; rel; ce; Abs { params = [ t ]; body = u.body } ]
             in
+            Rewrite.note_rule
+              ~fact:
+                (Printf.sprintf "predicate pure and total; %s interposer read-only" op)
+              "q.select-past";
             Some { func = mid.func; args = rest @ [ Abs { u with body = hoisted } ] }
           | _ -> None)
         | _ -> None)

@@ -346,11 +346,11 @@ let field_eq_predicate (pred : value) =
 
 let algebraic_rules =
   [
-    merge_select;
-    merge_project;
-    constant_select;
-    trivial_exists;
-    select_union;
-    distinct_distinct;
-    select_before_distinct;
+    Rewrite.named "q.merge-select" merge_select;
+    Rewrite.named "q.merge-project" merge_project;
+    Rewrite.named ~fact:"alias-safe source" "q.constant-select" constant_select;
+    Rewrite.named "q.trivial-exists" trivial_exists;
+    Rewrite.named "q.select-union" select_union;
+    Rewrite.named "q.distinct-distinct" distinct_distinct;
+    Rewrite.named "q.select-before-distinct" select_before_distinct;
   ]

@@ -64,12 +64,18 @@ let store_fold ctx (a : Term.app) =
     match immutable_slots o with
     | Some slots when i >= 0 && i < Array.length slots -> (
       match Value.to_literal slots.(i) with
-      | Some l -> Some (Term.app k [ Term.lit l ])
+      | Some l ->
+        Rewrite.note_rule ~fact:(Printf.sprintf "immutable slots of %s" (Oid.to_string o))
+          "reflect.store-fold";
+        Some (Term.app k [ Term.lit l ])
       | None -> None)
     | _ -> None)
   | Term.Prim "size", [ Term.Lit (Literal.Oid o); k ] -> (
     match immutable_slots o with
-    | Some slots -> Some (Term.app k [ Term.int (Array.length slots) ])
+    | Some slots ->
+      Rewrite.note_rule ~fact:(Printf.sprintf "immutable slots of %s" (Oid.to_string o))
+        "reflect.store-fold";
+      Some (Term.app k [ Term.int (Array.length slots) ])
     | None -> None)
   | _ -> None
 
@@ -87,6 +93,7 @@ let inline_oid ctx ~budget ~limit ~count (a : Term.app) =
         else begin
           decr budget;
           incr count;
+          Rewrite.note_rule ~fact:("stored function " ^ fo.Value.fo_name) "reflect.inline-oid";
           Some { a with Term.func = Alpha.freshen_value closed }
         end
       | _ -> None)
@@ -112,6 +119,9 @@ let inline_query_arg ctx ~budget ~limit ~count (a : Term.app) =
           else begin
             decr budget;
             incr count;
+            Rewrite.note_rule
+              ~fact:(Printf.sprintf "%s argument %s" name fo.Value.fo_name)
+              "reflect.inline-query-arg";
             Some { a with Term.args = Alpha.freshen_value closed :: rest }
           end
         | _ -> None)
@@ -211,6 +221,9 @@ let oid_literals (v : Term.value) =
    chaining the heap's access hook) and stores the outcome keyed by
    (callee, fingerprint) with digests of those dependencies. *)
 let specialize ~config ctx oid (fo : Value.func_obj) =
+  Tml_obs.Trace.with_span ~cat:"reflect" "specialize"
+    ~args:[ ("name", Tml_obs.Trace.Str fo.Value.fo_name); ("oid", Tml_obs.Trace.Int (Oid.to_int oid)) ]
+  @@ fun () ->
   let heap = ctx.Runtime.heap in
   let original_tml =
     if config.use_ptml then Tml_store.Ptml.decode_value fo.Value.fo_ptml else fo.Value.fo_tml
@@ -224,6 +237,7 @@ let specialize ~config ctx oid (fo : Value.func_obj) =
   let cached = if config.use_speccache then Speccache.find heap ~callee:oid ~fp else None in
   match cached with
   | Some o ->
+    Tml_obs.Events.reoptimize ~name:fo.Value.fo_name ~oid:(Oid.to_int oid) ~cached:true;
     let optimized = Alpha.freshen_value (Tml_store.Ptml.decode_value o.Speccache.sc_ptml) in
     (* the leftover (non-literal) bindings are recomputed from the current
        binding list — same ids, cheap, and they carry the live values *)
@@ -240,10 +254,14 @@ let specialize ~config ctx oid (fo : Value.func_obj) =
         size_after = o.Speccache.sc_size_after;
         cost_before = o.Speccache.sc_cost_before;
         cost_after = o.Speccache.sc_cost_after;
+        (* the derivation log of the original specialization rides along
+           in the cache entry, so a warm hit still explains itself *)
+        prov = o.Speccache.sc_prov;
       }
     in
     original_tml, optimized, leftover, report, o.Speccache.sc_attrs, o.Speccache.sc_inlined
   | None ->
+    Tml_obs.Events.reoptimize ~name:fo.Value.fo_name ~oid:(Oid.to_int oid) ~cached:false;
     (* α-convert: the decoded tree must not share binder stamps with
        anything already live, and the in-memory tree is shared with the
        running code. *)
@@ -295,6 +313,21 @@ let specialize ~config ctx oid (fo : Value.func_obj) =
       ]
       @ effect_attrs optimized
     in
+    (* Persist the derivation log (when provenance recording is on) as a
+       plain Bytes object next to the PTML; the function references it
+       through its "provenance" attribute, so the object codec and
+       existing images are untouched and the log survives a durable
+       commit/reopen. *)
+    let attrs =
+      match report.Optimizer.prov with
+      | [] -> attrs
+      | prov ->
+        let poid =
+          Value.Heap.alloc heap
+            (Value.Bytes (Bytes.of_string (Tml_store.Prov_codec.encode prov)))
+        in
+        ("provenance", Oid.to_int poid) :: attrs
+    in
     if config.use_speccache then
       Speccache.store heap ~callee:oid ~fp
         ~deps:(!deps @ oid_literals closed)
@@ -309,6 +342,7 @@ let specialize ~config ctx oid (fo : Value.func_obj) =
           sc_size_after = report.Optimizer.size_after;
           sc_cost_before = report.Optimizer.cost_before;
           sc_cost_after = report.Optimizer.cost_after;
+          sc_prov = report.Optimizer.prov;
         };
     original_tml, optimized, leftover, report, attrs, !count
 
@@ -339,6 +373,16 @@ let optimize_inplace ?(config = default) ctx oid =
   let fo = func_obj ctx oid in
   let original_tml, optimized, leftover, report, attrs, inlined =
     specialize ~config ctx oid fo
+  in
+  (* A re-optimization that recorded no derivation (nothing fired, or
+     provenance recording was off) must not erase an existing log: the
+     function's shape is still explained by the previous derivation. *)
+  let attrs =
+    if List.mem_assoc "provenance" attrs then attrs
+    else
+      match List.assoc_opt "provenance" fo.Value.fo_attrs with
+      | Some p -> ("provenance", p) :: attrs
+      | None -> attrs
   in
   let new_fo =
     {
@@ -371,3 +415,36 @@ let optimize_value ?config ctx v =
   match v with
   | Value.Oidv oid -> optimize ?config ctx oid
   | _ -> Runtime.fault "reflect.optimize: expected a function reference, got %s" (Value.type_name v)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Read back the persisted derivation log of [oid].  Works across a
+   durable reopen: the attribute and the Bytes object fault in on
+   demand.  When [oid] was optimized non-inplace, the log lives on the
+   derived function — follow "optimized_as" one step. *)
+let provenance ctx oid =
+  let heap = ctx.Runtime.heap in
+  let of_attrs attrs =
+    match List.assoc_opt "provenance" attrs with
+    | None -> None
+    | Some p -> (
+      match Value.Heap.get_opt heap (Oid.of_int p) with
+      | Some (Value.Bytes b) -> (
+        try Some (Tml_store.Prov_codec.decode (Bytes.to_string b))
+        with Tml_store.Prov_codec.Corrupt _ -> None)
+      | _ -> None)
+  in
+  match Value.Heap.get_opt heap oid with
+  | Some (Value.Func fo) -> (
+    match of_attrs fo.Value.fo_attrs with
+    | Some _ as r -> r
+    | None -> (
+      match List.assoc_opt "optimized_as" fo.Value.fo_attrs with
+      | Some o -> (
+        match Value.Heap.get_opt heap (Oid.of_int o) with
+        | Some (Value.Func fo') -> of_attrs fo'.Value.fo_attrs
+        | _ -> None)
+      | None -> None))
+  | _ -> None

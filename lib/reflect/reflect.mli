@@ -96,3 +96,13 @@ val optimize_inplace : ?config:config -> Tml_vm.Runtime.ctx -> Oid.t -> result
     functions, twice: the second pass lets call sites inline the bodies the
     first pass already shrank. *)
 val optimize_all : ?config:config -> ?passes:int -> Tml_vm.Runtime.ctx -> Oid.t list -> unit
+
+(** [provenance ctx oid] — read back the persisted derivation log of
+    [oid]: the "provenance" attribute references a [Bytes] object
+    holding the [Prov_codec]-encoded log, faulted in on demand (so this
+    works across a durable reopen, including when the specialization
+    itself was served warm from the speccache).  For a function
+    optimized non-inplace the log lives on the derived function;
+    "optimized_as" is followed one step.  [None] when no log was
+    recorded (provenance recording off, or nothing fired). *)
+val provenance : Tml_vm.Runtime.ctx -> Oid.t -> Tml_obs.Provenance.t option

@@ -289,6 +289,7 @@ let commit ?root t =
     t.stats.Store_stats.records_written <- t.stats.Store_stats.records_written + n;
     t.stats.Store_stats.bytes_written <-
       t.stats.Store_stats.bytes_written + Buffer.length buf;
+    Tml_obs.Events.store_commit ~objects:n ~bytes:(Buffer.length buf);
     n
   end
 
@@ -322,6 +323,8 @@ let compact t =
   t.fd <- fd;
   Hashtbl.reset t.dir;
   List.iter (fun (oid, e) -> Hashtbl.replace t.dir oid e) located;
+  let old_tail = t.tail in
   t.tail <- Buffer.length buf;
   t.seq <- seq';
-  t.stats.Store_stats.compactions <- t.stats.Store_stats.compactions + 1
+  t.stats.Store_stats.compactions <- t.stats.Store_stats.compactions + 1;
+  Tml_obs.Events.store_compact ~live:(Buffer.length buf) ~dropped:(old_tail - Buffer.length buf)

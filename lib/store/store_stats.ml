@@ -67,6 +67,13 @@ let pp ppf t =
 
 let to_string t = Format.asprintf "%a" pp t
 
+let register_metrics ?(name = "store") t =
+  Tml_obs.Metrics.register_source ~name
+    ~snapshot:(fun () ->
+      List.map (fun (k, v) -> (k, Tml_obs.Metrics.I v)) (fields t)
+      @ [ ("cache_hit_rate", Tml_obs.Metrics.F (hit_rate t)) ])
+    ~reset:(fun () -> reset t)
+
 let to_json t =
   let ints =
     List.map (fun (name, v) -> Printf.sprintf "%S: %d" name v) (fields t)

@@ -23,6 +23,14 @@ val reset : t -> unit
 val hit_rate : t -> float
 (** [cache_hits / (cache_hits + cache_misses)], 0 when idle. *)
 
+val fields : t -> (string * int) list
+(** counters in declaration order, as [(name, value)] pairs *)
+
+val register_metrics : ?name:string -> t -> unit
+(** expose [t] as a source (default name ["store"]) in the
+    [Tml_obs.Metrics] registry; registering again replaces the previous
+    source of the same name *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

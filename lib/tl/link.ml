@@ -33,8 +33,8 @@ let compile ?(options = default_options) src =
        bindings (experiment E1). *)
     let config = Optimizer.with_rules config Tml_query.Qopt.static_rules in
     let optimize_def (d : Lower.compiled_def) =
-      let tml, _report = Optimizer.optimize_value ~config d.Lower.c_tml in
-      { d with Lower.c_tml = tml }
+      let tml, report = Optimizer.optimize_value ~config d.Lower.c_tml in
+      { d with Lower.c_tml = tml; c_prov = report.Optimizer.prov }
     in
     {
       compiled with

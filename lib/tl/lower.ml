@@ -9,6 +9,7 @@ type compiled_def = {
   c_name : string;
   c_tml : Term.value;
   c_is_fun : bool;
+  c_prov : Tml_obs.Provenance.t;
 }
 
 type compiled = {
@@ -555,7 +556,7 @@ let lower_def genv (d : T.tdef) : compiled_def =
       Term.abs [ ce; cc ] (cps env d.T.d_body (fun v -> Term.app (Term.var cc) [ v ]))
     end
   in
-  { c_name = d.T.d_name; c_tml = tml; c_is_fun = d.T.d_is_fun }
+  { c_name = d.T.d_name; c_tml = tml; c_is_fun = d.T.d_is_fun; c_prov = [] }
 
 type env = genv
 

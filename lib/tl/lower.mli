@@ -27,6 +27,9 @@ type compiled_def = {
   c_name : string;  (** canonical global name *)
   c_tml : Term.value;  (** a [proc] abstraction; free identifiers are globals *)
   c_is_fun : bool;
+  c_prov : Tml_obs.Provenance.t;
+      (** derivation log of the static optimization pass, when provenance
+          recording was enabled; [[]] otherwise *)
 }
 
 type compiled = {

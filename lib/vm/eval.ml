@@ -207,7 +207,10 @@ let run_app ctx ~env a = protect ctx (fun () -> exec ctx env a)
 let apply ctx f args = protect ctx (fun () -> apply ctx f args)
 
 let run_proc ctx proc args =
-  apply ctx proc (args @ [ Value.Halt false; Value.Halt true ])
+  let steps0 = ctx.Runtime.steps in
+  let outcome = apply ctx proc (args @ [ Value.Halt false; Value.Halt true ]) in
+  Tml_obs.Events.vm_run ~engine:"eval" ~steps:(ctx.Runtime.steps - steps0);
+  outcome
 
 let eval_value ctx ~env v = eval_value ctx ~env v
 let func_impl ctx fo = func_impl ctx fo

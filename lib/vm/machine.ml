@@ -147,7 +147,11 @@ let protect ctx f =
     Eval.Fault msg
 
 let apply ctx f args = protect ctx (fun () -> apply ctx f args)
-let run_proc ctx proc args = apply ctx proc (args @ [ Value.Halt false; Value.Halt true ])
+let run_proc ctx proc args =
+  let steps0 = ctx.Runtime.steps in
+  let outcome = apply ctx proc (args @ [ Value.Halt false; Value.Halt true ]) in
+  Tml_obs.Events.vm_run ~engine:"machine" ~steps:(ctx.Runtime.steps - steps0);
+  outcome
 
 let run_abs ctx abs args =
   let unit_code, frees = Compile.compile_abs ~name:"main" abs in

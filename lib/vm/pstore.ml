@@ -84,6 +84,7 @@ let fault t oid =
       let st = stats t in
       st.Stats.faults <- st.Stats.faults + 1;
       st.Stats.cache_misses <- st.Stats.cache_misses + 1;
+      Tml_obs.Events.store_fault ~oid:ix ~bytes:(String.length payload);
       let obj, indexed =
         try Obj_codec.decode_obj payload with
         | Obj_codec.Codec_error msg -> fail "corrupt object %d: %s" ix msg

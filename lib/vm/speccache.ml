@@ -39,6 +39,9 @@ type outcome = {
   sc_size_after : int;
   sc_cost_before : int;
   sc_cost_after : int;
+  sc_prov : Tml_obs.Provenance.t;
+      (* derivation log of the original specialization: a warm hit can
+         still explain itself *)
 }
 
 type dep = {
@@ -66,6 +69,14 @@ let stats_ =
   { hits = 0; misses = 0; stores = 0; verify_failures = 0; invalidations = 0; evictions = 0 }
 
 let stats () = stats_
+
+let reset_stats () =
+  stats_.hits <- 0;
+  stats_.misses <- 0;
+  stats_.stores <- 0;
+  stats_.verify_failures <- 0;
+  stats_.invalidations <- 0;
+  stats_.evictions <- 0
 
 (* ------------------------------------------------------------------ *)
 (* State                                                                *)
@@ -207,28 +218,31 @@ let fingerprint ~ptml ~bindings ~config =
 
 let find heap ~callee ~fp =
   let key = Oid.to_int callee, fp in
-  match Hashtbl.find_opt by_key key with
-  | None ->
+  let miss () =
     stats_.misses <- stats_.misses + 1;
+    Tml_obs.Events.speccache `Miss ~callee:(Oid.to_int callee);
     None
+  in
+  match Hashtbl.find_opt by_key key with
+  | None -> miss ()
   | Some id -> (
     match Hashtbl.find_opt by_id id with
     | None ->
       Hashtbl.remove by_key key;
-      stats_.misses <- stats_.misses + 1;
-      None
+      miss ()
     | Some e ->
       if List.for_all (fun d -> String.equal (current_digest heap d.d_oid) d.d_digest) e.en_deps
       then begin
         stats_.hits <- stats_.hits + 1;
         Lru.touch lru id;
+        Tml_obs.Events.speccache `Hit ~callee:(Oid.to_int callee);
         Some e.en_outcome
       end
       else begin
         stats_.verify_failures <- stats_.verify_failures + 1;
-        stats_.misses <- stats_.misses + 1;
+        Tml_obs.Events.speccache `Verify_failure ~callee:(Oid.to_int callee);
         remove_id id;
-        None
+        miss ()
       end)
 
 let store heap ~callee ~fp ~deps outcome =
@@ -255,6 +269,7 @@ let store heap ~callee ~fp ~deps outcome =
   Hashtbl.add rev callee id;
   List.iter (fun d -> Hashtbl.add rev d.d_oid id) en_deps;
   stats_.stores <- stats_.stores + 1;
+  Tml_obs.Events.speccache `Store ~callee;
   while Hashtbl.length by_id > !capacity do
     match Lru.pop_lru lru with
     | Some victim ->
@@ -278,6 +293,7 @@ let invalidate oid =
     (fun id ->
       if Hashtbl.mem by_id id then begin
         stats_.invalidations <- stats_.invalidations + 1;
+        Tml_obs.Events.speccache `Invalidate ~callee:o;
         remove_id id
       end)
     ids
@@ -286,7 +302,9 @@ let invalidate oid =
 (* Serialization (persisted through the session manifest)               *)
 (* ------------------------------------------------------------------ *)
 
-let magic = "SPC1"
+(* SPC2: SPC1 plus the embedded provenance log per entry.  Old manifests
+   decode as Corrupt and the tolerant restore path simply starts cold. *)
+let magic = "SPC2"
 
 let encode () =
   let w = Codec.W.create ~initial:4096 () in
@@ -312,6 +330,7 @@ let encode () =
       Codec.W.varint w o.sc_size_after;
       Codec.W.varint w o.sc_cost_before;
       Codec.W.varint w o.sc_cost_after;
+      Tml_store.Prov_codec.encode_into w o.sc_prov;
       Codec.W.varint w (List.length e.en_deps);
       List.iter
         (fun d ->
@@ -351,6 +370,10 @@ let decode s =
           let sc_size_after = Codec.R.varint r in
           let sc_cost_before = Codec.R.varint r in
           let sc_cost_after = Codec.R.varint r in
+          let sc_prov =
+            try Tml_store.Prov_codec.decode_from r
+            with Tml_store.Prov_codec.Corrupt msg -> raise (Corrupt ("speccache: " ^ msg))
+          in
           let ndeps = Codec.R.varint r in
           let en_deps =
             List.init ndeps (fun _ ->
@@ -373,6 +396,7 @@ let decode s =
                 sc_size_after;
                 sc_cost_before;
                 sc_cost_after;
+                sc_prov;
               };
             en_deps;
           })
@@ -391,3 +415,22 @@ let decode s =
       Hashtbl.add rev e.en_callee id;
       List.iter (fun d -> Hashtbl.add rev d.d_oid id) e.en_deps)
     fresh_entries
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let register_metrics () =
+  Tml_obs.Metrics.register_source ~name:"speccache"
+    ~snapshot:(fun () ->
+      Tml_obs.Metrics.
+        [
+          ("hits", I stats_.hits);
+          ("misses", I stats_.misses);
+          ("stores", I stats_.stores);
+          ("verify_failures", I stats_.verify_failures);
+          ("invalidations", I stats_.invalidations);
+          ("evictions", I stats_.evictions);
+          ("entries", I (Hashtbl.length by_id));
+        ])
+    ~reset:reset_stats

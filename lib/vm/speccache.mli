@@ -39,6 +39,9 @@ type outcome = {
   sc_size_after : int;
   sc_cost_before : int;
   sc_cost_after : int;
+  sc_prov : Tml_obs.Provenance.t;
+      (** derivation log of the original specialization, so a warm hit
+          (including after a durable reopen) can still explain itself *)
 }
 
 (** [fingerprint ~ptml ~bindings ~config] digests the callee-side key
@@ -81,6 +84,13 @@ type stats = {
 }
 
 val stats : unit -> stats
+
+(** Zero the counters without touching the cached entries. *)
+val reset_stats : unit -> unit
+
+(** Register the counters (plus current entry count) as the
+    ["speccache"] source in the [Tml_obs.Metrics] registry. *)
+val register_metrics : unit -> unit
 
 (** {1 Serialization} *)
 

@@ -1,0 +1,91 @@
+Optimization provenance end to end: the compiler, the session, and a
+durable reopen can all answer "why does this code look the way it does".
+
+Static compilation: tmlc dump --explain prints each definition's
+derivation log (rule, local size/cost deltas, rewrite site) next to its
+TML.  --explain implies -O 2.
+
+  $ cat > sq.tl <<'EOF'
+  > let sq(x: Int): Int = x * x
+  > do io.print_int(sq(3)) end
+  > EOF
+  $ tmlc dump sq.tl --explain --def sq
+  === sq ===
+  proc(x_316 ce_317 cc_318) (intlib.mul_319 x_316 x_316 ce_317 cc_318)
+  
+  sq: derivation (1 step, size -4, cost -3):
+      1. eta                        -4 size   -3 cost  at (proc/1 ...)
+  
+  
+
+A live session records provenance for every reflective optimization;
+:explain reads it back.
+
+  $ tmlsh <<'IN'
+  > let double(x: Int): Int = x * 2
+  > :optimize double
+  > :explain double
+  > :open s.tmlstore
+  > :commit
+  > :quit
+  > IN
+  defined double
+  optimized double: static cost 9 -> 3, 1 calls inlined
+  double: derivation (4 steps, size -4, cost -6):
+      1. reflect.inline-oid        +14 size   +6 cost  at (<oid 0x000002> ...)  [stored function intlib.mul]
+      2. beta                      -10 size   -6 cost  at (proc/4 ...)
+      3. beta                       -4 size   -3 cost  at (proc/1 ...)
+      4. eta                        -4 size   -3 cost  at (proc/1 ...)
+  
+  new store s.tmlstore (committed 55 objects)
+  committed 5 objects to s.tmlstore
+
+The derivation is persistent: a fresh process restores the store and
+explains the function without re-optimizing it.
+
+  $ tmlsh <<'IN'
+  > :open s.tmlstore
+  > :explain double
+  > :quit
+  > IN
+  restored session from s.tmlstore (55 objects, faulted on demand)
+  double: derivation (4 steps, size -4, cost -6):
+      1. reflect.inline-oid        +14 size   +6 cost  at (<oid 0x000002> ...)  [stored function intlib.mul]
+      2. beta                      -10 size   -6 cost  at (proc/4 ...)
+      3. beta                       -4 size   -3 cost  at (proc/1 ...)
+      4. eta                        -4 size   -3 cost  at (proc/1 ...)
+  
+
+Re-optimizing after a reopen finds nothing left to do — and the
+function still carries its original derivation rather than losing it to
+the no-op run.
+
+  $ tmlsh <<'IN'
+  > :open s.tmlstore
+  > :optimize double
+  > :explain double
+  > :quit
+  > IN
+  restored session from s.tmlstore (55 objects, faulted on demand)
+  optimized double: static cost 3 -> 3, 0 calls inlined
+  double: derivation (4 steps, size -4, cost -6):
+      1. reflect.inline-oid        +14 size   +6 cost  at (<oid 0x000002> ...)  [stored function intlib.mul]
+      2. beta                      -10 size   -6 cost  at (proc/4 ...)
+      3. beta                       -4 size   -3 cost  at (proc/1 ...)
+      4. eta                        -4 size   -3 cost  at (proc/1 ...)
+  
+
+:trace captures structured events into an in-memory ring; the dump is a
+Chrome trace document.
+
+  $ tmlsh <<'IN' > trace_session.out
+  > :trace on
+  > let triple(x: Int): Int = x * 3
+  > triple(5)
+  > :trace dump t.json
+  > :quit
+  > IN
+  $ grep -c traceEvents t.json
+  1
+  $ grep -o '"cat":"vm"' t.json | head -1
+  "cat":"vm"

@@ -1,0 +1,414 @@
+(* The observability layer (lib/obs): span nesting and sink encoding
+   (with a golden Chrome trace), the metrics registry, and optimization
+   provenance — recording, the replay property, the binary codec and the
+   speccache round trip. *)
+
+open Tml_core
+open Tml_vm
+module Trace = Tml_obs.Trace
+module Metrics = Tml_obs.Metrics
+module Provenance = Tml_obs.Provenance
+module Events = Tml_obs.Events
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* run [f] with tracing on: a deterministic clock (1 ms per reading), a
+   fresh memory sink, everything restored afterwards *)
+let with_tracing f =
+  let saved_clock = !Trace.clock in
+  let t = ref 0.0 in
+  Trace.clock :=
+    (fun () ->
+      let v = !t in
+      t := v +. 0.001;
+      v);
+  let sink, drain = Trace.memory_sink () in
+  let id = Trace.add_sink sink in
+  Trace.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.enabled := false;
+      Trace.remove_sink id;
+      Trace.clock := saved_clock)
+    (fun () -> f drain)
+
+(* ------------------------------------------------------------------ *)
+(* tracing: spans, instants, sinks                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let events =
+    with_tracing (fun drain ->
+        Trace.with_span ~cat:"t" "outer" (fun () ->
+            Trace.with_span ~cat:"t" "inner" (fun () -> ());
+            Trace.instant ~cat:"t" "mark" ~args:[ "n", Trace.Int 3 ]);
+        drain ())
+  in
+  let shape =
+    List.map (fun e -> (e.Trace.ev_name, e.Trace.ev_ph)) events
+  in
+  check tbool "B/E nesting order" true
+    (shape
+    = [
+        "outer", Trace.B;
+        "inner", Trace.B;
+        "inner", Trace.E;
+        "mark", Trace.I;
+        "outer", Trace.E;
+      ]);
+  (* the fake clock advances 1000 us per reading *)
+  check tbool "timestamps from the installed clock" true
+    (List.map (fun e -> e.Trace.ev_ts) events = [ 0.0; 1000.0; 2000.0; 3000.0; 4000.0 ])
+
+let test_span_exception () =
+  let events =
+    with_tracing (fun drain ->
+        (try Trace.with_span ~cat:"t" "boom" (fun () -> failwith "x") with
+        | Failure _ -> ());
+        drain ())
+  in
+  check tbool "E emitted on exception" true
+    (List.map (fun e -> e.Trace.ev_ph) events = [ Trace.B; Trace.E ])
+
+let test_disabled_is_silent () =
+  let sink, drain = Trace.memory_sink () in
+  let id = Trace.add_sink sink in
+  Trace.enabled := false;
+  Trace.instant ~cat:"t" "dropped";
+  Trace.with_span ~cat:"t" "dropped" (fun () -> ());
+  Trace.remove_sink id;
+  check tint "no events while disabled" 0 (List.length (drain ()))
+
+let test_memory_sink_bound () =
+  let sink, drain = Trace.memory_sink ~limit:4 () in
+  for i = 0 to 9 do
+    sink.Trace.sk_emit
+      { Trace.ev_name = string_of_int i; ev_cat = "t"; ev_ph = Trace.I; ev_ts = 0.0; ev_args = [] }
+  done;
+  check tbool "ring keeps the newest" true
+    (List.map (fun e -> e.Trace.ev_name) (drain ()) = [ "6"; "7"; "8"; "9" ])
+
+(* fixed event list shared by the renderer tests and the golden file *)
+let golden_events =
+  [
+    { Trace.ev_name = "optimize"; ev_cat = "optimizer"; ev_ph = Trace.B; ev_ts = 0.0; ev_args = [] };
+    {
+      Trace.ev_name = "rule_fire";
+      ev_cat = "optimizer";
+      ev_ph = Trace.I;
+      ev_ts = 125.5;
+      ev_args =
+        [
+          "rule", Trace.Str "q.merge-select";
+          "site", Trace.Str "(select \"r\")";
+          "size_delta", Trace.Int (-4);
+          "hot", Trace.Bool true;
+          "ratio", Trace.Float 0.5;
+        ];
+    };
+    { Trace.ev_name = "optimize"; ev_cat = "optimizer"; ev_ph = Trace.E; ev_ts = 250.0; ev_args = [] };
+    {
+      Trace.ev_name = "vm.run_steps";
+      ev_cat = "vm";
+      ev_ph = Trace.C;
+      ev_ts = 1000.0;
+      ev_args = [ "steps", Trace.Int 42 ];
+    };
+  ]
+
+let test_chrome_golden () =
+  let rendered = Trace.chrome_of_events golden_events in
+  let golden = In_channel.with_open_bin "golden/trace.json" In_channel.input_all in
+  check tstr "golden Chrome trace" golden rendered
+
+let test_chrome_shape () =
+  let doc = Trace.chrome_of_events golden_events in
+  check tbool "traceEvents wrapper" true (contains doc "{\"traceEvents\":[");
+  check tbool "display unit tail" true (contains doc "\"displayTimeUnit\":\"ms\"}");
+  check tbool "escaped string arg" true (contains doc "(select \\\"r\\\")");
+  (* one object per event, comma-separated *)
+  let jsonl = Trace.jsonl_of_events golden_events in
+  check tint "jsonl line count" (List.length golden_events)
+    (List.length (String.split_on_char '\n' (String.trim jsonl)));
+  check tstr "jsonl line = event_to_json" (Trace.event_to_json (List.hd golden_events))
+    (List.hd (String.split_on_char '\n' jsonl))
+
+let test_chrome_sink_streams () =
+  let path = Filename.temp_file "tmlobs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Trace.chrome_sink oc in
+      List.iter sink.Trace.sk_emit golden_events;
+      sink.Trace.sk_close ();
+      close_out oc;
+      let streamed = In_channel.with_open_bin path In_channel.input_all in
+      check tstr "streaming sink = pure renderer" (Trace.chrome_of_events golden_events)
+        streamed)
+
+(* ------------------------------------------------------------------ *)
+(* metrics registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  Metrics.reset_all ();
+  let c = Metrics.counter "t.count" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  check tint "counter" 5 (Metrics.counter_value c);
+  check tint "creation is idempotent" 5 (Metrics.counter_value (Metrics.counter "t.count"));
+  let g = Metrics.gauge "t.gauge" in
+  Metrics.set_gauge g 2.5;
+  let h = Metrics.histogram ~labels:[ "k", "v" ] "t.hist" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 3.0;
+  check tint "histogram count" 2 (Metrics.histogram_count h);
+  check (Alcotest.float 1e-9) "histogram sum" 4.0 (Metrics.histogram_sum h);
+  let src_resets = ref 0 in
+  Metrics.register_source ~name:"t.src"
+    ~snapshot:(fun () -> [ "x", Metrics.I 7; "y", Metrics.F 0.25 ])
+    ~reset:(fun () -> incr src_resets);
+  let json = Metrics.snapshot_json () in
+  check tbool "counter in snapshot" true (contains json "\"t.count\":5");
+  check tbool "labels render" true (contains json "t.hist{k=v}");
+  check tbool "source fields in snapshot" true (contains json "\"x\":7");
+  let report = Format.asprintf "%a" Metrics.pp_report () in
+  check tbool "report merges sources" true
+    (contains report "t.count" && contains report "-- t.src --");
+  Metrics.reset_all ();
+  check tint "owned metrics zeroed" 0 (Metrics.counter_value c);
+  check tint "source reset once" 1 !src_resets;
+  check tint "histogram zeroed" 0 (Metrics.histogram_count h);
+  Metrics.unregister_source "t.src";
+  check tbool "unregistered source gone" false (contains (Metrics.snapshot_json ()) "t.src")
+
+let test_vm_run_metric () =
+  Metrics.reset_all ();
+  (* the vm.run_steps histogram is always on, tracing or not *)
+  Events.vm_run ~engine:"test" ~steps:10;
+  Events.vm_run ~engine:"test" ~steps:30;
+  let h = Metrics.histogram "vm.run_steps" in
+  check tint "vm_run observes" 2 (Metrics.histogram_count h);
+  check (Alcotest.float 1e-9) "vm_run sums steps" 40.0 (Metrics.histogram_sum h);
+  Metrics.reset_all ()
+
+(* ------------------------------------------------------------------ *)
+(* provenance: recording, replay, codecs                                *)
+(* ------------------------------------------------------------------ *)
+
+let entry rule site fact sd cd =
+  {
+    Provenance.pv_rule = rule;
+    pv_site = site;
+    pv_fact = fact;
+    pv_size_delta = sd;
+    pv_cost_delta = cd;
+  }
+
+let test_provenance_basics () =
+  let log = [ entry "beta" "(proc/2 ...)" "" (-4) (-3); entry "expand" "2 call sites" "" 10 2 ] in
+  check tbool "equal on itself" true (Provenance.equal log log);
+  check tbool "unequal on different rule" false
+    (Provenance.equal log [ entry "eta" "(proc/2 ...)" "" (-4) (-3); List.nth log 1 ]);
+  check tstr "summary totals" "2 steps, size +6, cost -1" (Provenance.summary log);
+  let rendered = Format.asprintf "%a" Provenance.pp log in
+  check tbool "pp numbers the steps" true
+    (contains rendered "1. beta" && contains rendered "2. expand");
+  check tbool "empty log prints placeholder" true
+    (contains (Format.asprintf "%a" Provenance.pp []) "no rewrite steps")
+
+(* recording is deterministic and the recorded log replays: re-optimizing
+   the pre-term reproduces the same derivation and an alpha-equivalent
+   result.  This is the property that makes :explain trustworthy. *)
+let test_replay_property () =
+  let saved = !Provenance.enabled in
+  Provenance.enabled := true;
+  Fun.protect
+    ~finally:(fun () -> Provenance.enabled := saved)
+    (fun () ->
+      for seed = 0 to 99 do
+        let rng = Random.State.make [| seed |] in
+        let pre = Gen.proc2 rng ~size:(10 + (seed mod 40)) in
+        let post, report = Optimizer.optimize_value pre in
+        match Optimizer.replay pre report.Optimizer.prov with
+        | Ok post' ->
+          if not (Term.alpha_equal_value post post') then
+            Alcotest.failf "seed %d: replayed term is not alpha-equal" seed
+        | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+      done)
+
+let test_replay_detects_forged_log () =
+  let saved = !Provenance.enabled in
+  Provenance.enabled := true;
+  Fun.protect
+    ~finally:(fun () -> Provenance.enabled := saved)
+    (fun () ->
+      let rng = Random.State.make [| 11 |] in
+      let pre = Gen.proc2 rng ~size:30 in
+      let _, report = Optimizer.optimize_value pre in
+      let forged = entry "made-up" "nowhere" "" (-100) (-100) :: report.Optimizer.prov in
+      match Optimizer.replay pre forged with
+      | Ok _ -> Alcotest.fail "forged derivation accepted"
+      | Error _ -> ())
+
+let test_budget_exhausted_event () =
+  let saved = !Provenance.enabled in
+  Provenance.enabled := true;
+  Profile.reset ();
+  Profile.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.enabled := false;
+      Profile.reset ();
+      Provenance.enabled := saved)
+    (fun () ->
+      let config = { Optimizer.o3 with Optimizer.penalty_limit = 1 } in
+      let rng = Random.State.make [| 7 |] in
+      (* keep optimizing random terms until one accrues expansion penalty *)
+      let rec find_truncated attempt =
+        if attempt > 200 then Alcotest.fail "no term exhausted the budget"
+        else begin
+          let pre = Gen.proc2 rng ~size:60 in
+          let _, report = Optimizer.optimize_value ~config pre in
+          let hit =
+            List.exists
+              (fun e -> e.Provenance.pv_rule = "budget-exhausted")
+              report.Optimizer.prov
+          in
+          if not hit then find_truncated (attempt + 1)
+        end
+      in
+      find_truncated 0;
+      check tbool "profile counted the truncation" true
+        (Profile.global.Profile.budget_exhausted >= 1);
+      check tbool "--profile output surfaces it" true
+        (contains (Format.asprintf "%a" Profile.pp Profile.global) "budget exhausted"))
+
+let test_prov_codec_roundtrip () =
+  let logs =
+    [
+      [];
+      [ entry "beta" "(proc/1 ...)" "" (-4) (-3) ];
+      [
+        entry "q.index-select" "(select ...)" "index on field 2 of <oid 0x00000a>" (-12) (-40);
+        entry "expand" "3 call sites" "" 120 (-9);
+        entry "weird \"names\"\n" "site\twith\ttabs" "π∈ℝ" max_int min_int;
+      ];
+    ]
+  in
+  List.iter
+    (fun log ->
+      let decoded = Tml_store.Prov_codec.decode (Tml_store.Prov_codec.encode log) in
+      check tbool "codec round trip" true (Provenance.equal log decoded))
+    logs;
+  (match Tml_store.Prov_codec.decode "XXXX" with
+  | exception Tml_store.Prov_codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  let truncated =
+    let s = Tml_store.Prov_codec.encode (List.nth logs 2) in
+    String.sub s 0 (String.length s - 3)
+  in
+  match Tml_store.Prov_codec.decode truncated with
+  | exception Tml_store.Prov_codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated log accepted"
+
+let test_speccache_prov_roundtrip () =
+  Speccache.clear ();
+  let heap = Value.Heap.create () in
+  let tml = Sexp.parse_value "proc(x ce! cc!) (cc! x)" in
+  let oid = Value.Heap.alloc_func heap ~name:"f" tml in
+  let prov = [ entry "beta" "(proc/1 ...)" "" (-4) (-3); entry "eta" "(cc ...)" "" (-2) (-1) ] in
+  let outcome =
+    {
+      Speccache.sc_ptml = Tml_store.Ptml.encode_value tml;
+      sc_attrs = [];
+      sc_inlined = 0;
+      sc_rounds = 1;
+      sc_penalty = 0;
+      sc_expansions = 0;
+      sc_size_before = 5;
+      sc_size_after = 3;
+      sc_cost_before = 4;
+      sc_cost_after = 2;
+      sc_prov = prov;
+    }
+  in
+  Speccache.store heap ~callee:oid ~fp:"fp" ~deps:[] outcome;
+  let image = Speccache.encode () in
+  Speccache.clear ();
+  Speccache.decode image;
+  (match Speccache.find heap ~callee:oid ~fp:"fp" with
+  | Some o -> check tbool "derivation survives the cache image" true
+      (Provenance.equal prov o.Speccache.sc_prov)
+  | None -> Alcotest.fail "entry lost across encode/decode");
+  Speccache.clear ()
+
+(* a reflective specialization records provenance, persists it as a heap
+   Bytes object behind the "provenance" attribute, and a warm cache hit
+   re-serves the same derivation *)
+let test_reflect_provenance () =
+  let saved = !Provenance.enabled in
+  Provenance.enabled := true;
+  Speccache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Speccache.clear ();
+      Provenance.enabled := saved)
+    (fun () ->
+      let program =
+        Tml_frontend.Link.load
+          "let sq(x: Int): Int = x * x do io.print_int(sq(3)) end"
+      in
+      let ctx = program.Tml_frontend.Link.ctx in
+      let oid = Tml_frontend.Link.function_oid program "sq" in
+      let r1 = Tml_reflect.Reflect.optimize ctx oid in
+      let cold = r1.Tml_reflect.Reflect.report.Optimizer.prov in
+      check tbool "cold run records a derivation" true (cold <> []);
+      (match Tml_reflect.Reflect.provenance ctx r1.Tml_reflect.Reflect.oid with
+      | Some stored -> check tbool "stored attribute decodes to the log" true
+          (Provenance.equal cold stored)
+      | None -> Alcotest.fail "no provenance attribute on the optimized function");
+      let r2 = Tml_reflect.Reflect.optimize ctx oid in
+      check tbool "warm hit re-serves the derivation" true
+        (Provenance.equal cold r2.Tml_reflect.Reflect.report.Optimizer.prov))
+
+let () =
+  Runtime.install ();
+  Tml_query.Qprims.install ();
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span exception" `Quick test_span_exception;
+          Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent;
+          Alcotest.test_case "memory sink bound" `Quick test_memory_sink_bound;
+          Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
+          Alcotest.test_case "chrome/jsonl shape" `Quick test_chrome_shape;
+          Alcotest.test_case "chrome sink streams" `Quick test_chrome_sink_streams;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "vm.run_steps" `Quick test_vm_run_metric;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "basics" `Quick test_provenance_basics;
+          Alcotest.test_case "replay property" `Quick test_replay_property;
+          Alcotest.test_case "replay rejects forged log" `Quick test_replay_detects_forged_log;
+          Alcotest.test_case "budget exhausted" `Quick test_budget_exhausted_event;
+          Alcotest.test_case "codec round trip" `Quick test_prov_codec_roundtrip;
+          Alcotest.test_case "speccache round trip" `Quick test_speccache_prov_roundtrip;
+          Alcotest.test_case "reflect + warm hit" `Quick test_reflect_provenance;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+(* tmld — the multi-session TML database server (docs/SERVER.md).
+
+     $ dune exec bin/tmld.exe -- --store app.tml --socket /tmp/tml.sock
+     $ dune exec bin/tmlsh.exe
+     tml> :connect /tmp/tml.sock
+
+   One process owns the store; every connection gets its own session
+   with snapshot-isolated reads; commits from concurrent sessions are
+   batched into group commits (one fsync per group).  SIGINT/SIGTERM
+   shut down gracefully: live connections are drained, the committer
+   seals its last group, the store is closed. *)
+
+module Server = Tml_server.Server
+module Wire = Tml_server.Wire
+
+let () =
+  let store = ref "" in
+  let socket = ref "" in
+  let listen = ref "" in
+  let max_clients = ref 64 in
+  let window_ms = ref 2.0 in
+  let staged_cap = ref (16 * 1024 * 1024) in
+  let fsync = ref true in
+  let stripe = ref (1 lsl 16) in
+  let spec =
+    [
+      "--store", Arg.Set_string store, "FILE durable log-structured store (created if missing)";
+      "--socket", Arg.Set_string socket, "PATH listen on a Unix-domain socket";
+      "--listen", Arg.Set_string listen, "HOST:PORT listen on TCP instead";
+      "--max-clients", Arg.Set_int max_clients, "N admission limit (default 64)";
+      ( "--commit-window-ms",
+        Arg.Set_float window_ms,
+        "MS group-commit batching window (default 2.0)" );
+      ( "--staged-cap",
+        Arg.Set_int staged_cap,
+        "BYTES per-session staged-byte cap (default 16 MiB; 0 = unlimited)" );
+      "--no-fsync", Arg.Clear fsync, " do not fsync commits (benchmarks only)";
+      "--stripe", Arg.Set_int stripe, "N OIDs per session allocation stripe (default 65536)";
+    ]
+  in
+  let usage = "tmld --store FILE (--socket PATH | --listen HOST:PORT) [options]" in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !store = "" || (!socket = "" && !listen = "") then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let addr =
+    if !listen <> "" then
+      match Wire.parse_addr !listen with
+      | Wire.Tcp _ as a -> a
+      | Wire.Unix_path _ ->
+        prerr_endline "tmld: --listen expects HOST:PORT";
+        exit 2
+    else Wire.Unix_path !socket
+  in
+  (* keep the optimizer profiler and provenance recorder running, as
+     tmlsh does, so :stats / :explain work against a server too *)
+  Tml_core.Profile.clock := Unix.gettimeofday;
+  Tml_core.Profile.enabled := true;
+  Tml_obs.Provenance.enabled := true;
+  let config =
+    {
+      (Server.default_config ~store_path:!store ~addr) with
+      Server.max_clients = !max_clients;
+      commit_window = !window_ms /. 1000.;
+      staged_cap = !staged_cap;
+      fsync = !fsync;
+      stripe = !stripe;
+    }
+  in
+  let t =
+    try Server.start config with
+    | Failure msg | Tml_store.Log_store.Store_error msg | Tml_vm.Pstore.Store_error msg ->
+      Printf.eprintf "tmld: %s\n" msg;
+      exit 1
+  in
+  let quit = ref false in
+  let on_signal _ = quit := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf "tmld: serving %s on %s\n%!" !store (Wire.addr_to_string addr);
+  while not !quit do
+    Thread.delay 0.1
+  done;
+  Server.stop t;
+  Printf.printf "tmld: stopped\n%!"

@@ -14,7 +14,8 @@
 
    Commands: :help :names :dump NAME :disasm NAME :optimize NAME
              :optimize-all :open FILE :commit :compact :stats
-             :explain NAME :trace on|off|dump :save FILE :steps :quit *)
+             :explain NAME :trace on|off|dump :save FILE :steps
+             :connect TARGET :disconnect :quit *)
 
 open Tml_core
 open Tml_vm
@@ -66,6 +67,10 @@ let help () =
     \  :save FILE       write the store image (run functions later with\n\
     \                   'tmlc exec FILE name args')\n\
     \  :steps           abstract instructions executed so far\n\
+    \  :connect TARGET  attach to a tmld server (Unix socket path or\n\
+    \                   HOST:PORT); lines are then evaluated remotely in\n\
+    \                   a snapshot-isolated server session\n\
+    \  :disconnect      leave the server, back to the local session\n\
     \  :quit            leave\n"
 
 let with_func session name f =
@@ -79,6 +84,29 @@ let trace : (int * (unit -> Tml_obs.Trace.event list)) option ref = ref None
 (* The open durable store, if any; :commit seals into it and the
    reflective optimizer commits through ctx.durable_commit. *)
 let store : Pstore.t option ref = ref None
+
+(* The tmld connection, if any; while connected, inputs are shipped to
+   the server as wire frames instead of the local session. *)
+let remote : Tml_server.Client.t option ref = ref None
+
+(* Staged puts die with the process: say so on the way out (normal exit
+   or SIGINT) instead of silently dropping them. *)
+let warn_uncommitted () =
+  match !store with
+  | None -> ()
+  | Some pstore ->
+    let staged =
+      try List.length (Pstore.collect pstore) with
+      | _ -> 0
+    in
+    if staged > 0 then
+      Printf.eprintf "tmlsh: warning: %d staged object(s) not committed to %s (lost; use :commit)\n%!"
+        staged (Pstore.path pstore)
+
+let () =
+  at_exit warn_uncommitted;
+  if interactive then
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exit 130))
 
 let wire_store session pstore =
   store := Some pstore;
@@ -240,7 +268,46 @@ let command session_ref line =
     Image.save_file (Repl.ctx session).Runtime.heap file;
     Printf.printf "store image written to %s\n" file
   | [ ":steps" ] -> Printf.printf "%d abstract instructions\n" (Repl.ctx session).Runtime.steps
+  | [ ":connect"; target ] -> (
+    (* a dying server must surface as a broken-connection error on the
+       next write, not kill the shell with SIGPIPE *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match Tml_server.Client.connect (Tml_server.Wire.parse_addr target) with
+    | c ->
+      remote := Some c;
+      Printf.printf "connected to %s (session %d at epoch %d)\n" target
+        (Tml_server.Client.session_id c) (Tml_server.Client.epoch c)
+    | exception Tml_server.Client.Client_error msg -> Printf.printf "connect failed: %s\n" msg)
+  | [ ":disconnect" ] -> Printf.printf "not connected (use :connect TARGET)\n"
   | _ -> Printf.printf "unknown command %s (:help for help)\n" line
+
+(* While connected, :commit/:stats/:explain map to their wire frames,
+   :disconnect comes home, and everything else — TL source as well as
+   server-side directives like :optimize — travels as an eval frame. *)
+let remote_line c line =
+  let module C = Tml_server.Client in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ ":disconnect" ] ->
+    C.close c;
+    remote := None;
+    print_endline "disconnected"
+  | [ ":commit" ] -> (
+    match C.commit c with
+    | Ok (C.Committed { epoch; objects; group }) ->
+      Printf.printf "committed %d objects at epoch %d (group of %d)\n" objects epoch group
+    | Ok (C.Conflicted { oid }) ->
+      Printf.printf "commit conflict on oid %d (first committer won; reconnect for a fresh epoch)\n"
+        oid
+    | Error msg -> print_endline msg)
+  | [ ":stats" ] | [ ":stats"; "json" ] -> print_endline (C.stats c)
+  | [ ":explain"; name ] -> (
+    match C.explain c name with
+    | Ok out -> print_string out
+    | Error msg -> print_endline msg)
+  | _ -> (
+    match C.eval c line with
+    | Ok out -> print_string out
+    | Error msg -> print_endline msg)
 
 let show_result (r : Repl.feed_result) =
   List.iter (fun name -> Printf.printf "defined %s\n" name) r.Repl.defined;
@@ -265,9 +332,17 @@ let () =
     | None -> ()
     | Some line ->
       let line = String.trim line in
-      if line = ":quit" || line = ":q" then ()
+      if line = ":quit" || line = ":q" then
+        Option.iter Tml_server.Client.close !remote
       else begin
         if line = "" then ()
+        else if !remote <> None then begin
+          let c = Option.get !remote in
+          try remote_line c line with
+          | Tml_server.Client.Client_error msg | Tml_server.Wire.Wire_error msg ->
+            Printf.printf "connection lost: %s\n" msg;
+            remote := None
+        end
         else if line.[0] = ':' then begin
           try command session line with
           | Runtime.Fault msg -> Format.printf "runtime fault: %s@." msg
@@ -284,6 +359,9 @@ let () =
             Format.printf "type error at %a: %s@." Ast.pp_pos pos msg
           | Runtime.Fault msg -> Format.printf "runtime fault: %s@." msg
         end;
+        (* keep output line-synchronous so a session driven through a
+           pipe or fifo (test/tmld.t) can be followed as it runs *)
+        flush stdout;
         loop ()
       end
   in

@@ -9,11 +9,19 @@ type num = I of int | F of float
 type counter = int ref
 type gauge = float ref
 
+(* Alongside the running aggregates, each histogram keeps a bounded ring
+   of the most recent samples so percentile estimates (p50/p99 commit
+   latency, batch sizes) need no pre-declared bucket boundaries. *)
+let reservoir_size = 512
+
 type histogram = {
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_ring : float array;  (* last [reservoir_size] observations *)
+  mutable h_ring_len : int;
+  mutable h_ring_next : int;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -65,7 +73,17 @@ let histogram ?(labels = []) name : histogram =
   | Some (Histogram h) -> h
   | Some _ -> invalid_arg ("Metrics.histogram: " ^ key ^ " registered with another type")
   | None ->
-    let h = { h_count = 0; h_sum = 0.; h_min = infinity; h_max = neg_infinity } in
+    let h =
+      {
+        h_count = 0;
+        h_sum = 0.;
+        h_min = infinity;
+        h_max = neg_infinity;
+        h_ring = Array.make reservoir_size 0.;
+        h_ring_len = 0;
+        h_ring_next = 0;
+      }
+    in
     Hashtbl.replace registry key (Histogram h);
     h
 
@@ -73,10 +91,22 @@ let observe h v =
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+  if v > h.h_max then h.h_max <- v;
+  h.h_ring.(h.h_ring_next) <- v;
+  h.h_ring_next <- (h.h_ring_next + 1) mod reservoir_size;
+  if h.h_ring_len < reservoir_size then h.h_ring_len <- h.h_ring_len + 1
 
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
+
+let percentile h p =
+  if h.h_ring_len = 0 then 0.
+  else begin
+    let a = Array.sub h.h_ring 0 h.h_ring_len in
+    Array.sort compare a;
+    let p = if p < 0. then 0. else if p > 1. then 1. else p in
+    a.(min (h.h_ring_len - 1) (int_of_float (float_of_int h.h_ring_len *. p)))
+  end
 
 let register_source ~name ~snapshot ~reset =
   Hashtbl.replace sources name { src_snapshot = snapshot; src_reset = reset }
@@ -93,7 +123,9 @@ let reset_all () =
         h.h_count <- 0;
         h.h_sum <- 0.;
         h.h_min <- infinity;
-        h.h_max <- neg_infinity)
+        h.h_max <- neg_infinity;
+        h.h_ring_len <- 0;
+        h.h_ring_next <- 0)
     registry;
   let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) sources []) in
   List.iter (fun n -> (Hashtbl.find sources n).src_reset ()) names
@@ -154,6 +186,8 @@ let snapshot_json () =
                 ("mean", F mean);
                 ("min", F (if h.h_count = 0 then 0. else h.h_min));
                 ("max", F (if h.h_count = 0 then 0. else h.h_max));
+                ("p50", F (percentile h 0.5));
+                ("p99", F (percentile h 0.99));
               ]
           | _ -> ())
         metrics;
@@ -192,9 +226,11 @@ let pp_report ppf () =
     (fun (k, h) ->
       if h.h_count = 0 then Format.fprintf ppf "  %-32s count 0@." k
       else
-        Format.fprintf ppf "  %-32s count %d  mean %.4g  min %.4g  max %.4g@." k h.h_count
+        Format.fprintf ppf
+          "  %-32s count %d  mean %.4g  min %.4g  max %.4g  p50 %.4g  p99 %.4g@." k
+          h.h_count
           (h.h_sum /. float_of_int h.h_count)
-          h.h_min h.h_max)
+          h.h_min h.h_max (percentile h 0.5) (percentile h 0.99))
     histos;
   List.iter
     (fun (name, src) ->

@@ -28,6 +28,13 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val percentile : histogram -> float -> float
+(** [percentile h p] for [p] in [0, 1] — estimated from a bounded
+    reservoir of the most recent observations (last 512), so long-running
+    servers report {e current} p50/p99 latency rather than lifetime
+    figures.  [0.0] when nothing was observed.  Snapshots include [p50]
+    and [p99] per histogram. *)
+
 (** {1 Sources}
 
     A source exposes an external stats block (a snapshot of key/value

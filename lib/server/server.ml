@@ -1,0 +1,694 @@
+open Tml_core
+open Tml_vm
+open Tml_frontend
+module Ls = Tml_store.Log_store
+module Metrics = Tml_obs.Metrics
+
+type config = {
+  store_path : string;
+  addr : Wire.addr;
+  max_clients : int;
+  commit_window : float;
+  staged_cap : int;
+  fsync : bool;
+  stripe : int;
+}
+
+let default_config ~store_path ~addr =
+  {
+    store_path;
+    addr;
+    max_clients = 64;
+    commit_window = 0.002;
+    staged_cap = 16 * 1024 * 1024;
+    fsync = true;
+    stripe = 1 lsl 16;
+  }
+
+(* --- group committer requests -------------------------------------- *)
+
+type commit_result =
+  | Cr_committed of { sn : Ls.snapshot; epoch : int; objects : int; group : int }
+  | Cr_conflict of int
+
+type commit_req = {
+  cr_batch : (int * string) list;
+  cr_root : int option;
+  cr_epoch : int;  (* the requester's pinned epoch: its conflict horizon *)
+  cr_enqueued : float;
+  mutable cr_result : commit_result option;
+}
+
+type t = {
+  config : config;
+  log : Ls.t;
+  listen_fd : Unix.file_descr;
+  eval_lock : Mutex.t;
+  (* committer *)
+  qlock : Mutex.t;
+  qcond : Condition.t;  (* work arrived / committer should stop *)
+  done_cond : Condition.t;  (* a group's results were published *)
+  mutable queue : commit_req list;  (* newest first *)
+  mutable committer_run : bool;
+  (* connections *)
+  clock : Mutex.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable threads : Thread.t list;
+  mutable next_session : int;
+  mutable next_base : int;
+  mutable running : bool;
+  mutable accept_thread : Thread.t option;
+  mutable committer_thread : Thread.t option;
+  mutable stopped : bool;
+  stop_lock : Mutex.t;
+  stop_cond : Condition.t;
+  (* metrics *)
+  m_connections : Metrics.counter;
+  m_evals : Metrics.counter;
+  m_commits : Metrics.counter;
+  m_group_commits : Metrics.counter;
+  m_conflicts : Metrics.counter;
+  m_busy : Metrics.counter;
+  m_latency : Metrics.histogram;
+}
+
+let active_sessions t =
+  Mutex.lock t.clock;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.clock;
+  n
+
+let alloc_stripe t =
+  Mutex.lock t.clock;
+  let b = t.next_base in
+  t.next_base <- b + t.config.stripe;
+  Mutex.unlock t.clock;
+  b
+
+(* --- per-connection session ---------------------------------------- *)
+
+type session_state = {
+  ss_id : int;
+  ss_fd : Unix.file_descr;
+  ss_pstore : Pstore.t;
+  ss_repl : Repl.session;
+  mutable ss_base : int;  (* current OID allocation stripe *)
+  mutable ss_limit : int;
+  mutable ss_poisoned : string option;
+  mutable ss_defined : bool;  (* manifest changed since the last commit *)
+  mutable ss_staged_bytes : int;
+}
+
+exception Session_error of string
+
+let sfail fmt = Format.kasprintf (fun s -> raise (Session_error s)) fmt
+
+(* Stage the manifest (only if this session defined names — data-only
+   commits must not touch the shared manifest OIDs, or every pair of
+   concurrent writers would conflict on them) and encode the batch.
+   Caller holds the eval lock. *)
+let prepare_commit ss =
+  let root =
+    if ss.ss_defined then Some (Oid.to_int (Repl.stage ss.ss_repl ss.ss_pstore)) else None
+  in
+  (root, Pstore.collect ss.ss_pstore)
+
+(* Hand a prepared batch to the group committer and wait for the group's
+   seal.  Runs without the eval lock unless the caller (the optimizer's
+   [durable_commit] hook) already holds it — the committer never takes
+   the eval lock, so waiting while holding it cannot deadlock, it only
+   stalls other evals for the commit window. *)
+let submit_commit t ss (root, batch) =
+  if batch = [] && root = None then begin
+    (* nothing to seal, but a commit is still a transaction boundary:
+       re-pin at the current epoch so the session now observes every
+       commit sealed since its last pin *)
+    let sn = Ls.pin t.log in
+    Pstore.mark_committed ss.ss_pstore sn;
+    ss.ss_defined <- false;
+    ss.ss_staged_bytes <- 0;
+    Cr_committed { sn; epoch = Pstore.epoch ss.ss_pstore; objects = 0; group = 0 }
+  end
+  else begin
+    let req =
+      {
+        cr_batch = batch;
+        cr_root = root;
+        cr_epoch = Pstore.epoch ss.ss_pstore;
+        cr_enqueued = Unix.gettimeofday ();
+        cr_result = None;
+      }
+    in
+    Mutex.lock t.qlock;
+    t.queue <- req :: t.queue;
+    Condition.signal t.qcond;
+    while req.cr_result = None do
+      Condition.wait t.done_cond t.qlock
+    done;
+    Mutex.unlock t.qlock;
+    let result = Option.get req.cr_result in
+    (match result with
+    | Cr_committed { sn; _ } ->
+      (* the session thread is the only user of its pstore, and it is
+         right here — safe to repin and flush its caches *)
+      Pstore.mark_committed ss.ss_pstore sn;
+      ss.ss_defined <- false;
+      ss.ss_staged_bytes <- 0
+    | Cr_conflict _ -> ());
+    result
+  end
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let heap_of ss = (Repl.ctx ss.ss_repl).Runtime.heap
+
+(* After an eval: refresh the staged-byte figure the admission check
+   reads, and keep the allocation cursor inside this session's stripe —
+   re-stripe at half use; past the end, fresh OIDs may collide with
+   another session's stripe, so the session is poisoned (its commits
+   refused) rather than allowed to corrupt the store. *)
+let after_eval t ss =
+  let heap = heap_of ss in
+  let size = Value.Heap.size heap in
+  if size > ss.ss_limit then
+    ss.ss_poisoned <-
+      Some
+        (Printf.sprintf "allocation stripe overflow (oid %d past %d)" (size - 1)
+           ss.ss_limit)
+  else if size > ss.ss_base + (t.config.stripe / 2) then begin
+    let base = alloc_stripe t in
+    Value.Heap.reserve heap base;
+    ss.ss_base <- base;
+    ss.ss_limit <- base + t.config.stripe
+  end;
+  if t.config.staged_cap > 0 then
+    ss.ss_staged_bytes <-
+      List.fold_left (fun a (_, p) -> a + String.length p) 0 (Pstore.collect ss.ss_pstore)
+
+let render_feed (r : Repl.feed_result) =
+  let buf = Buffer.create 128 in
+  List.iter (fun name -> Buffer.add_string buf ("defined " ^ name ^ "\n")) r.Repl.defined;
+  Buffer.add_string buf r.Repl.output;
+  if r.Repl.output <> "" && r.Repl.output.[String.length r.Repl.output - 1] <> '\n' then
+    Buffer.add_char buf '\n';
+  (match r.Repl.result with
+  | Some (Eval.Done Value.Unit, _) -> ()
+  | Some (Eval.Done v, steps) ->
+    Buffer.add_string buf (Format.asprintf "- : %a (in %d instructions)@." Value.pp v steps)
+  | Some (Eval.Raised v, _) ->
+    Buffer.add_string buf (Format.asprintf "uncaught exception: %a@." Value.pp v)
+  | Some (o, _) -> Buffer.add_string buf (Format.asprintf "%a@." Eval.pp_outcome o)
+  | None -> ());
+  Buffer.contents buf
+
+(* Server-side directives carried in Eval frames; anything else is TL
+   source for [Repl.feed].  Caller holds the eval lock. *)
+let eval_directive ss line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ ":names" ] ->
+    String.concat ""
+      (List.filter_map
+         (fun (name, _) ->
+           if String.contains name '!' then None else Some (name ^ "\n"))
+         (Repl.function_oids ss.ss_repl))
+  | [ ":optimize"; name ] -> (
+    match Repl.function_oid ss.ss_repl name with
+    | None -> sfail "no function named %s" name
+    | Some oid ->
+      let r = Tml_reflect.Reflect.optimize_inplace (Repl.ctx ss.ss_repl) oid in
+      Printf.sprintf "optimized %s: static cost %d -> %d, %d calls inlined\n" name
+        r.Tml_reflect.Reflect.report.Optimizer.cost_before
+        r.Tml_reflect.Reflect.report.Optimizer.cost_after
+        r.Tml_reflect.Reflect.inlined_calls)
+  | [ ":optimize-all" ] ->
+    let oids = List.map snd (Repl.function_oids ss.ss_repl) in
+    Tml_reflect.Reflect.optimize_all (Repl.ctx ss.ss_repl) oids;
+    Printf.sprintf "optimized %d functions\n" (List.length oids)
+  | _ -> sfail "unknown server directive %s" line
+
+let handle_eval t ss src =
+  match ss.ss_poisoned with
+  | Some why -> Wire.Error ("session poisoned: " ^ why ^ "; reconnect")
+  | None ->
+    if t.config.staged_cap > 0 && ss.ss_staged_bytes > t.config.staged_cap then
+      Wire.Busy
+        (Printf.sprintf "staged bytes %d exceed per-session cap %d; commit first"
+           ss.ss_staged_bytes t.config.staged_cap)
+    else begin
+      Metrics.inc t.m_evals;
+      locked t.eval_lock (fun () ->
+          let out =
+            let line = String.trim src in
+            if line <> "" && line.[0] = ':' then eval_directive ss line
+            else begin
+              let r = Repl.feed ss.ss_repl src in
+              (* defining (or redefining) names dirties the manifest:
+                 this session's next commit must stage and re-root it *)
+              if r.Repl.defined <> [] then ss.ss_defined <- true;
+              render_feed r
+            end
+          in
+          after_eval t ss;
+          Wire.Result out)
+    end
+
+let handle_commit t ss =
+  match ss.ss_poisoned with
+  | Some why -> Wire.Error ("session poisoned: " ^ why ^ "; reconnect")
+  | None -> (
+    let prepared = locked t.eval_lock (fun () -> prepare_commit ss) in
+    match submit_commit t ss prepared with
+    | Cr_committed { epoch; objects; group; _ } -> Wire.Committed { epoch; objects; group }
+    | Cr_conflict oid -> Wire.Conflict { oid })
+
+let handle_stat ss =
+  Wire.Stats
+    (Printf.sprintf
+       {|{"session":{"id":%d,"epoch":%d,"staged_objects":%d,"staged_bytes":%d},"metrics":%s}|}
+       ss.ss_id (Pstore.epoch ss.ss_pstore)
+       (Pstore.uncommitted_count ss.ss_pstore)
+       ss.ss_staged_bytes (Metrics.snapshot_json ()))
+
+let handle_explain ss name =
+  match Repl.function_oid ss.ss_repl name with
+  | None -> sfail "no function named %s" name
+  | Some oid -> (
+    match Tml_reflect.Reflect.provenance (Repl.ctx ss.ss_repl) oid with
+    | Some prov -> Wire.Result (Format.asprintf "%s: %a@." name Tml_obs.Provenance.pp prov)
+    | None -> sfail "no recorded derivation for %s (not optimized yet?)" name)
+
+let handle_fetch ss name =
+  match Repl.function_oid ss.ss_repl name with
+  | None -> sfail "no function named %s" name
+  | Some oid -> (
+    match Value.Heap.get_opt (heap_of ss) oid with
+    | Some (Value.Func fo) -> Wire.Payload { kind = 0; data = fo.Value.fo_ptml }
+    | Some _ -> sfail "%s is not a function object" name
+    | None -> sfail "cannot fault function %s" name)
+
+let handle_pull t ss oid =
+  match Pstore.snapshot ss.ss_pstore with
+  | None -> sfail "session has no snapshot"
+  | Some sn -> (
+    match Ls.find_at t.log sn oid with
+    | Some data -> Wire.Payload { kind = 1; data }
+    | None -> sfail "no object %d at epoch %d" oid (Pstore.epoch ss.ss_pstore))
+
+let handle_req t ss req =
+  try
+    match req with
+    | Wire.Eval src -> handle_eval t ss src
+    | Wire.Commit -> handle_commit t ss
+    | Wire.Stat -> handle_stat ss
+    | Wire.Explain name -> locked t.eval_lock (fun () -> handle_explain ss name)
+    | Wire.Fetch name -> locked t.eval_lock (fun () -> handle_fetch ss name)
+    | Wire.Pull oid -> handle_pull t ss oid
+    | Wire.Hello _ -> Wire.Error "already connected"
+    | Wire.Bye -> Wire.Bye_ok
+  with
+  | Session_error msg -> Wire.Error msg
+  | Lexer.Lex_error (pos, msg) ->
+    Wire.Error (Format.asprintf "lexical error at %a: %s" Ast.pp_pos pos msg)
+  | Parser.Parse_error (pos, msg) ->
+    Wire.Error (Format.asprintf "syntax error at %a: %s" Ast.pp_pos pos msg)
+  | Typecheck.Type_error (pos, msg) ->
+    Wire.Error (Format.asprintf "type error at %a: %s" Ast.pp_pos pos msg)
+  | Runtime.Fault msg -> Wire.Error ("runtime fault: " ^ msg)
+  | Ls.Store_error msg | Pstore.Store_error msg -> Wire.Error ("store error: " ^ msg)
+
+(* --- connection lifecycle ------------------------------------------ *)
+
+let open_session t ~id ~fd =
+  locked t.eval_lock (fun () ->
+      let base = alloc_stripe t in
+      let pstore = Pstore.open_snapshot t.log ~alloc_base:base in
+      match Repl.restore ~preserve_caches:true pstore with
+      | exception e ->
+        Pstore.close pstore;
+        raise e
+      | repl ->
+        let ss =
+          {
+            ss_id = id;
+            ss_fd = fd;
+            ss_pstore = pstore;
+            ss_repl = repl;
+            ss_base = base;
+            ss_limit = base + t.config.stripe;
+            ss_poisoned = None;
+            ss_defined = false;
+            ss_staged_bytes = 0;
+          }
+        in
+        (* the reflective optimizer persists rewrites through this hook
+           (section 4.1); on the server that means a synchronous trip
+           through the group committer *)
+        (Repl.ctx repl).Runtime.durable_commit <-
+          Some
+            (fun () ->
+              match submit_commit t ss (prepare_commit ss) with
+              | Cr_committed _ -> ()
+              | Cr_conflict oid ->
+                Runtime.fault "commit conflict on oid %d: another session won the race"
+                  oid);
+        ss)
+
+let close_session ss = Pstore.close ss.ss_pstore
+
+let serve t ss =
+  let continue_ = ref true in
+  while !continue_ do
+    match Wire.read_frame ss.ss_fd with
+    | None -> continue_ := false
+    | Some payload ->
+      let resp =
+        match Wire.decode_req payload with
+        | req -> handle_req t ss req
+        | exception Wire.Wire_error msg -> Wire.Error msg
+      in
+      Wire.write_frame ss.ss_fd (Wire.encode_resp resp);
+      if resp = Wire.Bye_ok then continue_ := false
+  done
+
+let handle_conn t fd =
+  let id =
+    Mutex.lock t.clock;
+    let id = t.next_session in
+    t.next_session <- id + 1;
+    Hashtbl.replace t.conns id fd;
+    Mutex.unlock t.clock;
+    id
+  in
+  let cleanup () =
+    Mutex.lock t.clock;
+    Hashtbl.remove t.conns id;
+    Mutex.unlock t.clock;
+    try Unix.close fd with
+    | Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      try
+        match Wire.read_frame fd with
+        | None -> ()
+        | Some payload -> (
+          match Wire.decode_req payload with
+          | Wire.Hello { version; client = _ } when version = Wire.protocol_version ->
+            let ss = open_session t ~id ~fd in
+            Fun.protect
+              ~finally:(fun () -> close_session ss)
+              (fun () ->
+                Wire.write_frame fd
+                  (Wire.encode_resp
+                     (Wire.Hello_ok
+                        { session = id; epoch = Pstore.epoch ss.ss_pstore; server = "tmld" }));
+                serve t ss)
+          | Wire.Hello { version; _ } ->
+            Wire.write_frame fd
+              (Wire.encode_resp
+                 (Wire.Error
+                    (Printf.sprintf "protocol version %d unsupported (want %d)" version
+                       Wire.protocol_version)))
+          | _ -> Wire.write_frame fd (Wire.encode_resp (Wire.Error "expected hello")))
+      with
+      | Wire.Wire_error _ | Unix.Unix_error _ | End_of_file -> ())
+
+(* --- group committer ------------------------------------------------ *)
+
+let process_group t group =
+  let claimed = Hashtbl.create 64 in
+  let root = ref None in
+  let winners = ref [] in
+  let results = ref [] in
+  List.iter
+    (fun req ->
+      let conflict =
+        List.find_map
+          (fun (oid, _) ->
+            if Hashtbl.mem claimed oid then Some oid
+            else
+              match Ls.latest_seq t.log oid with
+              | Some s when s > req.cr_epoch -> Some oid
+              | _ -> None)
+          req.cr_batch
+      in
+      match conflict with
+      | Some oid ->
+        Metrics.inc t.m_conflicts;
+        results := (req, Cr_conflict oid) :: !results
+      | None ->
+        List.iter
+          (fun (oid, payload) ->
+            Hashtbl.replace claimed oid ();
+            Ls.put t.log oid payload)
+          req.cr_batch;
+        (match req.cr_root with
+        | Some r -> root := Some r
+        | None -> ());
+        winners := req :: !winners)
+    group;
+  if !winners <> [] then begin
+    (* one seal, one fsync, for every winner of this window *)
+    ignore (Ls.commit ?root:!root t.log);
+    Metrics.inc t.m_group_commits;
+    let epoch = Ls.seq t.log in
+    let n = List.length !winners in
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun req ->
+        Metrics.inc t.m_commits;
+        Metrics.observe t.m_latency (now -. req.cr_enqueued);
+        let sn = Ls.pin t.log in
+        results :=
+          (req, Cr_committed { sn; epoch; objects = List.length req.cr_batch; group = n })
+          :: !results)
+      !winners
+  end;
+  Mutex.lock t.qlock;
+  List.iter (fun (req, r) -> req.cr_result <- Some r) !results;
+  Condition.broadcast t.done_cond;
+  Mutex.unlock t.qlock
+
+let committer_loop t =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.qlock;
+    while t.committer_run && t.queue = [] do
+      Condition.wait t.qcond t.qlock
+    done;
+    if t.queue = [] then begin
+      (* stopping and drained *)
+      continue_ := false;
+      Mutex.unlock t.qlock
+    end
+    else begin
+      Mutex.unlock t.qlock;
+      (* the batching window: requests arriving while we sleep (or while
+         the previous group's fsync ran) join this group *)
+      if t.committer_run && t.config.commit_window > 0. then
+        Thread.delay t.config.commit_window;
+      Mutex.lock t.qlock;
+      let group = List.rev t.queue in
+      t.queue <- [];
+      Mutex.unlock t.qlock;
+      process_group t group
+    end
+  done
+
+(* --- accept loop ----------------------------------------------------- *)
+
+(* Closing a listening fd does not wake a thread already blocked in
+   [accept] (verified the hard way), so the loop polls with a short
+   [select] timeout and re-checks [t.running] between rounds; [stop]
+   then joins this thread before closing the fd. *)
+let accept_loop t =
+  let continue_ = ref true in
+  while !continue_ && t.running do
+    let readable =
+      match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [ _ ], _, _ -> true
+      | _ -> false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      | exception Unix.Unix_error (_, _, _) ->
+        continue_ := false;
+        false
+    in
+    if readable && t.running then
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> continue_ := false
+      | fd, _ ->
+      Metrics.inc t.m_connections;
+      if not t.running then (
+        try Unix.close fd with
+        | Unix.Unix_error _ -> ())
+      else if active_sessions t >= t.config.max_clients then begin
+        Metrics.inc t.m_busy;
+        (* consume the hello so the refusal is read after a complete
+           request/response exchange, then shed the connection *)
+        (try
+           ignore (Wire.read_frame fd);
+           Wire.write_frame fd
+             (Wire.encode_resp (Wire.Busy "server at max-clients; retry later"))
+         with
+        | Wire.Wire_error _ | Unix.Unix_error _ -> ());
+        try Unix.close fd with
+        | Unix.Unix_error _ -> ()
+      end
+      else begin
+        let th = Thread.create (fun () -> handle_conn t fd) () in
+        Mutex.lock t.clock;
+        t.threads <- th :: t.threads;
+        Mutex.unlock t.clock
+      end
+  done
+
+(* --- lifecycle ------------------------------------------------------- *)
+
+(* First start on a path: seed the store with a fresh stdlib session.
+   Restart: recover, replay the manifest and load the persistent
+   specialization cache once — every connection then restores with
+   [preserve_caches:true] against the warm process-wide caches. *)
+let bootstrap config =
+  if Sys.file_exists config.store_path then begin
+    let pstore = Pstore.open_ config.store_path in
+    match Repl.restore pstore with
+    | exception e ->
+      Pstore.close pstore;
+      raise e
+    | (_ : Repl.session) -> Pstore.close pstore
+  end
+  else begin
+    let session = Repl.create () in
+    let pstore =
+      Pstore.attach ~fsync:config.fsync config.store_path
+        (Repl.ctx session).Runtime.heap
+    in
+    ignore (Repl.persist session pstore);
+    Pstore.close pstore
+  end
+
+let listen_on addr =
+  let sockaddr = Wire.sockaddr_of_addr addr in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match sockaddr with
+  | Unix.ADDR_UNIX path -> if Sys.file_exists path then Unix.unlink path
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  (try Unix.bind fd sockaddr with
+  | Unix.Unix_error (e, _, _) ->
+    Unix.close fd;
+    failwith
+      (Printf.sprintf "cannot bind %s: %s" (Wire.addr_to_string addr)
+         (Unix.error_message e)));
+  Unix.listen fd 64;
+  fd
+
+let register_server_metrics t =
+  Ls.register_metrics t.log;
+  Speccache.register_metrics ();
+  Profile.register_metrics ();
+  Metrics.register_source ~name:"server"
+    ~snapshot:(fun () ->
+      let commits = Metrics.counter_value t.m_commits in
+      let groups = Metrics.counter_value t.m_group_commits in
+      [
+        "sessions_active", Metrics.I (active_sessions t);
+        "epoch", Metrics.I (Ls.seq t.log);
+        ( "fsync_amortization",
+          Metrics.F (if groups = 0 then 0. else float_of_int commits /. float_of_int groups)
+        );
+      ])
+    ~reset:(fun () -> ())
+
+let start config =
+  bootstrap config;
+  let log = Ls.open_ ~fsync:config.fsync config.store_path in
+  let listen_fd = listen_on config.addr in
+  let round_up n k = (n + k - 1) / k * k in
+  let t =
+    {
+      config;
+      log;
+      listen_fd;
+      eval_lock = Mutex.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      done_cond = Condition.create ();
+      queue = [];
+      committer_run = true;
+      clock = Mutex.create ();
+      conns = Hashtbl.create 32;
+      threads = [];
+      next_session = 0;
+      next_base = round_up (Ls.max_oid log + 1) config.stripe;
+      running = true;
+      accept_thread = None;
+      committer_thread = None;
+      stopped = false;
+      stop_lock = Mutex.create ();
+      stop_cond = Condition.create ();
+      m_connections = Metrics.counter "server.connections";
+      m_evals = Metrics.counter "server.evals";
+      m_commits = Metrics.counter "server.commits";
+      m_group_commits = Metrics.counter "server.group_commits";
+      m_conflicts = Metrics.counter "server.conflicts";
+      m_busy = Metrics.counter "server.busy";
+      m_latency = Metrics.histogram "server.commit_latency_s";
+    }
+  in
+  register_server_metrics t;
+  t.committer_thread <- Some (Thread.create (fun () -> committer_loop t) ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  let already =
+    Mutex.lock t.stop_lock;
+    let a = t.stopped || not t.running in
+    if not a then t.running <- false;
+    Mutex.unlock t.stop_lock;
+    a
+  in
+  if not already then begin
+    (* the accept loop re-checks [running] at its next select round *)
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with
+    | Unix.Unix_error _ -> ());
+    (* wake every connection thread blocked in a read; in-flight
+       requests (including queued commits) still finish *)
+    Mutex.lock t.clock;
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with
+        | Unix.Unix_error _ -> ())
+      t.conns;
+    let threads = t.threads in
+    Mutex.unlock t.clock;
+    List.iter Thread.join threads;
+    (* no session can submit anymore: drain the committer and stop it *)
+    Mutex.lock t.qlock;
+    t.committer_run <- false;
+    Condition.signal t.qcond;
+    Mutex.unlock t.qlock;
+    Option.iter Thread.join t.committer_thread;
+    Ls.close t.log;
+    (match t.config.addr with
+    | Wire.Unix_path path ->
+      if Sys.file_exists path then ( try Unix.unlink path with
+      | Unix.Unix_error _ -> ())
+    | Wire.Tcp _ -> ());
+    Mutex.lock t.stop_lock;
+    t.stopped <- true;
+    Condition.broadcast t.stop_cond;
+    Mutex.unlock t.stop_lock
+  end
+
+let wait t =
+  Mutex.lock t.stop_lock;
+  while not t.stopped do
+    Condition.wait t.stop_cond t.stop_lock
+  done;
+  Mutex.unlock t.stop_lock

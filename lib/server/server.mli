@@ -1,0 +1,72 @@
+(** tmld — the multi-session database server (docs/SERVER.md).
+
+    One process owns one durable store ([Tml_store.Log_store]) and serves
+    many concurrent TL sessions over the {!Wire} protocol.  Each
+    connection runs in its own thread on a {e snapshot-backed} persistent
+    heap ([Tml_vm.Pstore.open_snapshot]): reads are pinned to the
+    committed epoch the session last observed, so a reader at epoch [E]
+    never sees a commit from epoch [E+1] until its own next commit moves
+    its pin forward.
+
+    Writes are funnelled through a single {e group committer}: sessions
+    stage object batches (encoded under their own thread), the committer
+    batches every request that arrives within one commit window into a
+    single log seal — one [fsync] absorbing N clients' commits.  Commit
+    requests are validated first-committer-wins: a batch touching an OID
+    sealed past the requester's pinned epoch (or claimed by an earlier
+    winner of the same group) is refused with [Conflict] and nothing of
+    it is applied.
+
+    Evaluation is serialized by one process-wide lock — the language
+    runtime's global caches (hash-consing, specialization cache, analysis
+    cache, identifier stamps) are shared mutable state, and OCaml's
+    threads interleave rather than run in parallel anyway.  The lock is
+    {e not} held across the committer's [fsync], which is where the real
+    concurrency win lives; warm specializations made by one session serve
+    every other ([Repl.restore ~preserve_caches:true]).
+
+    New OIDs are allocated from per-session {e stripes} handed out by the
+    server, so concurrent sessions never collide on fresh OIDs; a session
+    that overruns its stripe faster than it can be re-striped is poisoned
+    (its commits are refused) rather than allowed to corrupt the store. *)
+
+type config = {
+  store_path : string;
+  addr : Wire.addr;
+  max_clients : int;  (** admission control: connections past this get [Busy] *)
+  commit_window : float;  (** seconds the committer waits to batch a group *)
+  staged_cap : int;  (** per-session staged-byte cap; [Eval] past it gets [Busy] *)
+  fsync : bool;
+  stripe : int;  (** OIDs per session allocation stripe *)
+}
+
+val default_config : store_path:string -> addr:Wire.addr -> config
+(** [max_clients = 64], [commit_window = 2ms], [staged_cap = 16 MiB],
+    [fsync = true], [stripe = 65536] *)
+
+type t
+
+val start : config -> t
+(** Bootstrap the store (create it with a fresh stdlib session if
+    [store_path] does not exist; recover and warm the shared
+    specialization cache if it does), bind and listen on [addr], and
+    spawn the accept loop and the group committer.
+    @raise Failure if the address cannot be bound *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop admitting, shut down every live connection
+    (in-flight requests finish; blocked reads wake), drain the
+    committer, join all threads, close the store.  Idempotent. *)
+
+val wait : t -> unit
+(** block until {!stop} completes (for a daemon main loop) *)
+
+val active_sessions : t -> int
+
+(** Server metrics (in the [Tml_obs.Metrics] registry, reported by the
+    [Stat] frame): counters [server.connections], [server.evals],
+    [server.commits], [server.group_commits], [server.conflicts],
+    [server.busy]; histogram [server.commit_latency_s] (p50/p99); source
+    [server] with [sessions_active], [epoch] and [fsync_amortization] =
+    committed requests per log seal — the measure that commits/sec
+    scales past the fsync rate (experiment E13). *)

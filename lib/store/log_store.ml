@@ -4,15 +4,28 @@ let fail fmt = Format.kasprintf (fun s -> raise (Store_error s)) fmt
 
 let magic = "TMLLOG1\n"
 
+(* The directory is multi-version: each OID maps to its version chain,
+   newest first, each version tagged with the sequence number of the
+   commit that sealed it.  Old versions are kept only while a snapshot
+   pinned at an epoch that can still see them exists; with no pins the
+   chain is always a single entry. *)
 type entry = {
   e_off : int;  (* absolute file offset of the payload bytes *)
   e_len : int;
+  e_seq : int;  (* sequence number of the sealing commit *)
+}
+
+type snapshot = {
+  sn_seq : int;  (* the pinned epoch: the last sealed commit visible *)
+  sn_root : int option;
+  sn_max_oid : int;  (* highest sealed OID visible at the epoch *)
+  mutable sn_active : bool;
 }
 
 type t = {
   ls_path : string;
   mutable fd : Unix.file_descr;
-  dir : (int, entry) Hashtbl.t;
+  dir : (int, entry list) Hashtbl.t;
   staged : (int, string) Hashtbl.t;
   mutable staged_order : int list;  (* reverse order of first staging *)
   mutable tail : int;  (* end of the last sealed transaction = append point *)
@@ -20,26 +33,107 @@ type t = {
   mutable sroot : int option;
   mutable fsync : bool;
   mutable closed : bool;
+  mutable pins : snapshot list;  (* active snapshots *)
+  lock : Mutex.t;  (* guards the directory, the file cursor and the pins *)
   stats : Store_stats.t;
 }
 
+(* Every public operation holds the store lock for its whole duration:
+   concurrent readers (snapshot faults share one file descriptor whose
+   cursor lseek/read must not interleave) and the single committer are
+   serialized here.  The lock is never held across calls back into user
+   code. *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let path t = t.ls_path
 let stats t = t.stats
-let root t = t.sroot
-let seq t = t.seq
-let file_bytes t = t.tail
-let object_count t = Hashtbl.length t.dir
-let mem t oid = Hashtbl.mem t.staged oid || Hashtbl.mem t.dir oid
-let staged_count t = Hashtbl.length t.staged
-let set_fsync t b = t.fsync <- b
-
+let root t = locked t (fun () -> t.sroot)
+let seq t = locked t (fun () -> t.seq)
+let file_bytes t = locked t (fun () -> t.tail)
+let object_count t = locked t (fun () -> Hashtbl.length t.dir)
+let staged_count t = locked t (fun () -> Hashtbl.length t.staged)
+let set_fsync t b = locked t (fun () -> t.fsync <- b)
+let fsync_enabled t = locked t (fun () -> t.fsync)
 let check_open t = if t.closed then fail "store %s is closed" t.ls_path
 
-let max_oid t =
+let head_entry t oid =
+  match Hashtbl.find_opt t.dir oid with
+  | Some (e :: _) -> Some e
+  | _ -> None
+
+let mem t oid =
+  locked t (fun () -> Hashtbl.mem t.staged oid || Hashtbl.mem t.dir oid)
+
+let max_oid_u t =
   let m = Hashtbl.fold (fun oid _ acc -> max oid acc) t.dir (-1) in
   Hashtbl.fold (fun oid _ acc -> max oid acc) t.staged m
 
-let live_bytes t = Hashtbl.fold (fun _ e acc -> acc + e.e_len) t.dir 0
+let max_oid t = locked t (fun () -> max_oid_u t)
+
+let live_bytes_u t =
+  Hashtbl.fold
+    (fun _ es acc -> match es with e :: _ -> acc + e.e_len | [] -> acc)
+    t.dir 0
+
+let live_bytes t = locked t (fun () -> live_bytes_u t)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_seq sn = sn.sn_seq
+let snapshot_root sn = sn.sn_root
+let snapshot_max_oid sn = sn.sn_max_oid
+let pinned_count t = locked t (fun () -> List.length t.pins)
+
+let min_pin_u t =
+  List.fold_left
+    (fun acc sn -> match acc with None -> Some sn.sn_seq | Some m -> Some (min m sn.sn_seq))
+    None t.pins
+
+(* Keep every version a pinned epoch can still observe: all versions newer
+   than the oldest pin, plus the newest version at or below it (the one
+   that pin resolves to).  With no pins, just the head. *)
+let prune_chain min_pin es =
+  match min_pin with
+  | None -> ( match es with e :: _ -> [ e ] | [] -> [])
+  | Some m ->
+    let rec keep = function
+      | [] -> []
+      | e :: rest -> if e.e_seq <= m then [ e ] else e :: keep rest
+    in
+    keep es
+
+let prune_all_u t =
+  let m = min_pin_u t in
+  let shrunk =
+    Hashtbl.fold
+      (fun oid es acc ->
+        let es' = prune_chain m es in
+        if List.compare_lengths es es' <> 0 then (oid, es') :: acc else acc)
+      t.dir []
+  in
+  List.iter (fun (oid, es) -> Hashtbl.replace t.dir oid es) shrunk
+
+let pin t =
+  locked t (fun () ->
+      check_open t;
+      let sealed_max = Hashtbl.fold (fun oid _ acc -> max oid acc) t.dir (-1) in
+      let sn =
+        { sn_seq = t.seq; sn_root = t.sroot; sn_max_oid = sealed_max; sn_active = true }
+      in
+      t.pins <- sn :: t.pins;
+      sn)
+
+let release t sn =
+  locked t (fun () ->
+      if sn.sn_active then begin
+        sn.sn_active <- false;
+        t.pins <- List.filter (fun s -> s != sn) t.pins;
+        prune_all_u t
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Low-level file I/O                                                   *)
@@ -149,14 +243,17 @@ let recover data =
          if len > String.length data - off then raise Torn;
          Codec.R.seek r (off + len);
          check_crc data start (off + len) r;
-         pending := (oid, { e_off = off; e_len = len }) :: !pending
+         pending := (oid, off, len) :: !pending
        | 2 ->
          let s = Codec.R.varint r in
          let count = Codec.R.varint r in
          let root_field = Codec.R.varint r in
          check_crc data start (Codec.R.pos r) r;
          if count <> List.length !pending then raise Torn;
-         List.iter (fun (oid, e) -> Hashtbl.replace dir oid e) (List.rev !pending);
+         List.iter
+           (fun (oid, off, len) ->
+             Hashtbl.replace dir oid [ { e_off = off; e_len = len; e_seq = s } ])
+           (List.rev !pending);
          pending := [];
          sealed := Codec.R.pos r;
          seq := s;
@@ -183,6 +280,8 @@ let make ~path ~fd ~dir ~tail ~seq ~root ~fsync =
     sroot = root;
     fsync;
     closed = false;
+    pins = [];
+    lock = Mutex.create ();
     stats = Store_stats.create ();
   }
 
@@ -215,116 +314,171 @@ let open_ ?(fsync = true) path =
     t
 
 let close t =
-  if not t.closed then begin
-    t.closed <- true;
-    Unix.close t.fd
-  end
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        List.iter (fun sn -> sn.sn_active <- false) t.pins;
+        t.pins <- [];
+        Unix.close t.fd
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Reads                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let find t oid =
-  check_open t;
-  match Hashtbl.find_opt t.staged oid with
-  | Some payload -> Some payload
-  | None -> (
-    match Hashtbl.find_opt t.dir oid with
-    | Some e -> Some (read_exactly t.fd e.e_off e.e_len)
-    | None -> None)
+  locked t (fun () ->
+      check_open t;
+      match Hashtbl.find_opt t.staged oid with
+      | Some payload -> Some payload
+      | None -> (
+        match head_entry t oid with
+        | Some e -> Some (read_exactly t.fd e.e_off e.e_len)
+        | None -> None))
+
+(* A snapshot read never sees staged puts: only versions sealed at or
+   before the pinned epoch. *)
+let find_at t sn oid =
+  locked t (fun () ->
+      check_open t;
+      if not sn.sn_active then fail "snapshot (epoch %d) released" sn.sn_seq;
+      match Hashtbl.find_opt t.dir oid with
+      | None -> None
+      | Some es -> (
+        match List.find_opt (fun e -> e.e_seq <= sn.sn_seq) es with
+        | Some e -> Some (read_exactly t.fd e.e_off e.e_len)
+        | None -> None))
+
+let latest_seq t oid =
+  locked t (fun () -> Option.map (fun e -> e.e_seq) (head_entry t oid))
 
 let iter_live f t =
-  check_open t;
-  let oids = Hashtbl.fold (fun oid _ acc -> oid :: acc) t.dir [] in
-  List.iter
-    (fun oid ->
-      match Hashtbl.find_opt t.dir oid with
-      | Some e -> f oid (read_exactly t.fd e.e_off e.e_len)
-      | None -> ())
-    (List.sort compare oids)
+  let pairs =
+    locked t (fun () ->
+        check_open t;
+        let oids = Hashtbl.fold (fun oid _ acc -> oid :: acc) t.dir [] in
+        List.filter_map
+          (fun oid ->
+            match head_entry t oid with
+            | Some e -> Some (oid, read_exactly t.fd e.e_off e.e_len)
+            | None -> None)
+          (List.sort compare oids))
+  in
+  List.iter (fun (oid, payload) -> f oid payload) pairs
 
 (* ------------------------------------------------------------------ *)
 (* Writes                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let put t oid payload =
-  check_open t;
-  if oid < 0 then fail "negative oid %d" oid;
-  if not (Hashtbl.mem t.staged oid) then t.staged_order <- oid :: t.staged_order;
-  Hashtbl.replace t.staged oid payload
+  locked t (fun () ->
+      check_open t;
+      if oid < 0 then fail "negative oid %d" oid;
+      if not (Hashtbl.mem t.staged oid) then t.staged_order <- oid :: t.staged_order;
+      Hashtbl.replace t.staged oid payload)
 
 let commit ?root t =
-  check_open t;
-  let new_root =
-    match root with
-    | Some _ -> root
-    | None -> t.sroot
-  in
-  if Hashtbl.length t.staged = 0 && new_root = t.sroot then 0
-  else begin
-    let buf = Buffer.create 4096 in
-    let entries =
-      List.rev_map (fun oid -> oid, Hashtbl.find t.staged oid) t.staged_order
-    in
-    let located =
-      List.map
-        (fun (oid, payload) ->
-          let payload_off = t.tail + encode_put buf oid payload in
-          oid, { e_off = payload_off; e_len = String.length payload })
-        entries
-    in
-    let seq' = t.seq + 1 in
-    encode_commit buf ~seq:seq' ~count:(List.length entries) ~root:new_root;
-    ignore (Unix.lseek t.fd t.tail Unix.SEEK_SET);
-    write_all t.fd (Buffer.contents buf);
-    if t.fsync then Unix.fsync t.fd;
-    List.iter (fun (oid, e) -> Hashtbl.replace t.dir oid e) located;
-    t.tail <- t.tail + Buffer.length buf;
-    t.seq <- seq';
-    t.sroot <- new_root;
-    Hashtbl.reset t.staged;
-    t.staged_order <- [];
-    let n = List.length entries in
-    t.stats.Store_stats.commits <- t.stats.Store_stats.commits + 1;
-    t.stats.Store_stats.records_written <- t.stats.Store_stats.records_written + n;
-    t.stats.Store_stats.bytes_written <-
-      t.stats.Store_stats.bytes_written + Buffer.length buf;
-    Tml_obs.Events.store_commit ~objects:n ~bytes:(Buffer.length buf);
-    n
-  end
+  locked t (fun () ->
+      check_open t;
+      let new_root =
+        match root with
+        | Some _ -> root
+        | None -> t.sroot
+      in
+      if Hashtbl.length t.staged = 0 && new_root = t.sroot then 0
+      else begin
+        let buf = Buffer.create 4096 in
+        let entries =
+          List.rev_map (fun oid -> oid, Hashtbl.find t.staged oid) t.staged_order
+        in
+        let seq' = t.seq + 1 in
+        let located =
+          List.map
+            (fun (oid, payload) ->
+              let payload_off = t.tail + encode_put buf oid payload in
+              oid, { e_off = payload_off; e_len = String.length payload; e_seq = seq' })
+            entries
+        in
+        encode_commit buf ~seq:seq' ~count:(List.length entries) ~root:new_root;
+        ignore (Unix.lseek t.fd t.tail Unix.SEEK_SET);
+        write_all t.fd (Buffer.contents buf);
+        if t.fsync then Unix.fsync t.fd;
+        let min_pin = min_pin_u t in
+        List.iter
+          (fun (oid, e) ->
+            let old = Option.value ~default:[] (Hashtbl.find_opt t.dir oid) in
+            Hashtbl.replace t.dir oid (e :: prune_chain min_pin old))
+          located;
+        t.tail <- t.tail + Buffer.length buf;
+        t.seq <- seq';
+        t.sroot <- new_root;
+        Hashtbl.reset t.staged;
+        t.staged_order <- [];
+        let n = List.length entries in
+        t.stats.Store_stats.commits <- t.stats.Store_stats.commits + 1;
+        t.stats.Store_stats.records_written <- t.stats.Store_stats.records_written + n;
+        t.stats.Store_stats.bytes_written <-
+          t.stats.Store_stats.bytes_written + Buffer.length buf;
+        Tml_obs.Events.store_commit ~objects:n ~bytes:(Buffer.length buf);
+        n
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Compaction                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let compact t =
-  check_open t;
-  if Hashtbl.length t.staged > 0 then fail "compact: uncommitted puts (commit first)";
-  let buf = Buffer.create (live_bytes t + 1024) in
-  Buffer.add_string buf magic;
-  let oids = List.sort compare (Hashtbl.fold (fun oid _ acc -> oid :: acc) t.dir []) in
-  let located =
-    List.map
-      (fun oid ->
-        let e = Hashtbl.find t.dir oid in
-        let payload = read_exactly t.fd e.e_off e.e_len in
-        let payload_off = encode_put buf oid payload in
-        oid, { e_off = payload_off; e_len = e.e_len })
-      oids
-  in
-  let seq' = t.seq + 1 in
-  encode_commit buf ~seq:seq' ~count:(List.length located) ~root:t.sroot;
-  let tmp = t.ls_path ^ ".compact" in
-  let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  write_all fd (Buffer.contents buf);
-  if t.fsync then Unix.fsync fd;
-  Unix.rename tmp t.ls_path;
-  Unix.close t.fd;
-  t.fd <- fd;
-  Hashtbl.reset t.dir;
-  List.iter (fun (oid, e) -> Hashtbl.replace t.dir oid e) located;
-  let old_tail = t.tail in
-  t.tail <- Buffer.length buf;
-  t.seq <- seq';
-  t.stats.Store_stats.compactions <- t.stats.Store_stats.compactions + 1;
-  Tml_obs.Events.store_compact ~live:(Buffer.length buf) ~dropped:(old_tail - Buffer.length buf)
+  locked t (fun () ->
+      check_open t;
+      if Hashtbl.length t.staged > 0 then fail "compact: uncommitted puts (commit first)";
+      if t.pins <> [] then
+        fail "compact: %d active snapshot(s) pin old versions" (List.length t.pins);
+      let buf = Buffer.create (live_bytes_u t + 1024) in
+      Buffer.add_string buf magic;
+      let oids = List.sort compare (Hashtbl.fold (fun oid _ acc -> oid :: acc) t.dir []) in
+      let seq' = t.seq + 1 in
+      let located =
+        List.filter_map
+          (fun oid ->
+            match head_entry t oid with
+            | None -> None
+            | Some e ->
+              let payload = read_exactly t.fd e.e_off e.e_len in
+              let payload_off = encode_put buf oid payload in
+              Some (oid, { e_off = payload_off; e_len = e.e_len; e_seq = seq' }))
+          oids
+      in
+      encode_commit buf ~seq:seq' ~count:(List.length located) ~root:t.sroot;
+      let tmp = t.ls_path ^ ".compact" in
+      let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      write_all fd (Buffer.contents buf);
+      if t.fsync then Unix.fsync fd;
+      Unix.rename tmp t.ls_path;
+      Unix.close t.fd;
+      t.fd <- fd;
+      Hashtbl.reset t.dir;
+      List.iter (fun (oid, e) -> Hashtbl.replace t.dir oid [ e ]) located;
+      let old_tail = t.tail in
+      t.tail <- Buffer.length buf;
+      t.seq <- seq';
+      t.stats.Store_stats.compactions <- t.stats.Store_stats.compactions + 1;
+      Tml_obs.Events.store_compact ~live:(Buffer.length buf)
+        ~dropped:(old_tail - Buffer.length buf))
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let register_metrics ?(name = "store.log") t =
+  Tml_obs.Metrics.register_source ~name
+    ~snapshot:(fun () ->
+      locked t (fun () ->
+          [
+            "staged_count", Tml_obs.Metrics.I (Hashtbl.length t.staged);
+            "seq", Tml_obs.Metrics.I t.seq;
+            "fsync", Tml_obs.Metrics.I (if t.fsync then 1 else 0);
+            "snapshots_pinned", Tml_obs.Metrics.I (List.length t.pins);
+            "objects", Tml_obs.Metrics.I (Hashtbl.length t.dir);
+            "file_bytes", Tml_obs.Metrics.I t.tail;
+          ]))
+    ~reset:(fun () -> ())

@@ -10,7 +10,15 @@
     sealed prefix and truncates any torn tail.
 
     This layer deals in opaque payload strings; encoding and decoding of
-    store objects, lazy faulting and caching live in [Tml_vm.Pstore]. *)
+    store objects, lazy faulting and caching live in [Tml_vm.Pstore].
+
+    {b Concurrency.}  Every operation takes the store's internal lock, so
+    one [t] may be shared between threads: the server ([Tml_server])
+    runs many snapshot readers and a single group-committing writer over
+    one store.  The directory is {e multi-version}: while a {!snapshot}
+    is pinned, superseded versions of an object stay reachable from the
+    epoch the snapshot was pinned at, so a reader pinned at epoch [E]
+    never observes a commit from epoch [E+1]. *)
 
 exception Store_error of string
 
@@ -62,6 +70,44 @@ val root : t -> int option
 val iter_live : (int -> string -> unit) -> t -> unit
 (** iterate the sealed directory in ascending OID order *)
 
+(** {1 Snapshots (MVCC read views)}
+
+    A snapshot pins the store at its current committed epoch
+    ({!seq}): reads through it resolve every OID to the newest version
+    sealed {e at or before} that epoch, never to a staged put and never
+    to a later commit.  Superseded versions are retained while any
+    snapshot that can see them is pinned and pruned on {!release}. *)
+
+type snapshot
+
+val pin : t -> snapshot
+(** pin a read view at the current committed epoch *)
+
+val release : t -> snapshot -> unit
+(** drop the pin and prune versions no remaining snapshot can see;
+    idempotent *)
+
+val snapshot_seq : snapshot -> int
+(** the pinned epoch *)
+
+val snapshot_root : snapshot -> int option
+(** the root OID as sealed at the pinned epoch *)
+
+val snapshot_max_oid : snapshot -> int
+(** highest sealed OID visible at the pinned epoch; -1 when empty *)
+
+val find_at : t -> snapshot -> int -> string option
+(** [find_at t sn oid] — the payload of [oid] as of the snapshot's epoch.
+    @raise Store_error if the snapshot was released *)
+
+val latest_seq : t -> int -> int option
+(** the epoch of the newest sealed version of an OID — the committer's
+    first-committer-wins conflict check compares this against a writer's
+    pinned epoch *)
+
+val pinned_count : t -> int
+(** number of active snapshots *)
+
 (** {1 Introspection} *)
 
 val path : t -> string
@@ -82,10 +128,22 @@ val live_bytes : t -> int
 
 val set_fsync : t -> bool -> unit
 
+val fsync_enabled : t -> bool
+(** whether commits currently flush to stable storage — surfaced (with
+    {!staged_count} and {!seq}) so server group-commit batching behaviour
+    is inspectable *)
+
+val register_metrics : ?name:string -> t -> unit
+(** register a live metrics source (default name ["store.log"]) exposing
+    [staged_count], [seq] (the epoch), [fsync], [snapshots_pinned],
+    [objects] and [file_bytes] in the {!Tml_obs.Metrics} registry — the
+    values [tmlsh :stats] and the server's [stat] frame report *)
+
 (** {1 Compaction} *)
 
 val compact : t -> unit
 (** Rewrite only the live objects into a fresh file and atomically rename
     it over the store (offline: the caller must be the only user, with no
-    staged puts).  Directory offsets, sequence number and root carry
-    over. *)
+    staged puts and no pinned snapshots).  Directory offsets, sequence
+    number and root carry over.
+    @raise Store_error while snapshots are pinned *)

@@ -227,10 +227,10 @@ let manifest_export (m : Value.module_obj) key =
   | Some (_, v) -> v
   | None -> Runtime.fault "corrupt session manifest: missing %s" key
 
-let persist session pstore =
+let stage session pstore =
   let heap = session.sctx.Runtime.heap in
   if heap != Pstore.heap pstore then
-    invalid_arg "Repl.persist: session is not running on this store's heap";
+    invalid_arg "Repl.stage: session is not running on this store's heap";
   let sources, globals, funcs = manifest_vectors session in
   (* the specialization cache travels with the session image, so a
      reopened store serves repeated optimizations without re-running the
@@ -285,6 +285,10 @@ let persist session pstore =
       Value.Heap.alloc heap
         (Value.Module { Value.mod_name = manifest_name; exports = exports ~s ~g ~f ~c })
   in
+  root
+
+let persist session pstore =
+  let root = stage session pstore in
   Pstore.commit ~root pstore
 
 (* Replay one definition source: type-check it against everything replayed
@@ -307,13 +311,17 @@ let replay_defs session src =
   session.lowered_count <- List.length tprog.Typecheck.tdefs;
   session.src_log <- src :: session.src_log
 
-let restore ?(mode = Lower.Library) pstore =
+let restore ?(mode = Lower.Library) ?(preserve_caches = false) pstore =
   Tml_query.Qprims.install ();
   (* a restored store brings its own OID space: per-OID analysis summaries
      and cached specializations from any previously open heap would be
-     stale *)
-  Tml_analysis.Cache.clear ();
-  Speccache.clear ();
+     stale.  A server restoring many sessions over ONE shared store keeps
+     them instead ([preserve_caches]): the OID space is common, and the
+     speccache's verify-on-hit digests reject anything stale. *)
+  if not preserve_caches then begin
+    Tml_analysis.Cache.clear ();
+    Speccache.clear ()
+  end;
   let heap = Pstore.heap pstore in
   let session =
     {
@@ -377,12 +385,16 @@ let restore ?(mode = Lower.Library) pstore =
   | v -> Runtime.fault "corrupt session manifest: counter %s" (Value.to_string v));
   (* reload the persisted specialization cache; images written before the
      cache existed simply lack the entry, and a damaged image costs only
-     re-optimization, never the session *)
-  (match Array.find_opt (fun (k, _) -> String.equal k "#speccache") m.Value.exports with
-  | Some (_, Value.Oidv o) -> (
-    match Value.Heap.get_opt heap o with
-    | Some (Value.Bytes b) -> (
-      try Speccache.decode (Bytes.to_string b) with Speccache.Corrupt _ -> Speccache.clear ())
-    | _ -> ())
-  | _ -> ());
+     re-optimization, never the session.  When preserving shared caches,
+     the in-memory cache is already the freshest view — decoding the
+     stored copy would roll back entries accumulated since the last
+     persist. *)
+  if not preserve_caches then
+    (match Array.find_opt (fun (k, _) -> String.equal k "#speccache") m.Value.exports with
+    | Some (_, Value.Oidv o) -> (
+      match Value.Heap.get_opt heap o with
+      | Some (Value.Bytes b) -> (
+        try Speccache.decode (Bytes.to_string b) with Speccache.Corrupt _ -> Speccache.clear ())
+      | _ -> ())
+    | _ -> ());
   session

@@ -65,9 +65,19 @@ val lookup_tml : session -> string -> Tml_core.Term.value option
     restored with {!restore}). *)
 val persist : session -> Pstore.t -> int
 
+(** [stage session pstore] writes (or updates in place) the manifest
+    objects in the heap {e without} committing, and returns the root OID
+    the sealing commit should record — the server stages the manifest
+    this way and hands the batch to its group committer. *)
+val stage : session -> Pstore.t -> Tml_core.Oid.t
+
 (** [restore pstore] rebuilds a session from the store's manifest:
     sources are replayed through the type checker and the lowering
     environment only — nothing is linked, no initializer re-runs, and no
-    object is decoded until first use.
+    object is decoded until first use.  [preserve_caches] (default
+    [false]) keeps the process-wide specialization and analysis caches
+    instead of clearing and reloading them — server sessions over one
+    shared store pass [true] so warm specializations serve every
+    connection.
     @raise Runtime.Fault if the store has no session manifest *)
-val restore : ?mode:Lower.mode -> Pstore.t -> session
+val restore : ?mode:Lower.mode -> ?preserve_caches:bool -> Pstore.t -> session

@@ -16,17 +16,35 @@ type t = {
   mutable watermark : int;  (* OIDs >= watermark have never been committed *)
   mutable in_fault : int;  (* depth of nested faults; suppresses hook bookkeeping *)
   mutable closed : bool;
+  owns_log : bool;  (* snapshot sessions share the server's log; closing
+                       them must not close it *)
+  mutable snap : Ls.snapshot option;  (* pinned read view, when snapshot-backed *)
+  mutable skipped : int list;  (* dirty-but-unchanged OIDs of the last collect *)
 }
 
 let heap t = t.heap
 let log t = t.store
 let stats t = Ls.stats t.store
 let path t = Ls.path t.store
-let root t = Option.map Oid.of_int (Ls.root t.store)
+
+let root t =
+  match t.snap with
+  | Some sn -> Option.map Oid.of_int (Ls.snapshot_root sn)
+  | None -> Option.map Oid.of_int (Ls.root t.store)
+
+let epoch t =
+  match t.snap with
+  | Some sn -> Ls.snapshot_seq sn
+  | None -> Ls.seq t.store
+
+let snapshot t = t.snap
 let dirty_count t = Hashtbl.length t.dirty
 let cached_clean_count t = Lru.length t.lru
 let set_fsync t b = Ls.set_fsync t.store b
 let check_open t = if t.closed then fail "persistent store %s is closed" (path t)
+
+let uncommitted_count t =
+  Hashtbl.length t.dirty + max 0 (Value.Heap.size t.heap - t.watermark)
 
 (* Mutable objects observed through an access may be updated in place
    behind the heap's back, so any access dirties them; immutable kinds
@@ -74,11 +92,16 @@ let note_access t oid obj =
 let note_update t oid _obj =
   if (not t.closed) && t.in_fault = 0 then mark_dirty t (Oid.to_int oid)
 
+let backing_read t ix =
+  match t.snap with
+  | Some sn -> Ls.find_at t.store sn ix
+  | None -> Ls.find t.store ix
+
 let fault t oid =
   if t.closed then None
   else begin
     let ix = Oid.to_int oid in
-    match Ls.find t.store ix with
+    match backing_read t ix with
     | None -> None
     | Some payload ->
       let st = stats t in
@@ -110,7 +133,7 @@ let fault t oid =
 
 (* --- lifecycle ---------------------------------------------------- *)
 
-let make ~store ~heap ~capacity ~watermark =
+let make ?(owns_log = true) ?snap ~store ~heap ~capacity ~watermark () =
   let t =
     {
       store;
@@ -121,6 +144,9 @@ let make ~store ~heap ~capacity ~watermark =
       watermark;
       in_fault = 0;
       closed = false;
+      owns_log;
+      snap;
+      skipped = [];
     }
   in
   Value.Heap.set_fault_hook heap (fun oid -> fault t oid);
@@ -131,45 +157,72 @@ let make ~store ~heap ~capacity ~watermark =
 let create ?(cache_capacity = 0) ?fsync path =
   make
     ~store:(Ls.create ?fsync path)
-    ~heap:(Value.Heap.create ()) ~capacity:cache_capacity ~watermark:0
+    ~heap:(Value.Heap.create ()) ~capacity:cache_capacity ~watermark:0 ()
 
 let attach ?(cache_capacity = 0) ?fsync path heap =
-  make ~store:(Ls.create ?fsync path) ~heap ~capacity:cache_capacity ~watermark:0
+  make ~store:(Ls.create ?fsync path) ~heap ~capacity:cache_capacity ~watermark:0 ()
 
 let open_ ?(cache_capacity = 0) ?fsync path =
   let store = Ls.open_ ?fsync path in
   let heap = Value.Heap.create () in
   let watermark = Ls.max_oid store + 1 in
   Value.Heap.reserve heap watermark;
-  make ~store ~heap ~capacity:cache_capacity ~watermark
+  make ~store ~heap ~capacity:cache_capacity ~watermark ()
+
+let open_snapshot ?(cache_capacity = 0) store ~alloc_base =
+  let sn = Ls.pin store in
+  let visible = Ls.snapshot_max_oid sn + 1 in
+  if alloc_base < visible then begin
+    Ls.release store sn;
+    fail "open_snapshot: allocation base %d overlaps sealed OIDs (max %d)" alloc_base
+      (visible - 1)
+  end;
+  let heap = Value.Heap.create () in
+  Value.Heap.reserve heap alloc_base;
+  make ~owns_log:false ~snap:sn ~store ~heap ~capacity:cache_capacity
+    ~watermark:alloc_base ()
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
     Value.Heap.clear_hooks t.heap;
-    Ls.close t.store
+    (match t.snap with
+    | Some sn ->
+      Ls.release t.store sn;
+      t.snap <- None
+    | None -> ());
+    if t.owns_log then Ls.close t.store
   end
 
 (* --- transactions ------------------------------------------------- *)
 
-let commit ?root t =
-  check_open t;
+let to_write_oids t =
   let to_write = Hashtbl.create 64 in
   Hashtbl.iter (fun ix () -> Hashtbl.replace to_write ix ()) t.dirty;
   for ix = t.watermark to Value.Heap.size t.heap - 1 do
     Hashtbl.replace to_write ix ()
   done;
-  let oids = List.sort compare (Hashtbl.fold (fun ix () acc -> ix :: acc) to_write []) in
+  List.sort compare (Hashtbl.fold (fun ix () acc -> ix :: acc) to_write [])
+
+let encode_at t ix =
+  match Value.Heap.peek t.heap (Oid.of_int ix) with
+  | None -> None
+  | Some obj -> (
+    match Obj_codec.encode_obj obj with
+    | payload -> Some payload
+    | exception Obj_codec.Codec_error msg -> fail "cannot commit object %d: %s" ix msg)
+
+let commit ?root t =
+  check_open t;
+  if t.snap <> None then
+    fail "snapshot-backed store %s: commits go through the server's group committer"
+      (path t);
+  let oids = to_write_oids t in
   List.iter
     (fun ix ->
-      match Value.Heap.peek t.heap (Oid.of_int ix) with
+      match encode_at t ix with
       | None -> ()
-      | Some obj ->
-        let payload =
-          try Obj_codec.encode_obj obj with
-          | Obj_codec.Codec_error msg -> fail "cannot commit object %d: %s" ix msg
-        in
-        Ls.put t.store ix payload)
+      | Some payload -> Ls.put t.store ix payload)
     oids;
   let n = Ls.commit ?root:(Option.map Oid.to_int root) t.store in
   List.iter
@@ -180,6 +233,58 @@ let commit ?root t =
   t.watermark <- max t.watermark (Value.Heap.size t.heap);
   enforce_capacity t;
   n
+
+(* Encode everything a commit would write, without staging or sealing:
+   the server enqueues the batch with the group committer instead.
+   Pre-existing objects whose encoding equals the version this session
+   faulted them from were only {e read} (mutable kinds are conservatively
+   dirtied on access) — they are dropped from the batch and remembered so
+   {!mark_committed} can evict rather than retain a stale copy. *)
+let collect t =
+  check_open t;
+  t.skipped <- [];
+  List.filter_map
+    (fun ix ->
+      match encode_at t ix with
+      | None -> None
+      | Some payload ->
+        if
+          ix < t.watermark
+          &&
+          match backing_read t ix with
+          | Some sealed -> String.equal sealed payload
+          | None -> false
+        then begin
+          t.skipped <- ix :: t.skipped;
+          None
+        end
+        else Some (ix, payload))
+    (to_write_oids t)
+
+let mark_committed t sn =
+  check_open t;
+  (* this session's writes are now the sealed versions at [sn]'s epoch;
+     anything it only read may have been superseded by other writers in
+     the same or earlier groups, so evict those and every clean cached
+     object — they re-fault on demand against the new epoch *)
+  (match t.snap with
+  | Some old -> Ls.release t.store old
+  | None -> ());
+  t.snap <- Some sn;
+  List.iter
+    (fun ix ->
+      Hashtbl.remove t.dirty ix;
+      Value.Heap.evict t.heap (Oid.of_int ix))
+    t.skipped;
+  t.skipped <- [];
+  Hashtbl.reset t.dirty;
+  let continue_ = ref true in
+  while !continue_ do
+    match Lru.pop_lru t.lru with
+    | None -> continue_ := false
+    | Some ix -> Value.Heap.evict t.heap (Oid.of_int ix)
+  done;
+  t.watermark <- max t.watermark (Value.Heap.size t.heap)
 
 let compact t =
   check_open t;

@@ -41,8 +41,21 @@ val open_ : ?cache_capacity:int -> ?fsync:bool -> string -> t
     and hand back a lazy heap: no object is decoded until dereferenced.
     @raise Tml_store.Log_store.Store_error as {!Tml_store.Log_store.open_} *)
 
+val open_snapshot :
+  ?cache_capacity:int -> Tml_store.Log_store.t -> alloc_base:int -> t
+(** [open_snapshot log ~alloc_base] — a {e snapshot-backed} store over an
+    already-open (possibly shared) log: it pins a
+    {!Tml_store.Log_store.snapshot} at the current committed epoch and
+    faults every object from that epoch, so concurrent commits by other
+    sessions are invisible.  New allocations start at [alloc_base] — the
+    server hands each session a disjoint OID stripe so concurrently
+    staged objects never collide.  {!commit} is refused on such a store;
+    use {!collect} / {!mark_committed} with a group committer.
+    @raise Store_error if [alloc_base] overlaps already-sealed OIDs *)
+
 val close : t -> unit
-(** detach the hooks and close the file.  The heap survives with
+(** detach the hooks and close the file (a snapshot-backed store releases
+    its pin but leaves the shared log open).  The heap survives with
     whatever was materialized, as a plain in-memory heap. *)
 
 (** {1 Transactions} *)
@@ -58,6 +71,31 @@ val compact : t -> unit
 (** commit, then rewrite the file keeping only live objects (see
     {!Tml_store.Log_store.compact}) *)
 
+(** {1 Group-commit staging (snapshot-backed stores)} *)
+
+val collect : t -> (int * string) list
+(** encode every dirty and new object into an [(oid, payload)] batch
+    without staging or sealing anything — the material a server session
+    hands to the group committer.  Pre-existing objects whose encoding is
+    byte-identical to the version visible at this session's snapshot were
+    only read (mutable kinds are conservatively dirtied on access) and
+    are dropped from the batch.
+    @raise Store_error if an object holds a live closure *)
+
+val mark_committed : t -> Tml_store.Log_store.snapshot -> unit
+(** after the group committer sealed this session's last {!collect}:
+    adopt [snapshot] (pinned at the sealing epoch) as the new read view,
+    clear dirty tracking, advance the watermark, and evict read-only and
+    clean cached copies so later dereferences re-fault against the new
+    epoch *)
+
+val snapshot : t -> Tml_store.Log_store.snapshot option
+(** the pinned read view, when snapshot-backed *)
+
+val epoch : t -> int
+(** the epoch reads observe: the pinned snapshot's epoch, or the log's
+    current committed sequence number *)
+
 (** {1 Access} *)
 
 val heap : t -> Value.Heap.heap
@@ -71,6 +109,10 @@ val path : t -> string
 
 val dirty_count : t -> int
 (** objects pinned for the next commit *)
+
+val uncommitted_count : t -> int
+(** dirty plus never-committed objects — what a commit (or {!collect})
+    would consider writing; what [tmlsh] warns about on exit *)
 
 val cached_clean_count : t -> int
 (** clean objects currently cached (the LRU population) *)

@@ -115,6 +115,27 @@ let prop_float64 =
   QCheck.Test.make ~name:"float64 round trip (bit-exact)" ~count:1000 QCheck.float (fun v ->
       Int64.equal (Int64.bits_of_float (roundtrip_float v)) (Int64.bits_of_float v))
 
+let prop_crc32_chunked =
+  (* the streaming digest ([update] over arbitrary chunk boundaries, as
+     the wire framing and the log writer use it) must equal the one-shot
+     digest of the whole string *)
+  QCheck.Test.make ~name:"crc32 chunked update equals one-shot" ~count:500
+    QCheck.(
+      pair
+        (string_of_size Gen.(int_bound 300))
+        (list_of_size Gen.(int_bound 8) (int_bound 100)))
+    (fun (s, cuts) ->
+      let len = String.length s in
+      let cuts = List.sort_uniq compare (List.filter (fun c -> c > 0 && c < len) cuts) in
+      let crc = ref 0 in
+      let pos = ref 0 in
+      List.iter
+        (fun c ->
+          crc := Tml_store.Crc32.update !crc s !pos (c - !pos);
+          pos := c)
+        (cuts @ [ len ]);
+      !crc = Tml_store.Crc32.string s)
+
 let prop_varint_never_wraps =
   (* arbitrary byte strings: the reader answers, or raises Truncated or
      Malformed — but never returns a negative value (silent wrap) *)
@@ -139,5 +160,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_varint; prop_svarint; prop_float64; prop_varint_never_wraps ] );
+          [
+            prop_varint;
+            prop_svarint;
+            prop_float64;
+            prop_crc32_chunked;
+            prop_varint_never_wraps;
+          ] );
     ]

@@ -1,0 +1,371 @@
+(* tmld in-process: MVCC snapshot isolation across sessions, group
+   commit batching (fsync amortization), first-committer-wins conflicts,
+   admission control / load shedding, the staged-byte cap, restart
+   recovery and clean shutdown.  Set TML_SERVER_SOAK=1 (the @server
+   alias) for a longer commit storm. *)
+
+module Server = Tml_server.Server
+module Client = Tml_server.Client
+module Wire = Tml_server.Wire
+module Metrics = Tml_obs.Metrics
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+
+let soak = Sys.getenv_opt "TML_SERVER_SOAK" <> None
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let temp_path suffix =
+  let path = Filename.temp_file "tml_server" suffix in
+  Sys.remove path;
+  path
+
+let config ?(max_clients = 64) ?(window = 0.05) ?(staged_cap = 16 * 1024 * 1024)
+    ?(stripe = 4096) ~store ~sock () =
+  {
+    (Server.default_config ~store_path:store ~addr:(Wire.Unix_path sock)) with
+    Server.max_clients;
+    commit_window = window;
+    staged_cap;
+    fsync = false;
+    stripe;
+  }
+
+let with_server ?max_clients ?window ?staged_cap ?stripe f =
+  let store = temp_path ".tmlstore" in
+  let sock = temp_path ".sock" in
+  let t = Server.start (config ?max_clients ?window ?staged_cap ?stripe ~store ~sock ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      if Sys.file_exists store then Sys.remove store;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f (Wire.Unix_path sock) t)
+
+let eval_ok c src =
+  match Client.eval c src with
+  | Ok out -> out
+  | Error msg -> Alcotest.failf "eval %S failed: %s" src msg
+
+(* (epoch, objects, group) *)
+let commit_ok c =
+  match Client.commit c with
+  | Ok (Client.Committed { epoch; objects; group }) -> (epoch, objects, group)
+  | Ok (Client.Conflicted { oid }) -> Alcotest.failf "unexpected conflict on oid %d" oid
+  | Error msg -> Alcotest.failf "commit failed: %s" msg
+
+(* "- : 3 (in 6 instructions)" -> 3 *)
+let int_result out =
+  try Scanf.sscanf out "- : %d" (fun v -> v) with
+  | Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    Alcotest.failf "expected an integer result, got %S" out
+
+(* --- snapshot isolation -------------------------------------------- *)
+
+let test_snapshot_isolation () =
+  with_server (fun addr _t ->
+      let setup = Client.connect addr in
+      ignore (eval_ok setup "let r = relation(tuple(1, 10), tuple(2, 20))");
+      ignore (commit_ok setup);
+      Client.close setup;
+      let reader = Client.connect addr in
+      let epoch0 = Client.epoch reader in
+      check tint "reader sees the seeded relation" 2 (int_result (eval_ok reader "count(r)"));
+      let writer = Client.connect addr in
+      ignore (eval_ok writer "do insert(r, tuple(3, 30)) end");
+      let writer_epoch, _, _ = commit_ok writer in
+      check tbool "writer advanced the epoch" true (writer_epoch > epoch0);
+      (* the reader is pinned at its connect epoch: the writer's commit
+         must stay invisible no matter how often it re-reads *)
+      check tint "pinned reader still sees 2 rows" 2 (int_result (eval_ok reader "count(r)"));
+      check tint "pinned epoch unchanged" epoch0 (Client.epoch reader);
+      (* its own commit is a transaction boundary: the pin moves forward
+         and the writer's row appears *)
+      (* a commit is the transaction boundary: it may seal the reader's
+         own expression thunks (as tmlsh :commit does), but must never
+         touch [r] — and it moves the pin to the latest epoch *)
+      let reader_epoch, _, _ = commit_ok reader in
+      check tbool "reader's commit reached the writer's epoch" true
+        (reader_epoch >= writer_epoch);
+      check tint "reader now sees 3 rows" 3 (int_result (eval_ok reader "count(r)"));
+      Client.close reader;
+      Client.close writer)
+
+(* --- group commit --------------------------------------------------- *)
+
+let test_group_commit_amortization () =
+  (* a generous window so every client's commit lands in the same group:
+     N commits, one (logical) fsync *)
+  with_server ~window:0.15 (fun addr _t ->
+      let n = 16 in
+      let rounds = if soak then 8 else 1 in
+      let setup = Client.connect addr in
+      for k = 0 to n - 1 do
+        ignore (eval_ok setup (Printf.sprintf "let r%d = relation(tuple(0, %d))" k k))
+      done;
+      ignore (commit_ok setup);
+      Client.close setup;
+      let commits0 = Metrics.counter_value (Metrics.counter "server.commits") in
+      let groups0 = Metrics.counter_value (Metrics.counter "server.group_commits") in
+      let clients = Array.init n (fun _ -> Client.connect addr) in
+      for round = 1 to rounds do
+        Array.iteri
+          (fun k c ->
+            ignore (eval_ok c (Printf.sprintf "do insert(r%d, tuple(%d, %d)) end" k round k)))
+          clients;
+        (* everyone commits at once; each write is disjoint, so every
+           request must win its group *)
+        let results = Array.make n None in
+        let threads =
+          Array.mapi (fun i c -> Thread.create (fun () -> results.(i) <- Some (Client.commit c)) ()) clients
+        in
+        Array.iter Thread.join threads;
+        let groups =
+          Array.map
+            (function
+              | Some (Ok (Client.Committed { group; _ })) -> group
+              | Some (Ok (Client.Conflicted { oid })) ->
+                Alcotest.failf "disjoint commit conflicted on oid %d" oid
+              | Some (Error msg) -> Alcotest.failf "commit failed: %s" msg
+              | None -> Alcotest.fail "commit thread died")
+            results
+        in
+        check tbool "some group batched at least half the clients" true
+          (Array.exists (fun g -> g >= n / 2) groups)
+      done;
+      Array.iter Client.close clients;
+      let commits = Metrics.counter_value (Metrics.counter "server.commits") - commits0 in
+      let groups = Metrics.counter_value (Metrics.counter "server.group_commits") - groups0 in
+      check tint "every client commit sealed" (n * rounds) commits;
+      check tbool "measurably fewer seals than commits" true (groups * 2 <= commits);
+      (* the ratio the Stat frame reports *)
+      let probe = Client.connect addr in
+      let json = Client.stats probe in
+      Client.close probe;
+      check tbool "stats report fsync_amortization" true
+        (contains ~needle:"\"fsync_amortization\":" json))
+
+(* --- conflicts ------------------------------------------------------- *)
+
+let test_first_committer_wins () =
+  with_server (fun addr _t ->
+      let setup = Client.connect addr in
+      ignore (eval_ok setup "let r = relation(tuple(1, 10))");
+      ignore (commit_ok setup);
+      Client.close setup;
+      let a = Client.connect addr in
+      let b = Client.connect addr in
+      ignore (eval_ok a "do insert(r, tuple(2, 20)) end");
+      ignore (eval_ok b "do insert(r, tuple(3, 30)) end");
+      ignore (commit_ok a);
+      (match Client.commit b with
+      | Ok (Client.Conflicted _) -> ()
+      | Ok (Client.Committed _) -> Alcotest.fail "stale writer must conflict"
+      | Error msg -> Alcotest.failf "commit failed: %s" msg);
+      (* first committer's row is in, the loser's is not *)
+      let probe = Client.connect addr in
+      check tint "only the winner's insert landed" 2 (int_result (eval_ok probe "count(r)"));
+      Client.close probe;
+      Client.close a;
+      Client.close b)
+
+let test_conflict_within_one_group () =
+  with_server ~window:0.15 (fun addr _t ->
+      let setup = Client.connect addr in
+      ignore (eval_ok setup "let r = relation(tuple(1, 10))");
+      ignore (commit_ok setup);
+      Client.close setup;
+      let a = Client.connect addr in
+      let b = Client.connect addr in
+      ignore (eval_ok a "do insert(r, tuple(2, 20)) end");
+      ignore (eval_ok b "do insert(r, tuple(3, 30)) end");
+      let ra = ref None and rb = ref None in
+      let ta = Thread.create (fun () -> ra := Some (Client.commit a)) () in
+      let tb = Thread.create (fun () -> rb := Some (Client.commit b)) () in
+      Thread.join ta;
+      Thread.join tb;
+      let won r =
+        match r with
+        | Some (Ok (Client.Committed _)) -> true
+        | Some (Ok (Client.Conflicted _)) -> false
+        | _ -> Alcotest.fail "commit errored"
+      in
+      check tbool "exactly one of two same-OID writers wins" true (won !ra <> won !rb);
+      Client.close a;
+      Client.close b)
+
+(* --- admission control and backpressure ------------------------------ *)
+
+let test_busy_admission () =
+  with_server ~max_clients:1 (fun addr _t ->
+      let a = Client.connect addr in
+      (match Client.connect addr with
+      | (_ : Client.t) -> Alcotest.fail "second client must be shed"
+      | exception Client.Client_error msg ->
+        check tbool "shed with a busy reply" true
+          (contains ~needle:"busy" (String.lowercase_ascii msg)));
+      Client.close a;
+      (* the slot frees once the session is gone *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec retry () =
+        match Client.connect addr with
+        | c -> Client.close c
+        | exception Client.Client_error _ when Unix.gettimeofday () < deadline ->
+          Thread.delay 0.05;
+          retry ()
+      in
+      retry ())
+
+let test_staged_cap () =
+  with_server ~staged_cap:64 (fun addr _t ->
+      let c = Client.connect addr in
+      ignore (eval_ok c "let big = relation(tuple(1, 10), tuple(2, 20), tuple(3, 30))");
+      (match Client.eval c "1 + 1" with
+      | Error msg ->
+        check tbool "eval past the cap is shed" true
+          (String.length msg >= 5 && String.sub msg 0 5 = "busy:")
+      | Ok _ -> Alcotest.fail "eval past the staged cap must be refused");
+      (* commit is always allowed: it is how the session gets back under *)
+      ignore (commit_ok c);
+      ignore (eval_ok c "1 + 1");
+      Client.close c)
+
+(* --- restart and shutdown ------------------------------------------- *)
+
+let test_restart_recovers () =
+  let store = temp_path ".tmlstore" in
+  let sock = temp_path ".sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists store then Sys.remove store;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let t = Server.start (config ~store ~sock ()) in
+      let c = Client.connect (Wire.Unix_path sock) in
+      ignore (eval_ok c "let keep = relation(tuple(7, 70))");
+      ignore (commit_ok c);
+      Client.close c;
+      Server.stop t;
+      Server.stop t;
+      (* idempotent *)
+      let t2 = Server.start (config ~store ~sock ()) in
+      let c2 = Client.connect (Wire.Unix_path sock) in
+      check tint "restarted server serves the committed state" 1
+        (int_result (eval_ok c2 "count(keep)"));
+      Client.close c2;
+      Server.stop t2)
+
+let test_shutdown_wakes_clients () =
+  let store = temp_path ".tmlstore" in
+  let sock = temp_path ".sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists store then Sys.remove store;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let t = Server.start (config ~store ~sock ()) in
+      let c = Client.connect (Wire.Unix_path sock) in
+      ignore (eval_ok c "1 + 1");
+      Server.stop t;
+      match Client.eval c "2 + 2" with
+      | Ok _ -> Alcotest.fail "eval must fail after shutdown"
+      | Error _ -> ()
+      | exception Client.Client_error _ -> ()
+      | exception Wire.Wire_error _ -> ()
+      | exception Unix.Unix_error _ -> ())
+
+(* --- code and object shipping ---------------------------------------- *)
+
+let test_fetch_and_pull () =
+  with_server (fun addr _t ->
+      let c = Client.connect addr in
+      ignore (eval_ok c "let double(x: Int): Int = x * 2");
+      (match Client.fetch_ptml c "double" with
+      | Ok ptml -> (
+        match Tml_store.Ptml.decode_value ptml with
+        | (_ : Tml_core.Term.value) -> ()
+        | exception Tml_store.Ptml.Decode_error msg ->
+          Alcotest.failf "fetched PTML does not decode: %s" msg)
+      | Error msg -> Alcotest.failf "fetch failed: %s" msg);
+      (match Client.pull_object c 0 with
+      | Ok payload -> check tbool "pulled a sealed object record" true (String.length payload > 0)
+      | Error msg -> Alcotest.failf "pull failed: %s" msg);
+      Client.close c)
+
+(* --- wire codec ------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      Wire.Hello { version = 1; client = "t" };
+      Wire.Eval "count(r)";
+      Wire.Commit;
+      Wire.Stat;
+      Wire.Explain "f";
+      Wire.Fetch "f";
+      Wire.Pull 42;
+      Wire.Bye;
+    ]
+  in
+  List.iter
+    (fun req -> check tbool "req round trip" true (Wire.decode_req (Wire.encode_req req) = req))
+    reqs;
+  let resps =
+    [
+      Wire.Hello_ok { session = 3; epoch = 9; server = "tmld" };
+      Wire.Result "- : 42\n";
+      Wire.Committed { epoch = 4; objects = 7; group = 3 };
+      Wire.Conflict { oid = 12 };
+      Wire.Busy "b";
+      Wire.Error "e";
+      Wire.Stats "{}";
+      Wire.Payload { kind = 1; data = "\x00\xffbin" };
+      Wire.Bye_ok;
+    ]
+  in
+  List.iter
+    (fun resp ->
+      check tbool "resp round trip" true (Wire.decode_resp (Wire.encode_resp resp) = resp))
+    resps;
+  match Wire.decode_req "\xee" with
+  | (_ : Wire.req) -> Alcotest.fail "unknown tag must be rejected"
+  | exception Wire.Wire_error _ -> ()
+
+let () =
+  (* a server tearing down a connection mid-write must surface as EPIPE,
+     not kill the whole test binary *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Tml_vm.Runtime.install ();
+  Tml_query.Qprims.install ();
+  Alcotest.run "tml_server"
+    [
+      ( "wire",
+        [ Alcotest.test_case "message codec round trips" `Quick test_wire_roundtrip ] );
+      ( "mvcc",
+        [
+          Alcotest.test_case "snapshot isolation across epochs" `Quick test_snapshot_isolation;
+          Alcotest.test_case "first committer wins" `Quick test_first_committer_wins;
+          Alcotest.test_case "conflict within one group" `Quick test_conflict_within_one_group;
+        ] );
+      ( "group-commit",
+        [
+          Alcotest.test_case "fsync amortization across 16 clients" `Quick
+            test_group_commit_amortization;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "admission control sheds load" `Quick test_busy_admission;
+          Alcotest.test_case "staged-byte cap" `Quick test_staged_cap;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "restart recovers committed state" `Quick test_restart_recovers;
+          Alcotest.test_case "shutdown wakes blocked clients" `Quick test_shutdown_wakes_clients;
+          Alcotest.test_case "fetch PTML / pull objects" `Quick test_fetch_and_pull;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+The multi-session server: one tmld process owns the store; concurrent
+tmlsh sessions talk to it over the wire protocol.  Unix-socket paths
+must stay short (sun_path), so the socket lives under /tmp and the
+output is normalized back to a stable name.
+
+  $ SOCK=$(mktemp -u /tmp/tmld-XXXXXX.sock)
+  $ norm() { sed "s#$SOCK#tml.sock#g"; }
+  $ wait_for() { for _ in $(seq 1 100); do grep -q "$1" "$2" 2>/dev/null && return 0; sleep 0.1; done; echo "timed out waiting for: $1"; cat "$2"; return 1; }
+
+Start the daemon; it creates the store and seeds it with the stdlib.
+
+  $ tmld --store db.tml --socket "$SOCK" --commit-window-ms 1 >server.log 2>&1 &
+  $ SERVER=$!
+  $ for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+
+One session seeds shared state and commits it.
+
+  $ tmlsh <<IN | norm
+  > :connect $SOCK
+  > let r = relation(tuple(1, 10), tuple(2, 20))
+  > :commit
+  > :quit
+  > IN
+  connected to tml.sock (session 0 at epoch 1)
+  defined r
+  committed 6 objects at epoch 2 (group of 1)
+
+A reader connects (pinning epoch 2) and stays open across a concurrent
+writer's commit, fed line by line through a fifo.
+
+  $ mkfifo reader.fifo
+  $ tmlsh <reader.fifo >reader.out 2>&1 &
+  $ READER=$!
+  $ exec 9>reader.fifo
+  $ printf ':connect %s\ncount(r)\n' "$SOCK" >&9
+  $ wait_for "in 6 instructions" reader.out
+
+A writer session commits a third row while the reader stays pinned.
+
+  $ tmlsh <<IN | norm
+  > :connect $SOCK
+  > do insert(r, tuple(3, 30)) end
+  > :commit
+  > :quit
+  > IN
+  connected to tml.sock (session 2 at epoch 2)
+  committed 4 objects at epoch 3 (group of 1)
+
+The pinned reader re-reads: still two rows — the epoch-3 commit is
+invisible at its epoch-2 snapshot.  Its own commit is a transaction
+boundary: the pin moves forward and the row appears.
+
+  $ printf 'count(r)\n:commit\ncount(r)\n:quit\n' >&9
+  $ exec 9>&-
+  $ wait "$READER"
+  $ cat reader.out | norm
+  connected to tml.sock (session 1 at epoch 2)
+  - : 2 (in 6 instructions)
+  - : 2 (in 6 instructions)
+  committed 2 objects at epoch 4 (group of 1)
+  - : 3 (in 6 instructions)
+
+Graceful shutdown on SIGTERM: sessions drain, the committer seals its
+last group, the socket is removed.
+
+  $ kill -TERM "$SERVER"
+  $ wait "$SERVER"
+  $ cat server.log | norm
+  tmld: serving db.tml on tml.sock
+  tmld: stopped
+  $ test -S "$SOCK" && echo "socket leaked" || true
+
+The store survives: a fresh daemon serves the committed state.
+
+  $ tmld --store db.tml --socket "$SOCK" >server2.log 2>&1 &
+  $ SERVER=$!
+  $ for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+  $ tmlsh <<IN | norm
+  > :connect $SOCK
+  > count(r)
+  > :quit
+  > IN
+  connected to tml.sock (session 0 at epoch 4)
+  - : 3 (in 6 instructions)
+  $ kill -TERM "$SERVER"
+  $ wait "$SERVER"

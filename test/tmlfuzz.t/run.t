@@ -6,8 +6,8 @@ that install closure-valued triggers: such a heap is specified to be
 rejected by the persistent store, not a failure.
 
   $ tmlfuzz run --count 25
-  tmlfuzz: oracles [diff query ptml store], seeds 0..24, validation on
-  executed 100 cases: 95 agreed, 5 skipped, 0 failed
+  tmlfuzz: oracles [diff query ptml store purity], seeds 0..24, validation on
+  executed 125 cases: 120 agreed, 5 skipped, 0 failed
 
 Campaign statistics as JSON (for longer, scripted campaigns):
 

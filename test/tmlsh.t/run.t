@@ -37,9 +37,9 @@ A durable session: bind a store file, mutate, commit, leave.
   > IN
   defined triple
   defined r
-  new store s.tmlstore (committed 57 objects)
+  new store s.tmlstore (committed 58 objects)
   - : 3 (in 6 instructions)
-  committed 9 objects to s.tmlstore
+  committed 10 objects to s.tmlstore
 
 A fresh process restores the session from the store: the inserted row is
 back, objects are faulted on first dereference, and the reflective
@@ -52,7 +52,7 @@ optimizer commits its rewrites durably.
   > :optimize triple
   > :quit
   > IN
-  restored session from s.tmlstore (61 objects, faulted on demand)
+  restored session from s.tmlstore (62 objects, faulted on demand)
   - : 3 (in 6 instructions)
   - : 42 (in 24 instructions)
   optimized triple: static cost 9 -> 3, 1 calls inlined
@@ -66,6 +66,6 @@ commit; compaction drops superseded versions.
   > :compact
   > :quit
   > IN
-  restored session from s.tmlstore (63 objects, faulted on demand)
+  restored session from s.tmlstore (65 objects, faulted on demand)
   - : 42 (in 14 instructions)
   compacted s.tmlstore: LOG -> LIVE bytes

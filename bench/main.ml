@@ -33,6 +33,13 @@ module Reflect = Tml_reflect.Reflect
 let fast_mode = Sys.getenv_opt "TML_BENCH_FAST" <> None
 let smoke_mode = Array.exists (fun a -> a = "--smoke") Sys.argv
 
+(* TML_BENCH_ONLY=E14 (comma-separated names) runs a subset — for
+   iterating on one experiment without paying for the whole harness *)
+let only =
+  match Sys.getenv_opt "TML_BENCH_ONLY" with
+  | None -> None
+  | Some s -> Some (String.split_on_char ',' s)
+
 (* one clock for everything: tracing spans, Profile pass timings (an
    alias of the same ref) and the harness's own wall timings *)
 let () = Tml_obs.Trace.clock := Unix.gettimeofday
@@ -56,7 +63,9 @@ let () =
     Tml_obs.Trace.enabled := true;
     at_exit (fun () -> Tml_obs.Trace.clear_sinks ())
 
-let experiment name f = Tml_obs.Trace.with_span ~cat:"bench" name f
+let experiment name f =
+  let wanted = match only with None -> true | Some l -> List.mem name l in
+  if wanted then Tml_obs.Trace.with_span ~cat:"bench" name f
 
 (* machine-readable record collector: one JSON object per measurement,
    written out as a single array at exit *)
@@ -644,6 +653,30 @@ let e11_throughput ~budget =
         speedup)
       [ "small", small; "medium", medium; "large", large ]
   in
+  (* the memo size gate: small roots skip the memo, so the small-term row
+     above stays at legacy speed.  This row pins the crossover by timing
+     the same warm-memo re-reduce with the gate disabled (threshold 0) —
+     the pre-gate behavior, and the small-term regression the gate fixes. *)
+  let memo = Rewrite.fresh_memo () in
+  ignore (Rewrite.reduce_value ~memo small);
+  let gated_ns =
+    time_ns ~metric:"bench.reduce_gated_ns.small" ~budget (fun () ->
+        Rewrite.reduce_value ~memo small)
+  in
+  let saved_threshold = !Rewrite.memo_size_threshold in
+  Rewrite.memo_size_threshold := 0;
+  let memo0 = Rewrite.fresh_memo () in
+  ignore (Rewrite.reduce_value ~memo:memo0 small);
+  let ungated_ns =
+    time_ns ~metric:"bench.reduce_ungated_ns.small" ~budget (fun () ->
+        Rewrite.reduce_value ~memo:memo0 small)
+  in
+  Rewrite.memo_size_threshold := saved_threshold;
+  Printf.printf "%-10s %14.1f %14.1f %8.2fx   (size gate on vs off, warm memo)\n%!" "small"
+    ungated_ns gated_ns (ungated_ns /. gated_ns);
+  json_add
+    "{\"experiment\":\"E11\",\"metric\":\"memo-size-gate\",\"term\":\"small\",\"threshold\":%d,\"gated_ns\":%.1f,\"ungated_ns\":%.1f,\"speedup\":%.2f}"
+    saved_threshold gated_ns ungated_ns (ungated_ns /. gated_ns);
   (* the same comparison at the optimizer-driver level: a full O3
      optimize of an already-optimized term (rounds 2..n of any fixpoint
      loop look exactly like this) *)
@@ -812,6 +845,90 @@ let e12 ~budget () =
     "\ndisabled hooks are a single ref read; the enabled ratio buys every\n\
      rule-fire, cache and store event of the run (see docs/OBS.md).\n"
 
+(* ------------------------------------------------------------------ *)
+(* E14: tiered execution — promotion to the compiled closure tier       *)
+(* ------------------------------------------------------------------ *)
+
+(* The bytecode machine vs the same programs force-promoted to the
+   compiled closure tier (lib/vm/jit.ml), on the Stanford suite at the
+   dynamic level.  The tier charges exactly the machine's abstract
+   instruction costs, so the steps column is asserted equal between the
+   two engines and the speedup is pure wall-clock: interpretation
+   dispatch traded for direct OCaml closure calls. *)
+let e14 () =
+  section
+    "E14 — tiered execution: bytecode machine vs compiled closure tier\n\
+     (Stanford suite, dynamic level; identical abstract steps asserted,\n\
+     speedup is pure wall-clock)";
+  Runtime.install ();
+  let budget = if fast_mode then 0.01 else 0.05 in
+  let names =
+    if fast_mode then List.filter (fun n -> n <> "puzzle") Suite.all_names
+    else Suite.all_names
+  in
+  Printf.printf "%-8s %12s %14s %14s %9s\n" "bench" "steps" "machine ns" "tiered ns"
+    "speedup";
+  let ratios = ref [] in
+  List.iter
+    (fun name ->
+      Tierup.clear ();
+      (* One fresh instance per engine, treated identically except for
+         promotion, so any state drift across repeated runs is the same
+         on both sides.  Both heaps allocate the same OID ints, and a
+         promotion is scoped to one heap — running the machine instance
+         would evict the tiered instance's entries through the
+         heap-identity check — so the machine baseline runs before
+         promotion and is timed after the tiered instance is done. *)
+      let prog_m = Suite.load name Suite.Dynamic in
+      let prog_t = Suite.load name Suite.Dynamic in
+      let rm = Suite.run_loaded ~engine:`Machine prog_m in
+      let promoted =
+        List.fold_left
+          (fun n oid -> if Tierup.force_promote prog_t.Link.ctx oid then n + 1 else n)
+          0 (Link.all_function_oids prog_t)
+      in
+      if promoted = 0 then failwith (name ^ ": no function promoted");
+      let runs0 = (Tierup.stats ()).Tierup.runs in
+      let rt = Suite.run_loaded ~engine:`Machine prog_t in
+      (match rm.Suite.outcome, rt.Suite.outcome with
+      | Eval.Done _, Eval.Done _ -> ()
+      | _ -> failwith (name ^ ": a run failed"));
+      if (Tierup.stats ()).Tierup.runs <= runs0 then
+        failwith (name ^ ": promoted functions never entered the tier");
+      if not (String.equal rm.Suite.output rt.Suite.output) then
+        failwith (name ^ ": tiered output diverges from the machine");
+      if rm.Suite.steps <> rt.Suite.steps then
+        Printf.ksprintf failwith "%s: tiered charged %d steps, machine charged %d" name
+          rt.Suite.steps rm.Suite.steps;
+      let tiered_ns =
+        time_ns ~metric:("bench.tier_jit_ns." ^ name) ~budget (fun () ->
+            Suite.run_loaded ~engine:`Machine prog_t)
+      in
+      (* the tiered timing is banked; drop the promotions so the machine
+         loop runs with the tier's one-branch early exit, not per-call
+         table misses *)
+      Tierup.clear ();
+      let machine_ns =
+        time_ns ~metric:("bench.tier_machine_ns." ^ name) ~budget (fun () ->
+            Suite.run_loaded ~engine:`Machine prog_m)
+      in
+      let speedup = machine_ns /. tiered_ns in
+      ratios := speedup :: !ratios;
+      Printf.printf "%-8s %12d %14.0f %14.0f %8.2fx\n%!" name rm.Suite.steps machine_ns
+        tiered_ns speedup;
+      json_add
+        "{\"experiment\":\"E14\",\"bench\":\"%s\",\"steps\":%d,\"promoted\":%d,\"machine_ns\":%.1f,\"tiered_ns\":%.1f,\"speedup\":%.2f}"
+        name rm.Suite.steps promoted machine_ns tiered_ns speedup)
+    names;
+  let g = geomean !ratios in
+  let over5 = List.length (List.filter (fun r -> r >= 5.0) !ratios) in
+  Printf.printf "%-8s %12s %14s %14s %8.2fx\n" "geomean" "" "" "" g;
+  Printf.printf "%d/%d benchmarks at >= 5x %s\n" over5 (List.length !ratios)
+    (if over5 >= 2 then "(target >= 2: PASS)" else "(target >= 2: FAIL)");
+  json_add "{\"experiment\":\"E14\",\"metric\":\"geomean\",\"speedup\":%.2f,\"over_5x\":%d}" g
+    over5;
+  Tierup.clear ()
+
 let e11 ~quick () =
   section
     (if quick then
@@ -849,6 +966,7 @@ let () =
     experiment "E10" e10;
     experiment "E11" (e11 ~quick:false);
     experiment "E12" (e12 ~budget:0.05);
+    experiment "E14" e14;
     write_json ();
     Printf.printf "\nAll experiments completed.\n"
   end

@@ -54,7 +54,16 @@ let reflect_config ~no_incremental =
   }
 
 (* [--profile]: run [f] with the optimizer profiler on and print the
-   per-pass summary table afterwards (also on error) *)
+   per-pass summary table afterwards (also on error), plus the tiered
+   execution counters when the tier saw any action *)
+let print_tier_stats () =
+  let s = Tierup.stats () in
+  if s.Tierup.promotions + s.Tierup.runs + s.Tierup.rejections + s.Tierup.deopts > 0 then
+    Format.printf
+      "tier: %d promotions, %d deopts, %d compiled runs, %d rejections (%d live)@."
+      s.Tierup.promotions s.Tierup.deopts s.Tierup.runs s.Tierup.rejections
+      (Tierup.promoted_count ())
+
 let with_profile profile f =
   if not profile then f ()
   else begin
@@ -63,7 +72,8 @@ let with_profile profile f =
     Fun.protect
       ~finally:(fun () ->
         Profile.enabled := false;
-        Format.printf "%a@." Profile.pp Profile.global)
+        Format.printf "%a@." Profile.pp Profile.global;
+        print_tier_stats ())
       f
   end
 
@@ -110,6 +120,16 @@ let fno_incremental_arg =
           "Disable the incremental rewrite engine (normal-form memoization, \
            shared-subtree skipping, delta validation): every pass re-sweeps \
            the whole term, as the legacy optimizer did.")
+
+let fno_jit_arg =
+  Arg.(
+    value & flag
+    & info [ "fno-jit" ]
+        ~doc:
+          "Disable tiered execution: hot stored functions are never promoted \
+           to the compiled closure tier and every call runs on the bytecode \
+           machine.  Promotion does not change results or abstract \
+           instruction counts, only wall-clock time.")
 
 let profile_arg =
   Arg.(
@@ -240,8 +260,10 @@ let disasm_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file direct opt_level no_analysis no_incremental profile dynamic engine explain =
+  let run file direct opt_level no_analysis no_incremental no_jit profile dynamic engine
+      explain =
     handle_errors (fun () ->
+        Tierup.enabled := not no_jit;
         let opt_level = with_explain explain opt_level in
         let program, outcome, steps =
           with_profile profile (fun () ->
@@ -279,7 +301,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile, link and execute a TL program")
     Term.(
       const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
-      $ profile_arg $ dynamic_arg $ engine_arg $ explain_arg)
+      $ fno_jit_arg $ profile_arg $ dynamic_arg $ engine_arg $ explain_arg)
 
 (* ---- stanford ---- *)
 

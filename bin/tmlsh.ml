@@ -13,7 +13,7 @@
      - : 42 (in 12 instructions)
 
    Commands: :help :names :dump NAME :disasm NAME :optimize NAME
-             :optimize-all :open FILE :commit :compact :stats
+             :optimize-all :tier NAME :open FILE :commit :compact :stats
              :explain NAME :trace on|off|dump :save FILE :steps
              :connect TARGET :disconnect :quit *)
 
@@ -32,7 +32,12 @@ let () =
   Profile.enabled := true;
   Tml_obs.Provenance.enabled := true;
   Profile.register_metrics ();
-  Speccache.register_metrics ()
+  Speccache.register_metrics ();
+  (* tiered execution: hot stored functions get promoted to the compiled
+     closure tier as the session warms up (:tier NAME forces one; the
+     "tier" rows of :stats report promotions, deopts and compiled runs) *)
+  Tierup.enabled := true;
+  Tierup.register_metrics ()
 
 let prompt () =
   if interactive then begin
@@ -50,6 +55,9 @@ let help () =
     \  :disasm NAME     print its abstract machine code\n\
     \  :optimize NAME   reflectively optimize it in place\n\
     \  :optimize-all    reflectively optimize every function\n\
+    \  :tier NAME       promote NAME to the compiled closure tier now\n\
+    \                   (hot functions are promoted automatically; see\n\
+    \                   the tier rows of :stats)\n\
     \  :open FILE       open a durable store: restore the session from it,\n\
     \                   or bind a new file to this session (lazy faulting;\n\
     \                   crash recovery on open)\n\
@@ -213,6 +221,11 @@ let command session_ref line =
     Tml_reflect.Reflect.optimize_all (Repl.ctx session)
       (List.map snd (Repl.function_oids session));
     Printf.printf "optimized %d functions\n" (List.length (Repl.function_oids session))
+  | [ ":tier"; name ] ->
+    with_func session name (fun oid ->
+        if Tierup.force_promote (Repl.ctx session) oid then
+          Printf.printf "promoted %s to the compiled tier\n" name
+        else Printf.printf "cannot promote %s (not a compilable function)\n" name)
   | [ ":open"; file ] -> open_store session_ref file
   | [ ":commit" ] -> commit_store session
   | [ ":compact" ] -> (

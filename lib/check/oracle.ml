@@ -11,6 +11,7 @@ type engine =
   | Opt of string * Optimizer.config
   | Reflect of string * Reflect_.config
   | Reflect_cached of string * Reflect_.config
+  | Tiered of string * Reflect_.config option
 
 let engine_name = function
   | Tree -> "tree"
@@ -18,6 +19,7 @@ let engine_name = function
   | Opt (name, _) -> name
   | Reflect (name, _) -> name
   | Reflect_cached (name, _) -> name
+  | Tiered (name, _) -> name
 
 let engines ~validate =
   let ov (c : Optimizer.config) = { c with Optimizer.validate } in
@@ -38,6 +40,8 @@ let engines ~validate =
     Reflect ("reflect", refl false);
     Reflect ("reflect-q", refl true);
     Reflect_cached ("reflect-cached", refl true);
+    Tiered ("tiered", None);
+    Tiered ("tiered-reflect", Some (refl true));
   ]
 
 type observation = {
@@ -87,17 +91,41 @@ let pp_verdict ppf = function
 
 let fresh_ctx () =
   Lazy.force installed;
-  (* OIDs restart in a fresh heap: drop the per-OID analysis summaries and
-     cached specializations or stale entries would resolve for unrelated
-     procedures. *)
+  (* OIDs restart in a fresh heap: drop the per-OID analysis summaries,
+     cached specializations and tier promotions or stale entries would
+     resolve for unrelated procedures.  (Tierup would also catch the
+     stale heap at dispatch, but a clean slate keeps call counts and
+     stats per observation.) *)
   Tml_analysis.Cache.clear ();
   Tml_vm.Speccache.clear ();
+  Tml_vm.Tierup.clear ();
   let heap = Value.Heap.create () in
   Runtime.create ~fuel heap
 
 let as_abs = function
   | Term.Abs f -> f
   | _ -> Runtime.fault "oracle: generated program is not an abstraction"
+
+(* Register [proc] as a store function object for the persistent engines.
+   When [bindings] is nonempty the given identifiers are left free in the
+   stored term and linked as R-value bindings instead of being passed as
+   runtime arguments. *)
+let store_program ctx ~(proc : Term.value) ~bindings ~args =
+  let f = as_abs proc in
+  let stored, passed_args =
+    if bindings = [] then proc, args
+    else begin
+      (* drop the leading value parameters: they stay free and get linked *)
+      let nbind = List.length bindings in
+      let rec drop n xs = if n = 0 then xs else drop (n - 1) (List.tl xs) in
+      Term.Abs { f with Term.params = drop nbind f.Term.params }, []
+    end
+  in
+  let oid = Value.Heap.alloc_func ctx.Runtime.heap ~name:"fuzz" stored in
+  (match Value.Heap.get ctx.Runtime.heap oid with
+  | Value.Func fo -> fo.Value.fo_bindings <- List.map (fun (id, v) -> id, v) bindings
+  | _ -> assert false);
+  oid, passed_args
 
 (* Run [proc] on [args] under [engine] in context [ctx].  The persistent
    engines register the program as a store function object first; when
@@ -121,20 +149,7 @@ let run_engine engine ctx ~(proc : Term.value) ~(bindings : (Ident.t * Value.t) 
     | Term.Abs f -> Machine.run_abs ctx f args
     | v -> Machine.run_proc ctx (Eval.eval_value ctx ~env:Ident.Map.empty v) args)
   | Reflect (_, config) | Reflect_cached (_, config) ->
-    let f = as_abs proc in
-    let stored, passed_args =
-      if bindings = [] then proc, args
-      else begin
-        (* drop the leading value parameters: they stay free and get linked *)
-        let nbind = List.length bindings in
-        let rec drop n xs = if n = 0 then xs else drop (n - 1) (List.tl xs) in
-        Term.Abs { f with Term.params = drop nbind f.Term.params }, []
-      end
-    in
-    let oid = Value.Heap.alloc_func ctx.Runtime.heap ~name:"fuzz" stored in
-    (match Value.Heap.get ctx.Runtime.heap oid with
-    | Value.Func fo -> fo.Value.fo_bindings <- List.map (fun (id, v) -> id, v) bindings
-    | _ -> assert false);
+    let oid, passed_args = store_program ctx ~proc ~bindings ~args in
     (match engine with
     | Reflect_cached _ ->
       (* warm the specialization cache with a first optimization of the
@@ -149,6 +164,23 @@ let run_engine engine ctx ~(proc : Term.value) ~(bindings : (Ident.t * Value.t) 
         Runtime.fault "speccache: warm specialization was not served from the cache"
     | _ -> ignore (Reflect_.optimize_inplace ~config ctx oid));
     Machine.run_proc ctx (Value.Oidv oid) passed_args
+  | Tiered (_, config_opt) ->
+    (* the tiered-vs-machine pair: store the program, optionally optimize
+       it reflectively, force-promote it to the compiled closure tier and
+       run it through the machine's normal entry point — the tier hook
+       must route execution into compiled code.  A promotion that never
+       runs compiled code would make the comparison vacuous, so that is
+       an engine error, mirroring the cached engine's must-hit rule. *)
+    let oid, passed_args = store_program ctx ~proc ~bindings ~args in
+    (match config_opt with
+    | Some config -> ignore (Reflect_.optimize_inplace ~config ctx oid)
+    | None -> ());
+    let runs_before = (Tierup.stats ()).Tierup.runs in
+    let promoted = Tierup.force_promote ctx oid in
+    let outcome = Machine.run_proc ctx (Value.Oidv oid) passed_args in
+    if promoted && (Tierup.stats ()).Tierup.runs <= runs_before then
+      Runtime.fault "tiered: promoted function never entered the compiled tier";
+    outcome
 
 (* Exactly one of [mk_args]/[mk_bindings] runs per observation: the
    persistent engines link store references as bindings, everything else
@@ -158,7 +190,7 @@ let observe engine ~proc ~mk_args ~mk_bindings ~store_of =
   let ctx = fresh_ctx () in
   let bindings =
     match engine with
-    | Reflect _ | Reflect_cached _ -> mk_bindings ctx
+    | Reflect _ | Reflect_cached _ | Tiered _ -> mk_bindings ctx
     | Tree | Mach | Opt _ -> []
   in
   let args = if bindings = [] then mk_args ctx else [] in

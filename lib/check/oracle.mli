@@ -43,13 +43,23 @@ type engine =
           against the tree baseline exactly like a fresh one.  A miss on
           the second pass is reported as an engine error: a silently cold
           cache would make the comparison vacuous. *)
+  | Tiered of string * Tml_reflect.Reflect.config option
+      (** store the program (with R-value bindings like [Reflect]),
+          optionally optimize it reflectively in place, then
+          {e force-promote} it to the compiled closure tier and run it
+          through the machine's normal entry point — the tier hook routes
+          execution into compiled code ({!Tierup}/{!Jit}).  A promotion
+          that never enters compiled code is an engine error (the
+          comparison would be vacuous), mirroring the cached engine's
+          must-hit rule. *)
 
 val engine_name : engine -> string
 
 (** The standard battery: tree, machine, O1/O2/O3, reflective (program
-    rules), reflective (program + query rules) and the cached reflective
-    pair.  [validate] turns the optimizer's pass-level translation
-    validation on in every optimizing engine. *)
+    rules), reflective (program + query rules), the cached reflective
+    pair, and the tiered pair (raw and reflect-optimized code promoted
+    to the compiled closure tier).  [validate] turns the optimizer's
+    pass-level translation validation on in every optimizing engine. *)
 val engines : validate:bool -> engine list
 
 (** What one engine observed.  [steps] is informational only. *)

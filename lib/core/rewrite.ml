@@ -299,6 +299,28 @@ let fresh_memo () =
 let memo_hits m = m.m_hits
 let memo_misses m = m.m_misses
 
+(* Roots below this node count take the legacy (memo-free) path even
+   when a memo is supplied: for a term a few dozen nodes big, one
+   intern + table lookup per node costs more than just re-reducing it
+   (the E11 small-term regression).  The probe below is budget-bounded,
+   so large already-normal roots keep their O(1) memo fast path. *)
+let memo_size_threshold = ref 48
+
+(* counts nodes as [Term.size_*] but stops once the budget is spent;
+   returns the remaining budget (0 = at least [budget] nodes) *)
+let rec size_capped_value budget = function
+  | Lit _ | Var _ | Prim _ -> budget - 1
+  | Abs a ->
+    let budget = budget - 1 - List.length a.params in
+    if budget <= 0 then 0 else size_capped_app budget a.body
+
+and size_capped_app budget a =
+  let budget = size_capped_value (budget - 1) a.func in
+  List.fold_left (fun b v -> if b <= 0 then 0 else size_capped_value b v) budget a.args
+
+let value_below ~limit v = size_capped_value limit v > 0
+let app_below ~limit a = size_capped_app limit a > 0
+
 let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps) ?memo () =
   let fuel = ref max_steps in
   let spend () =
@@ -363,6 +385,7 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
     Hashtbl.replace tbl (key v) r;
     if not (r == v) then Hashtbl.replace tbl (key r) r
   in
+  let make memo =
   let rec norm_app a =
     match memo with
     | None -> norm_app_fresh a
@@ -445,6 +468,21 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
     | None -> v'
   in
   norm_app, norm_value
+  in
+  match memo with
+  | None -> make None
+  | Some _ ->
+    (* per-root gate: small roots skip the memo entirely (recursion
+       included); both variants share the fuel and stats *)
+    let memo_app, memo_value = make memo in
+    let legacy_app, legacy_value = make None in
+    let norm_app a =
+      if app_below ~limit:!memo_size_threshold a then legacy_app a else memo_app a
+    in
+    let norm_value v =
+      if value_below ~limit:!memo_size_threshold v then legacy_value v else memo_value v
+    in
+    norm_app, norm_value
 
 let reduce_app ?stats ?rules ?max_steps ?memo a =
   let norm_app, _ = reduce ?stats ?rules ?max_steps ?memo () in

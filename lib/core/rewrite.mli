@@ -113,6 +113,14 @@ val memo_hits : memo -> int
 
 val memo_misses : memo -> int
 
+(** Roots whose node count ([Term.size_*]) is below this take the legacy
+    (memo-free) path even when a memo is supplied: on a term a few dozen
+    nodes big, one intern + table lookup per node costs more than simply
+    re-reducing it.  The size probe is budget-bounded, so large
+    already-normal roots keep their O(1) memo fast path.  Set to [0] to
+    memoize unconditionally (the pre-gate behavior). *)
+val memo_size_threshold : int ref
+
 (** [reduce_app ?stats ?rules ?max_steps ?memo app] normalizes [app]:
     applies the core rules (plus the domain [rules]) bottom-up to fixpoint.
     [max_steps] (default 200_000) bounds the number of rule applications as

@@ -95,3 +95,16 @@ let vm_run ~engine ~steps =
   if !enabled then
     instant ~cat:"vm" "vm_run"
       ~args:[ ("engine", Str engine); ("steps", Int steps); ("bucket", Str (bucket_of_steps steps)) ]
+
+(* tiered execution *)
+
+let tier kind ~oid =
+  if !enabled then begin
+    let k =
+      match kind with
+      | `Promote -> "promote"
+      | `Deopt -> "deopt"
+      | `Run -> "run"
+    in
+    instant ~cat:"tier" ("tier_" ^ k) ~args:[ ("oid", Int oid) ]
+  end

@@ -41,3 +41,8 @@ val store_compact : live:int -> dropped:int -> unit
 (** VM execution: one event per [run_proc] with the step count and a
     power-of-two bucket label; always observes [vm.run_steps]. *)
 val vm_run : engine:string -> steps:int -> unit
+
+(** Tiered-execution lifecycle, keyed by function OID: promotion to the
+    compiled closure tier, deoptimization back to the bytecode machine,
+    and entries into compiled code from the machine. *)
+val tier : [ `Promote | `Deopt | `Run ] -> oid:int -> unit

@@ -401,6 +401,9 @@ let optimize_inplace ?(config = default) ctx oid =
      content (or inlining it into callers) are stale; its summary too *)
   Speccache.invalidate oid;
   cache_summary oid optimized;
+  (* the invalidation above deoptimized any compiled-tier entry; rebuild
+     it from the freshly optimized code so hot functions stay promoted *)
+  Tierup.repromote ctx oid;
   (match ctx.Runtime.durable_commit with
   | Some commit -> commit ()
   | None -> ());

@@ -469,6 +469,12 @@ let checksum(node: Int): Int =
   else value[node] + checksum(left[node]) + checksum(right[node]) end
 
 do
+  -- clear stale links so a re-run on the same instance starts from a
+  -- fresh tree (left-over pointers would make insert chase cycles)
+  for i = 0 upto nnodes do
+    left[i] := 0;
+    right[i] := 0
+  end;
   value[1] := 32768;  -- root
   nextfree[0] := 2;
   for i = 1 upto nnodes - 1 do

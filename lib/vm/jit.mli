@@ -1,0 +1,56 @@
+(** Closure-compiling execution tier ("template compilation").
+
+    Translates a unit's bytecode into a tree of native OCaml closures
+    operating on the same {!Value.t} representation as the abstract
+    machine — same closures, same continuation blocks, same abstract
+    instruction charges at the same points, so step counts and fuel
+    behaviour are observably identical to {!Machine}.  Values flow
+    freely between tiers; anything the compiled tier cannot handle
+    escapes to the interpreter through {!escape_apply}.
+
+    Promotion policy lives in {!Tierup}; this module is the mechanism.
+    See docs/TIERS.md. *)
+
+type cunit
+(** a compiled unit, cached per physical {!Instr.unit_code} *)
+
+(** [compile_unit u] returns the compiled form of [u], compiling at most
+    once per physical unit (a bounded global cache). *)
+val compile_unit : Instr.unit_code -> cunit
+
+(** [apply_func cu ~fn ~env ctx args] applies function [fn] of the
+    compiled unit under environment [env] — the compiled tier's
+    equivalent of applying an [Mclosure], including its charge. *)
+val apply_func :
+  cunit -> fn:int -> env:Value.t array -> Runtime.ctx -> Value.t list -> Eval.outcome
+
+(** [call_value cu ctx f args] is the compiled tier's full applicator,
+    mirroring [Machine.apply] case by case (exposed for tests). *)
+val call_value : cunit -> Runtime.ctx -> Value.t -> Value.t list -> Eval.outcome
+
+(** Full applicator escape hatch into the interpreter; installed by
+    {!Machine} at load time. *)
+val escape_apply : (Runtime.ctx -> Value.t -> Value.t list -> Eval.outcome) ref
+
+(** Consulted when compiled code applies an [Oidv]: returns the
+    compiled entry for a promoted function, or [None] to dispatch
+    through {!Compile.compile_func} as the machine would.  Installed by
+    {!Tierup}. *)
+val oid_entry :
+  (Runtime.ctx ->
+  Tml_core.Oid.t ->
+  Value.func_obj ->
+  (Runtime.ctx -> Value.t list -> Eval.outcome) option)
+  ref
+
+(** number of units compiled since process start (monotonic) *)
+val compiled_units : unit -> int
+
+(** drop the compiled-unit cache (units recompile on demand) *)
+val clear : unit -> unit
+
+(** Invalidate every per-site inline cache of resolved [Oidv] callees.
+    {!Tierup} calls this on promotion, deoptimization and speccache
+    invalidation so a cached compiled entry can never outlive the
+    binding it was resolved from. *)
+val invalidate_sites : unit -> unit

@@ -114,7 +114,12 @@ and apply ctx (f : Value.t) (args : Value.t list) : Eval.outcome =
     | None -> Runtime.fault "%s: cannot be applied as a first-class value" name)
   | Value.Oidv oid -> (
     match Value.Heap.get_opt ctx.Runtime.heap oid with
-    | Some (Value.Func fo) -> apply ctx (Compile.compile_func ctx fo) args
+    | Some (Value.Func fo) -> (
+      (* call-into-tier hook: hot functions run on the compiled closure
+         tier; the tier charges identically, so step counts don't move *)
+      match Tierup.dispatch ctx oid fo with
+      | Some entry -> entry ctx args
+      | None -> apply ctx (Compile.compile_func ctx fo) args)
     | Some _ -> Runtime.fault "%s is not applicable" (Oid.to_string oid)
     | None -> Runtime.fault "dangling function reference %s" (Oid.to_string oid))
   | Value.Halt ok -> (
@@ -147,6 +152,12 @@ let protect ctx f =
     Eval.Fault msg
 
 let apply ctx f args = protect ctx (fun () -> apply ctx f args)
+
+(* the compiled tier escapes here for anything it doesn't handle; the
+   protected applicator converts faults raised below into outcomes,
+   which propagate unchanged through compiled frames to the caller *)
+let () = Jit.escape_apply := apply
+
 let run_proc ctx proc args =
   let steps0 = ctx.Runtime.steps in
   let outcome = apply ctx proc (args @ [ Value.Halt false; Value.Halt true ]) in

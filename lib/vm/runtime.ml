@@ -426,12 +426,27 @@ let standard_impls () : (string * impl) list =
 
 let installed = ref false
 
+(* the exact closures registered by [install]; [is_standard_impl] lets
+   clients that hard-code a primitive's behaviour (the closure-compiling
+   tier's fast paths) verify the registered implementation has not been
+   overridden since *)
+let std_table : (string, impl) Hashtbl.t = Hashtbl.create 64
+
 let install () =
   if not !installed then begin
     installed := true;
     Primitives.install ();
-    List.iter (fun (name, impl) -> register_impl ~override:true name impl) (standard_impls ())
+    List.iter
+      (fun (name, impl) ->
+        Hashtbl.replace std_table name impl;
+        register_impl ~override:true name impl)
+      (standard_impls ())
   end
+
+let is_standard_impl name =
+  match Hashtbl.find_opt std_table name, find_impl name with
+  | Some a, Some b -> a == b
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Context and default host functions                                   *)

@@ -67,6 +67,14 @@ val find_impl_exn : string -> impl
     Idempotent. *)
 val install : unit -> unit
 
+(** [is_standard_impl name] is true when the implementation currently
+    registered for [name] is the exact closure [install] registered —
+    i.e. nobody overrode it since.  Clients that specialize a
+    primitive's behaviour (the compiled tier's inline fast paths) check
+    this at compile time and fall back to the generic dispatch
+    otherwise. *)
+val is_standard_impl : string -> bool
+
 (** [register_ccall ctx name f] adds a host function reachable through the
     [ccall] primitive. *)
 val register_ccall : ctx -> string -> ccall_impl -> unit

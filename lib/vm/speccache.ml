@@ -278,7 +278,17 @@ let store heap ~callee ~fp ~deps outcome =
     | None -> assert false (* by_id nonempty implies lru nonempty *)
   done
 
+(* Invalidation subscribers: the tiered-execution policy (and any other
+   cache keyed by function identity) listens here so every plan-relevant
+   store mutation that invalidates specializations also deoptimizes
+   compiled code.  Subscribers run on every [invalidate], even when no
+   cache entry matched — the *notification* is the contract, not the
+   entry count. *)
+let invalidate_subscribers : (Oid.t -> unit) list ref = ref []
+let subscribe_invalidate f = invalidate_subscribers := f :: !invalidate_subscribers
+
 let invalidate oid =
+  List.iter (fun f -> f oid) !invalidate_subscribers;
   let o = Oid.to_int oid in
   let ids = Hashtbl.find_all rev o in
   (* remove every binding for [o], then drop the (still live) entries *)

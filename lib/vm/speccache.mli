@@ -70,6 +70,13 @@ val store :
     store update that bypasses digest verification. *)
 val invalidate : Tml_core.Oid.t -> unit
 
+(** [subscribe_invalidate f] arranges for [f oid] to run on every
+    {!invalidate}, before entries are dropped and regardless of whether
+    any entry matched.  The tiered-execution policy ({!Tierup})
+    subscribes so plan-relevant store mutations also deoptimize compiled
+    code.  Subscriptions are permanent and process-global. *)
+val subscribe_invalidate : (Tml_core.Oid.t -> unit) -> unit
+
 val clear : unit -> unit
 val length : unit -> int
 val set_capacity : int -> unit

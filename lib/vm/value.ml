@@ -70,23 +70,58 @@ module Heap = struct
   type heap = {
     mutable objs : obj option array;
     mutable next : int;
+    mutable gen : int;
+        (* bumped whenever a slot is replaced/evicted or a hook changes;
+           lets the compiled tier validate per-site inline caches *)
     mutable fault : (Oid.t -> obj option) option;
     mutable on_access : (Oid.t -> obj -> unit) option;
     mutable on_update : (Oid.t -> obj -> unit) option;
   }
 
   let create () =
-    { objs = Array.make 64 None; next = 0; fault = None; on_access = None; on_update = None }
+    {
+      objs = Array.make 64 None;
+      next = 0;
+      gen = 0;
+      fault = None;
+      on_access = None;
+      on_update = None;
+    }
 
-  let set_fault_hook heap f = heap.fault <- Some f
+  let generation heap = heap.gen
+
+  let set_fault_hook heap f =
+    heap.gen <- heap.gen + 1;
+    heap.fault <- Some f
+
   let fault_hook heap = heap.fault
-  let set_fault_hook_opt heap f = heap.fault <- f
-  let set_access_hook heap f = heap.on_access <- Some f
+
+  let set_fault_hook_opt heap f =
+    heap.gen <- heap.gen + 1;
+    heap.fault <- f
+
+  let set_access_hook heap f =
+    heap.gen <- heap.gen + 1;
+    heap.on_access <- Some f
+
   let access_hook heap = heap.on_access
-  let set_access_hook_opt heap f = heap.on_access <- f
-  let set_update_hook heap f = heap.on_update <- Some f
+
+  let set_access_hook_opt heap f =
+    heap.gen <- heap.gen + 1;
+    heap.on_access <- f
+
+  let set_update_hook heap f =
+    heap.gen <- heap.gen + 1;
+    heap.on_update <- Some f
+
+  let update_hook heap = heap.on_update
+
+  let set_update_hook_opt heap f =
+    heap.gen <- heap.gen + 1;
+    heap.on_update <- f
 
   let clear_hooks heap =
+    heap.gen <- heap.gen + 1;
     heap.fault <- None;
     heap.on_access <- None;
     heap.on_update <- None
@@ -147,6 +182,7 @@ module Heap = struct
     let ix = Oid.to_int oid in
     if ix < 0 || ix >= heap.next then
       invalid_arg (Printf.sprintf "Heap.set: dangling %s" (Oid.to_string oid));
+    heap.gen <- heap.gen + 1;
     heap.objs.(ix) <- Some obj;
     (match heap.on_update with
     | Some f -> f oid obj
@@ -154,7 +190,10 @@ module Heap = struct
 
   let evict heap oid =
     let ix = Oid.to_int oid in
-    if ix >= 0 && ix < heap.next then heap.objs.(ix) <- None
+    if ix >= 0 && ix < heap.next then begin
+      heap.gen <- heap.gen + 1;
+      heap.objs.(ix) <- None
+    end
 
   let is_loaded heap oid =
     let ix = Oid.to_int oid in

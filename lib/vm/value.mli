@@ -103,6 +103,12 @@ module Heap : sig
   val set : heap -> Tml_core.Oid.t -> obj -> unit
   val size : heap -> int
 
+  val generation : heap -> int
+  (** monotonic counter bumped on every [set], [evict] and hook change;
+      the compiled tier keys per-site inline caches on it so a cached
+      dereference can never outlive a slot replacement or a newly
+      attached store observer *)
+
   (** [iter f heap] applies [f] to every live object.  On a store-backed
       heap only materialized objects are visited; no faulting happens. *)
   val iter : (Tml_core.Oid.t -> obj -> unit) -> heap -> unit
@@ -132,6 +138,8 @@ module Heap : sig
   val set_access_hook_opt : heap -> (Tml_core.Oid.t -> obj -> unit) option -> unit
   val fault_hook : heap -> (Tml_core.Oid.t -> obj option) option
   val set_fault_hook_opt : heap -> (Tml_core.Oid.t -> obj option) option -> unit
+  val update_hook : heap -> (Tml_core.Oid.t -> obj -> unit) option
+  val set_update_hook_opt : heap -> (Tml_core.Oid.t -> obj -> unit) option -> unit
 
   val clear_hooks : heap -> unit
   (** detach the backing store: the heap keeps its materialized objects

@@ -85,7 +85,7 @@ let cached_pair_engines =
   List.filter
     (function
       | Oracle.Tree | Oracle.Reflect _ | Oracle.Reflect_cached _ -> true
-      | Oracle.Mach | Oracle.Opt _ -> false)
+      | Oracle.Mach | Oracle.Opt _ | Oracle.Tiered _ -> false)
     engines
 
 let prop_cached_matches_fresh =
@@ -97,6 +97,77 @@ let prop_cached_matches_fresh_query =
   QCheck2.Test.make ~name:"cached specializations match fresh ones on query pipelines"
     ~count:60 ~print:print_query_case query_case_gen (fun c ->
       verdict_ok (Oracle.check_query ~engines:cached_pair_engines c))
+
+(* the tiered-vs-machine pair in isolation: tree baseline, machine, and
+   the two tiered engines (raw and reflect-optimized code, both
+   force-promoted to the compiled closure tier), so a divergence is
+   attributable to the closure compiler or the promotion path.  The full
+   battery above also runs the tiered engines; this suite keeps the
+   failure signal narrow. *)
+let tiered_pair_engines =
+  List.filter
+    (function
+      | Oracle.Tree | Oracle.Mach | Oracle.Tiered _ -> true
+      | Oracle.Opt _ | Oracle.Reflect _ | Oracle.Reflect_cached _ -> false)
+    engines
+
+let prop_tiered_matches_machine =
+  QCheck2.Test.make ~name:"tiered execution matches the machine on programs" ~count:100
+    ~print:print_diff_case diff_case_gen (fun c ->
+      verdict_ok (Oracle.check_case ~engines:tiered_pair_engines c))
+
+let prop_tiered_matches_machine_query =
+  QCheck2.Test.make ~name:"tiered execution matches the machine on query pipelines"
+    ~count:60 ~print:print_query_case query_case_gen (fun c ->
+      verdict_ok (Oracle.check_query ~engines:tiered_pair_engines c))
+
+(* Policy promotion (not force_promote): with the threshold forced down
+   to one call and the work gate off, the machine's tier hook promotes
+   mid-workload.  Run every generated program twice with and without the
+   tier and require identical outcomes, output AND step counts — the
+   compiled tier charges exactly like the machine, a stronger claim than
+   the oracle battery makes (it ignores steps). *)
+let run_case_with_policy ~tier (c : Tgen.case) =
+  Tml_analysis.Cache.clear ();
+  Speccache.clear ();
+  Tierup.clear ();
+  let heap = Value.Heap.create () in
+  let ctx = Runtime.create ~fuel:3_000_000 heap in
+  let oid = Value.Heap.alloc_func heap ~name:"fuzz" c.Tgen.proc in
+  let saved = !Tierup.enabled, !Tierup.call_threshold, !Tierup.min_run_steps in
+  if tier then begin
+    Tierup.enabled := true;
+    Tierup.call_threshold := 1;
+    Tierup.min_run_steps := 0
+  end
+  else Tierup.enabled := false;
+  Fun.protect
+    ~finally:(fun () ->
+      let e, t, m = saved in
+      Tierup.enabled := e;
+      Tierup.call_threshold := t;
+      Tierup.min_run_steps := m;
+      Tierup.clear ())
+    (fun () ->
+      let args = [ Value.Int c.Tgen.a; Value.Int c.Tgen.b ] in
+      let o1 = Machine.run_proc ctx (Value.Oidv oid) args in
+      let o2 = Machine.run_proc ctx (Value.Oidv oid) args in
+      o1, o2, Buffer.contents ctx.Runtime.out, ctx.Runtime.steps)
+
+let prop_policy_promotion_agrees =
+  QCheck2.Test.make ~name:"policy promotion at threshold 1 matches the machine exactly"
+    ~count:60 ~print:print_diff_case diff_case_gen (fun c ->
+      let m1, m2, mout, msteps = run_case_with_policy ~tier:false c in
+      let t1, t2, tout, tsteps = run_case_with_policy ~tier:true c in
+      if
+        Eval.outcome_equal m1 t1 && Eval.outcome_equal m2 t2
+        && String.equal mout tout && msteps = tsteps
+      then true
+      else
+        QCheck2.Test.fail_reportf
+          "machine: %a / %a, %S, %d steps@.tiered: %a / %a, %S, %d steps" Eval.pp_outcome
+          m1 Eval.pp_outcome m2 mout msteps Eval.pp_outcome t1 Eval.pp_outcome t2 tout
+          tsteps)
 
 (* ------------------------------------------------------------------ *)
 (* Validation hook                                                     *)
@@ -236,6 +307,9 @@ let () =
             prop_query_engines_agree;
             prop_cached_matches_fresh;
             prop_cached_matches_fresh_query;
+            prop_tiered_matches_machine;
+            prop_tiered_matches_machine_query;
+            prop_policy_promotion_agrees;
             prop_ptml_roundtrip;
             prop_store_reopen;
             prop_purity_sound;

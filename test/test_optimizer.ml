@@ -168,18 +168,67 @@ let test_normal_forms_shared () =
   let r = Expand.expand_app Expand.default a in
   check tbool "expansion shares an unchanged tree" true (r.Expand.term == a)
 
+(* run [f] with the size gate off: these tests exercise the memo
+   machinery itself, on fixtures small enough to be gated otherwise *)
+let without_size_gate f =
+  let saved = !Rewrite.memo_size_threshold in
+  Rewrite.memo_size_threshold := 0;
+  Fun.protect ~finally:(fun () -> Rewrite.memo_size_threshold := saved) f
+
 let test_reduce_memo_reuse () =
+  without_size_gate (fun () ->
+      let memo = Rewrite.fresh_memo () in
+      let a = multi_use_term () in
+      let r1 = Rewrite.reduce_app ~memo a in
+      let misses_after_first = Rewrite.memo_misses memo in
+      let r2 = Rewrite.reduce_app ~memo a in
+      check tbool "memoized result identical" true (r1 == r2);
+      check tbool "second run hits the memo" true (Rewrite.memo_hits memo > 0);
+      check tint "second run recomputes nothing" misses_after_first
+        (Rewrite.memo_misses memo);
+      (* the memo also short-circuits normal forms: reducing the result again
+         through the same memo is a single lookup *)
+      check tbool "normal form maps to itself" true (Rewrite.reduce_app ~memo r1 == r1))
+
+(* the E11 small-term fix: roots below [memo_size_threshold] skip the
+   memo entirely (interning + lookups cost more than re-reducing them),
+   larger roots still use it, and the crossover follows the knob *)
+let test_memo_size_gate () =
+  let small = multi_use_term () in
+  check tbool "fixture is below the default threshold" true
+    (Term.size_app small < !Rewrite.memo_size_threshold);
   let memo = Rewrite.fresh_memo () in
-  let a = multi_use_term () in
-  let r1 = Rewrite.reduce_app ~memo a in
-  let misses_after_first = Rewrite.memo_misses memo in
-  let r2 = Rewrite.reduce_app ~memo a in
-  check tbool "memoized result identical" true (r1 == r2);
-  check tbool "second run hits the memo" true (Rewrite.memo_hits memo > 0);
-  check tint "second run recomputes nothing" misses_after_first (Rewrite.memo_misses memo);
-  (* the memo also short-circuits normal forms: reducing the result again
-     through the same memo is a single lookup *)
-  check tbool "normal form maps to itself" true (Rewrite.reduce_app ~memo r1 == r1)
+  let r1 = Rewrite.reduce_app ~memo small in
+  let r2 = Rewrite.reduce_app ~memo small in
+  check tint "small root never touches the memo" 0
+    (Rewrite.memo_hits memo + Rewrite.memo_misses memo);
+  let legacy = Rewrite.reduce_app small in
+  check tbool "gated path equals the legacy result" true
+    (Term.alpha_equal_by_name_app r1 legacy && Term.alpha_equal_by_name_app r2 legacy);
+  (* a root past the threshold populates and then hits the memo *)
+  let rng = Random.State.make [| 2025 |] in
+  let rec gen_large () =
+    let v = Gen.proc2 rng ~size:120 in
+    if Term.size_value v >= !Rewrite.memo_size_threshold then v else gen_large ()
+  in
+  let large = gen_large () in
+  let memo = Rewrite.fresh_memo () in
+  let l1 = Rewrite.reduce_value ~memo large in
+  check tbool "large root populates the memo" true (Rewrite.memo_misses memo > 0);
+  let l2 = Rewrite.reduce_value ~memo large in
+  check tbool "large root answered from the memo" true
+    (l1 == l2 && Rewrite.memo_hits memo > 0);
+  (* crossover is pinned by the knob: raise it past this root and the
+     same reduce goes legacy *)
+  let saved = !Rewrite.memo_size_threshold in
+  Rewrite.memo_size_threshold := Term.size_value large + 1;
+  Fun.protect
+    ~finally:(fun () -> Rewrite.memo_size_threshold := saved)
+    (fun () ->
+      let memo = Rewrite.fresh_memo () in
+      ignore (Rewrite.reduce_value ~memo large);
+      check tint "raised threshold sends it down the legacy path" 0
+        (Rewrite.memo_hits memo + Rewrite.memo_misses memo))
 
 let test_delta_validation_catches_breakage () =
   (* delta validation must still reject a rule that breaks scoping, even
@@ -246,6 +295,7 @@ let () =
             test_incremental_matches_legacy;
           Alcotest.test_case "normal forms are shared" `Quick test_normal_forms_shared;
           Alcotest.test_case "reduction memo reuse" `Quick test_reduce_memo_reuse;
+          Alcotest.test_case "memo size gate crossover" `Quick test_memo_size_gate;
           Alcotest.test_case "delta validation still catches breakage" `Quick
             test_delta_validation_catches_breakage;
           Alcotest.test_case "profile records passes" `Quick test_profile_records;

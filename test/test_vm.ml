@@ -340,6 +340,113 @@ let test_heap () =
   done;
   check tint "grown" 202 (Value.Heap.size heap)
 
+(* ------------------------------------------------------------------ *)
+(* Tiered execution: deoptimization stress                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A stored function reading through an R-value binding to a store
+   array — the canonical tier dependency.  [data] stays free in the
+   stored term and is linked as a binding, exactly like the persistent
+   engines do. *)
+let tier_reader_proc () = Sexp.parse_value "proc(i ce! cc!) ([] data i cc!)"
+
+let tier_free_ident proc =
+  match Ident.Set.elements (Term.free_vars_value proc) with
+  | [ id ] -> id
+  | ids -> Alcotest.failf "expected one free identifier, got %d" (List.length ids)
+
+let tier_store_reader heap proc data_id =
+  let arr = Value.Heap.alloc heap (Value.Array [| Value.Int 7; Value.Int 8 |]) in
+  let oid = Value.Heap.alloc_func heap ~name:"reader" proc in
+  (match Value.Heap.get heap oid with
+  | Value.Func fo -> fo.Value.fo_bindings <- [ data_id, Value.Oidv arr ]
+  | _ -> assert false);
+  arr, oid
+
+let tier_call ctx oid i =
+  match Machine.run_proc ctx (Value.Oidv oid) [ Value.Int i ] with
+  | Eval.Done v -> v
+  | o -> Alcotest.failf "tier call: expected Done, got %a" Eval.pp_outcome o
+
+(* Promote a hot function, mutate the store object it depends on
+   mid-loop, and require: the update hook deoptimizes it (tier_deopt
+   increments, the tier run counter freezes), execution falls back to
+   the machine, and the whole observed sequence is identical to an
+   unpromoted run. *)
+let test_tier_deopt_on_mutation () =
+  Runtime.install ();
+  let proc = tier_reader_proc () in
+  let data_id = tier_free_ident proc in
+  let run_sequence ~tier =
+    Tierup.clear ();
+    let heap = Value.Heap.create () in
+    let ctx = Runtime.create ~fuel:1_000_000 heap in
+    let arr, oid = tier_store_reader heap proc data_id in
+    if tier then check tbool "promoted" true (Tierup.force_promote ctx oid);
+    let before = [ tier_call ctx oid 0; tier_call ctx oid 1; tier_call ctx oid 0 ] in
+    (* mid-loop mutation of the dependency through the heap *)
+    Value.Heap.set heap arr (Value.Array [| Value.Int 100; Value.Int 200 |]);
+    let after = [ tier_call ctx oid 0; tier_call ctx oid 1 ] in
+    before @ after
+  in
+  let s0 = Tierup.stats () in
+  let d0 = s0.Tierup.deopts and r0 = s0.Tierup.runs in
+  let tiered = run_sequence ~tier:true in
+  let s1 = Tierup.stats () in
+  check tint "mutation deoptimized the reader" (d0 + 1) s1.Tierup.deopts;
+  check tint "tier ran only before the mutation" (r0 + 3) s1.Tierup.runs;
+  check tint "nothing stays promoted" 0 (Tierup.promoted_count ());
+  let plain = run_sequence ~tier:false in
+  let s2 = Tierup.stats () in
+  check tint "unpromoted run never enters the tier" s1.Tierup.runs s2.Tierup.runs;
+  check tbool "tiered sequence identical to the unpromoted run" true
+    (List.for_all2 Value.identical tiered plain);
+  check tbool "mutation visible through the fallback" true
+    (List.nth tiered 3 = Value.Int 100 && List.nth tiered 4 = Value.Int 200);
+  Tierup.clear ()
+
+(* The stale-promotion defense across a durable reopen: a fresh heap
+   reuses the same OID space, so a surviving tier entry must fail the
+   heap-identity check, deoptimize, and fall back to the machine with
+   identical results. *)
+let test_tier_deopt_on_durable_reopen () =
+  Runtime.install ();
+  Tierup.clear ();
+  let proc = tier_reader_proc () in
+  let data_id = tier_free_ident proc in
+  let path = Filename.temp_file "tml_tier" ".tmlstore" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      Tierup.clear ())
+    (fun () ->
+      let ps = Pstore.create ~fsync:false path in
+      let heap = Pstore.heap ps in
+      let ctx = Runtime.create ~fuel:1_000_000 heap in
+      let _, oid = tier_store_reader heap proc data_id in
+      check tbool "promoted" true (Tierup.force_promote ctx oid);
+      let first = tier_call ctx oid 1 in
+      check tbool "tiered read" true (Value.identical first (Value.Int 8));
+      ignore (Pstore.commit ~root:oid ps);
+      Pstore.close ps;
+      (* the stale promotion is still installed; reopen builds a new heap *)
+      check tbool "entry survives close" true (Tierup.promoted_count () > 0);
+      let ps2 = Pstore.open_ ~fsync:false path in
+      Fun.protect
+        ~finally:(fun () -> Pstore.close ps2)
+        (fun () ->
+          let ctx2 = Runtime.create ~fuel:1_000_000 (Pstore.heap ps2) in
+          let s0 = Tierup.stats () in
+          let d0 = s0.Tierup.deopts and r0 = s0.Tierup.runs in
+          let again = tier_call ctx2 oid 1 in
+          check tbool "identical result after reopen" true
+            (Value.identical again (Value.Int 8));
+          let s1 = Tierup.stats () in
+          check tint "heap-identity deopt fired" (d0 + 1) s1.Tierup.deopts;
+          check tint "no tier runs in the reopened world" r0 s1.Tierup.runs;
+          check tint "stale entry dropped" 0 (Tierup.promoted_count ())))
+
 let test_identical () =
   check tbool "ints" true (Value.identical (Value.Int 3) (Value.Int 3));
   check tbool "int/real differ" false (Value.identical (Value.Int 3) (Value.Real 3.0));
@@ -393,5 +500,11 @@ let () =
         [
           Alcotest.test_case "shapes and codec" `Quick test_compile_shapes;
           Alcotest.test_case "free identifier layout" `Quick test_compile_free_layout;
+        ] );
+      ( "tier",
+        [
+          Alcotest.test_case "deopt on store mutation" `Quick test_tier_deopt_on_mutation;
+          Alcotest.test_case "deopt across durable reopen" `Quick
+            test_tier_deopt_on_durable_reopen;
         ] );
     ]

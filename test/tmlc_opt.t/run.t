@@ -53,6 +53,30 @@ instruction count on queens stays below the unoptimized count.
   $ test "$dyn" -lt "$base" && echo "dynamic executes fewer instructions"
   dynamic executes fewer instructions
 
+Tiered execution is on by default in `tmlc run`: hot stored functions are
+promoted to the compiled closure tier.  The tier charges exactly the
+machine's abstract instruction costs, so with and without it the output —
+including the final instruction count, which is deliberately NOT stripped
+here — must be byte-identical:
+
+  $ for ex in bank inventory queens; do
+  >   tmlc run --dynamic ../../examples/tl/$ex.tl > $ex.jit
+  >   tmlc run --dynamic --fno-jit ../../examples/tl/$ex.tl > $ex.nojit
+  >   if diff $ex.jit $ex.nojit > /dev/null
+  >   then echo "$ex jit on/off: identical, instruction count included"
+  >   else echo "$ex jit on/off: DIFFERS"; diff $ex.jit $ex.nojit
+  >   fi
+  > done
+  bank jit on/off: identical, instruction count included
+  inventory jit on/off: identical, instruction count included
+  queens jit on/off: identical, instruction count included
+
+The comparison is not vacuous — on queens the tier really engages (the
+counters are step-deterministic, so they are stable run to run):
+
+  $ tmlc run --dynamic --profile ../../examples/tl/queens.tl | grep '^tier:'
+  tier: 1 promotions, 0 deopts, 1 compiled runs, 2 rejections (1 live)
+
 The effect/alias analysis bridge is on by default at every static level;
 -O3 with it enabled must behave exactly like -O3 with the purely syntactic
 rules (--fno-analysis):

@@ -57,6 +57,48 @@ optimizer commits its rewrites durably.
   - : 42 (in 24 instructions)
   optimized triple: static cost 9 -> 3, 1 calls inlined
 
+Tiered execution: :tier promotes a function to the compiled closure
+tier now (hot functions get there on their own as the session warms up).
+The tier charges exactly the machine's abstract instruction costs, so
+the per-call counts do not move; redefining the function deoptimizes it
+back to the machine.
+
+  $ tmlsh <<'IN'
+  > let quad(x: Int): Int = x * 4
+  > quad(10)
+  > :tier quad
+  > quad(10)
+  > let quad(x: Int): Int = x * 5
+  > quad(10)
+  > :quit
+  > IN
+  defined quad
+  - : 40 (in 24 instructions)
+  promoted quad to the compiled tier
+  - : 40 (in 24 instructions)
+  defined quad
+  - : 50 (in 24 instructions)
+
+The tier rows of :stats account for the session above: one promotion,
+one compiled-tier run, and the deopt fired by the redefinition.
+
+  $ tmlsh <<'IN' | sed -n '/-- tier --/,/compiled_units/p'
+  > let quad(x: Int): Int = x * 4
+  > :tier quad
+  > quad(10)
+  > let quad(x: Int): Int = x * 5
+  > quad(10)
+  > :stats
+  > :quit
+  > IN
+  -- tier --
+    promotions                       1
+    deopts                           1
+    runs                             1
+    rejections                       0
+    promoted                         0
+    compiled_units                   3
+
 The optimized function and its derived attributes survived the last
 commit; compaction drops superseded versions.
 

@@ -15,8 +15,11 @@
             (reduce-pass throughput, cache hit rate, cold-reopen latency)
      E12    observability overhead: tracing disabled / enabled (null
             sink) / provenance recording (docs/OBS.md)
+     E14    tiered execution: bytecode machine vs compiled closure tier
+     E15    rule dispatch: linear rule scan vs the head-indexed matcher
+            of the declarative rule DSL (docs/RULES.md)
 
-   Machine-readable results for E8/E10/E11/E12 are appended to
+   Machine-readable results for E8/E10/E11/E12/E14/E15 are appended to
    BENCH_optimizer.json (override the path with TML_BENCH_JSON), with
    the run's metrics-registry snapshot as the final row.
 
@@ -929,6 +932,125 @@ let e14 () =
     over5;
   Tierup.clear ()
 
+(* ------------------------------------------------------------------ *)
+(* E15: rule dispatch — linear scan vs head-indexed matcher             *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure lookup cost of the declarative rule set (lib/rules): sweep a
+   corpus of application nodes and ask, at each one, which rule fires —
+   once through the historical linear scan (try every compiled rule in
+   order until one answers) and once through the discrimination-style
+   head index (one root inspection + one bucket probe).  Both arms call
+   the same compiled closures on the same nodes, so the delta is pure
+   dispatch.  That the two dispatchers are observably equivalent (same
+   fires, same provenance, same normal forms) is the @rules property
+   suite's job; this experiment prices the equivalence.  A full
+   end-to-end optimization is timed as well, informationally: dispatch
+   is one slice of a whole optimizer round. *)
+let e15 ~budget () =
+  section
+    "E15 — rule dispatch: linear scan vs head-indexed matcher\n\
+     (pure lookup cost over application-node corpora; acceptance >= 1.5x)";
+  Runtime.install ();
+  Tml_query.Qprims.install ();
+  let rules = Tml_query.Qrewrite.declarative_rules in
+  let linear = Tml_rules.Index.linear rules in
+  let indexed = Tml_rules.Index.compile rules in
+  let nodes_of_value v =
+    let acc = ref [] in
+    (match v with
+    | Term.Abs f -> Term.iter_apps (fun a -> acc := a :: !acc) f.Term.body
+    | _ -> ());
+    !acc
+  in
+  (* corpus 1: generated query pipelines — the node mix a real
+     optimization sweeps (query prims among continuations, arithmetic,
+     β-redexes) *)
+  let pipeline_nodes =
+    List.concat_map
+      (fun seed -> nodes_of_value (Tml_check.Tgen.query_case_of_seed seed).Tml_check.Tgen.qproc)
+      (List.init 20 (fun i -> i))
+  in
+  (* corpus 2: redex-dense — hand-written fusable pipelines where the
+     scan pays for full matches, not just head rejections *)
+  let redex_nodes =
+    let pred field value =
+      Printf.sprintf
+        "proc(x pce%d! pcc%d!) ([] x %d cont(t%d) (== t%d %d cont() (pcc%d! true) cont() \
+         (pcc%d! false)))"
+        field field field field field value field field
+    in
+    let srcs =
+      [
+        Printf.sprintf "(select %s r ce! cont(tmp) (select %s tmp ce! k!))" (pred 0 1)
+          (pred 1 2);
+        "(select proc(x pce! pcc!) (pcc! true) r ce! cont(s) (count s k!))";
+        "(distinct r ce! cont(tmp) (distinct tmp ce! k!))";
+        Printf.sprintf "(union a b ce! cont(tmp) (select %s tmp ce! k!))" (pred 2 7);
+      ]
+    in
+    let nodes =
+      List.concat_map
+        (fun src ->
+          let a = Sexp.parse_app src in
+          a :: nodes_of_value (Term.abs [] a))
+        srcs
+    in
+    List.concat (List.init 40 (fun _ -> nodes))
+  in
+  let lookup_linear a =
+    let rec go = function
+      | [] -> ()
+      | r :: rest -> ( match r a with Some _ -> () | None -> go rest)
+    in
+    go linear
+  in
+  let lookup_indexed a = ignore (indexed a) in
+  Printf.printf "%-18s %8s %14s %14s %9s\n" "corpus" "nodes" "linear ns" "indexed ns"
+    "speedup";
+  let ratios = ref [] in
+  List.iter
+    (fun (name, nodes) ->
+      let n = List.length nodes in
+      let lin = time_ns ~budget (fun () -> List.iter lookup_linear nodes) in
+      let idx = time_ns ~budget (fun () -> List.iter lookup_indexed nodes) in
+      let speedup = lin /. idx in
+      ratios := speedup :: !ratios;
+      Printf.printf "%-18s %8d %14.0f %14.0f %8.2fx\n%!" name n lin idx speedup;
+      json_add
+        "{\"experiment\":\"E15\",\"corpus\":\"%s\",\"nodes\":%d,\"linear_ns\":%.1f,\"indexed_ns\":%.1f,\"speedup\":%.2f}"
+        name n lin idx speedup)
+    [ "query-pipelines", pipeline_nodes; "redex-dense", redex_nodes ];
+  let g = geomean !ratios in
+  Printf.printf "rule-lookup speedup geomean: %.2fx (>= 1.5x: %s)\n" g
+    (if g >= 1.5 then "PASS" else "FAIL");
+  json_add "{\"experiment\":\"E15\",\"metric\":\"lookup-speedup-geomean\",\"speedup\":%.2f}" g;
+  (* end-to-end: a whole reduction pass (rule firing included) over the
+     fusable pipeline — the optimizer's hot loop with each dispatcher.
+     Informational: dispatch is one slice of a reduction pass.  (A full
+     [Optimizer.optimize_value] is deliberately not timed here: repeated
+     optimizations grow the global hash-consing tables, so its wall time
+     drifts across measurements regardless of the rule dispatcher.) *)
+  let fused =
+    Sexp.parse_app
+      (Printf.sprintf "(select %s r ce! cont(tmp) (select %s tmp ce! k!))"
+         "proc(x pcea! pcca!) ([] x 0 cont(ta) (== ta 1 cont() (pcca! true) cont() (pcca! \
+          false)))"
+         "proc(x pceb! pccb!) ([] x 1 cont(tb) (== tb 2 cont() (pccb! true) cont() (pccb! \
+          false)))")
+  in
+  let lin = time_ns ~budget (fun () -> ignore (Rewrite.reduce_app ~rules:linear fused)) in
+  let idx =
+    time_ns ~budget (fun () -> ignore (Rewrite.reduce_app ~rules:[ indexed ] fused))
+  in
+  Printf.printf
+    "reduce-pass over the fused pipeline: linear %.0f ns, indexed %.0f ns (%.2fx, \
+     informational)\n"
+    lin idx (lin /. idx);
+  json_add
+    "{\"experiment\":\"E15\",\"metric\":\"reduce-pass\",\"linear_ns\":%.1f,\"indexed_ns\":%.1f,\"speedup\":%.2f}"
+    lin idx (lin /. idx)
+
 let e11 ~quick () =
   section
     (if quick then
@@ -947,9 +1069,10 @@ let () =
     "TML benchmark harness — reproduction of Gawecki & Matthes, EDBT 1996\n\
      (abstract instruction counts are deterministic; wall times vary)\n";
   if smoke_mode then begin
-    Printf.printf "[smoke mode: E11 quick + E12 quick only]\n";
+    Printf.printf "[smoke mode: E11 + E12 + E15 quick only]\n";
     experiment "E11" (e11 ~quick:true);
     experiment "E12" (e12 ~budget:0.005);
+    experiment "E15" (e15 ~budget:0.005);
     write_json ()
   end
   else begin
@@ -967,6 +1090,7 @@ let () =
     experiment "E11" (e11 ~quick:false);
     experiment "E12" (e12 ~budget:0.05);
     experiment "E14" e14;
+    experiment "E15" (e15 ~budget:0.05);
     write_json ();
     Printf.printf "\nAll experiments completed.\n"
   end

@@ -28,8 +28,10 @@ let print_output out =
   print_string out;
   if out <> "" && out.[String.length out - 1] <> '\n' then print_newline ()
 
-let options_of ?(no_analysis = false) ?(no_incremental = false) ~direct ~static_opt () =
+let options_of ?(no_analysis = false) ?(no_incremental = false) ?(no_rule_index = false)
+    ~direct ~static_opt () =
   if no_analysis then Tml_analysis.Bridge.enabled := false;
+  if no_rule_index then Tml_rules.Index.enabled := false;
   let tune config =
     Tml_analysis.Bridge.with_analysis
       { config with Optimizer.incremental = not no_incremental }
@@ -131,6 +133,16 @@ let fno_jit_arg =
            machine.  Promotion does not change results or abstract \
            instruction counts, only wall-clock time.")
 
+let fno_rule_index_arg =
+  Arg.(
+    value & flag
+    & info [ "fno-rule-index" ]
+        ~doc:
+          "Disable the head-indexed rule dispatcher: domain rewrite rules \
+           are tried by linear scan at every node, as the legacy engine \
+           did.  Fires, provenance and results are identical either way \
+           (experiment E15 measures the lookup cost difference).")
+
 let profile_arg =
   Arg.(
     value & flag
@@ -183,13 +195,15 @@ let check_cmd =
 (* ---- dump ---- *)
 
 let dump_cmd =
-  let run file direct opt_level no_analysis no_incremental profile explain name =
+  let run file direct opt_level no_analysis no_incremental no_rule_index profile explain name =
     handle_errors (fun () ->
         let opt_level = with_explain explain opt_level in
         let compiled =
           with_profile profile (fun () ->
               Link.compile
-                ~options:(options_of ~no_analysis ~no_incremental ~direct ~static_opt:opt_level ())
+                ~options:
+                  (options_of ~no_analysis ~no_incremental ~no_rule_index ~direct
+                     ~static_opt:opt_level ())
                 (read_file file))
         in
         let dump (d : Lower.compiled_def) =
@@ -218,17 +232,19 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print the TML intermediate representation")
     Term.(
       const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
-      $ profile_arg $ explain_arg $ name_arg)
+      $ fno_rule_index_arg $ profile_arg $ explain_arg $ name_arg)
 
 (* ---- disasm ---- *)
 
 let disasm_cmd =
-  let run file direct opt_level no_analysis no_incremental profile name =
+  let run file direct opt_level no_analysis no_incremental no_rule_index profile name =
     handle_errors (fun () ->
         let program =
           with_profile profile (fun () ->
               Link.load
-                ~options:(options_of ~no_analysis ~no_incremental ~direct ~static_opt:opt_level ())
+                ~options:
+                  (options_of ~no_analysis ~no_incremental ~no_rule_index ~direct
+                     ~static_opt:opt_level ())
                 (read_file file))
         in
         let ctx = program.Link.ctx in
@@ -255,13 +271,13 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Print abstract machine code")
     Term.(
       const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
-      $ profile_arg $ name_arg)
+      $ fno_rule_index_arg $ profile_arg $ name_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file direct opt_level no_analysis no_incremental no_jit profile dynamic engine
-      explain =
+  let run file direct opt_level no_analysis no_incremental no_rule_index no_jit profile
+      dynamic engine explain =
     handle_errors (fun () ->
         Tierup.enabled := not no_jit;
         let opt_level = with_explain explain opt_level in
@@ -270,7 +286,8 @@ let run_cmd =
               let program =
                 Link.load
                   ~options:
-                    (options_of ~no_analysis ~no_incremental ~direct ~static_opt:opt_level ())
+                    (options_of ~no_analysis ~no_incremental ~no_rule_index ~direct
+                       ~static_opt:opt_level ())
                   (read_file file)
               in
               if dynamic then
@@ -301,7 +318,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile, link and execute a TL program")
     Term.(
       const run $ file_arg $ direct_arg $ opt_arg $ fno_analysis_arg $ fno_incremental_arg
-      $ fno_jit_arg $ profile_arg $ dynamic_arg $ engine_arg $ explain_arg)
+      $ fno_rule_index_arg $ fno_jit_arg $ profile_arg $ dynamic_arg $ engine_arg
+      $ explain_arg)
 
 (* ---- stanford ---- *)
 

@@ -10,6 +10,7 @@
      tmllint FILE.tl ...        lint TL source files
      tmllint --stdlib           lint the TL standard library
      tmllint --image IMG        lint the functions of a store image
+     tmllint --rules            audit the registered rewrite-rule set
      tmllint --json             machine-readable output
      tmllint --strict           exit nonzero when any diagnostic fired *)
 
@@ -330,7 +331,80 @@ let print_diags ~json diags =
         Printf.printf "%s:%d:%d: [%s] %s\n" d.d_file d.d_line d.d_col d.d_class d.d_msg)
       diags
 
-let run files stdlib image json strict =
+(* ------------------------------------------------------------------ *)
+(* Rule audit                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Audit every rule the active providers registered: the static checker
+   first, then (when statically clean) the derived proof obligation.  A
+   rule that fails either is unverifiable, and the audit exits 2 — the
+   gate the @rules test bundle runs. *)
+let audit_rules ~json ~plant_unsound =
+  Tml_query.Qopt.install ();
+  (* referencing the module guarantees tml_reflect is linked, so its
+     initializer has registered the store-aware rule descriptors *)
+  ignore Tml_reflect.Reflect.rule_descriptors;
+  if plant_unsound then Tml_rules.Index.register_all Tml_rules.Fixtures.all;
+  let open Tml_rules in
+  let results =
+    List.map
+      (fun (r : Dsl.rule) ->
+        let errs = Check.check r in
+        let obligation =
+          if errs <> [] then `Skipped else `Verdict (Tml_check.Obligation.check r)
+        in
+        r, errs, obligation)
+      (Index.registered ())
+  in
+  let unverifiable (_, errs, ob) =
+    errs <> []
+    ||
+    match ob with
+    | `Verdict (Tml_check.Obligation.Refuted _) -> true
+    | _ -> false
+  in
+  let heads_of (r : Dsl.rule) =
+    List.map (fun h -> Format.asprintf "%a" Dsl.pp_head h) r.Dsl.heads
+  in
+  let obligation_text = function
+    | `Skipped -> "skipped (static errors)"
+    | `Verdict v -> Format.asprintf "%a" Tml_check.Obligation.pp_verdict v
+  in
+  if json then begin
+    print_string "[";
+    List.iteri
+      (fun i ((r : Dsl.rule), errs, ob) ->
+        if i > 0 then print_string ",";
+        Printf.printf
+          "{\"name\":\"%s\",\"fact\":\"%s\",\"heads\":[%s],\"static\":[%s],\"obligation\":\"%s\"}"
+          (json_escape r.Dsl.name) (json_escape r.Dsl.fact)
+          (String.concat "," (List.map (fun h -> "\"" ^ json_escape h ^ "\"") (heads_of r)))
+          (String.concat ","
+             (List.map (fun (e : Check.error) -> "\"" ^ json_escape e.Check.what ^ "\"") errs))
+          (json_escape (obligation_text ob)))
+      results;
+    print_endline "]"
+  end
+  else begin
+    List.iter
+      (fun ((r : Dsl.rule), errs, ob) ->
+        Printf.printf "%-26s %-22s %s\n" r.Dsl.name
+          (String.concat "," (heads_of r))
+          (match errs with
+          | [] -> obligation_text ob
+          | errs ->
+            "STATIC: "
+            ^ String.concat "; " (List.map (fun (e : Check.error) -> e.Check.what) errs))
+      )
+      results;
+    let bad = List.length (List.filter unverifiable results) in
+    Printf.printf "%d rules audited, %d unverifiable\n" (List.length results) bad
+  end;
+  if List.exists unverifiable results then exit 2
+
+let run files stdlib image json strict rules plant_unsound =
+  if rules then audit_rules ~json ~plant_unsound
+  else
   let diags = ref [] in
   let fail_with msg =
     prerr_endline msg;
@@ -367,10 +441,28 @@ let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON o
 let strict_arg =
   Arg.(value & flag & info [ "strict" ] ~doc:"Exit with status 2 when any diagnostic fired.")
 
+let rules_arg =
+  Arg.(
+    value & flag
+    & info [ "rules" ]
+        ~doc:
+          "Audit the registered rewrite-rule set: run the static checker and the derived \
+           proof obligation of every rule; exit with status 2 when any rule is unverifiable.")
+
+let plant_unsound_arg =
+  Arg.(
+    value & flag
+    & info [ "plant-unsound" ]
+        ~doc:
+          "With $(b,--rules): also register the intentionally-unsound fixture rules before \
+           auditing, to exercise the audit's rejection paths.")
+
 let cmd =
   Cmd.v
     (Cmd.info "tmllint" ~version:"1.0.0"
        ~doc:"Static diagnostics for TL programs and TML store images")
-    Cmdliner.Term.(const run $ files_arg $ stdlib_arg $ image_arg $ json_arg $ strict_arg)
+    Cmdliner.Term.(
+      const run $ files_arg $ stdlib_arg $ image_arg $ json_arg $ strict_arg $ rules_arg
+      $ plant_unsound_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -39,7 +39,14 @@ let effect_remove (a : app) =
     | _ -> None)
   | _ -> None
 
-let rules = [ effect_remove ]
+(* Named like every other domain rule: an anonymous fire would report as
+   the fallback "domain" in provenance (and fault under
+   [Rewrite.strict_names]). *)
+let rules =
+  [
+    Rewrite.named ~fact:"callee pure, terminating, confined to cc" "a.effect-remove"
+      effect_remove;
+  ]
 
 (* Inlining bonus: expansion pays off more often for bodies the analysis
    knows cannot mutate the store or loop — the reductions it enables

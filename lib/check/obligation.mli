@@ -1,0 +1,47 @@
+(** Per-rule dynamic proof obligations: semantics preservation at generated
+    redexes.
+
+    Each declarative rule ({!Tml_rules.Dsl.Decl}) carries enough structure
+    to {e generate} precondition-satisfying redexes: the LHS pattern gives
+    the shape, and the sorts attached to its metavariables say what to put
+    at each leaf (a predicate from {!Tgen.gen_pred}, a projection, the
+    relation parameter, a continuation that folds the relation's
+    cardinality into the observable outcome, …).  Candidates are
+    rejection-sampled until the {e compiled} rule fires — so the side
+    conditions select the redexes, exactly as they would in the optimizer —
+    then the redex and its rewrite are wrapped as closed query programs
+    over the same generated relation and observed under the oracle's
+    reference engines ({!Oracle.Tree}, {!Oracle.Mach}).  Any difference in
+    outcome, output or reachable store refutes the rule.
+
+    Closure rules have no pattern to generate from; they report
+    {!Unsupported} and are covered by the differential oracle battery
+    itself (which runs the full optimizer pipelines they participate in). *)
+
+type refutation = {
+  ob_seed : int;  (** the generation seed of the refuting redex *)
+  ob_engine : string;
+  ob_detail : string;
+}
+
+type verdict =
+  | Proved of int
+      (** agreed on every engine at this many generated redexes (≥ 1) *)
+  | Refuted of refutation
+  | Unsupported of string
+      (** no obligation derivable: closure rule, or a pattern construct
+          with no generator; also reported when no generated redex fired,
+          so a vacuous pass cannot masquerade as a proof *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [ok v] — true unless the rule was refuted. *)
+val ok : verdict -> bool
+
+(** [check ?cases ?seed rule] — derive and discharge the rule's obligation.
+    [cases] (default 12) is the number of fired redexes to compare;
+    generation is deterministic in [seed] (default 0) and the rule name. *)
+val check : ?cases:int -> ?seed:int -> Tml_rules.Dsl.rule -> verdict
+
+val check_all :
+  ?cases:int -> ?seed:int -> Tml_rules.Dsl.rule list -> (Tml_rules.Dsl.rule * verdict) list

@@ -240,29 +240,39 @@ let check_case ~engines (c : Tgen.case) =
     ~mk_args:(fun _ -> [ Value.Int c.Tgen.a; Value.Int c.Tgen.b ])
     ~store_of:(fun ctx _ _ -> Canon.dump_heap ctx.Runtime.heap)
 
-let check_query ~engines (c : Tgen.query_case) =
+(* The shared run spec of a query case: how to materialize the relation
+   (as an R-value binding on the persistent path, a runtime argument
+   everywhere else) and what part of the store to compare. *)
+let query_spec (c : Tgen.query_case) =
   let mk_rel ctx =
     Tml_query.Rel.create ctx ~name:"t"
       (List.map (fun row -> Array.of_list (List.map (fun x -> Value.Int x) row)) c.Tgen.rows)
   in
-  (* the relation parameter is linked as a binding on the persistent path,
-     passed as an argument everywhere else *)
   let rel_param =
     match c.Tgen.qproc with
     | Term.Abs { Term.params = r :: _; _ } -> r
     | _ -> Runtime.fault "oracle: query program is not an abstraction"
   in
-  differential ~engines ~proc:c.Tgen.qproc
-    ~mk_bindings:(fun ctx -> [ rel_param, Value.Oidv (mk_rel ctx) ])
-    ~mk_args:(fun ctx -> [ Value.Oidv (mk_rel ctx) ])
-    ~store_of:(fun ctx args bindings ->
-      let root =
-        match args, bindings with
-        | root :: _, _ -> root
-        | [], (_, root) :: _ -> root
-        | [], [] -> Value.Unit
-      in
-      Canon.dump_reachable ctx [ root ])
+  let mk_bindings ctx = [ rel_param, Value.Oidv (mk_rel ctx) ] in
+  let mk_args ctx = [ Value.Oidv (mk_rel ctx) ] in
+  let store_of ctx args bindings =
+    let root =
+      match args, bindings with
+      | root :: _, _ -> root
+      | [], (_, root) :: _ -> root
+      | [], [] -> Value.Unit
+    in
+    Canon.dump_reachable ctx [ root ]
+  in
+  mk_bindings, mk_args, store_of
+
+let check_query ~engines (c : Tgen.query_case) =
+  let mk_bindings, mk_args, store_of = query_spec c in
+  differential ~engines ~proc:c.Tgen.qproc ~mk_bindings ~mk_args ~store_of
+
+let observe_query engine (c : Tgen.query_case) =
+  let mk_bindings, mk_args, store_of = query_spec c in
+  try_observe engine ~proc:c.Tgen.qproc ~mk_bindings ~mk_args ~store_of
 
 let case_fails ~engines c =
   match check_case ~engines c with

@@ -97,6 +97,13 @@ val check_case : engines:engine list -> Tgen.case -> verdict
     over its generated relation. *)
 val check_query : engines:engine list -> Tgen.query_case -> verdict
 
+(** [observe_query engine c] — run a single query case through one engine
+    and return what it observed (or the engine error).  This is the
+    building block the per-rule proof obligations ({!Obligation}) use: the
+    rule's redex is wrapped as a [query_case] before and after the rewrite
+    and both are observed under the same engines. *)
+val observe_query : engine -> Tgen.query_case -> (observation, string) result
+
 (** [case_fails ~engines c] / [query_fails ~engines c] — predicate forms for
     {!Tgen.minimize}. *)
 val case_fails : engines:engine list -> Tgen.case -> bool

@@ -59,6 +59,27 @@ type query_case = {
 
 val query_case_of_seed : ?min_size:int -> ?max_size:int -> int -> query_case
 
+(** {2 Building blocks}
+
+    The individual query-operand generators, exposed so the per-rule proof
+    obligations ({!Obligation}) can instantiate a rule's metavariables with
+    the same operand distribution the differential fuzzer explores:
+    predicates that accept, reject, compare fields or raise through the
+    exception continuation; projection and field-extraction functions. *)
+
+(** [gen_pred rng ~width] — a generated predicate [proc(x ce cc)] over a
+    row of [width] integer fields; jumps [cc true]/[cc false], or
+    occasionally raises through [ce]. *)
+val gen_pred : Random.State.t -> width:int -> Term.value
+
+(** [gen_project_fn rng ~width] — a generated projection [proc(x ce cc)]
+    passing a (possibly shorter or reordered) row to [cc]. *)
+val gen_project_fn : Random.State.t -> width:int -> Term.value
+
+(** [gen_field_fn rng ~width] — a generated field extractor [proc(x ce cc)]
+    passing one integer field to [cc]. *)
+val gen_field_fn : Random.State.t -> width:int -> Term.value
+
 (** {1 Shrinking} *)
 
 (** [measure v] — the strictly decreasing well-order the shrinker walks

@@ -110,6 +110,13 @@ let pp ppf t =
   Format.fprintf ppf "  %-10s %8d %12.6f %6.1f%%@," "validate" t.validate_passes t.validate_s
     (pct t.validate_s);
   Format.fprintf ppf "  rule fires: %a@," Rewrite.pp_stats t.fires;
+  (match Rewrite.fire_counts () with
+  | [] -> ()
+  | counts ->
+    Format.fprintf ppf "  domain rule fires:@,";
+    List.iter
+      (fun (name, n) -> Format.fprintf ppf "    %-28s %8d@," name n)
+      counts);
   Format.fprintf ppf "  budget exhausted: %d optimize calls truncated by penalty limit@,"
     t.budget_exhausted;
   let lookups = t.memo_hits + t.memo_misses in
@@ -153,4 +160,10 @@ let metrics_snapshot () =
     ]
 
 let register_metrics () =
-  Tml_obs.Metrics.register_source ~name:"optimizer" ~snapshot:metrics_snapshot ~reset
+  Tml_obs.Metrics.register_source ~name:"optimizer" ~snapshot:metrics_snapshot ~reset;
+  (* the per-rule fire counters ride as their own labelled source, so
+     [tmlsh :stats json] attributes optimization work rule by rule *)
+  Tml_obs.Metrics.register_source ~name:"rules"
+    ~snapshot:(fun () ->
+      List.map (fun (name, n) -> name, Tml_obs.Metrics.I n) (Rewrite.fire_counts ()))
+    ~reset:Rewrite.reset_fire_counts

@@ -73,6 +73,43 @@ let named ?fact name rule a =
     r
   | None -> None
 
+(* ------------------------------------------------------------------ *)
+(* Per-rule fire accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [stats.domain] lumps every domain-rule application together; the
+   labelled table below keys them by their noted provenance name, so the
+   metrics registry (source "rules") and [tmlc --profile] can attribute
+   optimization work rule by rule.  Unnoted fires land under the fallback
+   name "domain" — and fault in strict mode, which the rule audit uses to
+   guarantee no anonymous rules ship. *)
+
+exception Unnamed_rule_fire
+
+let anonymous_rule_name = "domain"
+
+(* Env-settable so the audit mode needs no plumbing through every entry
+   point: TML_STRICT_RULE_NAMES=1 turns any unnoted domain fire into a
+   fault. *)
+let strict_names =
+  ref
+    (match Sys.getenv_opt "TML_STRICT_RULE_NAMES" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let fire_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+let count_fire name =
+  match Hashtbl.find_opt fire_tbl name with
+  | Some r -> incr r
+  | None -> Hashtbl.replace fire_tbl name (ref 1)
+
+let fire_counts () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) fire_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_fire_counts () = Hashtbl.reset fire_tbl
+
 let fire rule before after =
   match !fire_hook with
   | Some f -> f ~rule ~fact:"" (Rapp (before, after))
@@ -335,10 +372,14 @@ let reduce ?(stats = dummy_stats) ?(rules = []) ?(max_steps = default_max_steps)
         match rule a with
         | Some a' ->
           stats.domain <- stats.domain + 1;
+          let name, fact =
+            Option.value ~default:(anonymous_rule_name, "") !noted
+          in
+          if !strict_names && String.equal name anonymous_rule_name then
+            raise Unnamed_rule_fire;
+          count_fire name;
           (match !fire_hook with
-          | Some f ->
-            let name, fact = Option.value ~default:("domain", "") !noted in
-            f ~rule:name ~fact (Rapp (a, a'))
+          | Some f -> f ~rule:name ~fact (Rapp (a, a'))
           | None -> ());
           Some a'
         | None -> go rest)

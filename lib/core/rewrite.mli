@@ -58,6 +58,29 @@ val note_rule : ?fact:string -> string -> unit
     attributed to [name] — the usual way to build a named rule list. *)
 val named : ?fact:string -> string -> rule -> rule
 
+(** {1 Per-rule fire accounting}
+
+    [stats.domain] lumps all domain-rule fires; the labelled counters here
+    key them by noted provenance name, feeding the metrics registry
+    (source "rules") and [tmlc --profile]. *)
+
+(** Raised (in strict mode only) when a domain rule fires without having
+    noted a name — an anonymous rule that would pollute provenance. *)
+exception Unnamed_rule_fire
+
+(** The fallback name unnoted fires report under. *)
+val anonymous_rule_name : string
+
+(** Fault on unnoted domain fires.  Defaults to the
+    [TML_STRICT_RULE_NAMES] environment variable ("1"/"true"/"yes"). *)
+val strict_names : bool ref
+
+(** [fire_counts ()] — cumulative (process-wide) fires per noted rule
+    name, sorted by name. *)
+val fire_counts : unit -> (string * int) list
+
+val reset_fire_counts : unit -> unit
+
 (** {1 Individual rules} (exposed for unit tests and ablation benches) *)
 
 (** [try_beta app] applies the combined [subst] / [remove] / [reduce] rules

@@ -1,7 +1,6 @@
 open Tml_core
 open Term
 
-let install = Qprims.install
 let static_rules = Qrewrite.algebraic_rules
 
 let index_select ctx (a : app) =
@@ -88,14 +87,66 @@ let select_past ctx (a : app) =
     | _ -> None)
   | _ -> None
 
-let runtime_rules ctx =
-  index_select ctx
-  :: (if !Tml_analysis.Bridge.enabled then [ select_past ctx ] else [])
+(* ------------------------------------------------------------------ *)
+(* Rule descriptors and the dispatch plan                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The store-aware rules keep the closure escape hatch of the rule DSL:
+   they close over a runtime context, so what the audit registry holds is
+   a representative descriptor (never executed there) while the optimizer
+   gets the live closure. *)
+
+let index_select_doc =
+  "σ(field = lit) over a relation carrying a live hash index on that \
+   field becomes an indexselect probe (runtime-only: needs the linked \
+   store)."
+
+let select_past_doc =
+  "Hoist a base-relation selection past a read-only interposer so two \
+   selections become adjacent and merge-select can fuse them; gated on \
+   the effect analysis (pure, total, confined predicate)."
+
+let index_select_rule ctx =
+  Tml_rules.Dsl.closure_rule ~name:"q.index-select" ~doc:index_select_doc
+    ~heads:[ Tml_rules.Dsl.Head_prim "select" ] (index_select ctx)
+
+let select_past_rule ctx =
+  Tml_rules.Dsl.closure_rule ~name:"q.select-past" ~doc:select_past_doc
+    ~heads:[ Tml_rules.Dsl.Head_prim "select" ] (select_past ctx)
+
+let rule_descriptors =
+  Qrewrite.declarative_rules
+  @ [
+      Tml_rules.Dsl.closure_rule ~name:"q.index-select" ~doc:index_select_doc
+        ~heads:[ Tml_rules.Dsl.Head_prim "select" ]
+        (fun _ -> None);
+      Tml_rules.Dsl.closure_rule ~name:"q.select-past" ~doc:select_past_doc
+        ~heads:[ Tml_rules.Dsl.Head_prim "select" ]
+        (fun _ -> None);
+    ]
+
+let install () =
+  Qprims.install ();
+  Tml_rules.Index.register_all rule_descriptors
+
+let declarative_runtime_rules ctx =
+  index_select_rule ctx
+  :: (if !Tml_analysis.Bridge.enabled then [ select_past_rule ctx ] else [])
+
+let runtime_rules ctx = List.map Tml_rules.Dsl.to_rewrite (declarative_runtime_rules ctx)
+
+(* What the optimizer entry points actually install: the indexed
+   dispatcher over the full declarative set (or the historical linear
+   list when [Tml_rules.Index.enabled] is off — [tmlc --fno-rule-index]). *)
+let static_plan () = Tml_rules.Index.plan Qrewrite.declarative_rules
+
+let full_plan ctx =
+  Tml_rules.Index.plan (Qrewrite.declarative_rules @ declarative_runtime_rules ctx)
 
 let optimize ?(config = Optimizer.default) ctx a =
   install ();
-  Optimizer.optimize_app ~config:(Optimizer.with_rules config (static_rules @ runtime_rules ctx)) a
+  Optimizer.optimize_app ~config:(Optimizer.with_rules config (full_plan ctx)) a
 
 let optimize_static ?(config = Optimizer.default) a =
   install ();
-  Optimizer.optimize_app ~config:(Optimizer.with_rules config static_rules) a
+  Optimizer.optimize_app ~config:(Optimizer.with_rules config (static_plan ())) a

@@ -11,12 +11,30 @@
 
 open Tml_core
 
-(** [install ()] registers the query primitives ({!Qprims.install}). *)
+(** [install ()] registers the query primitives ({!Qprims.install}) and
+    announces the query rules — declarative and store-aware — to the rule
+    registry ({!Tml_rules.Index.register}) for the audit surface. *)
 val install : unit -> unit
 
 (** Store-independent algebraic rules ({!Qrewrite.algebraic_rules}),
-    available to the static optimizer. *)
+    available to the static optimizer.  This is the historical flat list;
+    the optimizer entry points below consult {!static_plan} instead, which
+    swaps in the indexed dispatcher. *)
 val static_rules : Rewrite.rule list
+
+(** [static_plan ()] — the store-independent rules as the optimizer should
+    receive them: the head-indexed dispatcher of {!Tml_rules.Index}, or
+    the flat list when indexing is disabled ([tmlc --fno-rule-index]). *)
+val static_plan : unit -> Rewrite.rule list
+
+(** [full_plan ctx] — {!static_plan} plus the store-aware rules, as one
+    dispatch plan. *)
+val full_plan : Tml_vm.Runtime.ctx -> Rewrite.rule list
+
+(** Descriptors of every rule this library can fire (declarative query
+    rules plus representative descriptors for the two store-aware
+    closures), as registered by {!install}. *)
+val rule_descriptors : Tml_rules.Dsl.rule list
 
 (** [index_select ctx] — σ(field = literal) over a relation known (at
     runtime) to carry a hash index on that field becomes an [indexselect].
@@ -37,6 +55,11 @@ val select_past : Tml_vm.Runtime.ctx -> Rewrite.rule
 (** [runtime_rules ctx] — all store-dependent rules ([select_past] only
     while [Tml_analysis.Bridge.enabled]). *)
 val runtime_rules : Tml_vm.Runtime.ctx -> Rewrite.rule list
+
+(** The store-dependent rules as DSL descriptors (closure escape hatch),
+    for callers assembling their own dispatch plan (the reflective
+    optimizer). *)
+val declarative_runtime_rules : Tml_vm.Runtime.ctx -> Tml_rules.Dsl.rule list
 
 (** [optimize ?config ctx a] — convenience: run the full TML optimizer with
     both the static and the runtime query rules. *)

@@ -1,8 +1,19 @@
 open Tml_core
-open Term
+open Tml_rules.Dsl
 
-(* helper: one occurrence of [v] in [a]? *)
-let used_once v a = Occurs.count_app v a = 1
+(* The algebraic query rules of section 4.2, stated in the declarative
+   rule language of [Tml_rules]: an LHS pattern with metavariables, side
+   conditions from the closed [Sidecond] vocabulary, and an RHS template.
+   Each declaration is checked statically ([Tml_rules.Check]: scoping,
+   binder escape, size discipline, no silent drops) and carries a derived
+   dynamic proof obligation (the [Obligation] module of [tml_check]); the
+   compiled [Rewrite.rule] exported below is [Dsl.to_rewrite] of the
+   declaration, noted under the same provenance name as before.
+
+   The side-condition walks themselves ([alias_safe], [pure_app],
+   [row_local], [reader_positions]) live in [Tml_rules.Sidecond]; the gate
+   history (differential-fuzzer counterexamples and all) is documented
+   there and in the per-rule docs here. *)
 
 (* σp(σq(R)) ≡ σp∧q(R).
 
@@ -15,310 +26,337 @@ let used_once v a = Occurs.count_app v a = 1
                                           cont() (cc' false)))
              R ce k)
 
-   Preconditions: tempRel is referenced exactly once (by the inner select)
-   and both selections share the same exception continuation. *)
-let merge_select (a : app) =
-  match a.func, a.args with
-  | Prim "select", [ q; r; ce1; Abs kont ] -> (
-    match kont.params, kont.body with
-    | ( [ tmp ],
-        {
-          func = Prim "select";
-          args = [ p; Var tmp'; ce2; k ];
-        } )
-      when Ident.equal tmp tmp'
-           && used_once tmp kont.body
-           && equal_value ce1 ce2 ->
-      let x = Ident.fresh "x" in
-      let ce' = Ident.fresh ~sort:Cont "ce" in
-      let cc' = Ident.fresh ~sort:Cont "cc" in
-      let b = Ident.fresh "b" in
-      let then_branch = abs [] (app p [ var x; var ce'; var cc' ]) in
-      let else_branch = abs [] (app (var cc') [ bool_ false ]) in
-      let test = app (prim "==") [ var b; bool_ true; then_branch; else_branch ] in
-      let pnew =
-        abs [ x; ce'; cc' ] (app q [ var x; var ce'; abs [ b ] test ])
-      in
-      Some (app (prim "select") [ pnew; r; ce1; k ])
-    | _ -> None)
-  | _ -> None
+   The shared exception continuation is the DSL's non-linear match: the
+   second ?ce occurrence must be [equal_value] to the first.  [Used_once]
+   on the temp also guarantees p and k cannot mention it (its single
+   occurrence is the inner select's source argument). *)
+let merge_select_rule =
+  decl_rule ~name:"q.merge-select"
+    ~doc:
+      "σp(σq(R)) ≡ σp∧q(R): fuse two selections sharing an exception \
+       continuation into one pass with a conjoined predicate."
+    ~size:
+      (Bounded_growth
+         "wraps both predicates in a fixed-size conjunction scaffold; the \
+          select pair it consumes cannot reform")
+    (pa (pprim "select")
+       [
+         pany ~sort:Spred "q";
+         pany ~sort:Srel "r";
+         pany ~sort:Secont "ce";
+         P_abs
+           ( [ "tmp", Ident.Value ],
+             pa ~bind:"inner" (pprim "select")
+               [ pany ~sort:Spred "p"; P_bvar "tmp"; pany ~sort:Secont "ce"; pany ~sort:Scont_rel "k" ] );
+       ])
+    [ Used_once ("tmp", "inner") ]
+    (ra (R_prim "select")
+       [
+         R_abs
+           ( [
+               B_fresh ("x", "x", Ident.Value);
+               B_fresh ("ce'", "ce", Ident.Cont);
+               B_fresh ("cc'", "cc", Ident.Cont);
+             ],
+             ra (R_val "q")
+               [
+                 R_bvar "x";
+                 R_bvar "ce'";
+                 R_abs
+                   ( [ B_fresh ("b", "b", Ident.Value) ],
+                     ra (R_prim "==")
+                       [
+                         R_bvar "b";
+                         R_lit (Literal.Bool true);
+                         R_abs ([], ra (R_val "p") [ R_bvar "x"; R_bvar "ce'"; R_bvar "cc'" ]);
+                         R_abs ([], ra (R_bvar "cc'") [ R_lit (Literal.Bool false) ]);
+                       ] );
+               ] );
+         R_val "r";
+         R_val "ce";
+         R_val "k";
+       ])
 
-(* πf(πg(R)) ≡ πf∘g(R). *)
-let merge_project (a : app) =
-  match a.func, a.args with
-  | Prim "project", [ g; r; ce1; Abs kont ] -> (
-    match kont.params, kont.body with
-    | ( [ tmp ],
-        {
-          func = Prim "project";
-          args = [ f; Var tmp'; ce2; k ];
-        } )
-      when Ident.equal tmp tmp'
-           && used_once tmp kont.body
-           && equal_value ce1 ce2 ->
-      let x = Ident.fresh "x" in
-      let ce' = Ident.fresh ~sort:Cont "ce" in
-      let cc' = Ident.fresh ~sort:Cont "cc" in
-      let t = Ident.fresh "t" in
-      let fg =
-        abs [ x; ce'; cc' ]
-          (app g [ var x; var ce'; abs [ t ] (app f [ var t; var ce'; var cc' ]) ])
-      in
-      Some (app (prim "project") [ fg; r; ce1; k ])
-    | _ -> None)
-  | _ -> None
-
-(* Relation-reading primitives and the argument positions at which a
-   relation is consumed read-only. *)
-let reader_positions = function
-  | "select" | "project" | "exists" | "sum" | "minagg" | "maxagg" | "foreach" -> [ 1 ]
-  | "join" -> [ 1; 2 ]
-  | "count" | "empty" | "distinct" | "indexselect" -> [ 0 ]
-  | "union" | "inter" | "diff" -> [ 0; 1 ]
-  | _ -> []
+(* πf(πg(R)) ≡ πf∘g(R) — same shape as merge-select, with function
+   composition instead of conjunction. *)
+let merge_project_rule =
+  decl_rule ~name:"q.merge-project"
+    ~doc:"πf(πg(R)) ≡ πf∘g(R): fuse two projections into one composed pass."
+    ~size:
+      (Bounded_growth
+         "wraps both projections in a fixed-size composition scaffold; the \
+          project pair it consumes cannot reform")
+    (pa (pprim "project")
+       [
+         pany ~sort:Sproj "g";
+         pany ~sort:Srel "r";
+         pany ~sort:Secont "ce";
+         P_abs
+           ( [ "tmp", Ident.Value ],
+             pa ~bind:"inner" (pprim "project")
+               [ pany ~sort:Sproj "f"; P_bvar "tmp"; pany ~sort:Secont "ce"; pany ~sort:Scont_rel "k" ] );
+       ])
+    [ Used_once ("tmp", "inner") ]
+    (ra (R_prim "project")
+       [
+         R_abs
+           ( [
+               B_fresh ("x", "x", Ident.Value);
+               B_fresh ("ce'", "ce", Ident.Cont);
+               B_fresh ("cc'", "cc", Ident.Cont);
+             ],
+             ra (R_val "g")
+               [
+                 R_bvar "x";
+                 R_bvar "ce'";
+                 R_abs
+                   ( [ B_fresh ("t", "t", Ident.Value) ],
+                     ra (R_val "f") [ R_bvar "t"; R_bvar "ce'"; R_bvar "cc'" ] );
+               ] );
+         R_val "r";
+         R_val "ce";
+         R_val "k";
+       ])
 
 (* σtrue(R) ≡ R {e aliases} the would-be copy to R itself, which is only
-   sound when the temp is consumed read-only and no relation can be mutated
-   while it is live: an [insert]/[mkindex]/[ontrigger] through either name
-   would be visible through the other, and an identity test would tell the
-   alias from the fresh (row-identity-preserving) copy the unoptimized
-   select allocates.  [alias_safe tmp body] checks both syntactically —
-   every application head is a continuation jump, a β-redex or a
-   Pure/Observer primitive (no mutators, no unknown procedure calls, no
-   [Y], no host calls), and every occurrence of [tmp] sits at a
-   relation-reading argument position.  Found by the differential fuzzer:
-   (select true R cont(s) (insert s t ...)) must insert into a copy. *)
-let rec alias_safe tmp (a : app) =
-  let head_ok =
-    match a.func with
-    | Prim "Y" -> false
-    | Prim name -> (
-      match Prim.find name with
-      | Some d -> (
-        match d.Prim.attrs.effects with
-        | Prim.Pure | Prim.Observer -> true
-        | Prim.Mutator | Prim.Control | Prim.External -> false)
-      | None -> false)
-    | Var id -> Ident.is_cont id
-    | Abs _ -> true
-    | Lit _ -> false
-  in
-  let allowed =
-    match a.func with
-    | Prim name -> reader_positions name
-    | _ -> []
-  in
-  let arg_ok pos v =
-    match v with
-    | Var id when Ident.equal id tmp -> List.mem pos allowed
-    | _ -> true
-  in
-  let func_ok =
-    match a.func with
-    | Var id -> not (Ident.equal id tmp)
-    | _ -> true
-  in
-  let sub_ok v =
-    match v with
-    | Abs inner -> alias_safe tmp inner.body
-    | Lit _ | Var _ | Prim _ -> true
-  in
-  head_ok && func_ok
-  && List.for_all2 arg_ok (List.init (List.length a.args) Fun.id) a.args
-  && List.for_all sub_ok (a.func :: a.args)
+   sound when the temp is consumed read-only and no relation can be
+   mutated while it is live — an [insert] through either name would be
+   visible through the other (found by the differential fuzzer:
+   (select true R cont(s) (insert s t ...)) must insert into a copy).
+   [Alias_consumed_ok] is the layered gate: the syntactic
+   [Sidecond.alias_safe] walk, or the flow-based escape analysis when the
+   bridge is live. *)
+let constant_select_true_rule =
+  decl_rule ~name:"q.constant-select" ~fact:"alias-safe source"
+    ~doc:
+      "σtrue(R) ≡ R when the consumer is alias-safe: drop the copying \
+       select and pass the source relation through."
+    ~drops:
+      [
+        "ce", "the eliminated select cannot raise: its predicate is the constant-true jump";
+      ]
+    ~size:Decreasing
+    (pa (pprim "select")
+       [
+         P_abs
+           ( [ "px", Ident.Value; "pce", Ident.Cont; "pcc", Ident.Cont ],
+             pa (P_bvar "pcc") [ P_lit (Literal.Bool true) ] );
+         pany ~sort:Srel "r";
+         pany ~sort:Secont "ce";
+         P_abs ([ "tmp", Ident.Value ], PA_any ("body", Aconsume_rel "tmp"));
+       ])
+    [ Alias_consumed_ok ("tmp", "body") ]
+    (ra (R_abs ([ B_ref "tmp" ], RA_splice "body")) [ R_val "r" ])
 
-(* σtrue(R) ≡ R (when aliasing is unobservable, see above),
-   σfalse(R) ≡ ∅.
+(* σfalse(R) ≡ ∅.  Split from the σtrue direction: a declarative rule is
+   one pattern, one template — the two constant branches are separate
+   declarations (both were one closure before, reported under one name). *)
+let constant_select_false_rule =
+  decl_rule ~name:"q.constant-select-empty"
+    ~doc:"σfalse(R) ≡ ∅: a constantly-false selection builds the empty relation."
+    ~drops:
+      [
+        "r", "σfalse keeps no row whatever the source holds";
+        "ce", "the eliminated select cannot raise: its predicate is the constant-false jump";
+      ]
+    ~size:Decreasing
+    (pa (pprim "select")
+       [
+         P_abs
+           ( [ "px", Ident.Value; "pce", Ident.Cont; "pcc", Ident.Cont ],
+             pa (P_bvar "pcc") [ P_lit (Literal.Bool false) ] );
+         pany ~sort:Srel "r";
+         pany ~sort:Secont "ce";
+         pany ~sort:Scont_rel "k";
+       ])
+    []
+    (ra (R_prim "relation") [ R_val "k" ])
 
-   The aliasing gate is layered: the syntactic [alias_safe] walk decides
-   the easy cases, and when the analysis bridge is enabled the flow-based
-   [Tml_analysis.Alias.select_alias_ok] additionally accepts regions where
-   the alias only reaches readers through local procedure bindings — calls
-   [alias_safe] must reject outright. *)
-let alias_ok tmp body =
-  alias_safe tmp body
-  || (!Tml_analysis.Bridge.enabled && Tml_analysis.Alias.select_alias_ok ~tmp body)
+(* ∃x∈R: p ≡ p ∧ R≠∅ when |p|_x = 0 — the paper's showcase for scoping
+   preconditions on query rules.  Two guards beyond the paper's: the
+   rewritten form evaluates the predicate once even when R is empty, so
+   the predicate body must be pure ([Pure_app]) {e and} must not jump to
+   its exception continuation ([Not_occurs] on pce — a pure body can
+   still raise through pce, observable exactly on the empty relation). *)
+let trivial_exists_rule =
+  decl_rule ~name:"q.trivial-exists"
+    ~doc:
+      "∃x∈R: p ≡ p ∧ R≠∅ when the row variable does not occur in the \
+       pure, non-raising predicate body."
+    ~size:
+      (Bounded_growth
+         "adds a fixed-size emptiness/conjunction scaffold; the exists node \
+          it consumes cannot reform")
+    (pa (pprim "exists")
+       [
+         P_abs
+           ( [ "px", Ident.Value; "pce", Ident.Cont; "pcc", Ident.Cont ],
+             PA_any ("pbody", Apred_body) );
+         pany ~sort:Srel "r";
+         pany ~sort:Secont "ce";
+         pany ~sort:Scont_bool "k";
+       ])
+    [ Not_occurs ("px", "pbody"); Not_occurs ("pce", "pbody"); Pure_app "pbody" ]
+    (ra
+       (R_abs ([ B_ref "px"; B_ref "pce"; B_ref "pcc" ], RA_splice "pbody"))
+       [
+         R_lit Literal.Unit;
+         R_val "ce";
+         R_abs
+           ( [ B_fresh ("bp", "bp", Ident.Value) ],
+             ra (R_prim "empty")
+               [
+                 R_val "r";
+                 R_abs
+                   ( [ B_fresh ("be", "be", Ident.Value) ],
+                     ra (R_prim "not")
+                       [
+                         R_bvar "be";
+                         R_abs
+                           ( [ B_fresh ("ne", "ne", Ident.Value) ],
+                             ra (R_prim "and") [ R_bvar "bp"; R_bvar "ne"; R_val "k" ] );
+                       ] );
+               ] );
+       ])
 
-let constant_select (a : app) =
-  match a.func, a.args with
-  | Prim "select", [ Abs p; r; _ce; k ] -> (
-    match p.params, p.body with
-    | [ _x; _pce; pcc ], { func = Var cc'; args = [ Lit (Literal.Bool bool_result) ] }
-      when Ident.equal pcc cc' ->
-      if bool_result then
-        match k with
-        | Abs { params = [ tmp ]; body } when alias_ok tmp body -> Some (app k [ r ])
-        | _ -> None
-      else Some (app (prim "relation") [ k ])
-    | _ -> None)
-  | _ -> None
-
-(* A conservative syntactic purity check: only continuation-variable jumps,
-   β-redexes and primitives of effect class [Pure] (excluding [Y], whose
-   recursion could diverge).  Used to strengthen [trivial_exists]: the
-   rewritten form evaluates the predicate once even when R is empty, which
-   is only unobservable when the predicate cannot touch the store, call
-   unknown procedures or loop. *)
-let rec pure_app (a : app) =
-  let head_ok =
-    match a.func with
-    | Prim "Y" -> false
-    | Prim name -> (
-      match Prim.find name with
-      | Some d -> d.Prim.attrs.effects = Prim.Pure
-      | None -> false)
-    | Var id -> Ident.is_cont id
-    | Abs _ -> true
-    | Lit _ -> false
-  in
-  head_ok
-  && List.for_all
-       (fun v ->
-         match v with
-         | Abs inner -> pure_app inner.body
-         | Lit _ | Var _ | Prim _ -> true)
-       (a.func :: a.args)
-
-(* ∃x∈R: p ≡ p ∧ R≠∅ when |p|_x = 0 — the scoping precondition is checked
-   with the occurrence-counting function of section 3. *)
-let trivial_exists (a : app) =
-  match a.func, a.args with
-  | Prim "exists", [ Abs p; r; ce; k ] -> (
-    match p.params with
-    | [ x; _pce; _pcc ] when (not (Occurs.occurs_app x p.body)) && pure_app p.body ->
-      let bp = Ident.fresh "bp" in
-      let be = Ident.fresh "be" in
-      let ne = Ident.fresh "ne" in
-      let inner =
-        abs [ bp ]
-          (app (prim "empty")
-             [
-               r;
-               abs [ be ]
-                 (app (prim "not")
-                    [ var be; abs [ ne ] (app (prim "and") [ var bp; var ne; k ]) ]);
-             ])
-      in
-      Some (app (Abs p) [ unit_; ce; inner ])
-    | _ -> None)
-  | _ -> None
-
-(* σp(R ∪ S) ≡ σp(R) ∪ σp(S).
-
-   CPS shape: (union a b cont(t) (select p t ce k))
-          --> (select p a ce cont(ra)
-                (select p' b ce cont(rb) (union ra rb k)))
-
-   where p' is an α-freshened copy of p; duplication is gated on the
-   predicate's size. *)
+(* σp(R ∪ S) ≡ σp(R) ∪ σp(S): selection distributes over union, avoiding
+   materializing the concatenation first.  The predicate and the exception
+   continuation are duplicated across the arms — the second copies are
+   α-freshened (the unique-binding rule) and both carry size bounds, which
+   is what the checker's duplication discipline demands. *)
 let select_union_limit = 60
 
-let select_union (a : app) =
-  match a.func, a.args with
-  | Prim "union", [ r1; r2; Abs kont ] -> (
-    match kont.params, kont.body with
-    | [ tmp ], { func = Prim "select"; args = [ (Abs pabs as p); Var tmp'; ce; k ] }
-      when Ident.equal tmp tmp'
-           && used_once tmp kont.body
-           && Term.size_value p <= select_union_limit ->
-      let p' = Alpha.freshen_value p in
-      ignore pabs;
-      let ra = Ident.fresh "ra" in
-      let rb = Ident.fresh "rb" in
-      Some
-        (app (prim "select")
-           [
-             p;
-             r1;
-             ce;
-             abs [ ra ]
-               (app (prim "select")
-                  [
-                    p';
-                    r2;
-                    ce;
-                    abs [ rb ] (app (prim "union") [ var ra; var rb; k ]);
-                  ]);
-           ])
-    | _ -> None)
-  | _ -> None
+let select_union_rule =
+  decl_rule ~name:"q.select-union"
+    ~doc:
+      "σp(R ∪ S) ≡ σp(R) ∪ σp(S): distribute a selection over a union, \
+       duplicating the (size-gated) predicate."
+    ~dups:[ "p"; "ce" ]
+    ~size:
+      (Bounded_growth
+         "duplicates the predicate and exception continuation, both gated \
+          by Size_le bounds; the union/select pair it consumes cannot reform")
+    (pa (pprim "union")
+       [
+         pany ~sort:Srel "r1";
+         pany ~sort:Srel "r2";
+         P_abs
+           ( [ "tmp", Ident.Value ],
+             pa ~bind:"inner" (pprim "select")
+               [ pany ~sort:Spred "p"; P_bvar "tmp"; pany ~sort:Secont "ce"; pany ~sort:Scont_rel "k" ] );
+       ])
+    [
+      Used_once ("tmp", "inner");
+      Size_le ("p", select_union_limit);
+      Size_le ("ce", select_union_limit);
+    ]
+    (ra (R_prim "select")
+       [
+         R_val "p";
+         R_val "r1";
+         R_val "ce";
+         R_abs
+           ( [ B_fresh ("ra", "ra", Ident.Value) ],
+             ra (R_prim "select")
+               [
+                 R_fresh_copy "p";
+                 R_val "r2";
+                 R_fresh_copy "ce";
+                 R_abs
+                   ( [ B_fresh ("rb", "rb", Ident.Value) ],
+                     ra (R_prim "union") [ R_bvar "ra"; R_bvar "rb"; R_val "k" ] );
+               ] );
+       ])
 
 (* δ(δ(R)) ≡ δ(R) *)
-let distinct_distinct (a : app) =
-  match a.func, a.args with
-  | Prim "distinct", [ r; Abs kont ] -> (
-    match kont.params, kont.body with
-    | [ tmp ], { func = Prim "distinct"; args = [ Var tmp'; k ] }
-      when Ident.equal tmp tmp' && used_once tmp kont.body ->
-      Some (app (prim "distinct") [ r; k ])
-    | _ -> None)
-  | _ -> None
-
-(* A predicate is "row-local" when it observes the row exclusively through
-   field reads ([] with the row as the indexed object) and performs no
-   mutation, host calls or recursion: such a predicate is a deterministic
-   function of the row's field contents (content-equal rows have pairwise
-   identical field values), so per-content-class transformations like
-   swapping selection with duplicate elimination cannot change behaviour. *)
-let rec row_local x (a : app) =
-  let head_ok =
-    match a.func with
-    | Prim "Y" -> false
-    | Prim name -> (
-      match Prim.find name with
-      | Some d -> (
-        match d.Prim.attrs.effects with
-        | Prim.Pure | Prim.Observer -> true
-        | Prim.Mutator | Prim.Control | Prim.External -> false)
-      | None -> false)
-    | Var id -> Ident.is_cont id
-    | Abs _ -> true
-    | Lit _ -> false
-  in
-  let row_use_ok pos v =
-    match v with
-    | Var id when Ident.equal id x -> (
-      (* only as the indexed object of a field read *)
-      match a.func with
-      | Prim "[]" -> pos = 0
-      | _ -> false)
-    | _ -> true
-  in
-  let sub_ok v =
-    match v with
-    | Abs inner -> row_local x inner.body
-    | Lit _ | Var _ | Prim _ -> true
-  in
-  head_ok
-  && List.for_all2 row_use_ok
-       (List.init (List.length a.args) Fun.id)
-       a.args
-  && List.for_all sub_ok (a.func :: a.args)
-
-let row_local_pred (p : value) =
-  match p with
-  | Abs { params = [ x; _ce; _cc ]; body } -> row_local x body
-  | _ -> false
+let distinct_distinct_rule =
+  decl_rule ~name:"q.distinct-distinct"
+    ~doc:"δ(δ(R)) ≡ δ(R): duplicate elimination is idempotent."
+    ~size:Decreasing
+    (pa (pprim "distinct")
+       [
+         pany ~sort:Srel "r";
+         P_abs
+           ( [ "tmp", Ident.Value ],
+             pa ~bind:"inner" (pprim "distinct") [ P_bvar "tmp"; pany ~sort:Scont_rel "k" ] );
+       ])
+    [ Used_once ("tmp", "inner") ]
+    (ra (R_prim "distinct") [ R_val "r"; R_val "k" ])
 
 (* δ(σp(R)) ≡ σp(δ(R)) — oriented to select first: the (quadratic)
    duplicate elimination then runs on the smaller relation.  Requires a
-   row-local predicate (see above): an identity-observing predicate could
-   distinguish content-equal duplicate rows. *)
-let select_before_distinct (a : app) =
-  match a.func, a.args with
-  | Prim "distinct", [ r; Abs kont ] -> (
-    match kont.params, kont.body with
-    | [ tmp ], { func = Prim "select"; args = [ p; Var tmp'; ce; k ] }
-      when Ident.equal tmp tmp' && used_once tmp kont.body && row_local_pred p ->
-      let s = Ident.fresh "s" in
-      Some
-        (app (prim "select")
-           [ p; r; ce; abs [ s ] (app (prim "distinct") [ var s; k ]) ])
-    | _ -> None)
-  | _ -> None
+   row-local predicate ([Sidecond.row_local]): an identity-observing
+   predicate could distinguish content-equal duplicate rows. *)
+let select_before_distinct_rule =
+  decl_rule ~name:"q.select-before-distinct"
+    ~doc:
+      "δ(σp(R)) ≡ σp(δ(R)), oriented to run the quadratic duplicate \
+       elimination after the row-local selection shrank the relation."
+    ~size:(Neutral "pure reordering: both sides rebuild the same two nodes")
+    (pa (pprim "distinct")
+       [
+         pany ~sort:Srel "r";
+         P_abs
+           ( [ "tmp", Ident.Value ],
+             pa ~bind:"inner" (pprim "select")
+               [
+                 P_abs
+                   ( [ "px", Ident.Value; "pce", Ident.Cont; "pcc", Ident.Cont ],
+                     PA_any ("pbody", Apred_body) );
+                 P_bvar "tmp";
+                 pany ~sort:Secont "ce";
+                 pany ~sort:Scont_rel "k";
+               ] );
+       ])
+    [ Used_once ("tmp", "inner"); Row_local ("px", "pbody") ]
+    (ra (R_prim "select")
+       [
+         R_abs ([ B_ref "px"; B_ref "pce"; B_ref "pcc" ], RA_splice "pbody");
+         R_val "r";
+         R_val "ce";
+         R_abs
+           ( [ B_fresh ("s", "s", Ident.Value) ],
+             ra (R_prim "distinct") [ R_bvar "s"; R_val "k" ] );
+       ])
 
-(* Recognize λ(x ce cc). x.[i] == lit — the indexable equality predicate. *)
-let field_eq_predicate (pred : value) =
+(* ------------------------------------------------------------------ *)
+(* Exports                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let declarative_rules =
+  [
+    merge_select_rule;
+    merge_project_rule;
+    constant_select_true_rule;
+    constant_select_false_rule;
+    trivial_exists_rule;
+    select_union_rule;
+    distinct_distinct_rule;
+    select_before_distinct_rule;
+  ]
+
+let alias_safe = Tml_rules.Sidecond.alias_safe
+
+(* The compiled forms, kept under their historical export names (the unit
+   tests drive the rules one at a time). *)
+let merge_select = to_rewrite merge_select_rule
+let merge_project = to_rewrite merge_project_rule
+
+(* Both constant branches under one export, as before the DSL port. *)
+let constant_select =
+  let t = to_rewrite constant_select_true_rule in
+  let f = to_rewrite constant_select_false_rule in
+  fun a -> match t a with Some _ as r -> r | None -> f a
+
+let trivial_exists = to_rewrite trivial_exists_rule
+let select_union = to_rewrite select_union_rule
+let distinct_distinct = to_rewrite distinct_distinct_rule
+let select_before_distinct = to_rewrite select_before_distinct_rule
+
+(* Recognize λ(x ce cc). x.[i] == lit — the indexable equality predicate
+   (used by the [index_select] closure rule in [Qopt]). *)
+let field_eq_predicate (pred : Term.value) =
+  let open Term in
   match pred with
   | Abs { params = [ x; _ce; cc ]; body } -> (
     match body with
@@ -344,13 +382,4 @@ let field_eq_predicate (pred : value) =
     | _ -> None)
   | _ -> None
 
-let algebraic_rules =
-  [
-    Rewrite.named "q.merge-select" merge_select;
-    Rewrite.named "q.merge-project" merge_project;
-    Rewrite.named ~fact:"alias-safe source" "q.constant-select" constant_select;
-    Rewrite.named "q.trivial-exists" trivial_exists;
-    Rewrite.named "q.select-union" select_union;
-    Rewrite.named "q.distinct-distinct" distinct_distinct;
-    Rewrite.named "q.select-before-distinct" select_before_distinct;
-  ]
+let algebraic_rules = List.map to_rewrite declarative_rules

@@ -13,9 +13,22 @@
     algebraic reading is only valid for read-only consumers (σtrue(R) ≡ R,
     which aliases instead of copying) carry explicit syntactic
     preconditions restricting them to contexts where the aliasing is
-    unobservable. *)
+    unobservable.
+
+    Since the DSL port, every rule here is {e declared} in the language of
+    {!Tml_rules.Dsl} — pattern, side conditions from the closed vocabulary,
+    RHS template — and the [Rewrite.rule] values below are the compiled
+    forms.  {!declarative_rules} exposes the declarations themselves for
+    the static checker, the indexed dispatcher and the derived proof
+    obligations. *)
 
 open Tml_core
+
+(** The rule declarations, in application order: merge-select,
+    merge-project, the two constant-select branches, trivial-exists,
+    select-union, distinct-distinct, select-before-distinct.  Every entry
+    passes [Tml_rules.Check.check] and its derived obligation. *)
+val declarative_rules : Tml_rules.Dsl.rule list
 
 (** σp(σq(R)) ≡ σp∧q(R) — the [merge-select] rule of the paper.  Requires
     both selections to share the same exception continuation and the
@@ -66,5 +79,6 @@ val select_before_distinct : Rewrite.rule
     [index_select] rule (in {!Qopt}) accelerates. *)
 val field_eq_predicate : Term.value -> (int * Literal.t) option
 
-(** All static (store-independent) rules, in application order. *)
+(** All static (store-independent) rules, in application order — the
+    compiled forms of {!declarative_rules}. *)
 val algebraic_rules : Rewrite.rule list

@@ -169,16 +169,65 @@ let effect_attrs optimized =
 let cache_summary oid optimized =
   if !Tml_analysis.Bridge.enabled then Tml_analysis.Cache.remember oid optimized
 
-(* The store-aware rule set used by both optimize variants. *)
-let store_rules ctx config ~budget ~count =
+(* The store-aware rules as DSL descriptors (closure escape hatch: they
+   consult the live heap, so their verification is the oracle battery, not
+   a derived obligation).  Each declares its dispatch heads for the
+   indexed matcher; a head set that under-declared would silently lose
+   fires, which the indexed≡linear property test would catch. *)
+
+let store_fold_doc =
+  "Fold a field read / size probe of an immutable store object (vector, \
+   tuple) to the literal it must produce."
+
+let inline_oid_doc =
+  "Inline a stored function applied as a literal OID, closing over its \
+   literal R-value bindings (budgeted, size-limited)."
+
+let inline_query_arg_doc =
+  "Inline a stored function appearing as the procedure argument of a \
+   query operator, exposing its body to the algebraic rules."
+
+let reflect_rules ctx config ~budget ~count =
+  let open Tml_rules.Dsl in
   [
-    store_fold ctx;
-    inline_oid ctx ~budget ~limit:config.inline_oid_limit ~count;
-    inline_query_arg ctx ~budget ~limit:config.inline_oid_limit ~count;
+    closure_rule ~name:"reflect.store-fold" ~doc:store_fold_doc
+      ~heads:[ Head_prim "[]"; Head_prim "size" ]
+      (store_fold ctx);
+    closure_rule ~name:"reflect.inline-oid" ~doc:inline_oid_doc ~heads:[ Head_oid ]
+      (inline_oid ctx ~budget ~limit:config.inline_oid_limit ~count);
+    closure_rule ~name:"reflect.inline-query-arg" ~doc:inline_query_arg_doc
+      ~heads:(List.map (fun p -> Head_prim p) query_fn_arg_prims)
+      (inline_query_arg ctx ~budget ~limit:config.inline_oid_limit ~count);
   ]
-  @ (if config.use_query_rules then
-       Tml_query.Qopt.static_rules @ Tml_query.Qopt.runtime_rules ctx
-     else [])
+
+(* Representative descriptors for the audit registry (the closures are
+   never run there). *)
+let rule_descriptors =
+  let open Tml_rules.Dsl in
+  [
+    closure_rule ~name:"reflect.store-fold" ~doc:store_fold_doc
+      ~heads:[ Head_prim "[]"; Head_prim "size" ]
+      (fun _ -> None);
+    closure_rule ~name:"reflect.inline-oid" ~doc:inline_oid_doc ~heads:[ Head_oid ]
+      (fun _ -> None);
+    closure_rule ~name:"reflect.inline-query-arg" ~doc:inline_query_arg_doc
+      ~heads:(List.map (fun p -> Head_prim p) query_fn_arg_prims)
+      (fun _ -> None);
+  ]
+
+let () = Tml_rules.Index.register_all rule_descriptors
+
+(* The store-aware rule set used by both optimize variants: one dispatch
+   plan over the reflective rules plus (when enabled) the declarative
+   query rules and the store-dependent query closures — head-indexed, or
+   the historical flat list under [tmlc --fno-rule-index]. *)
+let store_rules ctx config ~budget ~count =
+  Tml_rules.Index.plan
+    (reflect_rules ctx config ~budget ~count
+    @
+    if config.use_query_rules then
+      Tml_query.Qrewrite.declarative_rules @ Tml_query.Qopt.declarative_runtime_rules ctx
+    else [])
 
 (* ------------------------------------------------------------------ *)
 (* Specialization cache glue                                            *)

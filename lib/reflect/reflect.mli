@@ -74,6 +74,12 @@ val inline_oid :
 val inline_query_arg :
   Tml_vm.Runtime.ctx -> budget:int ref -> limit:int -> count:int ref -> Rewrite.rule
 
+(** The store-aware rules as registry descriptors (name, fact, doc,
+    dispatch heads) for the audit surface ([tmllint --rules]); their
+    closures are context-free stand-ins that never fire — the live
+    closures are built per-optimization with the real [ctx]. *)
+val rule_descriptors : Tml_rules.Dsl.rule list
+
 (** [optimize ?config ctx oid] — the reflective optimizer.
     @raise Tml_vm.Runtime.Fault if [oid] is not a function object. *)
 val optimize : ?config:config -> Tml_vm.Runtime.ctx -> Oid.t -> result

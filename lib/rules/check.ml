@@ -1,0 +1,332 @@
+open Dsl
+
+(* ------------------------------------------------------------------ *)
+(* The static rule checker                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Four families of checks over a declared rule, all purely symbolic:
+
+   1. {e Scoping}: every metavariable a side condition or the RHS mentions
+      must be bound by the LHS (binder metavariables in matching order);
+      app metavariables bind at most once; RHS-fresh binders must not
+      shadow LHS names; an RHS splice may only re-insert a wildcard-bound
+      application (a structured one would make the size accounting lie).
+
+   2. {e Binder escape lint}: a matched subtree that sat under an LHS
+      binder may mention it, so an RHS occurrence of that subtree must
+      either rebuild the binder around it ([B_ref]) or the rule must carry
+      an occurrence-controlling condition ([Used_once]/[Not_occurs]) for
+      the binder — otherwise the output could contain a dangling variable.
+
+   3. {e Size discipline}: both sides are measured as symbolic polynomials
+      (constant node count plus per-metavariable occurrence counts, every
+      metavariable standing for a tree of size ≥ 1).  A metavariable the
+      RHS duplicates must be declared in [dups] and carry a [Size_le]
+      bound; the declared {!Dsl.size_class} must then be consistent with
+      the worst-case delta — [Decreasing] demands a strictly positive
+      minimum shrink, [Neutral] a non-negative one, and [Bounded_growth]
+      is accepted because every per-metavariable coefficient deficit is
+      bounded, so growth is bounded by a rule constant (termination then
+      rests on the optimizer's step budget, as for the closure rules).
+
+   4. {e Precondition sufficiency lint}: an LHS metavariable the RHS
+      discards changes semantics unless something constrains it — it must
+      be mentioned by a side condition or explicitly acknowledged in
+      [drops] with a justification.  (The planted-unsound fixture rule,
+      σp(R) → R, is rejected exactly here: it silently discards the
+      predicate.) *)
+
+type error = {
+  rule : string;
+  what : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.rule e.what
+
+module SS = Set.Make (String)
+module SMap = Map.Make (String)
+
+type lhs_info = {
+  li_vals : int SMap.t;  (* value mvar -> LHS occurrence count *)
+  li_apps : bool SMap.t;  (* app mvar -> wildcard? *)
+  li_binders : SS.t;
+  li_scope : SS.t SMap.t;  (* val/app mvar -> LHS binders in scope there *)
+  li_errors : string list;
+}
+
+let li_empty =
+  {
+    li_vals = SMap.empty;
+    li_apps = SMap.empty;
+    li_binders = SS.empty;
+    li_scope = SMap.empty;
+    li_errors = [];
+  }
+
+let bump m k = SMap.update k (fun c -> Some (1 + Option.value ~default:0 c)) m
+
+let collect_lhs lhs =
+  let err li msg = { li with li_errors = msg :: li.li_errors } in
+  (* A nonlinear metavariable's effective scope is the intersection over
+     its occurrences: the matched subtree can only mention binders in
+     scope at {e every} occurrence (the equality check would fail
+     otherwise, binders being unique). *)
+  let note_scope li m scope =
+    let scope =
+      match SMap.find_opt m li.li_scope with
+      | Some s0 -> SS.inter s0 scope
+      | None -> scope
+    in
+    { li with li_scope = SMap.add m scope li.li_scope }
+  in
+  let rec go_v li scope = function
+    | P_any (m, _) -> note_scope (bump_val li m) m scope
+    | P_lit _ | P_prim _ -> li
+    | P_bvar m ->
+      if SS.mem m li.li_binders then li
+      else err li (Printf.sprintf "P_bvar ?%s used before any P_abs binds it" m)
+    | P_abs (bs, body) ->
+      let li =
+        List.fold_left
+          (fun li (m, _) ->
+            if SS.mem m li.li_binders then
+              err li (Printf.sprintf "binder metavariable ?%s bound twice" m)
+            else { li with li_binders = SS.add m li.li_binders })
+          li bs
+      in
+      let scope = List.fold_left (fun s (m, _) -> SS.add m s) scope bs in
+      go_a li scope body
+  and bump_val li m = { li with li_vals = bump li.li_vals m }
+  and go_a li scope = function
+    | PA_any (m, _) ->
+      if SMap.mem m li.li_apps then
+        err li (Printf.sprintf "app metavariable ?%s bound twice" m)
+      else note_scope { li with li_apps = SMap.add m true li.li_apps } m scope
+    | PA_node { pa_bind; pa_func; pa_args } ->
+      let li =
+        match pa_bind with
+        | None -> li
+        | Some m ->
+          if SMap.mem m li.li_apps then
+            err li (Printf.sprintf "app metavariable ?%s bound twice" m)
+          else note_scope { li with li_apps = SMap.add m false li.li_apps } m scope
+      in
+      List.fold_left (fun li v -> go_v li scope v) (go_v li scope pa_func) pa_args
+  in
+  go_a li_empty SS.empty lhs
+
+(* Symbolic size polynomial: constant node count + per-mvar coefficients
+   (value and app metavariables share the coefficient namespace — their
+   names never collide by the scoping check). *)
+type poly = {
+  const : int;
+  coeff : int SMap.t;
+}
+
+let poly_zero = { const = 0; coeff = SMap.empty }
+let add_const p n = { p with const = p.const + n }
+let add_var p m = { p with coeff = bump p.coeff m }
+
+let lhs_poly lhs =
+  let rec go_v p = function
+    | P_any (m, _) -> add_var p m
+    | P_lit _ | P_prim _ | P_bvar _ -> add_const p 1
+    | P_abs (bs, body) -> go_a (add_const p (1 + List.length bs)) body
+  and go_a p = function
+    | PA_any (m, _) -> add_var p m
+    | PA_node { pa_func; pa_args; _ } ->
+      List.fold_left go_v (go_v (add_const p 1) pa_func) pa_args
+  in
+  go_a poly_zero lhs
+
+let rhs_poly rhs =
+  let rec go_v p = function
+    | R_val m | R_fresh_copy m -> add_var p m
+    | R_bvar _ | R_lit _ | R_prim _ -> add_const p 1
+    | R_abs (bs, body) -> go_a (add_const p (1 + List.length bs)) body
+  and go_a p = function
+    | RA_splice m -> add_var p m
+    | RA_app (f, args) -> List.fold_left go_v (go_v (add_const p 1) f) args
+  in
+  go_a poly_zero rhs
+
+let coeff p m = Option.value ~default:0 (SMap.find_opt m p.coeff)
+
+let cond_mvars = function
+  | Used_once (b, m) | Not_occurs (b, m) | Alias_consumed_ok (b, m) | Row_local (b, m) ->
+    [ `Binder b; `App m ]
+  | Pure_app m -> [ `App m ]
+  | Size_le (m, _) -> [ `Val m ]
+
+let check_decl name (d : decl) : string list =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let li = collect_lhs d.lhs in
+  List.iter (fun e -> errors := e :: !errors) li.li_errors;
+  (* -- condition scoping -- *)
+  List.iter
+    (fun c ->
+      List.iter
+        (function
+          | `Binder b ->
+            if not (SS.mem b li.li_binders) then
+              err "side condition mentions unbound binder ?%s" b
+          | `App m ->
+            if not (SMap.mem m li.li_apps) then
+              err "side condition mentions unbound app metavariable ?%s" m
+          | `Val m ->
+            if not (SMap.mem m li.li_vals) then
+              err "side condition mentions unbound value metavariable ?%s" m)
+        (cond_mvars c))
+    d.conds;
+  let cond_binders =
+    List.fold_left
+      (fun s c ->
+        List.fold_left
+          (fun s -> function `Binder b -> SS.add b s | _ -> s)
+          s (cond_mvars c))
+      SS.empty d.conds
+  in
+  let cond_mentioned =
+    List.fold_left
+      (fun s c ->
+        List.fold_left
+          (fun s -> function `App m | `Val m -> SS.add m s | `Binder _ -> s)
+          s (cond_mvars c))
+      SS.empty d.conds
+  in
+  (* -- RHS scoping + binder escape lint -- *)
+  let check_subtree_use where m rhs_scope =
+    match SMap.find_opt m li.li_scope with
+    | None -> ()
+    | Some lhs_scope ->
+      SS.iter
+        (fun b ->
+          if not (SS.mem b rhs_scope || SS.mem b cond_binders) then
+            err
+              "%s ?%s was matched under binder ?%s, which the RHS neither rebuilds \
+               around it nor controls with an occurrence condition"
+              where m b)
+        lhs_scope
+  in
+  let rec rhs_v scope fresh = function
+    | R_val m ->
+      if not (SMap.mem m li.li_vals) then err "RHS uses unbound value metavariable ?%s" m
+      else check_subtree_use "RHS value" m scope
+    | R_fresh_copy m ->
+      if not (SMap.mem m li.li_vals) then
+        err "RHS freshens unbound value metavariable ?%s" m
+      else check_subtree_use "RHS freshened value" m scope
+    | R_bvar m ->
+      if not (SS.mem m li.li_binders || SS.mem m fresh) then
+        err "RHS variable ?%s is neither an LHS binder nor RHS-fresh" m
+      else if SS.mem m li.li_binders && not (SS.mem m scope) then
+        err "RHS uses LHS binder ?%s outside a rebuilt abstraction (B_ref)" m
+    | R_lit _ | R_prim _ -> ()
+    | R_abs (bs, body) ->
+      let scope, fresh =
+        List.fold_left
+          (fun (scope, fresh) b ->
+            match b with
+            | B_ref m ->
+              if not (SS.mem m li.li_binders) then
+                err "RHS B_ref ?%s is not an LHS binder" m;
+              SS.add m scope, fresh
+            | B_fresh (m, _, _) ->
+              if SS.mem m li.li_binders || SS.mem m fresh then
+                err "RHS-fresh binder ?%s shadows an existing metavariable" m;
+              SS.add m scope, SS.add m fresh)
+          (scope, fresh) bs
+      in
+      rhs_a scope fresh body
+  and rhs_a scope fresh = function
+    | RA_splice m -> (
+      match SMap.find_opt m li.li_apps with
+      | None -> err "RHS splices unbound app metavariable ?%s" m
+      | Some wild ->
+        if not wild then
+          err
+            "RHS splices ?%s, which is bound to a structured pattern — bind it with \
+             PA_any or rebuild it explicitly"
+            m;
+        check_subtree_use "RHS splice" m scope)
+    | RA_app (f, args) ->
+      rhs_v scope fresh f;
+      List.iter (rhs_v scope fresh) args
+  in
+  rhs_a SS.empty SS.empty d.rhs;
+  (* -- size discipline -- *)
+  let pl = lhs_poly d.lhs and pr = rhs_poly d.rhs in
+  let all_mvars =
+    SMap.fold (fun m _ s -> SS.add m s) pl.coeff (SMap.fold (fun m _ s -> SS.add m s) pr.coeff SS.empty)
+  in
+  let size_bound m =
+    List.find_map (function Size_le (m', b) when String.equal m m' -> Some b | _ -> None) d.conds
+  in
+  let duplicated = SS.filter (fun m -> coeff pr m > coeff pl m) all_mvars in
+  SS.iter
+    (fun m ->
+      if not (List.mem m d.dups) then
+        err "RHS duplicates ?%s without declaring it in dups" m
+      else if size_bound m = None then
+        err "duplicated metavariable ?%s has no Size_le bound" m)
+    duplicated;
+  List.iter
+    (fun m ->
+      if not (SS.mem m duplicated) then
+        err "?%s is declared in dups but the RHS does not duplicate it" m)
+    d.dups;
+  let min_delta =
+    SS.fold
+      (fun m acc ->
+        let d_m = coeff pl m - coeff pr m in
+        if d_m >= 0 then acc + d_m
+        else acc + (d_m * Option.value ~default:1 (size_bound m)))
+      all_mvars (pl.const - pr.const)
+  in
+  (match d.size with
+  | Decreasing ->
+    if min_delta <= 0 then
+      err
+        "declared Decreasing but the worst-case size delta is %+d — declare Neutral or \
+         Bounded_growth with a justification"
+        (-min_delta)
+  | Neutral why ->
+    if String.length why = 0 then err "Neutral declaration needs a justification";
+    if min_delta < 0 then
+      err "declared Neutral but the RHS can grow by %d nodes" (-min_delta)
+  | Bounded_growth why ->
+    if String.length why = 0 then err "Bounded_growth declaration needs a justification");
+  (* -- precondition sufficiency: no silent drops -- *)
+  let declared_drop m = List.mem_assoc m d.drops in
+  let lhs_bound_subtrees =
+    SMap.fold (fun m _ s -> SS.add m s) li.li_vals (SMap.fold (fun m _ s -> SS.add m s) li.li_apps SS.empty)
+  in
+  SS.iter
+    (fun m ->
+      if coeff pr m = 0 && not (SS.mem m cond_mentioned) && not (declared_drop m) then
+        err
+          "RHS silently discards ?%s — constrain it with a side condition or acknowledge \
+           it in drops with a justification"
+          m)
+    lhs_bound_subtrees;
+  List.iter
+    (fun (m, _) ->
+      if not (SS.mem m lhs_bound_subtrees) then
+        err "drops declares unknown metavariable ?%s" m
+      else if coeff pr m > 0 then err "drops declares ?%s but the RHS uses it" m)
+    d.drops;
+  ignore name;
+  List.rev !errors
+
+let check (r : rule) : error list =
+  let base = if String.length r.doc = 0 then [ "missing doc string" ] else [] in
+  let base = if r.heads = [] then "no dispatch heads" :: base else base in
+  let msgs =
+    match r.impl with
+    | Decl d -> base @ check_decl r.name d
+    | Closure _ -> base
+  in
+  List.map (fun what -> { rule = r.name; what }) msgs
+
+let check_all rules = List.concat_map check rules

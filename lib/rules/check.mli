@@ -1,0 +1,27 @@
+(** The static rule checker: purely symbolic verification of a declared
+    rule, run by [tmllint --rules] and the [@rules] test bundle.
+
+    Checks, in order: metavariable scoping (side conditions and RHS only
+    mention LHS-bound metavariables; app metavariables bind once; splices
+    only re-insert wildcard-bound nodes), a binder escape lint (a subtree
+    matched under an LHS binder must have that binder rebuilt around its
+    RHS occurrences or controlled by an occurrence condition), the size
+    discipline (the declared {!Dsl.size_class} must be consistent with the
+    worst-case symbolic size delta; duplicated metavariables must be
+    declared and [Size_le]-bounded), and the precondition sufficiency lint
+    (an LHS metavariable the RHS discards must be condition-constrained or
+    explicitly acknowledged — the check that rejects σp(R) → R). *)
+
+type error = {
+  rule : string;
+  what : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [check r] — all static errors of one rule ([] = verified).  Closure
+    rules only undergo the metadata checks; their verification is the
+    oracle battery. *)
+val check : Dsl.rule -> error list
+
+val check_all : Dsl.rule list -> error list

@@ -1,0 +1,40 @@
+open Dsl
+
+(* Intentionally-unsound fixture rules for the verification surface's own
+   tests: never registered by any production provider.  [tmllint --rules
+   --plant-unsound] and test_rules plant them to assert that the static
+   checker and the derived obligation both reject them. *)
+
+(* σp(R) → R, with no look at p at all: drops the predicate (and the
+   exception continuation) silently, so selecting with a filtering
+   predicate "optimizes" into the unfiltered relation.  The static checker
+   rejects it on the precondition-sufficiency lint (silent drops of ?p and
+   ?ce); the derived obligation refutes it on the first generated
+   predicate that actually filters a row. *)
+let select_drop =
+  decl_rule ~name:"u.select-drop"
+    ~doc:"UNSOUND fixture: discard a selection's predicate entirely"
+    ~size:Decreasing
+    (pa (pprim "select")
+       [ pany ~sort:Spred "p"; pany ~sort:Srel "r"; pany ~sort:Secont "ce"; pany ~sort:Scont_rel "k" ])
+    []
+    (ra (R_val "k") [ R_val "r" ])
+
+(* The same rewrite with the drops acknowledged, so it sails through the
+   static checker: only the dynamic obligation can catch it.  Keeping the
+   pair separates the two rejection tests. *)
+let select_drop_acknowledged =
+  decl_rule ~name:"u.select-drop-ack"
+    ~doc:"UNSOUND fixture: σp(R) → R with the drops falsely acknowledged"
+    ~size:Decreasing
+    ~drops:
+      [
+        "p", "(falsely) claimed irrelevant";
+        "ce", "(falsely) claimed unreachable";
+      ]
+    (pa (pprim "select")
+       [ pany ~sort:Spred "p"; pany ~sort:Srel "r"; pany ~sort:Secont "ce"; pany ~sort:Scont_rel "k" ])
+    []
+    (ra (R_val "k") [ R_val "r" ])
+
+let all = [ select_drop; select_drop_acknowledged ]

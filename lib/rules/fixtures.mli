@@ -1,0 +1,13 @@
+(** Intentionally-unsound fixture rules, planted (never registered by
+    production code) to prove the verification surface has teeth. *)
+
+(** σp(R) → R with the dropped predicate unacknowledged — rejected by the
+    static checker's precondition-sufficiency lint {e and} by its derived
+    obligation. *)
+val select_drop : Dsl.rule
+
+(** The same rewrite with the drops falsely acknowledged: passes the
+    static checker, so only the dynamic obligation catches it. *)
+val select_drop_acknowledged : Dsl.rule
+
+val all : Dsl.rule list

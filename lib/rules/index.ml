@@ -1,0 +1,122 @@
+open Tml_core
+
+(* ------------------------------------------------------------------ *)
+(* Discrimination-style dispatch                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The reduction pass tries every domain rule at every application node —
+   a linear scan that is the optimizer's hot loop at scale.  Every rule
+   declares the head shapes it can fire at ([Dsl.heads]); compiling the
+   active rule set groups the rules into per-head buckets keyed on the
+   root of the candidate node, so lookup is one match + one hashtable
+   probe instead of N pattern attempts.
+
+   Observable equivalence with the linear scan is by construction: each
+   bucket holds exactly the rules whose head test could succeed at that
+   root, merged with the wildcard rules, {e in original list order} — the
+   rules the bucket skips would have answered [None] anyway, so the first
+   [Some] is the same, the noted provenance name is the same, and the
+   per-rule fire counts are the same.  The property test in
+   [test_rules.ml] checks precisely this on generated query pipelines. *)
+
+let enabled = ref true
+
+type buckets = {
+  b_prim : (string, Rewrite.rule array) Hashtbl.t;
+  b_oid : Rewrite.rule array;
+  b_lit : Rewrite.rule array;
+  b_abs : Rewrite.rule array;
+  b_var : Rewrite.rule array;
+  b_any : Rewrite.rule array;  (* wildcard-only: primes absent from b_prim *)
+}
+
+let try_bucket (bucket : Rewrite.rule array) (a : Term.app) =
+  let n = Array.length bucket in
+  let rec go i =
+    if i >= n then None
+    else
+      match bucket.(i) a with
+      | Some _ as r -> r
+      | None -> go (i + 1)
+  in
+  go 0
+
+let compile_buckets (rules : Dsl.rule list) =
+  let entries = List.mapi (fun i r -> i, r.Dsl.heads, Dsl.to_rewrite r) rules in
+  let matching pred =
+    entries
+    |> List.filter (fun (_, heads, _) ->
+           List.exists (fun h -> pred h || h = Dsl.Head_any) heads)
+    |> List.map (fun (_, _, fn) -> fn)
+    |> Array.of_list
+  in
+  let prim_names =
+    List.concat_map
+      (fun (_, heads, _) ->
+        List.filter_map (function Dsl.Head_prim p -> Some p | _ -> None) heads)
+      entries
+    |> List.sort_uniq String.compare
+  in
+  let b_prim = Hashtbl.create 16 in
+  List.iter
+    (fun p -> Hashtbl.replace b_prim p (matching (fun h -> h = Dsl.Head_prim p)))
+    prim_names;
+  {
+    b_prim;
+    b_oid = matching (fun h -> h = Dsl.Head_oid);
+    b_lit = matching (fun h -> h = Dsl.Head_lit);
+    b_abs = matching (fun h -> h = Dsl.Head_abs);
+    b_var = matching (fun h -> h = Dsl.Head_var);
+    b_any = matching (fun _ -> false);
+  }
+
+let dispatcher (b : buckets) : Rewrite.rule =
+ fun a ->
+  let bucket =
+    match a.Term.func with
+    | Term.Prim name -> (
+      match Hashtbl.find_opt b.b_prim name with
+      | Some bucket -> bucket
+      | None -> b.b_any)
+    | Term.Lit (Literal.Oid _) -> b.b_oid
+    | Term.Lit _ -> b.b_lit
+    | Term.Abs _ -> b.b_abs
+    | Term.Var _ -> b.b_var
+  in
+  try_bucket bucket a
+
+let compile rules = dispatcher (compile_buckets rules)
+
+(* The A/B seam: the indexed plan packages the whole rule set as one
+   dispatching [Rewrite.rule]; the linear plan is the same compiled
+   entries in a flat list, exactly what the engine scanned before. *)
+let linear rules = List.map Dsl.to_rewrite rules
+let plan rules = if !enabled then [ compile rules ] else linear rules
+
+(* ------------------------------------------------------------------ *)
+(* The rule registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Rule providers (the query library, the reflective optimizer) register
+   descriptors of every rule they can fire so the audit surface
+   ([tmllint --rules], the obligation bundle) sees the full shipped set.
+   Store-aware rules close over a runtime context; providers register a
+   representative descriptor for them (the closure itself is never run by
+   the audit). *)
+
+let registry : (string, int * Dsl.rule) Hashtbl.t = Hashtbl.create 32
+let reg_tick = ref 0
+
+let register (r : Dsl.rule) =
+  (match Hashtbl.find_opt registry r.Dsl.name with
+  | Some (ord, _) -> Hashtbl.replace registry r.Dsl.name (ord, r)
+  | None ->
+    incr reg_tick;
+    Hashtbl.replace registry r.Dsl.name (!reg_tick, r))
+
+let register_all = List.iter register
+
+let registered () =
+  Hashtbl.fold (fun _ (ord, r) acc -> (ord, r) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd

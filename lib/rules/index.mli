@@ -1,0 +1,38 @@
+(** The discrimination-style matcher index: compiles an active rule set
+    into a head-symbol-keyed dispatch table, so rule lookup at a candidate
+    node is one root match + one hashtable probe instead of a linear scan
+    over every rule — observably equivalent to the scan (same fires, same
+    provenance, same counts) because each bucket preserves original rule
+    order and only omits rules whose head test could never succeed there.
+
+    Also home of the global rule registry the audit surface
+    ([tmllint --rules], the [@rules] obligation bundle) consumes. *)
+
+open Tml_core
+
+(** The A/B switch ([tmlc --fno-rule-index] clears it): when false,
+    {!plan} degrades to the historical linear rule list. *)
+val enabled : bool ref
+
+(** [compile rules] — one dispatching [Rewrite.rule] covering the whole
+    set. *)
+val compile : Dsl.rule list -> Rewrite.rule
+
+(** [linear rules] — the same compiled entries as a flat list (the legacy
+    linear scan; the comparison arm of E15 and the equivalence property). *)
+val linear : Dsl.rule list -> Rewrite.rule list
+
+(** [plan rules] — what to hand to [Optimizer.config.rules]: the indexed
+    dispatcher, or the linear list when {!enabled} is off. *)
+val plan : Dsl.rule list -> Rewrite.rule list
+
+(** {1 Registry} *)
+
+(** [register r] — announce a rule to the audit surface.  Re-registering
+    a name replaces the descriptor (providers re-install on re-init). *)
+val register : Dsl.rule -> unit
+
+val register_all : Dsl.rule list -> unit
+
+(** [registered ()] — every announced rule, in first-registration order. *)
+val registered : unit -> Dsl.rule list

@@ -17,7 +17,7 @@ let is_stdlib_name name =
   | None -> false
 
 let compile ?(options = default_options) src =
-  Tml_query.Qprims.install ();
+  Tml_query.Qopt.install ();
   let program = Parser.parse_program src in
   let tprog =
     if options.include_stdlib then
@@ -31,7 +31,7 @@ let compile ?(options = default_options) src =
     (* Local, compile-time optimization: each definition is optimized in
        isolation, with the algebraic query rules available but no runtime
        bindings (experiment E1). *)
-    let config = Optimizer.with_rules config Tml_query.Qopt.static_rules in
+    let config = Optimizer.with_rules config (Tml_query.Qopt.static_plan ()) in
     let optimize_def (d : Lower.compiled_def) =
       let tml, report = Optimizer.optimize_value ~config d.Lower.c_tml in
       { d with Lower.c_tml = tml; c_prov = report.Optimizer.prov }
@@ -65,7 +65,7 @@ let resolve_bindings compiled globals (fo : Value.func_obj) =
       frees
 
 let link ?ctx (compiled : Lower.compiled) =
-  Tml_query.Qprims.install ();
+  Tml_query.Qopt.install ();
   let ctx =
     match ctx with
     | Some c -> c

@@ -47,3 +47,42 @@ under --strict (this is the @lint alias's check):
 
   $ tmllint --strict --stdlib ../../examples/tl/*.tl
   0 diagnostics
+
+The rule audit lists every registered rewrite rule with its dispatch heads
+and verification verdict: declarative rules pass the static checker and
+their derived proof obligation, store-aware closure rules defer to the
+oracle battery:
+
+  $ tmllint --rules
+  reflect.store-fold         ([] …),(size …)    unsupported: store-aware closure rule: verified by the oracle battery itself
+  reflect.inline-oid         (oid …)              unsupported: store-aware closure rule: verified by the oracle battery itself
+  reflect.inline-query-arg   (select …),(project …),(exists …),(foreach …),(sum …),(minagg …),(maxagg …),(join …) unsupported: store-aware closure rule: verified by the oracle battery itself
+  q.merge-select             (select …)           proved (12 redexes)
+  q.merge-project            (project …)          proved (12 redexes)
+  q.constant-select          (select …)           proved (12 redexes)
+  q.constant-select-empty    (select …)           proved (12 redexes)
+  q.trivial-exists           (exists …)           proved (12 redexes)
+  q.select-union             (union …)            proved (12 redexes)
+  q.distinct-distinct        (distinct …)         proved (12 redexes)
+  q.select-before-distinct   (distinct …)         proved (12 redexes)
+  q.index-select             (select …)           unsupported: store-aware closure rule: verified by the oracle battery itself
+  q.select-past              (select …)           unsupported: store-aware closure rule: verified by the oracle battery itself
+  13 rules audited, 0 unverifiable
+
+Planting the intentionally-unsound fixture rules makes the audit fail with
+exit status 2: one fixture dies on the static checker (silent drops), the
+acknowledged variant survives it and is refuted by its proof obligation:
+
+  $ tmllint --rules --plant-unsound > audit.out 2>&1; echo $?
+  2
+  $ tail -1 audit.out
+  15 rules audited, 2 unverifiable
+  $ grep -c 'STATIC: RHS silently discards' audit.out
+  1
+  $ grep -c 'REFUTED' audit.out
+  1
+
+The audit is also available as JSON:
+
+  $ tmllint --rules --json | tr ',' '\n' | grep -c '"name":"q.merge-select"'
+  1

@@ -1025,6 +1025,20 @@ let e15 ~budget () =
   Printf.printf "rule-lookup speedup geomean: %.2fx (>= 1.5x: %s)\n" g
     (if g >= 1.5 then "PASS" else "FAIL");
   json_add "{\"experiment\":\"E15\",\"metric\":\"lookup-speedup-geomean\",\"speedup\":%.2f}" g;
+  (* shape of the compiled table over the full shipped rule set: how many
+     prim buckets split further on argument count (docs/RULES.md) *)
+  let ss = Tml_rules.Index.split_stats Tml_query.Qopt.rule_descriptors in
+  Printf.printf
+    "arity split (full rule set): %d prim buckets, %d arity-split, %d slots \
+     (%d exact-arity rule entries, %d arity-agnostic)\n"
+    ss.Tml_rules.Index.s_prim_buckets ss.Tml_rules.Index.s_arity_split
+    ss.Tml_rules.Index.s_arity_slots ss.Tml_rules.Index.s_exact_rules
+    ss.Tml_rules.Index.s_generic_rules;
+  json_add
+    "{\"experiment\":\"E15\",\"metric\":\"arity-split\",\"prim_buckets\":%d,\"split_buckets\":%d,\"arity_slots\":%d,\"exact_rules\":%d,\"generic_rules\":%d}"
+    ss.Tml_rules.Index.s_prim_buckets ss.Tml_rules.Index.s_arity_split
+    ss.Tml_rules.Index.s_arity_slots ss.Tml_rules.Index.s_exact_rules
+    ss.Tml_rules.Index.s_generic_rules;
   (* end-to-end: a whole reduction pass (rule firing included) over the
      fusable pipeline — the optimizer's hot loop with each dispatcher.
      Informational: dispatch is one slice of a reduction pass.  (A full

@@ -51,21 +51,61 @@ let render_obj_with render_ref (obj : Value.obj) =
       m.Value.exports;
     Buffer.add_char buf '}'
   | Value.Relation rel ->
-    Buffer.add_string buf (Printf.sprintf "relation %s rows" rel.Value.rel_name);
-    render_slots buf render_ref rel.Value.rows;
-    let fields = List.sort compare (List.map fst rel.Value.indexes) in
+    Buffer.add_string buf
+      (Printf.sprintf "relation %s n=%d pages" rel.Value.rel_name rel.Value.rel_count);
+    render_slots buf render_ref (Array.map (fun o -> Value.Oidv o) rel.Value.rel_pages);
+    Buffer.add_string buf " tail";
+    render_slots buf render_ref (Array.sub rel.Value.rel_tail 0 rel.Value.rel_tail_len);
+    let ixs =
+      List.sort (fun (f1, _) (f2, _) -> compare f1 f2) rel.Value.rel_indexes
+    in
     Buffer.add_string buf " indexes[";
     List.iteri
-      (fun i f ->
+      (fun i (f, o) ->
         if i > 0 then Buffer.add_char buf ' ';
-        Buffer.add_string buf (string_of_int f))
-      fields;
-    Buffer.add_string buf "] triggers[";
+        Buffer.add_string buf (Printf.sprintf "%d=%s" f (render_ref (Value.Oidv o))))
+      ixs;
+    Buffer.add_string buf "] stats ";
+    (match rel.Value.rel_stats with
+    | Some o -> Buffer.add_string buf (render_ref (Value.Oidv o))
+    | None -> Buffer.add_string buf "none");
+    Buffer.add_string buf " triggers[";
     List.iteri
       (fun i v ->
         if i > 0 then Buffer.add_char buf ' ';
         Buffer.add_string buf (render_ref v))
-      rel.Value.triggers;
+      rel.Value.rel_triggers;
+    Buffer.add_char buf ']'
+  | Value.Index ix ->
+    (* canonical: keys sorted, positions oldest-first (the table keeps
+       them most-recent-first for O(1) maintenance) *)
+    Buffer.add_string buf (Printf.sprintf "index f=%d keys{" ix.Value.ix_field);
+    let keys =
+      Hashtbl.fold (fun k ps acc -> (k, List.sort compare ps) :: acc) ix.Value.ix_tbl []
+      |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+    in
+    List.iteri
+      (fun i (k, ps) ->
+        if i > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (render_value (Value.of_literal k));
+        Buffer.add_string buf "->[";
+        List.iteri
+          (fun j p ->
+            if j > 0 then Buffer.add_char buf ' ';
+            Buffer.add_string buf (string_of_int p))
+          ps;
+        Buffer.add_char buf ']')
+      keys;
+    Buffer.add_char buf '}'
+  | Value.Stats st ->
+    Buffer.add_string buf
+      (Printf.sprintf "stats count=%d arity=%d distinct[" st.Value.st_count
+         st.Value.st_arity);
+    List.iteri
+      (fun i (f, d) ->
+        if i > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (Printf.sprintf "%d=%d" f d))
+      (List.sort compare st.Value.st_distinct);
     Buffer.add_char buf ']'
   | Value.Func fo -> Buffer.add_string buf (Printf.sprintf "func %s" fo.Value.fo_name));
   Buffer.contents buf
@@ -169,8 +209,14 @@ let dump_reachable (ctx : Runtime.ctx) roots =
       | Value.Bytes _ -> ()
       | Value.Module m -> Array.iter (fun (_, v) -> visit v) m.Value.exports
       | Value.Relation rel ->
-        Array.iter visit rel.Value.rows;
-        List.iter visit rel.Value.triggers
+        Array.iter (fun o -> visit (Value.Oidv o)) rel.Value.rel_pages;
+        Array.iter visit (Array.sub rel.Value.rel_tail 0 rel.Value.rel_tail_len);
+        List.iter (fun (_, o) -> visit (Value.Oidv o)) rel.Value.rel_indexes;
+        (match rel.Value.rel_stats with
+        | Some o -> visit (Value.Oidv o)
+        | None -> ());
+        List.iter visit rel.Value.rel_triggers
+      | Value.Index _ | Value.Stats _ -> ()
       | Value.Func _ -> ())
   done;
   let render_ref v =

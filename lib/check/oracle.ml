@@ -245,8 +245,17 @@ let check_case ~engines (c : Tgen.case) =
    everywhere else) and what part of the store to compare. *)
 let query_spec (c : Tgen.query_case) =
   let mk_rel ctx =
-    Tml_query.Rel.create ctx ~name:"t"
-      (List.map (fun row -> Array.of_list (List.map (fun x -> Value.Int x) row)) c.Tgen.rows)
+    (* tiny pages so the battery spans the chunked layout (page faults,
+       tail vs sealed pages) even at oracle scale *)
+    let saved = !Tml_vm.Relcore.default_page_size in
+    Tml_vm.Relcore.default_page_size := 3;
+    Fun.protect
+      ~finally:(fun () -> Tml_vm.Relcore.default_page_size := saved)
+      (fun () ->
+        Tml_query.Rel.create ctx ~name:"t"
+          (List.map
+             (fun row -> Array.of_list (List.map (fun x -> Value.Int x) row))
+             c.Tgen.rows))
   in
   let rel_param =
     match c.Tgen.qproc with

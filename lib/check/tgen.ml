@@ -591,9 +591,23 @@ let rec gen_query rng env (k : value -> app) : app =
       | [] -> gen_query rng env k
       | _ ->
         let r2, w2 = pick rng candidates in
-        bind_rel ~width:(w + w2) "jn" (fun rest ->
-            app (prim "join")
-              [ gen_join_pred rng ~w1:w ~w2; var rel; var r2; Var env.qce; rest ]))
+        if Random.State.bool rng then
+          bind_rel ~width:(w + w2) "jn" (fun rest ->
+              app (prim "join")
+                [ gen_join_pred rng ~w1:w ~w2; var rel; var r2; Var env.qce; rest ])
+        else
+          (* index-accelerated equi-join; degrades to a nested scan when
+             the probed side carries no index *)
+          bind_rel ~width:(w + w2) "ixj" (fun rest ->
+              app (prim "idxjoin")
+                [
+                  var rel;
+                  var r2;
+                  int (Random.State.int rng w);
+                  int (Random.State.int rng w2);
+                  Var env.qce;
+                  rest;
+                ]))
     | n when n < 90 ->
       let u = Ident.fresh "u" in
       app (prim "ontrigger") [ var rel; gen_trigger rng ~width:w; abs [ u ] (gen_query rng env k) ]

@@ -1,0 +1,29 @@
+(** Cardinality-driven cost estimates for the store-aware query rules.
+
+    Backed by the per-relation [Stats] store object ({!Rel.stats}): row
+    count, tuple arity, and a per-indexed-field distinct-count sketch.
+    These are the "runtime bindings" of the paper's section 4.2, extended
+    from index {e existence} to index {e selectivity}. *)
+
+open Tml_vm
+
+type rstats = {
+  cs_card : int;  (** row count *)
+  cs_arity : int;  (** tuple width; [-1] unknown/heterogeneous, [0] empty *)
+  cs_distinct : (int * int) list;  (** field → distinct keys (indexed fields only) *)
+}
+
+(** [relation_stats ctx oid] — the statistics of a relation, when it is
+    resolvable in the heap and carries a stats object.  Reads go through
+    hooked accesses, so specialization records the dependency. *)
+val relation_stats : Runtime.ctx -> Tml_core.Oid.t -> rstats option
+
+val distinct_on : rstats -> int -> int option
+
+(** [est_equijoin ~ca ~cb ~da ~db] — estimated output cardinality of an
+    equi-join under the uniform-key assumption:
+    |X|·|Y| / max(d_X, d_Y, 1); unknown distincts degrade to 1. *)
+val est_equijoin : ca:int -> cb:int -> da:int option -> db:int option -> float
+
+(** [nested_cost ca cb] — nested-loop cost in per-pair predicate probes. *)
+val nested_cost : int -> int -> float

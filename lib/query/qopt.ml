@@ -87,6 +87,133 @@ let select_past ctx (a : app) =
     | _ -> None)
   | _ -> None
 
+(* ⋈(x.f1 = y.f2) whose inner relation carries a live persistent index
+   on f2 becomes an idxjoin probe loop: scan the outer, probe the inner's
+   hash index.  Output (row order included) matches the nested loop. *)
+let index_join ctx (a : app) =
+  match a.func, a.args with
+  | Prim "join", [ pred; r1; (Lit (Literal.Oid r2_oid) as r2); ce; k ] -> (
+    match Qrewrite.join_field_eq_predicate pred with
+    | Some (f1, f2) -> (
+      match Tml_vm.Value.Heap.get_opt ctx.Tml_vm.Runtime.heap r2_oid with
+      | Some (Tml_vm.Value.Relation _) -> (
+        match Rel.find_index ctx r2_oid f2 with
+        | Some ix ->
+          let fact =
+            match Qcost.relation_stats ctx r2_oid with
+            | Some st ->
+              Printf.sprintf
+                "index on field %d of %s (%d rows, %d distinct keys)" f2
+                (Oid.to_string r2_oid) st.Qcost.cs_card
+                (Option.value ~default:(Rel.index_distinct ix)
+                   (Qcost.distinct_on st f2))
+            | None ->
+              Printf.sprintf "index on field %d of %s" f2 (Oid.to_string r2_oid)
+          in
+          Rewrite.note_rule ~fact "q.index-join";
+          Some (app (prim "idxjoin") [ r1; r2; int f1; int f2; ce; k ])
+        | None -> None)
+      | _ -> None)
+    | None -> None)
+  | _ -> None
+
+(* Reassociate a left-deep equi-join chain when the statistics say the
+   other order is cheaper:
+
+     (join (x.i = y.j) A B ce1 cont(t) (join (x.g = y.l) t C ce2 k))
+     --> (join (x.(g-|A|) = y.l) B C ce2 cont(u) (join (x.i = y.j) A u ce1 k))
+
+   Cost model (per-pair predicate probes, uniform-key selectivity from
+   the per-relation stats objects):
+
+     left  = |A||B| + est(A ⋈ B)·|C|
+     right = |B||C| + est(B ⋈ C)·|A|
+
+   and the rewrite fires only when [right < 0.9·left] — a maintained
+   distinct-count statistic must justify deviating from the source
+   order.  Requirements, each load-bearing:
+
+   - all three sources are literal store relations with stats objects of
+     known (homogeneous) arity, and every matched field index is within
+     that arity — the synthesized predicates are then total;
+   - the intermediate [t] occurs exactly once (as the inner join's
+     source), so [P2], [ce2] and [k] move out of its scope unchanged;
+   - the inner join's predicate left field [g] lands in the B-suffix of
+     the A++B tuple ([|A| ≤ g < |A|+|B|]), so it transposes to field
+     [g-|A|] of B and the rewrite never needs an A-field from the
+     not-yet-joined side.
+
+   Row order is preserved: A stays the final outer loop, and the inner
+   B ⋈ C runs B-major — both orders enumerate (a, b, c) lexicographically
+   and concatenation is associative, so the emitted tuples are identical.
+   Termination: the result's inner join sources the fresh temp in the
+   {e second} operand position, which this matcher does not accept. *)
+let join_order ctx (a : app) =
+  match a.func, a.args with
+  | ( Prim "join",
+      [
+        p1;
+        (Lit (Literal.Oid a_oid) as rA);
+        (Lit (Literal.Oid b_oid) as rB);
+        ce1;
+        Abs kont;
+      ] )
+    when Term.abs_kind kont = `Cont -> (
+    match kont.params, kont.body with
+    | [ t ], { func = Prim "join"; args = [ p2; Var t'; (Lit (Literal.Oid c_oid) as rC); ce2; k ] }
+      when Ident.equal t t' && Occurs.count_app t kont.body = 1 -> (
+      match Qrewrite.join_field_eq_predicate p1, Qrewrite.join_field_eq_predicate p2 with
+      | Some (i, j), Some (g, l) -> (
+        match
+          ( Qcost.relation_stats ctx a_oid,
+            Qcost.relation_stats ctx b_oid,
+            Qcost.relation_stats ctx c_oid )
+        with
+        | Some stA, Some stB, Some stC
+          when stA.Qcost.cs_arity >= 0 && stB.Qcost.cs_arity >= 0
+               && stC.Qcost.cs_arity >= 0 && i < stA.Qcost.cs_arity
+               && j < stB.Qcost.cs_arity && g >= stA.Qcost.cs_arity
+               && g < stA.Qcost.cs_arity + stB.Qcost.cs_arity
+               && l < stC.Qcost.cs_arity ->
+          let cA = stA.Qcost.cs_card
+          and cB = stB.Qcost.cs_card
+          and cC = stC.Qcost.cs_card in
+          let g' = g - stA.Qcost.cs_arity in
+          let est_ab =
+            Qcost.est_equijoin ~ca:cA ~cb:cB ~da:(Qcost.distinct_on stA i)
+              ~db:(Qcost.distinct_on stB j)
+          and est_bc =
+            Qcost.est_equijoin ~ca:cB ~cb:cC ~da:(Qcost.distinct_on stB g')
+              ~db:(Qcost.distinct_on stC l)
+          in
+          let left = Qcost.nested_cost cA cB +. (est_ab *. float_of_int cC)
+          and right = Qcost.nested_cost cB cC +. (est_bc *. float_of_int cA) in
+          if right < 0.9 *. left then (
+            let u = Ident.fresh "jt" in
+            Rewrite.note_rule
+              ~fact:
+                (Printf.sprintf
+                   "cards |A|=%d |B|=%d |C|=%d; est |A⋈B|=%.0f, |B⋈C|=%.0f; \
+                    cost %.0f -> %.0f"
+                   cA cB cC est_ab est_bc left right)
+              "q.join-order";
+            Some
+              (app (prim "join")
+                 [
+                   Qrewrite.mk_join_field_eq ~f1:g' ~f2:l;
+                   rB;
+                   rC;
+                   ce2;
+                   cont [ u ]
+                     (app (prim "join")
+                        [ Qrewrite.mk_join_field_eq ~f1:i ~f2:j; rA; var u; ce1; k ]);
+                 ]))
+          else None
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Rule descriptors and the dispatch plan                               *)
 (* ------------------------------------------------------------------ *)
@@ -106,6 +233,16 @@ let select_past_doc =
    selections become adjacent and merge-select can fuse them; gated on \
    the effect analysis (pure, total, confined predicate)."
 
+let index_join_doc =
+  "⋈(x.f1 = y.f2) whose inner relation carries a live persistent hash \
+   index on f2 becomes an idxjoin probe loop (runtime-only: needs the \
+   linked store)."
+
+let join_order_doc =
+  "Reassociate a left-deep equi-join chain A ⋈ B ⋈ C into A ⋈ (B ⋈ C) \
+   when the per-relation cardinality statistics estimate the right-deep \
+   order at under 0.9× the cost (runtime-only: reads stats objects)."
+
 let index_select_rule ctx =
   Tml_rules.Dsl.closure_rule ~name:"q.index-select" ~doc:index_select_doc
     ~heads:[ Tml_rules.Dsl.Head_prim "select" ] (index_select ctx)
@@ -114,9 +251,23 @@ let select_past_rule ctx =
   Tml_rules.Dsl.closure_rule ~name:"q.select-past" ~doc:select_past_doc
     ~heads:[ Tml_rules.Dsl.Head_prim "select" ] (select_past ctx)
 
+let index_join_rule ctx =
+  Tml_rules.Dsl.closure_rule ~name:"q.index-join" ~doc:index_join_doc
+    ~heads:[ Tml_rules.Dsl.Head_prim "join" ] (index_join ctx)
+
+let join_order_rule ctx =
+  Tml_rules.Dsl.closure_rule ~name:"q.join-order" ~doc:join_order_doc
+    ~heads:[ Tml_rules.Dsl.Head_prim "join" ] (join_order ctx)
+
 let rule_descriptors =
   Qrewrite.declarative_rules
   @ [
+      Tml_rules.Dsl.closure_rule ~name:"q.join-order" ~doc:join_order_doc
+        ~heads:[ Tml_rules.Dsl.Head_prim "join" ]
+        (fun _ -> None);
+      Tml_rules.Dsl.closure_rule ~name:"q.index-join" ~doc:index_join_doc
+        ~heads:[ Tml_rules.Dsl.Head_prim "join" ]
+        (fun _ -> None);
       Tml_rules.Dsl.closure_rule ~name:"q.index-select" ~doc:index_select_doc
         ~heads:[ Tml_rules.Dsl.Head_prim "select" ]
         (fun _ -> None);
@@ -129,8 +280,11 @@ let install () =
   Qprims.install ();
   Tml_rules.Index.register_all rule_descriptors
 
+(* [join_order] must precede [index_join]: the indexed dispatcher keeps
+   declaration order, and consuming the outer join into an idxjoin first
+   would hide the chain the reassociation needs to see. *)
 let declarative_runtime_rules ctx =
-  index_select_rule ctx
+  join_order_rule ctx :: index_join_rule ctx :: index_select_rule ctx
   :: (if !Tml_analysis.Bridge.enabled then [ select_past_rule ctx ] else [])
 
 let runtime_rules ctx = List.map Tml_rules.Dsl.to_rewrite (declarative_runtime_rules ctx)

@@ -52,6 +52,19 @@ val index_select : Tml_vm.Runtime.ctx -> Rewrite.rule
     selection itself cannot fault. *)
 val select_past : Tml_vm.Runtime.ctx -> Rewrite.rule
 
+(** [index_join ctx] — ⋈(x.f1 = y.f2) whose inner relation carries a live
+    persistent hash index on f2 becomes an [idxjoin] probe loop.  Like
+    [index_select], the inner relation must appear as a literal OID. *)
+val index_join : Tml_vm.Runtime.ctx -> Rewrite.rule
+
+(** [join_order ctx] — reassociate a left-deep equi-join chain
+    [A ⋈ B ⋈ C] into [A ⋈ (B ⋈ C)] when the per-relation cardinality
+    statistics (row counts and distinct-key sketches) estimate the
+    right-deep order as cheaper.  Row order and tuple layout of the
+    output are preserved; the provenance fact records the enabling
+    cardinalities and both cost estimates. *)
+val join_order : Tml_vm.Runtime.ctx -> Rewrite.rule
+
 (** [runtime_rules ctx] — all store-dependent rules ([select_past] only
     while [Tml_analysis.Bridge.enabled]). *)
 val runtime_rules : Tml_vm.Runtime.ctx -> Rewrite.rule list

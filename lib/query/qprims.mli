@@ -26,6 +26,10 @@
     - [(mkindex rel field cc)] — build a hash index (a runtime binding).
     - [(indexselect rel field key ce cc)] — indexed equality selection;
       falls back to a scan when no index exists.
+    - [(idxjoin r1 r2 f1 f2 ce cc)] — index-accelerated equi-join: probes
+      [r2]'s persistent index on [f2] with each [r1] row's [f1] value,
+      reproducing the nested-loop [join]'s output (row order included);
+      falls back to a nested scan when no index exists.
     - [(union r1 r2 cc)] — multiset union (row identity preserved).
     - [(inter r1 r2 cc)] / [(diff r1 r2 cc)] — rows of [r1] whose {e field
       contents} do (not) appear in [r2].
@@ -41,3 +45,9 @@ val install : unit -> unit
 
 (** Names registered by [install]. *)
 val names : string list
+
+(** Current values of the [query] metrics-source counters
+    (page faults, seals, index probes/loads/builds, ...). *)
+val query_counters : unit -> (string * int) list
+
+val reset_query_counters : unit -> unit

@@ -382,4 +382,70 @@ let field_eq_predicate (pred : Term.value) =
     | _ -> None)
   | _ -> None
 
+(* Recognize λ(x y ce cc). x.[f1] == y.[f2] — the equi-join predicate
+   (used by the [index_join] and [join_order] cost rules in [Qopt]). *)
+let join_field_eq_predicate (pred : Term.value) =
+  let open Term in
+  match pred with
+  | Abs { params = [ x; y; _ce; cc ]; body } -> (
+    match body with
+    | {
+     func = Prim "[]";
+     args = [ Var x'; Lit (Literal.Int f1); Abs { params = [ a ]; body = body1 } ];
+    }
+      when Ident.equal x x' -> (
+      match body1 with
+      | {
+       func = Prim "[]";
+       args = [ Var y'; Lit (Literal.Int f2); Abs { params = [ b ]; body = body2 } ];
+      }
+        when Ident.equal y y' -> (
+        match body2 with
+        | {
+         func = Prim "==";
+         args =
+           [
+             Var a';
+             Var b';
+             Abs { params = []; body = { func = Var cc1; args = [ Lit (Literal.Bool true) ] } };
+             Abs
+               { params = []; body = { func = Var cc2; args = [ Lit (Literal.Bool false) ] } };
+           ];
+        }
+          when Ident.equal a a' && Ident.equal b b' && Ident.equal cc cc1 && Ident.equal cc cc2
+          ->
+          Some (f1, f2)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Build the predicate [join_field_eq_predicate] recognizes, with fresh
+   binders — the join-order rule synthesizes the reassociated
+   predicates from the matched field positions. *)
+let mk_join_field_eq ~f1 ~f2 =
+  let open Term in
+  let x = Ident.fresh "jx" and y = Ident.fresh "jy" in
+  proc [ x; y ] (fun ~ce:_ ~cc ->
+      let a = Ident.fresh "ja" and b = Ident.fresh "jb" in
+      app (prim "[]")
+        [
+          var x;
+          int f1;
+          cont [ a ]
+            (app (prim "[]")
+               [
+                 var y;
+                 int f2;
+                 cont [ b ]
+                   (app (prim "==")
+                      [
+                        var a;
+                        var b;
+                        cont [] (app (var cc) [ bool_ true ]);
+                        cont [] (app (var cc) [ bool_ false ]);
+                      ]);
+               ]);
+        ])
+
 let algebraic_rules = List.map to_rewrite declarative_rules

@@ -79,6 +79,14 @@ val select_before_distinct : Rewrite.rule
     [index_select] rule (in {!Qopt}) accelerates. *)
 val field_eq_predicate : Term.value -> (int * Literal.t) option
 
+(** [join_field_eq_predicate pred] recognizes the equi-join predicate
+    shape [λ(x y ce cc). x.[f1] == y.[f2]] and returns [(f1, f2)]. *)
+val join_field_eq_predicate : Term.value -> (int * int) option
+
+(** [mk_join_field_eq ~f1 ~f2] builds (with fresh binders) the predicate
+    that [join_field_eq_predicate] recognizes. *)
+val mk_join_field_eq : f1:int -> f2:int -> Term.value
+
 (** All static (store-independent) rules, in application order — the
     compiled forms of {!declarative_rules}. *)
 val algebraic_rules : Rewrite.rule list

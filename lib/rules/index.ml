@@ -11,18 +11,35 @@ open Tml_core
    root of the candidate node, so lookup is one match + one hashtable
    probe instead of N pattern attempts.
 
+   Prim buckets additionally specialize on argument count: a declarative
+   rule whose LHS root is [PA_node] with a [P_prim] head can only match
+   an application with exactly [length pa_args] arguments (the matcher
+   length-checks before descending), so each prim bucket carries per-arity
+   slots holding the exact-arity rules of that arity merged with the
+   arity-agnostic ones (closure rules, [PA_any] roots).  An argument
+   count with no exact-arity rule falls back to the arity-agnostic slot
+   alone.
+
    Observable equivalence with the linear scan is by construction: each
    bucket holds exactly the rules whose head test could succeed at that
    root, merged with the wildcard rules, {e in original list order} — the
-   rules the bucket skips would have answered [None] anyway, so the first
-   [Some] is the same, the noted provenance name is the same, and the
-   per-rule fire counts are the same.  The property test in
-   [test_rules.ml] checks precisely this on generated query pipelines. *)
+   rules the bucket (or arity slot) skips would have answered [None]
+   anyway, so the first [Some] is the same, the noted provenance name is
+   the same, and the per-rule fire counts are the same.  The property
+   test in [test_rules.ml] checks precisely this on generated query
+   pipelines. *)
 
 let enabled = ref true
 
+type prim_bucket = {
+  pb_generic : Rewrite.rule array;
+      (* arity-agnostic rules only: closures, PA_any roots *)
+  pb_by_arity : (int * Rewrite.rule array) array;
+      (* exact-arity rules of arity n + arity-agnostic, in original order *)
+}
+
 type buckets = {
-  b_prim : (string, Rewrite.rule array) Hashtbl.t;
+  b_prim : (string, prim_bucket) Hashtbl.t;
   b_oid : Rewrite.rule array;
   b_lit : Rewrite.rule array;
   b_abs : Rewrite.rule array;
@@ -41,25 +58,64 @@ let try_bucket (bucket : Rewrite.rule array) (a : Term.app) =
   in
   go 0
 
+(* The argument count a rule's pattern demands at prim [p], when
+   derivable: a declarative LHS rooted [PA_node (P_prim p) args] matches
+   only length-[args] applications.  Closures and [PA_any] roots are
+   arity-agnostic. *)
+let decl_arity p (r : Dsl.rule) =
+  match r.Dsl.impl with
+  | Dsl.Decl { Dsl.lhs = Dsl.PA_node { pa_func = Dsl.P_prim p'; pa_args; _ }; _ }
+    when String.equal p p' ->
+    Some (List.length pa_args)
+  | _ -> None
+
 let compile_buckets (rules : Dsl.rule list) =
-  let entries = List.mapi (fun i r -> i, r.Dsl.heads, Dsl.to_rewrite r) rules in
+  let entries = List.mapi (fun i r -> i, r, Dsl.to_rewrite r) rules in
   let matching pred =
     entries
-    |> List.filter (fun (_, heads, _) ->
-           List.exists (fun h -> pred h || h = Dsl.Head_any) heads)
+    |> List.filter (fun (_, r, _) ->
+           List.exists (fun h -> pred h || h = Dsl.Head_any) r.Dsl.heads)
     |> List.map (fun (_, _, fn) -> fn)
     |> Array.of_list
   in
   let prim_names =
     List.concat_map
-      (fun (_, heads, _) ->
-        List.filter_map (function Dsl.Head_prim p -> Some p | _ -> None) heads)
+      (fun (_, r, _) ->
+        List.filter_map (function Dsl.Head_prim p -> Some p | _ -> None) r.Dsl.heads)
       entries
     |> List.sort_uniq String.compare
   in
   let b_prim = Hashtbl.create 16 in
   List.iter
-    (fun p -> Hashtbl.replace b_prim p (matching (fun h -> h = Dsl.Head_prim p)))
+    (fun p ->
+      let matched =
+        List.filter
+          (fun (_, r, _) ->
+            List.exists
+              (fun h -> h = Dsl.Head_prim p || h = Dsl.Head_any)
+              r.Dsl.heads)
+          entries
+      in
+      let arr l = Array.of_list (List.map (fun (_, _, fn) -> fn) l) in
+      let arities =
+        List.filter_map (fun (_, r, _) -> decl_arity p r) matched
+        |> List.sort_uniq compare
+      in
+      let pb_generic =
+        arr (List.filter (fun (_, r, _) -> decl_arity p r = None) matched)
+      in
+      let pb_by_arity =
+        arities
+        |> List.map (fun n ->
+               ( n,
+                 arr
+                   (List.filter
+                      (fun (_, r, _) ->
+                        match decl_arity p r with Some m -> m = n | None -> true)
+                      matched) ))
+        |> Array.of_list
+      in
+      Hashtbl.replace b_prim p { pb_generic; pb_by_arity })
     prim_names;
   {
     b_prim;
@@ -76,7 +132,16 @@ let dispatcher (b : buckets) : Rewrite.rule =
     match a.Term.func with
     | Term.Prim name -> (
       match Hashtbl.find_opt b.b_prim name with
-      | Some bucket -> bucket
+      | Some pb ->
+        let n = List.length a.Term.args in
+        let slots = pb.pb_by_arity in
+        let rec pick i =
+          if i >= Array.length slots then pb.pb_generic
+          else
+            let m, bucket = slots.(i) in
+            if m = n then bucket else pick (i + 1)
+        in
+        pick 0
       | None -> b.b_any)
     | Term.Lit (Literal.Oid _) -> b.b_oid
     | Term.Lit _ -> b.b_lit
@@ -84,6 +149,40 @@ let dispatcher (b : buckets) : Rewrite.rule =
     | Term.Var _ -> b.b_var
   in
   try_bucket bucket a
+
+(* Shape summary of the compiled table, for the E15 bench row. *)
+type split_stats = {
+  s_prim_buckets : int;  (* distinct prim head symbols *)
+  s_arity_split : int;  (* prim buckets carrying >= 1 arity slot *)
+  s_arity_slots : int;  (* arity slots across all prim buckets *)
+  s_exact_rules : int;  (* bucket-level rules confined to one slot *)
+  s_generic_rules : int;  (* bucket-level arity-agnostic rules *)
+}
+
+let split_stats rules =
+  let b = compile_buckets rules in
+  Hashtbl.fold
+    (fun _ pb acc ->
+      let slots = Array.length pb.pb_by_arity in
+      let generic = Array.length pb.pb_generic in
+      let exact =
+        Array.fold_left (fun n (_, arr) -> n + Array.length arr - generic) 0 pb.pb_by_arity
+      in
+      {
+        s_prim_buckets = acc.s_prim_buckets + 1;
+        s_arity_split = (acc.s_arity_split + if slots > 0 then 1 else 0);
+        s_arity_slots = acc.s_arity_slots + slots;
+        s_exact_rules = acc.s_exact_rules + exact;
+        s_generic_rules = acc.s_generic_rules + generic;
+      })
+    b.b_prim
+    {
+      s_prim_buckets = 0;
+      s_arity_split = 0;
+      s_arity_slots = 0;
+      s_exact_rules = 0;
+      s_generic_rules = 0;
+    }
 
 let compile rules = dispatcher (compile_buckets rules)
 

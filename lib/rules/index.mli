@@ -26,6 +26,21 @@ val linear : Dsl.rule list -> Rewrite.rule list
     dispatcher, or the linear list when {!enabled} is off. *)
 val plan : Dsl.rule list -> Rewrite.rule list
 
+(** Shape summary of a compiled dispatch table: prim buckets additionally
+    specialize on argument count (a declarative LHS rooted
+    [PA_node (P_prim p) args] only matches length-[args] applications),
+    so each prim bucket carries per-arity slots merged with the
+    arity-agnostic rules.  Reported in the E15 bench row. *)
+type split_stats = {
+  s_prim_buckets : int;  (** distinct prim head symbols *)
+  s_arity_split : int;  (** prim buckets carrying >= 1 arity slot *)
+  s_arity_slots : int;  (** arity slots across all prim buckets *)
+  s_exact_rules : int;  (** bucket-level rules confined to one slot *)
+  s_generic_rules : int;  (** bucket-level arity-agnostic rules *)
+}
+
+val split_stats : Dsl.rule list -> split_stats
+
 (** {1 Registry} *)
 
 (** [register r] — announce a rule to the audit surface.  Re-registering

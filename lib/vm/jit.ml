@@ -750,8 +750,9 @@ and prim_call_site cu name cargs =
 (* resolve the slots of an indexable store object exactly as the
    machine's implementation would (including hooks and faults), and
    cache them only when safe: in-place-mutable or immutable slot arrays
-   (a relation swaps its row array on insert without a heap [set]), and
-   never while an access hook wants to observe reads *)
+   (a relation materializes a row snapshot that is memoized on its
+   header and invalidated by insert, so no per-site cache is needed),
+   and never while an access hook wants to observe reads *)
 and indexable_slots ~what ctx h oid a fill =
   let slots = Runtime.as_indexable ctx ~what a in
   (match Value.Heap.access_hook h with

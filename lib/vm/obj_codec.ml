@@ -87,14 +87,68 @@ let w_obj w (obj : Value.obj) =
         w_value w v)
       m.Value.exports
   | Value.Relation rel ->
-    Codec.W.u8 w 5;
+    (* REL1: paged relation header. Row pages are separate store
+       objects referenced by OID; only the unfilled tail is inline.
+       Encoding is canonical (indexes sorted by field) so unchanged
+       headers re-encode byte-identically and [Pstore.collect] can skip
+       them. *)
+    Codec.W.u8 w 7;
+    Codec.W.raw w "REL1";
     Codec.W.str w rel.Value.rel_name;
-    w_values w rel.Value.rows;
-    (* persist which fields are indexed; the hash tables are rebuilt *)
-    Codec.W.varint w (List.length rel.Value.indexes);
-    List.iter (fun (field, _) -> Codec.W.varint w field) rel.Value.indexes;
-    Codec.W.varint w (List.length rel.Value.triggers);
-    List.iter (w_value w) rel.Value.triggers
+    Codec.W.varint w rel.Value.rel_page_size;
+    Codec.W.varint w rel.Value.rel_count;
+    Codec.W.varint w (Array.length rel.Value.rel_pages);
+    Array.iter (fun oid -> Codec.W.varint w (Oid.to_int oid)) rel.Value.rel_pages;
+    Codec.W.varint w rel.Value.rel_tail_len;
+    for j = 0 to rel.Value.rel_tail_len - 1 do
+      w_value w rel.Value.rel_tail.(j)
+    done;
+    let indexes =
+      List.sort (fun (a, _) (b, _) -> compare a b) rel.Value.rel_indexes
+    in
+    Codec.W.varint w (List.length indexes);
+    List.iter
+      (fun (field, oid) ->
+        Codec.W.varint w field;
+        Codec.W.varint w (Oid.to_int oid))
+      indexes;
+    (match rel.Value.rel_stats with
+    | None -> Codec.W.u8 w 0
+    | Some oid ->
+      Codec.W.u8 w 1;
+      Codec.W.varint w (Oid.to_int oid));
+    Codec.W.varint w (List.length rel.Value.rel_triggers);
+    List.iter (w_value w) rel.Value.rel_triggers
+  | Value.Index ix ->
+    (* IDX1: persistent secondary hash index. Canonical bytes: keys
+       sorted, positions ascending. *)
+    Codec.W.u8 w 8;
+    Codec.W.raw w "IDX1";
+    Codec.W.varint w ix.Value.ix_field;
+    let entries =
+      Hashtbl.fold (fun k ps acc -> (k, ps) :: acc) ix.Value.ix_tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    Codec.W.varint w (List.length entries);
+    List.iter
+      (fun (key, positions) ->
+        w_value w (Value.of_literal key);
+        let positions = List.sort compare positions in
+        Codec.W.varint w (List.length positions);
+        List.iter (Codec.W.varint w) positions)
+      entries
+  | Value.Stats st ->
+    Codec.W.u8 w 9;
+    Codec.W.raw w "STA1";
+    Codec.W.varint w st.Value.st_count;
+    Codec.W.svarint w st.Value.st_arity;
+    let distinct = List.sort (fun (a, _) (b, _) -> compare a b) st.Value.st_distinct in
+    Codec.W.varint w (List.length distinct);
+    List.iter
+      (fun (field, d) ->
+        Codec.W.varint w field;
+        Codec.W.varint w d)
+      distinct
   | Value.Func fo ->
     Codec.W.u8 w 6;
     Codec.W.str w fo.Value.fo_name;
@@ -129,13 +183,31 @@ let r_obj r : Value.obj * int list (* indexed fields, relations only *) =
     in
     Value.Module { Value.mod_name; exports }, []
   | 5 ->
+    (* Legacy (pre-REL1) relation: whole row array inline, transient
+       indexes identified only by field. Decodes to a tail-only paged
+       record; [rebuild_relation_indexes] turns the field list into
+       first-class [Index] objects and the header is rewritten as REL1
+       on its next commit. *)
     let rel_name = Codec.R.str r in
     let rows = r_values r in
     let n = Codec.R.varint r in
     let fields = List.init n (fun _ -> Codec.R.varint r) in
     let nt = Codec.R.varint r in
     let triggers = List.init nt (fun _ -> r_value r) in
-    Value.Relation { Value.rel_name; rows; indexes = []; triggers }, fields
+    ( Value.Relation
+        {
+          Value.rel_name;
+          rel_page_size = !Relcore.default_page_size;
+          rel_pages = [||];
+          rel_tail = rows;
+          rel_tail_len = Array.length rows;
+          rel_count = Array.length rows;
+          rel_indexes = [];
+          rel_stats = None;
+          rel_triggers = triggers;
+          rel_rows_cache = None;
+        },
+      fields )
   | 6 ->
     let fo_name = Codec.R.str r in
     let fo_ptml = Codec.R.str r in
@@ -169,6 +241,75 @@ let r_obj r : Value.obj * int list (* indexed fields, relations only *) =
           fo_attrs;
         },
       [] )
+  | 7 ->
+    let magic = Codec.R.raw r 4 in
+    if magic <> "REL1" then fail "bad relation magic %S" magic;
+    let rel_name = Codec.R.str r in
+    let rel_page_size = Codec.R.varint r in
+    let rel_count = Codec.R.varint r in
+    let npages = Codec.R.varint r in
+    let rel_pages = Array.init npages (fun _ -> Oid.of_int (Codec.R.varint r)) in
+    let tail_len = Codec.R.varint r in
+    let rel_tail = Array.init tail_len (fun _ -> r_value r) in
+    let ni = Codec.R.varint r in
+    let rel_indexes =
+      List.init ni (fun _ ->
+          let field = Codec.R.varint r in
+          let oid = Oid.of_int (Codec.R.varint r) in
+          field, oid)
+    in
+    let rel_stats =
+      match Codec.R.u8 r with
+      | 0 -> None
+      | 1 -> Some (Oid.of_int (Codec.R.varint r))
+      | t -> fail "bad stats presence tag %d" t
+    in
+    let nt = Codec.R.varint r in
+    let rel_triggers = List.init nt (fun _ -> r_value r) in
+    ( Value.Relation
+        {
+          Value.rel_name;
+          rel_page_size;
+          rel_pages;
+          rel_tail;
+          rel_tail_len = tail_len;
+          rel_count;
+          rel_indexes;
+          rel_stats;
+          rel_triggers;
+          rel_rows_cache = None;
+        },
+      [] )
+  | 8 ->
+    let magic = Codec.R.raw r 4 in
+    if magic <> "IDX1" then fail "bad index magic %S" magic;
+    let ix_field = Codec.R.varint r in
+    let nkeys = Codec.R.varint r in
+    let ix_tbl = Hashtbl.create (max 16 nkeys) in
+    for _ = 1 to nkeys do
+      let key =
+        match Value.to_literal (r_value r) with
+        | Some l -> l
+        | None -> fail "non-literal index key in store object"
+      in
+      let np = Codec.R.varint r in
+      let positions = List.init np (fun _ -> Codec.R.varint r) in
+      Hashtbl.replace ix_tbl key positions
+    done;
+    Value.Index { Value.ix_field; ix_tbl }, []
+  | 9 ->
+    let magic = Codec.R.raw r 4 in
+    if magic <> "STA1" then fail "bad stats magic %S" magic;
+    let st_count = Codec.R.varint r in
+    let st_arity = Codec.R.svarint r in
+    let nd = Codec.R.varint r in
+    let st_distinct =
+      List.init nd (fun _ ->
+          let field = Codec.R.varint r in
+          let d = Codec.R.varint r in
+          field, d)
+    in
+    Value.Stats { Value.st_count; st_arity; st_distinct }, []
   | t -> fail "bad object tag %d" t
 
 let encode_obj obj =
@@ -186,8 +327,12 @@ let decode_obj s =
   | Codec.R.Truncated -> fail "truncated object"
   | Codec.R.Malformed msg -> fail "malformed object: %s" msg
 
-(* Rebuild the hash indexes of a relation already installed in [heap]
-   (dereferences the row tuples, possibly faulting them in). *)
+(* Rebuild the hash indexes of a legacy (pre-REL1) relation already
+   installed in [heap]: for each persisted field, build the hash table
+   by scanning the rows (dereferencing row tuples, possibly faulting
+   them in) and allocate it as a first-class [Index] object. REL1
+   relations never come through here — their indexes are store objects
+   that fault on demand. *)
 let rebuild_relation_indexes heap oid fields =
   let key_of v =
     match Value.to_literal v with
@@ -196,21 +341,23 @@ let rebuild_relation_indexes heap oid fields =
   in
   match Value.Heap.get heap oid with
   | Value.Relation rel ->
-    List.iter
-      (fun field ->
-        let idx = Hashtbl.create (max 16 (Array.length rel.Value.rows)) in
-        Array.iteri
-          (fun pos row ->
-            match row with
-            | Value.Oidv roid -> (
-              match Value.Heap.get_opt heap roid with
-              | Some (Value.Tuple slots) when field < Array.length slots ->
-                let key = key_of slots.(field) in
-                let old = Option.value ~default:[] (Hashtbl.find_opt idx key) in
-                Hashtbl.replace idx key (pos :: old)
-              | _ -> fail "relation row %d is not a valid tuple" pos)
-            | _ -> fail "relation row %d is not a reference" pos)
-          rel.Value.rows;
-        rel.Value.indexes <- (field, idx) :: rel.Value.indexes)
-      fields
+    let ixs =
+      List.map
+        (fun field ->
+          let idx = Hashtbl.create (max 16 rel.Value.rel_count) in
+          Relcore.iteri heap rel (fun pos row ->
+              match row with
+              | Value.Oidv roid -> (
+                match Value.Heap.get_opt heap roid with
+                | Some (Value.Tuple slots) when field < Array.length slots ->
+                  let key = key_of slots.(field) in
+                  let old = Option.value ~default:[] (Hashtbl.find_opt idx key) in
+                  Hashtbl.replace idx key (pos :: old)
+                | _ -> fail "relation row %d is not a valid tuple" pos)
+              | _ -> fail "relation row %d is not a reference" pos);
+          let ix_oid = Value.Heap.alloc heap (Value.Index { Value.ix_field = field; ix_tbl = idx }) in
+          field, ix_oid)
+        (List.sort compare fields)
+    in
+    rel.Value.rel_indexes <- ixs @ rel.Value.rel_indexes
   | _ -> fail "%s is not a relation" (Oid.to_string oid)

@@ -48,10 +48,15 @@ let uncommitted_count t =
 
 (* Mutable objects observed through an access may be updated in place
    behind the heap's back, so any access dirties them; immutable kinds
-   stay clean and evictable. *)
+   stay clean and evictable. Relations, indexes and stats are mutable
+   records but every mutation goes through [Tml_query.Rel], which
+   re-[Heap.set]s the object afterwards — so reads leave them clean
+   (and big relations evictable) and the update hook catches writes. *)
 let mutable_kind = function
-  | Value.Array _ | Value.Bytes _ | Value.Relation _ | Value.Func _ -> true
-  | Value.Vector _ | Value.Tuple _ | Value.Module _ -> false
+  | Value.Array _ | Value.Bytes _ | Value.Func _ -> true
+  | Value.Vector _ | Value.Tuple _ | Value.Module _ | Value.Relation _ | Value.Index _
+  | Value.Stats _ ->
+    false
 
 let mark_dirty t ix =
   if not (Hashtbl.mem t.dirty ix) then begin
@@ -123,7 +128,11 @@ let fault t oid =
             try Obj_codec.rebuild_relation_indexes t.heap oid indexed with
             | Obj_codec.Codec_error msg -> fail "corrupt relation %d: %s" ix msg
           end);
-      if mutable_kind obj then mark_dirty t ix
+      (* [indexed <> []] means a legacy relation whose indexes were just
+         rebuilt as fresh [Index] objects: dirty the header so the next
+         commit rewrites it as REL1 referencing them (otherwise every
+         reopen would orphan another generation of index objects). *)
+      if mutable_kind obj || indexed <> [] then mark_dirty t ix
       else begin
         Lru.touch t.lru ix;
         enforce_capacity t

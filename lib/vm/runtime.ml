@@ -79,8 +79,10 @@ let as_indexable ctx ~what v =
   match Value.Heap.get ctx.heap (as_oid ~what v) with
   | Value.Array slots | Value.Vector slots | Value.Tuple slots -> slots
   | Value.Relation rel ->
-    (* positional, read-only access to the rows of a relation *)
-    rel.Value.rows
+    (* positional, read-only access to the rows of a relation:
+       materialized once per version and memoized on the header (the
+       query primitives iterate pages directly instead) *)
+    Relcore.snapshot_rows ctx.heap rel
   | _ -> fault "%s: expected an array, vector, tuple or relation" what
 
 let as_bytes ctx ~what v =

@@ -141,6 +141,10 @@ let binding_tokens buf bindings =
       Buffer.add_char buf ';')
     bindings
 
+let log2_bucket n =
+  let rec go b n = if n <= 1 then b else go (b + 1) (n lsr 1) in
+  go 0 (max 0 n)
+
 (* Content digest of a store object, restricted to what specialization can
    observe (see the header comment). *)
 let obj_digest (obj : Value.obj) =
@@ -157,12 +161,32 @@ let obj_digest (obj : Value.obj) =
       (fun field ->
         Buffer.add_char buf '#';
         Buffer.add_string buf (string_of_int field))
-      (List.sort compare (List.map fst rel.Value.indexes));
+      (List.sort compare (List.map fst rel.Value.rel_indexes));
     List.iter
       (fun t ->
         Buffer.add_char buf '!';
         Buffer.add_string buf (value_token t))
-      rel.Value.triggers
+      rel.Value.rel_triggers
+  | Value.Index ix ->
+    (* cost rules read existence + distinct-count magnitude, not
+       contents: a log2 bucket keeps warm plans valid across small
+       growth while invalidating ones whose enabling statistic moved *)
+    Buffer.add_string buf "I#";
+    Buffer.add_string buf (string_of_int ix.Value.ix_field);
+    Buffer.add_char buf '~';
+    Buffer.add_string buf (string_of_int (log2_bucket (Hashtbl.length ix.Value.ix_tbl)))
+  | Value.Stats st ->
+    Buffer.add_string buf "S~";
+    Buffer.add_string buf (string_of_int (log2_bucket st.Value.st_count));
+    Buffer.add_char buf '/';
+    Buffer.add_string buf (string_of_int st.Value.st_arity);
+    List.iter
+      (fun (field, d) ->
+        Buffer.add_char buf '#';
+        Buffer.add_string buf (string_of_int field);
+        Buffer.add_char buf '~';
+        Buffer.add_string buf (string_of_int (log2_bucket d)))
+      (List.sort compare st.Value.st_distinct)
   | Value.Vector slots ->
     Buffer.add_string buf "V";
     Array.iter

@@ -41,6 +41,8 @@ type obj =
   | Module of module_obj
   | Relation of relation
   | Func of func_obj
+  | Index of index_obj
+  | Stats of stats_obj
 
 and module_obj = {
   mod_name : string;
@@ -49,10 +51,34 @@ and module_obj = {
 
 and relation = {
   rel_name : string;
-  mutable rows : t array;
-  mutable indexes : (int * (Literal.t, int list) Hashtbl.t) list;
-  mutable triggers : t list;
+  rel_page_size : int;
+  mutable rel_pages : Oid.t array;
+      (** sealed row pages: each a [Vector] of exactly [rel_page_size]
+          rows, faulted on demand — the full row array is never
+          materialized by the relation object itself *)
+  mutable rel_tail : t array;  (** growable tail buffer (capacity array) *)
+  mutable rel_tail_len : int;  (** valid prefix of [rel_tail] *)
+  mutable rel_count : int;  (** total logical rows = pages*page_size + tail_len *)
+  mutable rel_indexes : (int * Oid.t) list;
+      (** field -> sibling [Index] store object, persisted with the relation *)
+  mutable rel_stats : Oid.t option;  (** sibling [Stats] store object *)
+  mutable rel_triggers : t list;
       (** stored trigger procedures, called with each inserted tuple *)
+  mutable rel_rows_cache : t array option;
+      (** transient materialization for positional access; never serialized *)
+}
+
+and index_obj = {
+  ix_field : int;
+  ix_tbl : (Literal.t, int list) Hashtbl.t;
+      (** key -> row positions, ascending *)
+}
+
+and stats_obj = {
+  mutable st_count : int;
+  mutable st_arity : int;  (** tuple width, -1 when unknown *)
+  mutable st_distinct : (int * int) list;
+      (** per-indexed-field distinct-key counts *)
 }
 
 and func_obj = {

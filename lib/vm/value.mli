@@ -55,6 +55,8 @@ type obj =
   | Module of module_obj
   | Relation of relation
   | Func of func_obj
+  | Index of index_obj   (** persistent secondary hash index of a relation *)
+  | Stats of stats_obj   (** per-relation cardinality statistics *)
 
 and module_obj = {
   mod_name : string;
@@ -63,14 +65,41 @@ and module_obj = {
 
 and relation = {
   rel_name : string;
-  mutable rows : t array;  (** each row is an [Oidv] of a [Tuple] *)
-  mutable indexes : (int * (Tml_core.Literal.t, int list) Hashtbl.t) list;
-      (** hash indexes: field position → (key → row positions) *)
-  mutable triggers : t list;
+  rel_page_size : int;
+  mutable rel_pages : Tml_core.Oid.t array;
+      (** sealed row pages, each a [Vector] of exactly [rel_page_size] rows
+          ([Oidv]s of [Tuple]s), faulted on demand through the store — the
+          header never materializes the full row array *)
+  mutable rel_tail : t array;
+      (** growable tail buffer for the unfilled last page (capacity array) *)
+  mutable rel_tail_len : int;  (** valid prefix of [rel_tail] *)
+  mutable rel_count : int;     (** total logical row count *)
+  mutable rel_indexes : (int * Tml_core.Oid.t) list;
+      (** hash indexes: field position → sibling [Index] store object,
+          maintained incrementally by [Tml_query.Rel.insert] and
+          committed/recovered with the relation *)
+  mutable rel_stats : Tml_core.Oid.t option;
+      (** sibling [Stats] store object feeding the cost-based planner *)
+  mutable rel_triggers : t list;
       (** stored trigger procedures ([Oidv] of functions), invoked with each
           inserted tuple — "the body of database triggers may refer to
           programming language statements" (section 4.2): they are ordinary
           persistent functions the reflective optimizer can rewrite *)
+  mutable rel_rows_cache : t array option;
+      (** transient materialization for positional ([], size, move) access;
+          invalidated on insert, never serialized *)
+}
+
+and index_obj = {
+  ix_field : int;  (** the indexed tuple field *)
+  ix_tbl : (Tml_core.Literal.t, int list) Hashtbl.t;  (** key → row positions *)
+}
+
+and stats_obj = {
+  mutable st_count : int;   (** row count at last maintenance *)
+  mutable st_arity : int;   (** tuple width, [-1] when unknown/heterogeneous *)
+  mutable st_distinct : (int * int) list;
+      (** per-indexed-field distinct-key counts (field → distinct) *)
 }
 
 and func_obj = {

@@ -1,0 +1,20 @@
+Crash recovery of a paged relation with a persistent secondary index.
+
+stage1 commits a 22-row relation (4-row pages, so 5 sealed pages and a
+2-row tail), with a hash index on field 1 and its stats object, then
+writes a second insert batch and tears the log mid-record — simulating a
+crash in the middle of the second commit.
+
+  $ ../qrecovery.exe stage1 crash.tml
+  baseline: 22 rows in 5 pages + 2 tail, lookup(1)=5
+  tore the log mid-record inside the second commit
+
+stage2 reopens the torn store.  Recovery seals the log at the baseline
+commit (one truncation), and the relation, its index and its statistics
+come back mutually consistent: 22 rows, the index answers the lookup
+directly from its persisted object (one load, zero rebuilds), and a full
+scan agrees with the indexed answer.
+
+  $ ../qrecovery.exe stage2 crash.tml
+  recovered: 22 rows, lookup(1)=5, scan(1)=5, stats count=22
+  index loads=1 rebuilds=0, log truncations=1

@@ -218,16 +218,28 @@ let test_obj_relation () =
       [ [| Value.Int 1; Value.Int 2 |]; [| Value.Int 3; Value.Int 4 |] ]
   in
   Tml_query.Rel.add_index ctx oid 0;
-  (* the relation round-trips with indexes persisted as a field list and
-     rebuilt on fault; the row tuples round-trip as plain tuples *)
+  (* the relation header round-trips with its page/index/stats references
+     in the payload; index and stats siblings and the row tuples
+     round-trip as plain objects *)
   check_rt "relation" Roundtrip.Pass (Roundtrip.obj (Value.Heap.get heap oid));
+  (match Tml_query.Rel.find_index ctx oid 0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "index missing");
+  List.iter
+    (fun (_, ixoid) ->
+      check_rt "index object" Roundtrip.Pass (Roundtrip.obj (Value.Heap.get heap ixoid)))
+    (Tml_query.Rel.get ctx oid).Value.rel_indexes;
+  (match (Tml_query.Rel.get ctx oid).Value.rel_stats with
+  | Some soid ->
+    check_rt "stats object" Roundtrip.Pass (Roundtrip.obj (Value.Heap.get heap soid))
+  | None -> Alcotest.fail "stats missing");
   Array.iter
     (fun row ->
       match row with
       | Value.Oidv t ->
         check_rt "row tuple" Roundtrip.Pass (Roundtrip.obj (Value.Heap.get heap t))
       | _ -> Alcotest.fail "relation row is not an Oidv")
-    (Tml_query.Rel.get ctx oid).Value.rows
+    (Tml_query.Rel.rows ctx oid)
 
 let test_obj_func () =
   let heap = Value.Heap.create () in

@@ -63,6 +63,65 @@ let test_rel_basics () =
       Rel.insert ctx rel [| Value.Int 6; Value.Int 41; Value.Int 7000 |];
       check tint "after insert" 6 (Array.length (Rel.rows ctx rel)))
 
+let test_rel_paging () =
+  let saved = !Relcore.default_page_size in
+  Relcore.default_page_size := 4;
+  Fun.protect
+    ~finally:(fun () -> Relcore.default_page_size := saved)
+    (fun () ->
+      let ctx = fresh_ctx () in
+      let rel =
+        Rel.create ctx ~name:"big" (List.init 22 (fun i -> [| Value.Int i; Value.Int (i * i) |]))
+      in
+      let r = Rel.get ctx rel in
+      check tint "22 rows" 22 (Rel.length ctx rel);
+      check tint "five sealed pages" 5 (Relcore.page_count r);
+      check tint "two tail rows" 2 r.Value.rel_tail_len;
+      (* nth spans pages and tail *)
+      List.iter
+        (fun i ->
+          let fields = Rel.row_tuple ctx (Rel.nth ctx rel i) in
+          check tbool (Printf.sprintf "row %d content" i) true
+            (Value.identical fields.(1) (Value.Int (i * i))))
+        [ 0; 3; 4; 19; 20; 21 ];
+      (* iteri covers every row exactly once, in order *)
+      let seen = ref [] in
+      Rel.iteri ctx rel (fun i row ->
+          let fields = Rel.row_tuple ctx row in
+          check tbool "iteri order" true (Value.identical fields.(0) (Value.Int i));
+          seen := i :: !seen);
+      check tint "iteri count" 22 (List.length !seen);
+      (* inserts seal full tails into fresh pages *)
+      for i = 22 to 27 do
+        Rel.insert ctx rel [| Value.Int i; Value.Int (i * i) |]
+      done;
+      let r = Rel.get ctx rel in
+      check tint "28 rows after inserts" 28 (Rel.length ctx rel);
+      check tint "seven sealed pages" 7 (Relcore.page_count r);
+      check tint "empty tail" 0 r.Value.rel_tail_len;
+      let fields = Rel.row_tuple ctx (Rel.nth ctx rel 27) in
+      check tbool "inserted row content" true (Value.identical fields.(1) (Value.Int (27 * 27))))
+
+let test_rel_stats () =
+  with_employees (fun ctx rel ->
+      (match Rel.stats ctx rel with
+      | Some st ->
+        check tint "count" 5 st.Value.st_count;
+        check tint "arity" 3 st.Value.st_arity;
+        check tbool "no distinct sketch yet" true (st.Value.st_distinct = [])
+      | None -> Alcotest.fail "stats object missing at creation");
+      Rel.add_index ctx rel 1;
+      (match Rel.stats ctx rel with
+      | Some st -> check tbool "distinct tracked for indexed field" true
+          (List.assoc_opt 1 st.Value.st_distinct = Some 4)
+      | None -> Alcotest.fail "stats lost by mkindex");
+      Rel.insert ctx rel [| Value.Int 6; Value.Int 77; Value.Int 100 |];
+      match Rel.stats ctx rel with
+      | Some st ->
+        check tint "count maintained" 6 st.Value.st_count;
+        check tbool "distinct maintained" true (List.assoc_opt 1 st.Value.st_distinct = Some 5)
+      | None -> Alcotest.fail "stats lost by insert")
+
 let test_rel_index () =
   with_employees (fun ctx rel ->
       check tbool "no index yet" true (Rel.find_index ctx rel 1 = None);
@@ -571,12 +630,279 @@ let test_index_select_runtime () =
       check tint "indexselect introduced" 1 (count_prim "indexselect" a_yes);
       check tint "select eliminated" 0 (count_prim "select" a_yes))
 
+let join_pred ~f1 ~f2 =
+  Printf.sprintf
+    "proc(x y jce! jcc!) ([] x %d cont(ja) ([] y %d cont(jb) (== ja jb cont() (jcc! true) \
+     cont() (jcc! false))))"
+    f1 f2
+
+(* run a term whose result continuation k! receives a relation; return it *)
+let run_to_rel ctx bindings src =
+  match
+    run_tml ctx (( "k", Value.Halt true) :: ("ce", Value.Halt false) :: bindings) src
+  with
+  | Eval.Done (Value.Oidv out) -> out
+  | o -> Alcotest.failf "%s: %a" src Eval.pp_outcome o
+
+let rows_equal ctx name r1 r2 =
+  let a1 = Rel.rows ctx r1 and a2 = Rel.rows ctx r2 in
+  check tint (name ^ ": cardinality") (Array.length a1) (Array.length a2);
+  Array.iteri
+    (fun i row1 ->
+      let f1 = Rel.row_tuple ctx row1 and f2 = Rel.row_tuple ctx a2.(i) in
+      check tint (Printf.sprintf "%s: row %d width" name i) (Array.length f1)
+        (Array.length f2);
+      Array.iteri
+        (fun j v1 ->
+          check tbool (Printf.sprintf "%s: row %d field %d" name i j) true
+            (Value.identical v1 f2.(j)))
+        f1)
+    a1
+
+let test_prim_idxjoin () =
+  let ctx = fresh_ctx () in
+  let r1 =
+    Rel.create ctx ~name:"a"
+      [ [| Value.Int 1; Value.Int 10 |]; [| Value.Int 2; Value.Int 20 |];
+        [| Value.Int 2; Value.Int 21 |] ]
+  in
+  let r2 =
+    Rel.create ctx ~name:"b"
+      [ [| Value.Int 2; Value.Int 200 |]; [| Value.Int 3; Value.Int 300 |];
+        [| Value.Int 2; Value.Int 201 |] ]
+  in
+  let bindings = [ "r1", Value.Oidv r1; "r2", Value.Oidv r2 ] in
+  let naive_src =
+    Printf.sprintf "(join %s r1 r2 ce! k!)" (join_pred ~f1:0 ~f2:0)
+  in
+  let naive = run_to_rel ctx bindings naive_src in
+  (* degrade path: no index on r2.0 yet *)
+  let degraded = run_to_rel ctx bindings "(idxjoin r1 r2 0 0 ce! k!)" in
+  rows_equal ctx "idxjoin degrade ≡ join" naive degraded;
+  (* indexed path: probes reproduce the nested loop, row order included *)
+  Rel.add_index ctx r2 0;
+  let probes0 = !Rel.index_probes in
+  let indexed = run_to_rel ctx bindings "(idxjoin r1 r2 0 0 ce! k!)" in
+  rows_equal ctx "idxjoin indexed ≡ join" naive indexed;
+  check tbool "index was probed" true (!Rel.index_probes > probes0)
+
+let test_join_field_eq_recognition () =
+  (match Qrewrite.join_field_eq_predicate (Sexp.parse_value (join_pred ~f1:1 ~f2:0)) with
+  | Some (1, 0) -> ()
+  | _ -> Alcotest.fail "equi-join predicate not recognized");
+  (* the builder produces exactly the recognized shape *)
+  (match Qrewrite.join_field_eq_predicate (Qrewrite.mk_join_field_eq ~f1:2 ~f2:3) with
+  | Some (2, 3) -> ()
+  | _ -> Alcotest.fail "built predicate not recognized");
+  (* a one-sided (select-style) predicate is not an equi-join *)
+  check tbool "select predicate rejected" true
+    (Qrewrite.join_field_eq_predicate (Sexp.parse_value (field_pred ~field:0 ~value:3)) = None)
+
+let test_index_join_runtime () =
+  let ctx = fresh_ctx () in
+  let r1 = Rel.create ctx ~name:"a" [ [| Value.Int 1 |] ] in
+  let r2 = Rel.create ctx ~name:"b" [ [| Value.Int 1 |] ] in
+  ignore r1;
+  let src =
+    Printf.sprintf "(join %s r1 <oid %d> ce! k!)" (join_pred ~f1:0 ~f2:0) (Oid.to_int r2)
+  in
+  let a = Sexp.parse_app src in
+  (* no index on the probed side: no rewrite *)
+  let a_no = Rewrite.reduce_app ~rules:(Qopt.runtime_rules ctx) a in
+  check tint "no index, join kept" 1 (count_prim "join" a_no);
+  (* index on the probed field: join becomes idxjoin *)
+  Rel.add_index ctx r2 0;
+  let a_yes = Rewrite.reduce_app ~rules:(Qopt.runtime_rules ctx) a in
+  check tint "idxjoin introduced" 1 (count_prim "idxjoin" a_yes);
+  check tint "join eliminated" 0 (count_prim "join" a_yes)
+
+(* A 3-relation chain where the statistics favour the right-deep order:
+   A ⋈ B explodes (every key equal), B ⋈ C is selective (unique keys). *)
+let mk_join_order_fixture ctx =
+  let a =
+    Rel.create ctx ~name:"A" (List.init 40 (fun i -> [| Value.Int 7; Value.Int i |]))
+  in
+  let b =
+    Rel.create ctx ~name:"B" (List.init 10 (fun i -> [| Value.Int 7; Value.Int i |]))
+  in
+  let c =
+    Rel.create ctx ~name:"C" (List.init 10 (fun i -> [| Value.Int i; Value.Int (1000 + i) |]))
+  in
+  Rel.add_index ctx b 0;
+  Rel.add_index ctx b 1;
+  Rel.add_index ctx c 0;
+  a, b, c
+
+let join_chain_src ~a ~b ~c =
+  (* (A ⋈_{x.0 = y.0} B) ⋈_{t.3 = z.0} C; field 3 of t = A++B is B.1 *)
+  Printf.sprintf "(join %s <oid %d> <oid %d> ce! cont(t) (join %s t <oid %d> ce! k!))"
+    (join_pred ~f1:0 ~f2:0) (Oid.to_int a) (Oid.to_int b)
+    (join_pred ~f1:3 ~f2:0) (Oid.to_int c)
+
+let test_join_order_runtime () =
+  let ctx = fresh_ctx () in
+  let a, b, c = mk_join_order_fixture ctx in
+  let term = Sexp.parse_app (join_chain_src ~a ~b ~c) in
+  let planned = Rewrite.reduce_app ~rules:(Qopt.runtime_rules ctx) term in
+  (* the chain reassociates: B ⋈ C runs first (as an idxjoin probe on
+     C's index), A joins the small intermediate last *)
+  check tint "idxjoin introduced by reorder" 1 (count_prim "idxjoin" planned);
+  check tint "one join left" 1 (count_prim "join" planned);
+  (match planned.Term.func, planned.Term.args with
+  | Term.Prim "idxjoin", Term.Lit (Literal.Oid first) :: Term.Lit (Literal.Oid second) :: _
+    ->
+    check tbool "outer loop is B" true (Oid.equal first b);
+    check tbool "probed side is C" true (Oid.equal second c)
+  | _ -> Alcotest.fail "reordered plan does not start with idxjoin B C");
+  (* semantics: planned and naive runs emit identical rows in identical
+     order *)
+  let run term =
+    let frees = Ident.Set.elements (Term.free_vars_app term) in
+    let env =
+      List.fold_left
+        (fun env id ->
+          match id.Ident.name with
+          | "k" -> Ident.Map.add id (Value.Halt true) env
+          | "ce" -> Ident.Map.add id (Value.Halt false) env
+          | _ -> env)
+        Ident.Map.empty frees
+    in
+    match Eval.run_app ctx ~env term with
+    | Eval.Done (Value.Oidv out) -> out
+    | o -> Alcotest.failf "join chain: %a" Eval.pp_outcome o
+  in
+  let naive_out = run term and planned_out = run planned in
+  check tint "400 result rows" 400 (Rel.length ctx naive_out);
+  rows_equal ctx "planned ≡ naive" naive_out planned_out;
+  (* without the enabling statistics (no indexes, distinct unknown) the
+     cost model sees no advantage and leaves the order alone *)
+  let ctx2 = fresh_ctx () in
+  let a2 = Rel.create ctx2 ~name:"A" (List.init 4 (fun i -> [| Value.Int i; Value.Int i |])) in
+  let b2 = Rel.create ctx2 ~name:"B" (List.init 4 (fun i -> [| Value.Int i; Value.Int i |])) in
+  let c2 = Rel.create ctx2 ~name:"C" (List.init 4 (fun i -> [| Value.Int i; Value.Int i |])) in
+  let term2 = Sexp.parse_app (join_chain_src ~a:a2 ~b:b2 ~c:c2) in
+  let planned2 = Rewrite.reduce_app ~rules:(Qopt.runtime_rules ctx2) term2 in
+  check tint "no stats advantage, order kept" 2 (count_prim "join" planned2)
+
+let test_query_metrics_source () =
+  let ctx = fresh_ctx () in
+  Qprims.reset_query_counters ();
+  let rel = Rel.create ctx ~name:"m" [ [| Value.Int 1 |] ] in
+  Rel.add_index ctx rel 0;
+  ignore (Rel.lookup ctx rel ~field:0 (Literal.Int 1));
+  let counters = Qprims.query_counters () in
+  let get name = List.assoc name counters in
+  check tint "relations_created" 1 (get "relations_created");
+  check tint "index_builds" 1 (get "index_builds");
+  check tbool "index_probes counted" true (get "index_probes" >= 1);
+  check tbool "stats_updates counted" true (get "stats_updates" >= 1);
+  (* registered in the metrics registry under the "query" source (what
+     tmlsh :stats query prints) *)
+  let json = Tml_obs.Metrics.snapshot_json () in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check tbool "query metrics source registered" true (contains ~sub:"\"query\"" json);
+  check tbool "source exposes page-fault counter" true
+    (contains ~sub:"page_faults" json)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: rewritten access paths ≡ naive scans                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_page_size n f =
+  let saved = !Relcore.default_page_size in
+  Relcore.default_page_size := n;
+  Fun.protect ~finally:(fun () -> Relcore.default_page_size := saved) f
+
+(* generated relations: up to 30 rows of width 2 over a small key space,
+   page size 3 so cases span sealed pages and the growable tail *)
+let gen_rows =
+  QCheck2.Gen.(
+    list_size (int_bound 30)
+      (map2 (fun a b -> [| Value.Int a; Value.Int b |]) (int_bound 7) (int_bound 7)))
+
+let prop_indexselect_equiv_scan =
+  QCheck2.Test.make ~name:"indexselect ≡ scan-select (multi-page)" ~count:100
+    QCheck2.Gen.(triple gen_rows (int_bound 1) (int_bound 7))
+    (fun (rows, field, key) ->
+      with_page_size 3 (fun () ->
+          let ctx = fresh_ctx () in
+          let rel = Rel.create ctx ~name:"p" rows in
+          Rel.add_index ctx rel field;
+          let bindings = [ "r", Value.Oidv rel ] in
+          let scan =
+            run_to_rel ctx bindings
+              (Printf.sprintf "(select %s r ce! k!)" (field_pred ~field ~value:key))
+          in
+          let indexed =
+            run_to_rel ctx bindings
+              (Printf.sprintf "(indexselect r %d %d ce! k!)" field key)
+          in
+          let a1 = Rel.rows ctx scan and a2 = Rel.rows ctx indexed in
+          Array.length a1 = Array.length a2
+          && Array.for_all2 (fun x y -> Value.identical x y) a1 a2))
+
+let prop_planned_join_equiv_naive =
+  QCheck2.Test.make ~name:"planned join chain ≡ naive join chain" ~count:60
+    QCheck2.Gen.(
+      triple gen_rows gen_rows
+        (triple gen_rows (int_bound 3) (int_bound 1)))
+    (fun (rows_a, rows_b, (rows_c, ixmask, g_b)) ->
+      with_page_size 3 (fun () ->
+          let ctx = fresh_ctx () in
+          let a = Rel.create ctx ~name:"A" rows_a in
+          let b = Rel.create ctx ~name:"B" rows_b in
+          let c = Rel.create ctx ~name:"C" rows_c in
+          if ixmask land 1 <> 0 then Rel.add_index ctx b 0;
+          if ixmask land 2 <> 0 then Rel.add_index ctx c 0;
+          Rel.add_index ctx b (1 - g_b);
+          (* inner predicate probes t.(2 + g) = B field g against C.0 *)
+          let src =
+            Printf.sprintf
+              "(join %s <oid %d> <oid %d> ce! cont(t) (join %s t <oid %d> ce! k!))"
+              (join_pred ~f1:0 ~f2:0) (Oid.to_int a) (Oid.to_int b)
+              (join_pred ~f1:(2 + g_b) ~f2:0) (Oid.to_int c)
+          in
+          let term = Sexp.parse_app src in
+          let planned = Rewrite.reduce_app ~rules:(Qopt.runtime_rules ctx) term in
+          let run term =
+            let frees = Ident.Set.elements (Term.free_vars_app term) in
+            let env =
+              List.fold_left
+                (fun env id ->
+                  match id.Ident.name with
+                  | "k" -> Ident.Map.add id (Value.Halt true) env
+                  | "ce" -> Ident.Map.add id (Value.Halt false) env
+                  | _ -> env)
+                Ident.Map.empty frees
+            in
+            match Eval.run_app ctx ~env term with
+            | Eval.Done (Value.Oidv out) -> Some out
+            | _ -> None
+          in
+          match run term, run planned with
+          | Some naive, Some opt ->
+            let a1 = Rel.rows ctx naive and a2 = Rel.rows ctx opt in
+            Array.length a1 = Array.length a2
+            && Array.for_all2
+                 (fun x y ->
+                   let f1 = Rel.row_tuple ctx x and f2 = Rel.row_tuple ctx y in
+                   Array.length f1 = Array.length f2
+                   && Array.for_all2 Value.identical f1 f2)
+                 a1 a2
+          | o1, o2 -> o1 = o2))
+
 let () =
   Alcotest.run "tml_query"
     [
       ( "rel",
         [
           Alcotest.test_case "basics" `Quick test_rel_basics;
+          Alcotest.test_case "paged segments" `Quick test_rel_paging;
+          Alcotest.test_case "cardinality statistics" `Quick test_rel_stats;
           Alcotest.test_case "indexes" `Quick test_rel_index;
         ] );
       ( "prims",
@@ -589,6 +915,7 @@ let () =
           Alcotest.test_case "predicate exceptions propagate" `Quick
             test_prim_exceptions_propagate;
           Alcotest.test_case "indexselect" `Quick test_prim_indexselect;
+          Alcotest.test_case "idxjoin" `Quick test_prim_idxjoin;
           Alcotest.test_case "union, inter, diff, distinct" `Quick test_prim_set_ops;
           Alcotest.test_case "aggregates" `Quick test_prim_aggregates;
           Alcotest.test_case "triggers" `Quick test_triggers;
@@ -611,5 +938,16 @@ let () =
           Alcotest.test_case "field equality recognition" `Quick test_field_eq_recognition;
           Alcotest.test_case "index-select needs the runtime binding" `Quick
             test_index_select_runtime;
+          Alcotest.test_case "equi-join predicate recognition" `Quick
+            test_join_field_eq_recognition;
+          Alcotest.test_case "index-join needs the runtime binding" `Quick
+            test_index_join_runtime;
+          Alcotest.test_case "cost-based join order" `Quick test_join_order_runtime;
+          Alcotest.test_case "query metrics source" `Quick test_query_metrics_source;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_indexselect_equiv_scan;
+          QCheck_alcotest.to_alcotest prop_planned_join_equiv_naive;
         ] );
     ]

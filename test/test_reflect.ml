@@ -310,15 +310,43 @@ let test_speccache_encode_decode () =
   | () -> Alcotest.fail "garbage image accepted"
 
 let test_speccache_obj_digests () =
-  let rel rows indexes =
-    Value.Relation { Value.rel_name = "t"; rows; indexes; triggers = [] }
+  let rel tail indexes =
+    Value.Relation
+      {
+        Value.rel_name = "t";
+        rel_page_size = 4096;
+        rel_pages = [||];
+        rel_tail = tail;
+        rel_tail_len = Array.length tail;
+        rel_count = Array.length tail;
+        rel_indexes = indexes;
+        rel_stats = None;
+        rel_triggers = [];
+        rel_rows_cache = None;
+      }
   in
   let d = Speccache.obj_digest in
   (* rows influence execution, never plan shape: excluded from the digest *)
   check tbool "relation rows excluded" true
     (d (rel [| Value.Int 1 |] []) = d (rel [| Value.Int 2; Value.Int 3 |] []));
   check tbool "relation indexes included" false
-    (d (rel [||] []) = d (rel [||] [ 0, Hashtbl.create 1 ]));
+    (d (rel [||] []) = d (rel [||] [ 0, Oid.of_int 99 ]));
+  (* index/stats digests bucket their magnitudes: warm plans stay valid
+     across small growth, invalidate when the statistic's log2 moves *)
+  let ix n =
+    let tbl = Hashtbl.create 8 in
+    for i = 1 to n do
+      Hashtbl.replace tbl (Literal.Int i) [ i ]
+    done;
+    Value.Index { Value.ix_field = 0; ix_tbl = tbl }
+  in
+  check tbool "index distinct bucketed (same log2)" true (d (ix 2) = d (ix 3));
+  check tbool "index distinct bucketed (log2 moved)" false (d (ix 2) = d (ix 4));
+  let st n =
+    Value.Stats { Value.st_count = n; st_arity = 2; st_distinct = [ 0, 4 ] }
+  in
+  check tbool "stats count bucketed (same log2)" true (d (st 4) = d (st 7));
+  check tbool "stats count bucketed (log2 moved)" false (d (st 4) = d (st 8));
   (* a function's derived attributes are optimizer output, not input *)
   let fo attrs ptml =
     Value.Func

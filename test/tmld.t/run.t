@@ -44,7 +44,7 @@ A writer session commits a third row while the reader stays pinned.
   > :quit
   > IN
   connected to tml.sock (session 2 at epoch 2)
-  committed 4 objects at epoch 3 (group of 1)
+  committed 5 objects at epoch 3 (group of 1)
 
 The pinned reader re-reads: still two rows — the epoch-3 commit is
 invisible at its epoch-2 snapshot.  Its own commit is a transaction

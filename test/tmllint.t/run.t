@@ -65,9 +65,11 @@ oracle battery:
   q.select-union             (union …)            proved (12 redexes)
   q.distinct-distinct        (distinct …)         proved (12 redexes)
   q.select-before-distinct   (distinct …)         proved (12 redexes)
+  q.join-order               (join …)             unsupported: store-aware closure rule: verified by the oracle battery itself
+  q.index-join               (join …)             unsupported: store-aware closure rule: verified by the oracle battery itself
   q.index-select             (select …)           unsupported: store-aware closure rule: verified by the oracle battery itself
   q.select-past              (select …)           unsupported: store-aware closure rule: verified by the oracle battery itself
-  13 rules audited, 0 unverifiable
+  15 rules audited, 0 unverifiable
 
 Planting the intentionally-unsound fixture rules makes the audit fail with
 exit status 2: one fixture dies on the static checker (silent drops), the
@@ -76,7 +78,7 @@ acknowledged variant survives it and is refuted by its proof obligation:
   $ tmllint --rules --plant-unsound > audit.out 2>&1; echo $?
   2
   $ tail -1 audit.out
-  15 rules audited, 2 unverifiable
+  17 rules audited, 2 unverifiable
   $ grep -c 'STATIC: RHS silently discards' audit.out
   1
   $ grep -c 'REFUTED' audit.out

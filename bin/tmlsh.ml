@@ -14,8 +14,8 @@
 
    Commands: :help :names :dump NAME :disasm NAME :optimize NAME
              :optimize-all :tier NAME :open FILE :commit :compact :stats
-             :explain NAME :trace on|off|dump :save FILE :steps
-             :connect TARGET :disconnect :quit *)
+             :explain NAME :trace on|off|dump :prof :top :slow
+             :save FILE :steps :connect TARGET :disconnect :quit *)
 
 open Tml_core
 open Tml_vm
@@ -37,7 +37,11 @@ let () =
      closure tier as the session warms up (:tier NAME forces one; the
      "tier" rows of :stats report promotions, deopts and compiled runs) *)
   Tierup.enabled := true;
-  Tierup.register_metrics ()
+  Tierup.register_metrics ();
+  (* sampling VM profiler: attributes executed vm steps to stored
+     functions and tiers (:prof for the report, :prof collapsed for
+     flamegraph input) *)
+  Vmprof.enabled := true
 
 let prompt () =
   if interactive then begin
@@ -66,7 +70,18 @@ let help () =
     \  :stats           merged metrics report (optimizer, specialization\n\
     \                   cache and store counters in one registry)\n\
     \  :stats json      the same snapshot as one JSON object\n\
+    \  :stats prom      the same registry as Prometheus text exposition\n\
     \  :stats reset     zero every counter in every source at once\n\
+    \  :prof            VM step profile: where executed steps went, per\n\
+    \                   stored function and tier\n\
+    \  :prof collapsed [F]  the profile as collapsed-stack lines (stdout\n\
+    \                   or file F; feed to a flamegraph tool)\n\
+    \  :prof reset      zero the VM profile\n\
+    \  :top             (connected) live per-session server view: phase,\n\
+    \                   request counts, lock/commit latency percentiles\n\
+    \  :slow [json]     (connected) the server's persistent slow-query\n\
+    \                   log: duration, steps, tier, page faults, index\n\
+    \                   probes and the plan rules that fired\n\
     \  :explain NAME    why NAME's code looks the way it does: its\n\
     \                   persistent optimization derivation log\n\
     \  :trace on|off    structured tracing into an in-memory ring\n\
@@ -239,6 +254,7 @@ let command session_ref line =
         (Tml_store.Log_store.file_bytes log))
   | [ ":stats" ] -> Format.printf "%a@?" Tml_obs.Metrics.pp_report ()
   | [ ":stats"; "json" ] -> print_endline (Tml_obs.Metrics.snapshot_json ())
+  | [ ":stats"; "prom" ] -> print_string (Tml_obs.Metrics.prometheus ())
   | [ ":stats"; "reset" ] ->
     Tml_obs.Metrics.reset_all ();
     print_endline "all metric sources reset"
@@ -281,6 +297,22 @@ let command session_ref line =
     Image.save_file (Repl.ctx session).Runtime.heap file;
     Printf.printf "store image written to %s\n" file
   | [ ":steps" ] -> Printf.printf "%d abstract instructions\n" (Repl.ctx session).Runtime.steps
+  | [ ":prof" ] -> Format.printf "%a@?" Vmprof.pp ()
+  | ":prof" :: "collapsed" :: rest -> (
+    match rest with
+    | [] -> print_string (Vmprof.collapsed ())
+    | [ file ] ->
+      Out_channel.with_open_bin file (fun oc -> output_string oc (Vmprof.collapsed ()));
+      Printf.printf "vm profile written to %s\n" file
+    | _ -> print_endline "usage: :prof collapsed [FILE]")
+  | [ ":prof"; "reset" ] ->
+    Vmprof.reset ();
+    print_endline "vm profile reset"
+  | [ ":top" ] ->
+    print_endline "not connected (:top shows live sessions of a tmld; use :connect TARGET)"
+  | [ ":slow" ] | [ ":slow"; "json" ] ->
+    print_endline
+      "no slow-query log locally (connect to a tmld started with --slow-ms)"
   | [ ":connect"; target ] -> (
     (* a dying server must surface as a broken-connection error on the
        next write, not kill the shell with SIGPIPE *)
@@ -313,6 +345,9 @@ let remote_line c line =
         oid
     | Error msg -> print_endline msg)
   | [ ":stats" ] | [ ":stats"; "json" ] -> print_endline (C.stats c)
+  | [ ":stats"; "prom" ] -> print_string (C.stats_prom c)
+  | [ ":slow" ] -> print_string (C.slowlog c)
+  | [ ":slow"; "json" ] -> print_endline (C.slowlog ~json:true c)
   | [ ":explain"; name ] -> (
     match C.explain c name with
     | Ok out -> print_string out

@@ -28,6 +28,15 @@ type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* Server threads observe into the same histograms concurrently; a
+   single registry-wide mutex keeps the reservoir and its aggregates
+   consistent (observations are rare and cheap, contention is nil). *)
+let hist_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock hist_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock hist_lock) f
+
 type source = { src_snapshot : unit -> (string * num) list; src_reset : unit -> unit }
 
 let sources : (string, source) Hashtbl.t = Hashtbl.create 16
@@ -88,18 +97,19 @@ let histogram ?(labels = []) name : histogram =
     h
 
 let observe h v =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  h.h_ring.(h.h_ring_next) <- v;
-  h.h_ring_next <- (h.h_ring_next + 1) mod reservoir_size;
-  if h.h_ring_len < reservoir_size then h.h_ring_len <- h.h_ring_len + 1
+  locked (fun () ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      h.h_ring.(h.h_ring_next) <- v;
+      h.h_ring_next <- (h.h_ring_next + 1) mod reservoir_size;
+      if h.h_ring_len < reservoir_size then h.h_ring_len <- h.h_ring_len + 1)
 
 let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let histogram_sum h = locked (fun () -> h.h_sum)
 
-let percentile h p =
+let percentile_locked h p =
   if h.h_ring_len = 0 then 0.
   else begin
     let a = Array.sub h.h_ring 0 h.h_ring_len in
@@ -107,6 +117,34 @@ let percentile h p =
     let p = if p < 0. then 0. else if p > 1. then 1. else p in
     a.(min (h.h_ring_len - 1) (int_of_float (float_of_int h.h_ring_len *. p)))
   end
+
+let percentile h p = locked (fun () -> percentile_locked h p)
+
+(* One consistent view of a histogram: count/sum/mean/min/max and both
+   reported quantiles are taken under the same lock acquisition, so a
+   snapshot can never pair a new count with an old sum. *)
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_mean : float;
+  hv_min : float;
+  hv_max : float;
+  hv_p50 : float;
+  hv_p99 : float;
+}
+
+let hist_view h =
+  locked (fun () ->
+      let mean = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count in
+      {
+        hv_count = h.h_count;
+        hv_sum = h.h_sum;
+        hv_mean = mean;
+        hv_min = (if h.h_count = 0 then 0. else h.h_min);
+        hv_max = (if h.h_count = 0 then 0. else h.h_max);
+        hv_p50 = percentile_locked h 0.5;
+        hv_p99 = percentile_locked h 0.99;
+      })
 
 let register_source ~name ~snapshot ~reset =
   Hashtbl.replace sources name { src_snapshot = snapshot; src_reset = reset }
@@ -120,12 +158,13 @@ let reset_all () =
       | Counter c -> c := 0
       | Gauge g -> g := 0.
       | Histogram h ->
-        h.h_count <- 0;
-        h.h_sum <- 0.;
-        h.h_min <- infinity;
-        h.h_max <- neg_infinity;
-        h.h_ring_len <- 0;
-        h.h_ring_next <- 0)
+        locked (fun () ->
+            h.h_count <- 0;
+            h.h_sum <- 0.;
+            h.h_min <- infinity;
+            h.h_max <- neg_infinity;
+            h.h_ring_len <- 0;
+            h.h_ring_next <- 0))
     registry;
   let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) sources []) in
   List.iter (fun n -> (Hashtbl.find sources n).src_reset ()) names
@@ -178,16 +217,16 @@ let snapshot_json () =
             if !first then first := false else Buffer.add_char buf ',';
             Json.add_string buf k;
             Buffer.add_char buf ':';
-            let mean = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count in
+            let v = hist_view h in
             add_kv_list buf
               [
-                ("count", I h.h_count);
-                ("sum", F h.h_sum);
-                ("mean", F mean);
-                ("min", F (if h.h_count = 0 then 0. else h.h_min));
-                ("max", F (if h.h_count = 0 then 0. else h.h_max));
-                ("p50", F (percentile h 0.5));
-                ("p99", F (percentile h 0.99));
+                ("count", I v.hv_count);
+                ("sum", F v.hv_sum);
+                ("mean", F v.hv_mean);
+                ("min", F v.hv_min);
+                ("max", F v.hv_max);
+                ("p50", F v.hv_p50);
+                ("p99", F v.hv_p99);
               ]
           | _ -> ())
         metrics;
@@ -224,16 +263,105 @@ let pp_report ppf () =
   end;
   List.iter
     (fun (k, h) ->
-      if h.h_count = 0 then Format.fprintf ppf "  %-32s count 0@." k
+      let v = hist_view h in
+      if v.hv_count = 0 then Format.fprintf ppf "  %-32s count 0@." k
       else
         Format.fprintf ppf
           "  %-32s count %d  mean %.4g  min %.4g  max %.4g  p50 %.4g  p99 %.4g@." k
-          h.h_count
-          (h.h_sum /. float_of_int h.h_count)
-          h.h_min h.h_max (percentile h 0.5) (percentile h 0.99))
+          v.hv_count v.hv_mean v.hv_min v.hv_max v.hv_p50 v.hv_p99)
     histos;
   List.iter
     (fun (name, src) ->
       Format.fprintf ppf "-- %s --@." name;
       List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %a@." k pp_num v) (src.src_snapshot ()))
     (sorted_sources ())
+
+(* Prometheus text exposition (version 0.0.4).  Registry keys carry
+   labels inline ([name{k=v,...}]); split them back apart, sanitize the
+   metric name to the [a-zA-Z0-9_:] alphabet, and render histograms as
+   summaries with the two quantiles the reservoir supports. *)
+
+let prom_name s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    s
+
+let prom_split key =
+  match String.index_opt key '{' with
+  | None -> (prom_name key, [])
+  | Some i ->
+    let name = String.sub key 0 i in
+    let rest = String.sub key (i + 1) (String.length key - i - 2) in
+    let labels =
+      List.filter_map
+        (fun pair ->
+          match String.index_opt pair '=' with
+          | None -> None
+          | Some j ->
+            Some
+              ( String.sub pair 0 j,
+                String.sub pair (j + 1) (String.length pair - j - 1) ))
+        (String.split_on_char ',' rest)
+    in
+    (prom_name name, labels)
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" (prom_name k) v) labels)
+    ^ "}"
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prometheus () =
+  let buf = Buffer.create 2048 in
+  let typed = Hashtbl.create 32 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (key, m) ->
+      let name, labels = prom_split key in
+      let l = prom_labels labels in
+      match m with
+      | Counter c ->
+        type_line name "counter";
+        Buffer.add_string buf (Printf.sprintf "%s%s %d\n" name l !c)
+      | Gauge g ->
+        type_line name "gauge";
+        Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name l (prom_float !g))
+      | Histogram h ->
+        let v = hist_view h in
+        type_line name "summary";
+        let quantile q value =
+          let ql = ("quantile", q) :: labels in
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name (prom_labels ql) (prom_float value))
+        in
+        quantile "0.5" v.hv_p50;
+        quantile "0.99" v.hv_p99;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" name l (prom_float v.hv_sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" name l v.hv_count))
+    (sorted_metrics ());
+  List.iter
+    (fun (src_name, src) ->
+      List.iter
+        (fun (k, v) ->
+          let name = prom_name (src_name ^ "_" ^ k) in
+          type_line name "gauge";
+          let value = match v with I n -> string_of_int n | F f -> prom_float f in
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name value))
+        (src.src_snapshot ()))
+    (sorted_sources ());
+  Buffer.contents buf

@@ -56,6 +56,12 @@ val snapshot_json : unit -> string
 (** Merged human-readable report of all metrics and sources. *)
 val pp_report : Format.formatter -> unit -> unit
 
+(** Prometheus text exposition (format 0.0.4): counters and gauges as
+    their own types, histograms as summaries ([quantile="0.5"|"0.99"]
+    plus [_sum]/[_count]), sources flattened to gauges.  Metric names
+    are sanitized to the Prometheus alphabet ([.] becomes [_]). *)
+val prometheus : unit -> string
+
 (** Zero every owned metric and reset every registered source, in one
     pass (sources in name order). *)
 val reset_all : unit -> unit

@@ -21,9 +21,16 @@ type event = {
   ev_ph : phase;
   ev_ts : float; (* microseconds since clock epoch *)
   ev_args : (string * arg) list;
+  ev_tid : int;
 }
 
 let enabled = ref false
+
+(* Logical thread of the emitting code.  Defaults to a single thread so
+   CLI traces stay flat; the server installs [Thread.id (Thread.self)]
+   so each connection's spans nest on their own Perfetto track instead
+   of garbling each other's B/E pairing. *)
+let tid_source : (unit -> int) ref = ref (fun () -> 1)
 
 (* Single clock for the whole system: trace timestamps, [Profile] pass
    timings and bench measurements all read this ref.  Defaults to
@@ -59,7 +66,9 @@ let dispatch ev = List.iter (fun (_, sk) -> sk.sk_emit ev) !sinks
 
 let event ?(args = []) ~cat ~ph name =
   if !enabled then
-    dispatch { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts = now_us (); ev_args = args }
+    dispatch
+      { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts = now_us (); ev_args = args;
+        ev_tid = !tid_source () }
 
 let instant ?args ~cat name = event ?args ~cat ~ph:I name
 let counter ?args ~cat name = event ?args ~cat ~ph:C name
@@ -67,9 +76,14 @@ let counter ?args ~cat name = event ?args ~cat ~ph:C name
 let with_span ?(args = []) ~cat name f =
   if not !enabled then f ()
   else begin
-    dispatch { ev_name = name; ev_cat = cat; ev_ph = B; ev_ts = now_us (); ev_args = args };
+    let tid = !tid_source () in
+    dispatch
+      { ev_name = name; ev_cat = cat; ev_ph = B; ev_ts = now_us (); ev_args = args;
+        ev_tid = tid };
     let finish () =
-      dispatch { ev_name = name; ev_cat = cat; ev_ph = E; ev_ts = now_us (); ev_args = [] }
+      dispatch
+        { ev_name = name; ev_cat = cat; ev_ph = E; ev_ts = now_us (); ev_args = [];
+          ev_tid = tid }
     in
     match f () with
     | r ->
@@ -106,7 +120,7 @@ let add_event buf ev =
   Json.add_string buf ev.ev_cat;
   Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%s\"" (phase_letter ev.ev_ph));
   Buffer.add_string buf (Printf.sprintf ",\"ts\":%.3f" ev.ev_ts);
-  Buffer.add_string buf ",\"pid\":1,\"tid\":1";
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" ev.ev_tid);
   if ev.ev_args <> [] then begin
     Buffer.add_string buf ",\"args\":";
     add_args buf ev.ev_args
@@ -137,8 +151,14 @@ let null_sink () = { sk_emit = ignore; sk_close = ignore }
 
 let memory_sink ?(limit = 262144) () =
   let q = Queue.create () in
+  (* Wrapping used to overwrite silently; losing spans without a signal
+     makes a truncated trace look complete.  Count every eviction. *)
+  let dropped = Metrics.counter "trace.dropped_spans" in
   let emit ev =
-    if Queue.length q >= limit then ignore (Queue.pop q);
+    if Queue.length q >= limit then begin
+      ignore (Queue.pop q);
+      Metrics.inc dropped
+    end;
     Queue.push ev q
   in
   ({ sk_emit = emit; sk_close = ignore }, fun () -> List.of_seq (Queue.to_seq q))

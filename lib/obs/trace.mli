@@ -16,10 +16,17 @@ type event = {
   ev_ph : phase;
   ev_ts : float;  (** microseconds since the clock's epoch *)
   ev_args : (string * arg) list;
+  ev_tid : int;  (** logical thread, from {!tid_source} at emission *)
 }
 
 (** Master switch.  All emission helpers are no-ops while [false]. *)
 val enabled : bool ref
+
+(** Logical thread id stamped on emitted events (Chrome [tid]).
+    Defaults to [fun () -> 1]; multi-threaded hosts (the server)
+    install [Thread.id (Thread.self ())] so concurrent spans land on
+    separate tracks instead of garbling one track's B/E nesting. *)
+val tid_source : (unit -> int) ref
 
 (** The single clock (seconds, as a float) shared by tracing,
     {!Profile} pass timings and bench.  Defaults to [Sys.time];

@@ -50,4 +50,7 @@ val names : string list
     (page faults, seals, index probes/loads/builds, ...). *)
 val query_counters : unit -> (string * int) list
 
+(** Register the ["query"] source in the {!Tml_obs.Metrics} registry. *)
+val register_metrics : unit -> unit
+
 val reset_query_counters : unit -> unit

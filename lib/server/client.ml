@@ -7,26 +7,50 @@ type t = {
   mutable session : int;
   mutable epoch : int;
   mutable closed : bool;
+  trace : bool;
+  mutable last_trace : int;
 }
 
 let session_id t = t.session
 let epoch t = t.epoch
+let last_trace_id t = t.last_trace
+
+(* Request trace ids: unique within a machine for the lifetime of a
+   trace — pid in the high bits, a process-wide sequence below. *)
+let trace_base = (Unix.getpid () land 0x3ff) lsl 20
+let trace_seq = ref 0
+
+let next_trace t =
+  incr trace_seq;
+  let tc = { Wire.tc_id = trace_base lor (!trace_seq land 0xfffff);
+             tc_span = max 0 t.session } in
+  t.last_trace <- tc.Wire.tc_id;
+  tc
 
 let roundtrip t req =
   if t.closed then fail "client is closed";
-  Wire.write_frame t.fd (Wire.encode_req req);
-  match Wire.read_frame t.fd with
-  | Some payload -> Wire.decode_resp payload
-  | None -> fail "server closed the connection"
+  let trace = if t.trace then Some (next_trace t) else None in
+  let exchange () =
+    Wire.write_frame t.fd (Wire.encode_req ?trace req);
+    match Wire.read_frame t.fd with
+    | Some payload -> Wire.decode_resp payload
+    | None -> fail "server closed the connection"
+  in
+  match trace with
+  | Some tc when !Tml_obs.Trace.enabled ->
+    Tml_obs.Trace.with_span ~cat:"client"
+      ~args:[ ("trace", Tml_obs.Trace.Int tc.Wire.tc_id) ]
+      "client.request" exchange
+  | _ -> exchange ()
 
-let connect ?(client = "tml-client") addr =
+let connect ?(client = "tml-client") ?(trace = true) addr =
   let sockaddr = Wire.sockaddr_of_addr addr in
   let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
   (try Unix.connect fd sockaddr with
   | Unix.Unix_error (e, _, _) ->
     Unix.close fd;
     fail "cannot connect to %s: %s" (Wire.addr_to_string addr) (Unix.error_message e));
-  let t = { fd; session = -1; epoch = -1; closed = false } in
+  let t = { fd; session = -1; epoch = -1; closed = false; trace; last_trace = 0 } in
   match
     try roundtrip t (Wire.Hello { version = Wire.protocol_version; client }) with
     | e ->
@@ -99,3 +123,15 @@ let expect_payload = function
 
 let fetch_ptml t name = expect_payload (roundtrip t (Wire.Fetch name))
 let pull_object t oid = expect_payload (roundtrip t (Wire.Pull oid))
+
+let slowlog ?(json = false) t =
+  match roundtrip t (Wire.Slowlog { json }) with
+  | Wire.Stats s -> s
+  | Wire.Error msg -> fail "slowlog failed: %s" msg
+  | _ -> fail "unexpected reply to slowlog"
+
+let stats_prom t =
+  match roundtrip t Wire.Prom with
+  | Wire.Stats s -> s
+  | Wire.Error msg -> fail "prom failed: %s" msg
+  | _ -> fail "unexpected reply to prom"

@@ -8,9 +8,17 @@ exception Client_error of string
 
 type t
 
-val connect : ?client:string -> Wire.addr -> t
-(** dial, shake hands, return the connected session.
+val connect : ?client:string -> ?trace:bool -> Wire.addr -> t
+(** dial, shake hands, return the connected session.  [trace] (default
+    [true]) injects a {!Wire.trace_ctx} trailer into every request so
+    the server can stitch its spans to this client; pass [false] to
+    emulate a pre-tracing client.
     @raise Client_error if refused (including a [Busy] shed) *)
+
+val last_trace_id : t -> int
+(** trace id injected into the most recent request ([0] before the
+    first, or when [~trace:false]) — join point for the server's
+    slow-query log and spans *)
 
 val session_id : t -> int
 
@@ -41,6 +49,14 @@ val stats : t -> string
 val explain : t -> string -> (string, string) result
 val fetch_ptml : t -> string -> (string, string) result
 val pull_object : t -> int -> (string, string) result
+
+val slowlog : ?json:bool -> t -> string
+(** the server's slow-query log, rendered as text (default) or JSON.
+    @raise Client_error *)
+
+val stats_prom : t -> string
+(** Prometheus text exposition of the server's metrics registry.
+    @raise Client_error *)
 
 val roundtrip : t -> Wire.req -> Wire.resp
 (** escape hatch: one raw exchange. @raise Client_error on EOF *)

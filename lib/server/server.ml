@@ -12,6 +12,8 @@ type config = {
   staged_cap : int;
   fsync : bool;
   stripe : int;
+  slow_ms : float;  (* slow-query threshold in ms; 0 = log disabled *)
+  slowlog_limit : int;
 }
 
 let default_config ~store_path ~addr =
@@ -23,12 +25,20 @@ let default_config ~store_path ~addr =
     staged_cap = 16 * 1024 * 1024;
     fsync = true;
     stripe = 1 lsl 16;
+    slow_ms = 0.;
+    slowlog_limit = 128;
   }
 
 (* --- group committer requests -------------------------------------- *)
 
 type commit_result =
-  | Cr_committed of { sn : Ls.snapshot; epoch : int; objects : int; group : int }
+  | Cr_committed of {
+      sn : Ls.snapshot;
+      epoch : int;
+      objects : int;
+      group : int;
+      gid : int;  (* fsync group id, tagging this commit's trace span *)
+    }
   | Cr_conflict of int
 
 type commit_req = {
@@ -37,6 +47,22 @@ type commit_req = {
   cr_epoch : int;  (* the requester's pinned epoch: its conflict horizon *)
   cr_enqueued : float;
   mutable cr_result : commit_result option;
+}
+
+(* --- per-connection session ---------------------------------------- *)
+
+type session_state = {
+  ss_id : int;
+  ss_fd : Unix.file_descr;
+  ss_pstore : Pstore.t;
+  ss_repl : Repl.session;
+  mutable ss_base : int;  (* current OID allocation stripe *)
+  mutable ss_limit : int;
+  mutable ss_poisoned : string option;
+  mutable ss_defined : bool;  (* manifest changed since the last commit *)
+  mutable ss_staged_bytes : int;
+  mutable ss_phase : string;  (* what the session is doing, for :top *)
+  mutable ss_requests : int;
 }
 
 type t = {
@@ -53,6 +79,7 @@ type t = {
   (* connections *)
   clock : Mutex.t;
   conns : (int, Unix.file_descr) Hashtbl.t;
+  sessions : (int, session_state) Hashtbl.t;  (* live sessions, for :top *)
   mutable threads : Thread.t list;
   mutable next_session : int;
   mutable next_base : int;
@@ -62,6 +89,10 @@ type t = {
   mutable stopped : bool;
   stop_lock : Mutex.t;
   stop_cond : Condition.t;
+  (* observability *)
+  slowlog : Tml_obs.Slowlog.t;
+  slowlog_path : string;
+  mutable next_gid : int;  (* fsync group ids; committer thread only *)
   (* metrics *)
   m_connections : Metrics.counter;
   m_evals : Metrics.counter;
@@ -69,7 +100,11 @@ type t = {
   m_group_commits : Metrics.counter;
   m_conflicts : Metrics.counter;
   m_busy : Metrics.counter;
+  m_slow : Metrics.counter;
   m_latency : Metrics.histogram;
+  m_lock_wait : Metrics.histogram;  (* eval_lock.wait_s *)
+  m_lock_hold : Metrics.histogram;  (* eval_lock.hold_s *)
+  m_group_wait : Metrics.histogram;  (* commit.group_wait_s *)
 }
 
 let active_sessions t =
@@ -78,26 +113,14 @@ let active_sessions t =
   Mutex.unlock t.clock;
   n
 
+let slowlog t = t.slowlog
+
 let alloc_stripe t =
   Mutex.lock t.clock;
   let b = t.next_base in
   t.next_base <- b + t.config.stripe;
   Mutex.unlock t.clock;
   b
-
-(* --- per-connection session ---------------------------------------- *)
-
-type session_state = {
-  ss_id : int;
-  ss_fd : Unix.file_descr;
-  ss_pstore : Pstore.t;
-  ss_repl : Repl.session;
-  mutable ss_base : int;  (* current OID allocation stripe *)
-  mutable ss_limit : int;
-  mutable ss_poisoned : string option;
-  mutable ss_defined : bool;  (* manifest changed since the last commit *)
-  mutable ss_staged_bytes : int;
-}
 
 exception Session_error of string
 
@@ -127,7 +150,7 @@ let submit_commit t ss (root, batch) =
     Pstore.mark_committed ss.ss_pstore sn;
     ss.ss_defined <- false;
     ss.ss_staged_bytes <- 0;
-    Cr_committed { sn; epoch = Pstore.epoch ss.ss_pstore; objects = 0; group = 0 }
+    Cr_committed { sn; epoch = Pstore.epoch ss.ss_pstore; objects = 0; group = 0; gid = 0 }
   end
   else begin
     let req =
@@ -161,6 +184,24 @@ let submit_commit t ss (root, batch) =
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+module Trace = Tml_obs.Trace
+module Slowlog = Tml_obs.Slowlog
+
+(* Take the eval lock with its two phases measured: how long this
+   request queued behind other sessions' evals (the E13 p99 suspect)
+   and how long it then kept everyone else out.  Both are histograms in
+   the registry and, when tracing, spans in the request's trace. *)
+let eval_locked t f =
+  let t0 = Unix.gettimeofday () in
+  Trace.with_span ~cat:"server" "eval_lock.wait" (fun () -> Mutex.lock t.eval_lock);
+  let t1 = Unix.gettimeofday () in
+  Metrics.observe t.m_lock_wait (t1 -. t0);
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.observe t.m_lock_hold (Unix.gettimeofday () -. t1);
+      Mutex.unlock t.eval_lock)
+    (fun () -> Trace.with_span ~cat:"server" "eval_lock.hold" f)
 
 let heap_of ss = (Repl.ctx ss.ss_repl).Runtime.heap
 
@@ -203,10 +244,166 @@ let render_feed (r : Repl.feed_result) =
   | None -> ());
   Buffer.contents buf
 
+(* --- slow-query log ------------------------------------------------- *)
+
+(* Identifiers mentioned in a request's source: the join key between
+   the request and the functions whose persistent derivation logs
+   explain how its plan came to be. *)
+let idents_of src =
+  let n = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  let is_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_body c = is_start c || (c >= '0' && c <= '9') in
+  while !i < n do
+    if is_start src.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_body src.[!j] do incr j done;
+      let id = String.sub src !i (!j - !i) in
+      if not (List.mem id !out) then out := id :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* Provenance of every named function the source touches: the rule
+   names (and their enabling facts) that [tmlc --explain] would print —
+   the slow-log entry and the explain output read the same persistent
+   logs, so they can be cross-checked.  Caller holds the eval lock. *)
+let fired_rules ss src =
+  let fns = Repl.function_oids ss.ss_repl in
+  let entries =
+    List.concat_map
+      (fun id ->
+        match List.assoc_opt id fns with
+        | None -> []
+        | Some oid -> (
+          match Tml_reflect.Reflect.provenance (Repl.ctx ss.ss_repl) oid with
+          | Some prov -> prov
+          | None -> []))
+      (idents_of src)
+  in
+  let dedup l =
+    List.rev
+      (List.fold_left (fun acc x -> if x = "" || List.mem x acc then acc else x :: acc) [] l)
+  in
+  ( dedup (List.map (fun e -> e.Tml_obs.Provenance.pv_rule) entries),
+    dedup (List.map (fun e -> e.Tml_obs.Provenance.pv_fact) entries) )
+
+type slow_probe = {
+  sp_t0 : float;
+  sp_steps : int;
+  sp_faults : int;
+  sp_probes : int;
+  sp_tier_runs : int;
+}
+
+let slow_probe ss =
+  {
+    sp_t0 = Unix.gettimeofday ();
+    sp_steps = (Repl.ctx ss.ss_repl).Runtime.steps;
+    sp_faults = !Relcore.page_faults;
+    sp_probes = !Tml_query.Rel.index_probes;
+    sp_tier_runs = (Tierup.stats ()).Tierup.runs;
+  }
+
+(* Called after an Eval/Pull completes.  [rules] must only be [true]
+   when the caller holds the eval lock (provenance may fault objects
+   from the store). *)
+let note_slow t ss ?trace ~kind ~src ~rules probe =
+  if t.config.slow_ms > 0. then begin
+    let dur = Unix.gettimeofday () -. probe.sp_t0 in
+    if dur *. 1000. >= t.config.slow_ms then begin
+      let rules, facts = if rules then fired_rules ss src else ([], []) in
+      let tier_runs = (Tierup.stats ()).Tierup.runs - probe.sp_tier_runs in
+      let entry =
+        {
+          Slowlog.sl_trace =
+            (match trace with Some tc -> tc.Wire.tc_id | None -> 0);
+          sl_kind = kind;
+          sl_source =
+            (if String.length src > 512 then String.sub src 0 512 else src);
+          sl_duration_s = dur;
+          sl_steps = (Repl.ctx ss.ss_repl).Runtime.steps - probe.sp_steps;
+          sl_tier = (if tier_runs > 0 then "tiered" else "machine");
+          sl_page_faults = !Relcore.page_faults - probe.sp_faults;
+          sl_index_probes = !Tml_query.Rel.index_probes - probe.sp_probes;
+          sl_rules = rules;
+          sl_facts = facts;
+        }
+      in
+      Slowlog.add t.slowlog entry;
+      Metrics.inc t.m_slow;
+      Trace.instant ~cat:"server" "slow.query"
+        ~args:
+          [
+            ("session", Trace.Int ss.ss_id);
+            ("trace", Trace.Int entry.Slowlog.sl_trace);
+            ("ms", Trace.Float (dur *. 1e3));
+          ];
+      (* durability is best-effort: a failed write must not fail the
+         request that happened to be slow *)
+      try Slowlog.save t.slowlog t.slowlog_path with
+      | Sys_error _ -> ()
+    end
+  end
+
+(* Live per-session/per-phase view for [tmlsh :top].  Reads the
+   registry histograms and the session table; no eval lock needed. *)
+let render_top t =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "tmld: epoch %d, %d sessions, %d evals, %d commits (%d groups, %d conflicts, %d \
+     slow, %d busy)\n"
+    (Ls.seq t.log) (active_sessions t)
+    (Metrics.counter_value t.m_evals)
+    (Metrics.counter_value t.m_commits)
+    (Metrics.counter_value t.m_group_commits)
+    (Metrics.counter_value t.m_conflicts)
+    (Metrics.counter_value t.m_slow)
+    (Metrics.counter_value t.m_busy);
+  Printf.bprintf buf "phases (seconds):\n";
+  let hist name h =
+    Printf.bprintf buf "  %-22s count %-8d p50 %.6f  p99 %.6f\n" name
+      (Metrics.histogram_count h)
+      (Metrics.percentile h 0.5)
+      (Metrics.percentile h 0.99)
+  in
+  hist "eval_lock.wait_s" t.m_lock_wait;
+  hist "eval_lock.hold_s" t.m_lock_hold;
+  hist "commit.group_wait_s" t.m_group_wait;
+  hist "commit_latency_s" t.m_latency;
+  Printf.bprintf buf "sessions:\n";
+  Printf.bprintf buf "  %-5s %-6s %-6s %-11s %-12s %s\n" "id" "epoch" "reqs"
+    "staged-obj" "staged-bytes" "phase";
+  let sessions =
+    locked t.clock (fun () -> Hashtbl.fold (fun _ ss acc -> ss :: acc) t.sessions [])
+  in
+  List.iter
+    (fun ss ->
+      Printf.bprintf buf "  %-5d %-6d %-6d %-11d %-12d %s\n" ss.ss_id
+        (Pstore.epoch ss.ss_pstore) ss.ss_requests
+        (Pstore.uncommitted_count ss.ss_pstore)
+        ss.ss_staged_bytes
+        (match ss.ss_poisoned with
+        | Some _ -> "poisoned"
+        | None -> ss.ss_phase))
+    (List.sort (fun a b -> compare a.ss_id b.ss_id) sessions);
+  Buffer.contents buf
+
 (* Server-side directives carried in Eval frames; anything else is TL
    source for [Repl.feed].  Caller holds the eval lock. *)
-let eval_directive ss line =
+let eval_directive t ss line =
   match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ ":top" ] -> render_top t
+  | [ ":slow" ] -> Format.asprintf "%a" Slowlog.pp t.slowlog
+  | [ ":slow"; "json" ] -> Slowlog.to_json t.slowlog ^ "\n"
+  | [ ":prof" ] -> Format.asprintf "%a" Vmprof.pp ()
+  | [ ":prof"; "collapsed" ] -> Vmprof.collapsed ()
+  | [ ":prof"; "reset" ] ->
+    Vmprof.reset ();
+    "vm profile reset\n"
   | [ ":names" ] ->
     String.concat ""
       (List.filter_map
@@ -228,7 +425,7 @@ let eval_directive ss line =
     Printf.sprintf "optimized %d functions\n" (List.length oids)
   | _ -> sfail "unknown server directive %s" line
 
-let handle_eval t ss src =
+let handle_eval t ss ?trace src =
   match ss.ss_poisoned with
   | Some why -> Wire.Error ("session poisoned: " ^ why ^ "; reconnect")
   | None ->
@@ -238,10 +435,11 @@ let handle_eval t ss src =
            ss.ss_staged_bytes t.config.staged_cap)
     else begin
       Metrics.inc t.m_evals;
-      locked t.eval_lock (fun () ->
+      eval_locked t (fun () ->
+          let probe = slow_probe ss in
           let out =
             let line = String.trim src in
-            if line <> "" && line.[0] = ':' then eval_directive ss line
+            if line <> "" && line.[0] = ':' then eval_directive t ss line
             else begin
               let r = Repl.feed ss.ss_repl src in
               (* defining (or redefining) names dirties the manifest:
@@ -251,16 +449,30 @@ let handle_eval t ss src =
             end
           in
           after_eval t ss;
+          note_slow t ss ?trace ~kind:"eval" ~src ~rules:true probe;
           Wire.Result out)
     end
 
-let handle_commit t ss =
+let handle_commit t ss ?trace () =
   match ss.ss_poisoned with
   | Some why -> Wire.Error ("session poisoned: " ^ why ^ "; reconnect")
   | None -> (
-    let prepared = locked t.eval_lock (fun () -> prepare_commit ss) in
-    match submit_commit t ss prepared with
-    | Cr_committed { epoch; objects; group; _ } -> Wire.Committed { epoch; objects; group }
+    let prepared = eval_locked t (fun () -> prepare_commit ss) in
+    match Trace.with_span ~cat:"server" "commit.submit" (fun () ->
+              submit_commit t ss prepared)
+    with
+    | Cr_committed { epoch; objects; group; gid; _ } ->
+      (* the join record between this request's trace and the fsync
+         group that sealed it *)
+      Trace.instant ~cat:"server" "commit.sealed"
+        ~args:
+          [
+            ("session", Trace.Int ss.ss_id);
+            ("trace", Trace.Int (match trace with Some tc -> tc.Wire.tc_id | None -> 0));
+            ("group", Trace.Int gid);
+            ("epoch", Trace.Int epoch);
+          ];
+      Wire.Committed { epoch; objects; group }
     | Cr_conflict oid -> Wire.Conflict { oid })
 
 let handle_stat ss =
@@ -288,23 +500,46 @@ let handle_fetch ss name =
     | Some _ -> sfail "%s is not a function object" name
     | None -> sfail "cannot fault function %s" name)
 
-let handle_pull t ss oid =
+let handle_pull t ss ?trace oid =
   match Pstore.snapshot ss.ss_pstore with
   | None -> sfail "session has no snapshot"
   | Some sn -> (
+    let probe = slow_probe ss in
     match Ls.find_at t.log sn oid with
-    | Some data -> Wire.Payload { kind = 1; data }
+    | Some data ->
+      (* no eval lock here, so no provenance walk — rules stay empty *)
+      note_slow t ss ?trace ~kind:"pull"
+        ~src:(Printf.sprintf "pull #%d" oid)
+        ~rules:false probe;
+      Wire.Payload { kind = 1; data }
     | None -> sfail "no object %d at epoch %d" oid (Pstore.epoch ss.ss_pstore))
 
-let handle_req t ss req =
+let req_phase = function
+  | Wire.Eval _ -> "eval"
+  | Wire.Commit -> "commit"
+  | Wire.Stat -> "stat"
+  | Wire.Explain _ -> "explain"
+  | Wire.Fetch _ -> "fetch"
+  | Wire.Pull _ -> "pull"
+  | Wire.Slowlog _ -> "slowlog"
+  | Wire.Prom -> "prom"
+  | Wire.Hello _ -> "hello"
+  | Wire.Bye -> "bye"
+
+let handle_req t ss ?trace req =
   try
     match req with
-    | Wire.Eval src -> handle_eval t ss src
-    | Wire.Commit -> handle_commit t ss
+    | Wire.Eval src -> handle_eval t ss ?trace src
+    | Wire.Commit -> handle_commit t ss ?trace ()
     | Wire.Stat -> handle_stat ss
-    | Wire.Explain name -> locked t.eval_lock (fun () -> handle_explain ss name)
-    | Wire.Fetch name -> locked t.eval_lock (fun () -> handle_fetch ss name)
-    | Wire.Pull oid -> handle_pull t ss oid
+    | Wire.Explain name -> eval_locked t (fun () -> handle_explain ss name)
+    | Wire.Fetch name -> eval_locked t (fun () -> handle_fetch ss name)
+    | Wire.Pull oid -> handle_pull t ss ?trace oid
+    | Wire.Slowlog { json } ->
+      Wire.Stats
+        (if json then Slowlog.to_json t.slowlog
+         else Format.asprintf "%a" Slowlog.pp t.slowlog)
+    | Wire.Prom -> Wire.Stats (Metrics.prometheus ())
     | Wire.Hello _ -> Wire.Error "already connected"
     | Wire.Bye -> Wire.Bye_ok
   with
@@ -321,7 +556,7 @@ let handle_req t ss req =
 (* --- connection lifecycle ------------------------------------------ *)
 
 let open_session t ~id ~fd =
-  locked t.eval_lock (fun () ->
+  eval_locked t (fun () ->
       let base = alloc_stripe t in
       let pstore = Pstore.open_snapshot t.log ~alloc_base:base in
       match Repl.restore ~preserve_caches:true pstore with
@@ -340,8 +575,11 @@ let open_session t ~id ~fd =
             ss_poisoned = None;
             ss_defined = false;
             ss_staged_bytes = 0;
+            ss_phase = "idle";
+            ss_requests = 0;
           }
         in
+        locked t.clock (fun () -> Hashtbl.replace t.sessions id ss);
         (* the reflective optimizer persists rewrites through this hook
            (section 4.1); on the server that means a synchronous trip
            through the group committer *)
@@ -355,7 +593,9 @@ let open_session t ~id ~fd =
                   oid);
         ss)
 
-let close_session ss = Pstore.close ss.ss_pstore
+let close_session t ss =
+  locked t.clock (fun () -> Hashtbl.remove t.sessions ss.ss_id);
+  Pstore.close ss.ss_pstore
 
 let serve t ss =
   let continue_ = ref true in
@@ -365,7 +605,30 @@ let serve t ss =
     | Some payload ->
       let resp =
         match Wire.decode_req payload with
-        | req -> handle_req t ss req
+        | req, trace ->
+          ss.ss_phase <- req_phase req;
+          ss.ss_requests <- ss.ss_requests + 1;
+          let run () = handle_req t ss ?trace req in
+          let resp =
+            if not !Trace.enabled then run ()
+            else begin
+              (* the per-request span: everything the server does for
+                 this frame nests under it, stitched to the client by
+                 the propagated trace id *)
+              let args =
+                ("session", Trace.Int ss.ss_id)
+                ::
+                (match trace with
+                | Some tc ->
+                  [ ("trace", Trace.Int tc.Wire.tc_id);
+                    ("parent", Trace.Int tc.Wire.tc_span) ]
+                | None -> [])
+              in
+              Trace.with_span ~cat:"server" ~args ("server." ^ req_phase req) run
+            end
+          in
+          ss.ss_phase <- "idle";
+          resp
         | exception Wire.Wire_error msg -> Wire.Error msg
       in
       Wire.write_frame ss.ss_fd (Wire.encode_resp resp);
@@ -394,29 +657,39 @@ let handle_conn t fd =
         | None -> ()
         | Some payload -> (
           match Wire.decode_req payload with
-          | Wire.Hello { version; client = _ } when version = Wire.protocol_version ->
+          | Wire.Hello { version; client = _ }, _ when version = Wire.protocol_version ->
             let ss = open_session t ~id ~fd in
             Fun.protect
-              ~finally:(fun () -> close_session ss)
+              ~finally:(fun () -> close_session t ss)
               (fun () ->
                 Wire.write_frame fd
                   (Wire.encode_resp
                      (Wire.Hello_ok
                         { session = id; epoch = Pstore.epoch ss.ss_pstore; server = "tmld" }));
                 serve t ss)
-          | Wire.Hello { version; _ } ->
+          | Wire.Hello { version; _ }, _ ->
             Wire.write_frame fd
               (Wire.encode_resp
                  (Wire.Error
                     (Printf.sprintf "protocol version %d unsupported (want %d)" version
                        Wire.protocol_version)))
-          | _ -> Wire.write_frame fd (Wire.encode_resp (Wire.Error "expected hello")))
+          | _, _ -> Wire.write_frame fd (Wire.encode_resp (Wire.Error "expected hello")))
       with
       | Wire.Wire_error _ | Unix.Unix_error _ | End_of_file -> ())
 
 (* --- group committer ------------------------------------------------ *)
 
 let process_group t group =
+  let gid = t.next_gid in
+  t.next_gid <- gid + 1;
+  (* how long each request sat in the queue before its group started:
+     the batching-window share of commit latency *)
+  let started = Unix.gettimeofday () in
+  List.iter (fun req -> Metrics.observe t.m_group_wait (started -. req.cr_enqueued)) group;
+  Trace.with_span ~cat:"server"
+    ~args:[ ("group", Trace.Int gid); ("requests", Trace.Int (List.length group)) ]
+    "commit.group"
+  @@ fun () ->
   let claimed = Hashtbl.create 64 in
   let root = ref None in
   let winners = ref [] in
@@ -450,7 +723,10 @@ let process_group t group =
     group;
   if !winners <> [] then begin
     (* one seal, one fsync, for every winner of this window *)
-    ignore (Ls.commit ?root:!root t.log);
+    Trace.with_span ~cat:"server"
+      ~args:[ ("group", Trace.Int gid); ("winners", Trace.Int (List.length !winners)) ]
+      "commit.fsync"
+      (fun () -> ignore (Ls.commit ?root:!root t.log));
     Metrics.inc t.m_group_commits;
     let epoch = Ls.seq t.log in
     let n = List.length !winners in
@@ -461,7 +737,7 @@ let process_group t group =
         Metrics.observe t.m_latency (now -. req.cr_enqueued);
         let sn = Ls.pin t.log in
         results :=
-          (req, Cr_committed { sn; epoch; objects = List.length req.cr_batch; group = n })
+          (req, Cr_committed { sn; epoch; objects = List.length req.cr_batch; group = n; gid })
           :: !results)
       !winners
   end;
@@ -590,6 +866,8 @@ let register_server_metrics t =
   Ls.register_metrics t.log;
   Speccache.register_metrics ();
   Profile.register_metrics ();
+  Tierup.register_metrics ();
+  Tml_query.Qprims.register_metrics ();
   Metrics.register_source ~name:"server"
     ~snapshot:(fun () ->
       let commits = Metrics.counter_value t.m_commits in
@@ -600,6 +878,8 @@ let register_server_metrics t =
         ( "fsync_amortization",
           Metrics.F (if groups = 0 then 0. else float_of_int commits /. float_of_int groups)
         );
+        "slowlog_entries", Metrics.I (Tml_obs.Slowlog.length t.slowlog);
+        "slowlog_dropped", Metrics.I (Tml_obs.Slowlog.dropped t.slowlog);
       ])
     ~reset:(fun () -> ())
 
@@ -621,6 +901,7 @@ let start config =
       committer_run = true;
       clock = Mutex.create ();
       conns = Hashtbl.create 32;
+      sessions = Hashtbl.create 32;
       threads = [];
       next_session = 0;
       next_base = round_up (Ls.max_oid log + 1) config.stripe;
@@ -630,16 +911,26 @@ let start config =
       stopped = false;
       stop_lock = Mutex.create ();
       stop_cond = Condition.create ();
+      slowlog =
+        Tml_obs.Slowlog.load ~limit:config.slowlog_limit (config.store_path ^ ".slowlog");
+      slowlog_path = config.store_path ^ ".slowlog";
+      next_gid = 1;
       m_connections = Metrics.counter "server.connections";
       m_evals = Metrics.counter "server.evals";
       m_commits = Metrics.counter "server.commits";
       m_group_commits = Metrics.counter "server.group_commits";
       m_conflicts = Metrics.counter "server.conflicts";
       m_busy = Metrics.counter "server.busy";
+      m_slow = Metrics.counter "server.slow_queries";
       m_latency = Metrics.histogram "server.commit_latency_s";
+      m_lock_wait = Metrics.histogram "eval_lock.wait_s";
+      m_lock_hold = Metrics.histogram "eval_lock.hold_s";
+      m_group_wait = Metrics.histogram "commit.group_wait_s";
     }
   in
   register_server_metrics t;
+  (* per-connection threads each get their own Perfetto track *)
+  Trace.tid_source := (fun () -> Thread.id (Thread.self ()));
   t.committer_thread <- Some (Thread.create (fun () -> committer_loop t) ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
@@ -674,6 +965,10 @@ let stop t =
     Condition.signal t.qcond;
     Mutex.unlock t.qlock;
     Option.iter Thread.join t.committer_thread;
+    (* drain-time durability for the slow-query log (it also saves on
+       every append; this catches a ring loaded from a previous run) *)
+    (try Slowlog.save t.slowlog t.slowlog_path with
+    | Sys_error _ -> ());
     Ls.close t.log;
     (match t.config.addr with
     | Wire.Unix_path path ->

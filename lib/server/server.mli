@@ -38,11 +38,17 @@ type config = {
   staged_cap : int;  (** per-session staged-byte cap; [Eval] past it gets [Busy] *)
   fsync : bool;
   stripe : int;  (** OIDs per session allocation stripe *)
+  slow_ms : float;
+      (** [Eval]/[Pull] requests slower than this (milliseconds) land in
+          the persistent slow-query log ([store_path ^ ".slowlog"]);
+          [0.] disables capture (the log still loads and serves reads) *)
+  slowlog_limit : int;  (** retained slow-log entries *)
 }
 
 val default_config : store_path:string -> addr:Wire.addr -> config
 (** [max_clients = 64], [commit_window = 2ms], [staged_cap = 16 MiB],
-    [fsync = true], [stripe = 65536] *)
+    [fsync = true], [stripe = 65536], [slow_ms = 0.] (off),
+    [slowlog_limit = 128] *)
 
 type t
 
@@ -63,10 +69,25 @@ val wait : t -> unit
 
 val active_sessions : t -> int
 
+val slowlog : t -> Tml_obs.Slowlog.t
+(** the live slow-query ring (loaded from [store_path ^ ".slowlog"] at
+    start, saved on capture and at {!stop}) *)
+
 (** Server metrics (in the [Tml_obs.Metrics] registry, reported by the
     [Stat] frame): counters [server.connections], [server.evals],
     [server.commits], [server.group_commits], [server.conflicts],
-    [server.busy]; histogram [server.commit_latency_s] (p50/p99); source
-    [server] with [sessions_active], [epoch] and [fsync_amortization] =
-    committed requests per log seal — the measure that commits/sec
-    scales past the fsync rate (experiment E13). *)
+    [server.busy], [server.slow_queries]; histograms
+    [server.commit_latency_s], [eval_lock.wait_s], [eval_lock.hold_s]
+    and [commit.group_wait_s] (p50/p99) — the three phase histograms
+    decompose commit latency into lock serialization, batching window
+    and fsync; source [server] with [sessions_active], [epoch],
+    [fsync_amortization] = committed requests per log seal (experiment
+    E13), [slowlog_entries] and [slowlog_dropped].
+
+    With [Tml_obs.Trace] enabled the server also emits per-request
+    spans ([server.eval], [server.commit], ...; args [session], [trace],
+    [parent] from the client's {!Wire.trace_ctx}), [eval_lock.wait] /
+    [eval_lock.hold] phases, [commit.submit] waits, the committer's
+    [commit.group] / [commit.fsync] spans tagged with the fsync group
+    id, and a [commit.sealed] instant joining each request's trace id to
+    its group id. *)

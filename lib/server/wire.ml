@@ -84,7 +84,18 @@ type req =
   | Explain of string
   | Fetch of string
   | Pull of int
+  | Slowlog of { json : bool }
+  | Prom
   | Bye
+
+(* Trace context rides as an optional trailer after the request body:
+   a 'T' tag byte plus two varints.  Old clients simply end the payload
+   after the body ([R.at_end] is true), and an unrecognized trailer tag
+   from some future client is skipped rather than rejected — both
+   directions stay version-tolerant. *)
+type trace_ctx = { tc_id : int; tc_span : int }
+
+let trace_trailer_tag = 0x54 (* 'T' *)
 
 type resp =
   | Hello_ok of { session : int; epoch : int; server : string }
@@ -102,9 +113,9 @@ let encode f =
   f w;
   Codec.W.contents w
 
-let encode_req req =
+let encode_req ?trace req =
   encode (fun w ->
-      match req with
+      (match req with
       | Hello { version; client } ->
         Codec.W.u8 w 0x01;
         Codec.W.varint w version;
@@ -123,7 +134,17 @@ let encode_req req =
       | Pull oid ->
         Codec.W.u8 w 0x07;
         Codec.W.varint w oid
-      | Bye -> Codec.W.u8 w 0x08)
+      | Slowlog { json } ->
+        Codec.W.u8 w 0x09;
+        Codec.W.u8 w (if json then 1 else 0)
+      | Prom -> Codec.W.u8 w 0x0a
+      | Bye -> Codec.W.u8 w 0x08);
+      match trace with
+      | None -> ()
+      | Some { tc_id; tc_span } ->
+        Codec.W.u8 w trace_trailer_tag;
+        Codec.W.varint w tc_id;
+        Codec.W.varint w tc_span)
 
 let encode_resp resp =
   encode (fun w ->
@@ -168,19 +189,33 @@ let decode what payload f =
 
 let decode_req payload =
   decode "request" payload (fun r ->
-      match Codec.R.u8 r with
-      | 0x01 ->
-        let version = Codec.R.varint r in
-        let client = Codec.R.str r in
-        Hello { version; client }
-      | 0x02 -> Eval (Codec.R.str r)
-      | 0x03 -> Commit
-      | 0x04 -> Stat
-      | 0x05 -> Explain (Codec.R.str r)
-      | 0x06 -> Fetch (Codec.R.str r)
-      | 0x07 -> Pull (Codec.R.varint r)
-      | 0x08 -> Bye
-      | tag -> fail "unknown request tag 0x%02x" tag)
+      let req =
+        match Codec.R.u8 r with
+        | 0x01 ->
+          let version = Codec.R.varint r in
+          let client = Codec.R.str r in
+          Hello { version; client }
+        | 0x02 -> Eval (Codec.R.str r)
+        | 0x03 -> Commit
+        | 0x04 -> Stat
+        | 0x05 -> Explain (Codec.R.str r)
+        | 0x06 -> Fetch (Codec.R.str r)
+        | 0x07 -> Pull (Codec.R.varint r)
+        | 0x08 -> Bye
+        | 0x09 -> Slowlog { json = Codec.R.u8 r <> 0 }
+        | 0x0a -> Prom
+        | tag -> fail "unknown request tag 0x%02x" tag
+      in
+      let trace =
+        if Codec.R.at_end r then None
+        else if Codec.R.u8 r = trace_trailer_tag then begin
+          let tc_id = Codec.R.varint r in
+          let tc_span = Codec.R.varint r in
+          Some { tc_id; tc_span }
+        end
+        else None (* unknown trailer: tolerate and ignore *)
+      in
+      (req, trace))
 
 let decode_resp payload =
   decode "response" payload (fun r ->

@@ -25,7 +25,16 @@ type req =
   | Explain of string  (** persistent derivation log of a function *)
   | Fetch of string  (** the PTML of a linked function, by name *)
   | Pull of int  (** the [Obj_codec] payload of an OID at this session's epoch *)
+  | Slowlog of { json : bool }  (** the server's slow-query log, text or JSON *)
+  | Prom  (** Prometheus text exposition of the metrics registry *)
   | Bye
+
+(** Distributed trace context, propagated client → server as an
+    optional trailer after the request body ([tc_id] names the request
+    trace, [tc_span] the client-side parent span).  Old clients that
+    never heard of it encode nothing and decode as [None]; unknown
+    future trailer tags are skipped, not rejected. *)
+type trace_ctx = { tc_id : int; tc_span : int }
 
 type resp =
   | Hello_ok of { session : int; epoch : int; server : string }
@@ -60,10 +69,10 @@ val default_max_frame : int
 
 (** {1 Message codec} *)
 
-val encode_req : req -> string
+val encode_req : ?trace:trace_ctx -> req -> string
 val encode_resp : resp -> string
 
-val decode_req : string -> req
+val decode_req : string -> req * trace_ctx option
 (** @raise Wire_error on an unknown tag or malformed operands *)
 
 val decode_resp : string -> resp

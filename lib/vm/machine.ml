@@ -118,8 +118,14 @@ and apply ctx (f : Value.t) (args : Value.t list) : Eval.outcome =
       (* call-into-tier hook: hot functions run on the compiled closure
          tier; the tier charges identically, so step counts don't move *)
       match Tierup.dispatch ctx oid fo with
-      | Some entry -> entry ctx args
-      | None -> apply ctx (Compile.compile_func ctx fo) args)
+      | Some entry ->
+        if !Vmprof.enabled then
+          Vmprof.note_apply ctx ~tier:"tiered" ~name:fo.Value.fo_name ~oid:(Oid.to_int oid);
+        entry ctx args
+      | None ->
+        if !Vmprof.enabled then
+          Vmprof.note_apply ctx ~tier:"machine" ~name:fo.Value.fo_name ~oid:(Oid.to_int oid);
+        apply ctx (Compile.compile_func ctx fo) args)
     | Some _ -> Runtime.fault "%s is not applicable" (Oid.to_string oid)
     | None -> Runtime.fault "dangling function reference %s" (Oid.to_string oid))
   | Value.Halt ok -> (
@@ -161,6 +167,7 @@ let () = Jit.escape_apply := apply
 let run_proc ctx proc args =
   let steps0 = ctx.Runtime.steps in
   let outcome = apply ctx proc (args @ [ Value.Halt false; Value.Halt true ]) in
+  if !Vmprof.enabled then Vmprof.flush ctx;
   Tml_obs.Events.vm_run ~engine:"machine" ~steps:(ctx.Runtime.steps - steps0);
   outcome
 

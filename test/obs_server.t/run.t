@@ -1,0 +1,134 @@
+Observability end to end: a traced tmld with a near-zero slow-query
+threshold logs every request.  The slow-log entry for an optimized
+point query names the plan rule that fired — the same rule :explain
+reports — and the Chrome trace written on graceful shutdown is valid
+JSON whose commit spans carry fsync group ids.
+
+  $ SOCK=$(mktemp -u /tmp/tmlobs-XXXXXX.sock)
+  $ norm() { sed "s#$SOCK#tml.sock#g"; }
+  $ wait_for() { for _ in $(seq 1 100); do grep -q "$1" "$2" 2>/dev/null && return 0; sleep 0.1; done; echo "timed out waiting for: $1"; cat "$2"; return 1; }
+
+  $ tmld --store db.tml --socket "$SOCK" --commit-window-ms 1 --slow-ms 0.000001 --trace trace.json >server.log 2>&1 &
+  $ SERVER=$!
+  $ for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+
+One session defines an indexed relation and a point query, optimizes it
+server-side — q.index-select fires against the live index — then runs
+the optimized query and commits.
+
+  $ tmlsh <<IN | norm
+  > :connect $SOCK
+  > let r = relation(tuple(1, 10), tuple(2, 20), tuple(3, 30))
+  > do mkindex(r, 1) end
+  > let hot(): Int = count(select t from t in r where t.1 == 2 end)
+  > :optimize hot
+  > hot()
+  > :commit
+  > :quit
+  > IN
+  connected to tml.sock (session 0 at epoch 1)
+  defined r
+  defined hot
+  optimized hot: static cost 70 -> 10, 0 calls inlined
+  - : 1 (in 25 instructions)
+  committed 2 objects at epoch 3 (group of 1)
+
+A second session reads the server's introspection surfaces.  The slow
+log names the fired plan rule for the hot() request — verifiable
+against the function's persistent derivation via :explain.
+
+  $ tmlsh <<IN >introspect.out 2>&1
+  > :connect $SOCK
+  > :slow
+  > :slow json
+  > :explain hot
+  > :top
+  > :stats prom
+  > :quit
+  > IN
+  $ grep -q "hot()" introspect.out && echo "slow log names the query"
+  slow log names the query
+  $ grep "rules:" introspect.out | head -1 | grep -o "q.index-select"
+  q.index-select
+  $ grep -o "4. q.index-select" introspect.out
+  4. q.index-select
+  $ grep -o '"rules":\["eta","beta","q.index-select"\]' introspect.out | head -1
+  "rules":["eta","beta","q.index-select"]
+
+:top shows the live sessions and the lock/commit latency percentiles
+that decompose request latency.
+
+  $ grep -o "eval_lock.wait_s" introspect.out | head -1
+  eval_lock.wait_s
+  $ grep -o "tmld: epoch" introspect.out
+  tmld: epoch
+  $ grep -o "phases (seconds):" introspect.out
+  phases (seconds):
+
+:stats prom is Prometheus text exposition of the same registry.
+
+  $ grep -o "# TYPE server_evals counter" introspect.out
+  # TYPE server_evals counter
+  $ grep -o "# TYPE eval_lock_wait_s summary" introspect.out
+  # TYPE eval_lock_wait_s summary
+
+SIGUSR1 dumps the sampling VM profiler as collapsed-stack text next to
+the store; the optimized query's steps are attributed to hot().
+
+  $ kill -USR1 "$SERVER"
+  $ wait_for "vm profile dumped" server.log
+  $ grep -o "hot#" db.tml.prof | head -1
+  hot#
+
+Graceful shutdown: the drain closes the trace sink, so the Chrome file
+ends with its closing bracket even under SIGTERM.
+
+  $ kill -TERM "$SERVER"
+  $ wait "$SERVER"
+  $ cat server.log | norm
+  tmld: serving db.tml on tml.sock
+  tmld: vm profile dumped to db.tml.prof
+  tmld: stopped
+
+The slow log is durable: the sidecar survives next to the store and a
+restarted server still reports the pre-restart entry.
+
+  $ test -f db.tml.slowlog && echo "sidecar present"
+  sidecar present
+  $ tmld --store db.tml --socket "$SOCK" >server2.log 2>&1 &
+  $ SERVER=$!
+  $ for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+  $ tmlsh <<IN >reload.out 2>&1
+  > :connect $SOCK
+  > :slow
+  > :quit
+  > IN
+  $ grep -q "q.index-select" reload.out && echo "slow log survived the restart"
+  slow log survived the restart
+  $ kill -TERM "$SERVER"
+  $ wait "$SERVER"
+
+The trace is a loadable Chrome document: every commit.group span is
+tagged with a positive fsync group id, every commit.sealed instant
+joins a request trace id to its group, and the lock-wait/fsync phases
+that decompose the E13 tail are all present.
+
+  $ python3 - <<'EOF'
+  > import json
+  > doc = json.load(open("trace.json"))
+  > evs = doc["traceEvents"]
+  > groups = [e for e in evs if e.get("name") == "commit.group" and e.get("ph") == "B"]
+  > assert groups, "no commit.group span"
+  > assert all(e["args"]["group"] >= 1 for e in groups), "commit.group without a group id"
+  > sealed = [e for e in evs if e.get("name") == "commit.sealed"]
+  > assert sealed, "no commit.sealed instant"
+  > assert all(e["args"]["group"] >= 1 and e["args"]["trace"] >= 1 for e in sealed), \
+  >     "commit.sealed without trace/group join"
+  > names = {e.get("name") for e in evs}
+  > for want in ("server.eval", "server.commit", "eval_lock.wait", "eval_lock.hold",
+  >              "commit.group", "commit.fsync", "slow.query"):
+  >     assert want in names, "missing span: " + want
+  > assert all("pid" in e and "tid" in e and "ts" in e for e in evs), "untagged event"
+  > print("trace ok")
+  > EOF
+  trace ok

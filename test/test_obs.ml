@@ -91,7 +91,8 @@ let test_memory_sink_bound () =
   let sink, drain = Trace.memory_sink ~limit:4 () in
   for i = 0 to 9 do
     sink.Trace.sk_emit
-      { Trace.ev_name = string_of_int i; ev_cat = "t"; ev_ph = Trace.I; ev_ts = 0.0; ev_args = [] }
+      { Trace.ev_name = string_of_int i; ev_cat = "t"; ev_ph = Trace.I; ev_ts = 0.0;
+        ev_args = []; ev_tid = 1 }
   done;
   check tbool "ring keeps the newest" true
     (List.map (fun e -> e.Trace.ev_name) (drain ()) = [ "6"; "7"; "8"; "9" ])
@@ -99,7 +100,8 @@ let test_memory_sink_bound () =
 (* fixed event list shared by the renderer tests and the golden file *)
 let golden_events =
   [
-    { Trace.ev_name = "optimize"; ev_cat = "optimizer"; ev_ph = Trace.B; ev_ts = 0.0; ev_args = [] };
+    { Trace.ev_name = "optimize"; ev_cat = "optimizer"; ev_ph = Trace.B; ev_ts = 0.0;
+      ev_args = []; ev_tid = 1 };
     {
       Trace.ev_name = "rule_fire";
       ev_cat = "optimizer";
@@ -113,14 +115,17 @@ let golden_events =
           "hot", Trace.Bool true;
           "ratio", Trace.Float 0.5;
         ];
+      ev_tid = 1;
     };
-    { Trace.ev_name = "optimize"; ev_cat = "optimizer"; ev_ph = Trace.E; ev_ts = 250.0; ev_args = [] };
+    { Trace.ev_name = "optimize"; ev_cat = "optimizer"; ev_ph = Trace.E; ev_ts = 250.0;
+      ev_args = []; ev_tid = 1 };
     {
       Trace.ev_name = "vm.run_steps";
       ev_cat = "vm";
       ev_ph = Trace.C;
       ev_ts = 1000.0;
       ev_args = [ "steps", Trace.Int 42 ];
+      ev_tid = 1;
     };
   ]
 
@@ -154,6 +159,37 @@ let test_chrome_sink_streams () =
       let streamed = In_channel.with_open_bin path In_channel.input_all in
       check tstr "streaming sink = pure renderer" (Trace.chrome_of_events golden_events)
         streamed)
+
+let test_memory_sink_counts_drops () =
+  Metrics.reset_all ();
+  let dropped = Metrics.counter "trace.dropped_spans" in
+  let before = Metrics.counter_value dropped in
+  let sink, _drain = Trace.memory_sink ~limit:4 () in
+  for i = 0 to 9 do
+    sink.Trace.sk_emit
+      { Trace.ev_name = string_of_int i; ev_cat = "t"; ev_ph = Trace.I; ev_ts = 0.0;
+        ev_args = []; ev_tid = 1 }
+  done;
+  (* eviction is not silent: the ring owns up to every lost span *)
+  check tint "evictions counted" 6 (Metrics.counter_value dropped - before);
+  check tbool "surfaced in the stats snapshot" true
+    (contains (Metrics.snapshot_json ()) "\"trace.dropped_spans\":6")
+
+let test_tid_stamping () =
+  let saved = !Trace.tid_source in
+  Trace.tid_source := (fun () -> 7);
+  Fun.protect
+    ~finally:(fun () -> Trace.tid_source := saved)
+    (fun () ->
+      let events =
+        with_tracing (fun drain ->
+            Trace.with_span ~cat:"t" "threaded" (fun () -> ());
+            drain ())
+      in
+      check tbool "events stamped with the installed tid" true
+        (List.for_all (fun e -> e.Trace.ev_tid = 7) events);
+      check tbool "tid reaches the Chrome JSON" true
+        (contains (Trace.chrome_of_events events) "\"tid\":7"))
 
 (* ------------------------------------------------------------------ *)
 (* metrics registry                                                     *)
@@ -200,6 +236,205 @@ let test_vm_run_metric () =
   check tint "vm_run observes" 2 (Metrics.histogram_count h);
   check (Alcotest.float 1e-9) "vm_run sums steps" 40.0 (Metrics.histogram_sum h);
   Metrics.reset_all ()
+
+(* the reservoir percentile estimator must stay coherent under
+   concurrent writers: no torn snapshot (count from one moment, sum from
+   another), no crash, percentiles inside the observed range *)
+let test_reservoir_concurrent () =
+  Metrics.reset_all ();
+  let h = Metrics.histogram "t.concurrent" in
+  let writers = 4 and per_writer = 5000 in
+  let stop_readers = ref false in
+  let reader_failures = ref 0 in
+  let readers =
+    Array.init 2 (fun _ ->
+        Thread.create
+          (fun () ->
+            while not !stop_readers do
+              let p50 = Metrics.percentile h 0.5 in
+              let p99 = Metrics.percentile h 0.99 in
+              if p50 < 0.0 || p50 > 1.0 || p99 < 0.0 || p99 > 1.0 then incr reader_failures;
+              Thread.yield ()
+            done)
+          ())
+  in
+  let threads =
+    Array.init writers (fun _ ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per_writer - 1 do
+              Metrics.observe h (float_of_int (i mod 1000) /. 999.0)
+            done)
+          ())
+  in
+  Array.iter Thread.join threads;
+  stop_readers := true;
+  Array.iter Thread.join readers;
+  check tint "no observation lost" (writers * per_writer) (Metrics.histogram_count h);
+  let expected_sum =
+    float_of_int writers *. (float_of_int per_writer /. 1000.0)
+    *. (Array.init 1000 (fun i -> float_of_int i /. 999.0) |> Array.fold_left ( +. ) 0.0)
+  in
+  check (Alcotest.float 1e-6) "no partial sum" expected_sum (Metrics.histogram_sum h);
+  check tint "no torn percentile read" 0 !reader_failures;
+  let p50 = Metrics.percentile h 0.5 in
+  check tbool "p50 within the observed range" true (p50 >= 0.0 && p50 <= 1.0);
+  Metrics.reset_all ()
+
+let test_prometheus_exposition () =
+  Metrics.reset_all ();
+  Metrics.inc (Metrics.counter "server.evals");
+  Metrics.set_gauge (Metrics.gauge "server.active_sessions") 3.0;
+  let h = Metrics.histogram ~labels:[ "kind", "eval" ] "eval_lock.wait_s" in
+  Metrics.observe h 0.25;
+  Metrics.observe h 0.75;
+  Metrics.register_source ~name:"query"
+    ~snapshot:(fun () -> [ "index_probes", Metrics.I 12 ])
+    ~reset:(fun () -> ());
+  let doc = Metrics.prometheus () in
+  Metrics.unregister_source "query";
+  (* dotted names are sanitized to the Prometheus alphabet *)
+  check tbool "counter type line" true (contains doc "# TYPE server_evals counter");
+  check tbool "counter sample" true (contains doc "server_evals 1");
+  check tbool "gauge sample" true (contains doc "server_active_sessions 3");
+  check tbool "summary type line" true (contains doc "# TYPE eval_lock_wait_s summary");
+  check tbool "labels merge with quantile" true
+    (contains doc "eval_lock_wait_s{quantile=\"0.5\",kind=\"eval\"}");
+  check tbool "summary count" true (contains doc "eval_lock_wait_s_count{kind=\"eval\"} 2");
+  check tbool "summary sum" true (contains doc "eval_lock_wait_s_sum{kind=\"eval\"} 1");
+  check tbool "source flattened to a gauge" true (contains doc "query_index_probes 12");
+  Metrics.reset_all ()
+
+(* ------------------------------------------------------------------ *)
+(* slow-query log                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Slowlog = Tml_obs.Slowlog
+
+let slow_entry ?(trace = 0xbeef) ?(src = "count(r)") ?(rules = []) ?(facts = []) () =
+  {
+    Slowlog.sl_trace = trace;
+    sl_kind = "eval";
+    sl_source = src;
+    sl_duration_s = 0.125;
+    sl_steps = 4242;
+    sl_tier = "tiered";
+    sl_page_faults = 3;
+    sl_index_probes = 17;
+    sl_rules = rules;
+    sl_facts = facts;
+  }
+
+let test_slowlog_ring () =
+  let log = Slowlog.create ~limit:3 () in
+  check tint "empty" 0 (Slowlog.length log);
+  for i = 1 to 5 do
+    Slowlog.add log (slow_entry ~trace:i ())
+  done;
+  check tint "bounded" 3 (Slowlog.length log);
+  check tint "drop count" 2 (Slowlog.dropped log);
+  check tbool "oldest evicted, order kept" true
+    (List.map (fun e -> e.Slowlog.sl_trace) (Slowlog.entries log) = [ 3; 4; 5 ]);
+  Slowlog.clear log;
+  check tint "cleared" 0 (Slowlog.length log)
+
+let test_slowlog_codec () =
+  let log = Slowlog.create ~limit:8 () in
+  Slowlog.add log
+    (slow_entry
+       ~src:"select(fun (t) => field(t, 1) > \"weird\n\t\" end, r)"
+       ~rules:[ "q.index-select"; "beta" ]
+       ~facts:[ "index on field 2 of <oid 0x00000a>"; "" ]
+       ());
+  Slowlog.add log (slow_entry ~trace:0 ~src:"" ());
+  let decoded = Slowlog.decode ~limit:8 (Slowlog.encode log) in
+  check tbool "entries survive the codec" true (Slowlog.entries decoded = Slowlog.entries log);
+  check tint "limit is the caller's" 8 (Slowlog.limit decoded);
+  (match Slowlog.decode "not a slow log" with
+  | exception Slowlog.Corrupt _ -> ()
+  | (_ : Slowlog.t) -> Alcotest.fail "bad magic accepted");
+  let truncated =
+    let s = Slowlog.encode log in
+    String.sub s 0 (String.length s - 2)
+  in
+  match Slowlog.decode truncated with
+  | exception Slowlog.Corrupt _ -> ()
+  | (_ : Slowlog.t) -> Alcotest.fail "truncated payload accepted"
+
+let test_slowlog_persistence () =
+  let path = Filename.temp_file "tmlslow" ".slowlog" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let log = Slowlog.create ~limit:4 () in
+      Slowlog.add log (slow_entry ~rules:[ "q.merge-select" ] ());
+      Slowlog.save log path;
+      let reloaded = Slowlog.load path in
+      check tbool "entries reload" true (Slowlog.entries reloaded = Slowlog.entries log);
+      (* a corrupt sidecar must never cost the server: load yields empty *)
+      Out_channel.with_open_bin path (fun oc -> output_string oc "garbage");
+      check tint "corrupt file loads as empty" 0 (Slowlog.length (Slowlog.load path));
+      check tint "missing file loads as empty" 0
+        (Slowlog.length (Slowlog.load (path ^ ".nope"))))
+
+let test_slowlog_rendering () =
+  let log = Slowlog.create ~limit:4 () in
+  Slowlog.add log (slow_entry ~trace:1 ~src:"count(older)" ());
+  Slowlog.add log
+    (slow_entry ~trace:2 ~src:"count(newer)" ~rules:[ "q.index-select" ]
+       ~facts:[ "index on field 2" ] ());
+  let json = Slowlog.to_json log in
+  check tbool "json shape" true
+    (contains json "\"limit\":4" && contains json "\"dropped\":0"
+    && contains json "\"entries\":[");
+  check tbool "json carries the rule names" true (contains json "q.index-select");
+  let text = Format.asprintf "%a" Slowlog.pp log in
+  check tbool "pp names both queries" true
+    (contains text "count(older)" && contains text "count(newer)");
+  check tbool "pp lists fired rules" true (contains text "q.index-select");
+  (* newest first in the human rendering *)
+  let index_of needle =
+    let n = String.length needle in
+    let rec find i = if String.sub text i n = needle then i else find (i + 1) in
+    find 0
+  in
+  check tbool "newest entry printed first" true
+    (index_of "count(newer)" < index_of "count(older)")
+
+(* ------------------------------------------------------------------ *)
+(* vm profiler                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_vmprof_attribution () =
+  let saved = !Vmprof.enabled in
+  Vmprof.reset ();
+  Vmprof.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Vmprof.enabled := saved;
+      Vmprof.reset ())
+    (fun () ->
+      let program =
+        Tml_frontend.Link.load
+          "let burn(x: Int): Int = x * x + x\n\
+           do io.print_int(burn(3)) end\n\
+           do io.print_int(burn(4)) end"
+      in
+      (match Tml_frontend.Link.run_main program ~engine:`Machine () with
+      | (Eval.Done _ | Eval.Raised _), (_ : int) -> ()
+      | _ -> Alcotest.fail "main did not finish");
+      let samples = Vmprof.samples () in
+      check tbool "steps attributed to the stored function" true
+        (List.exists
+           (fun s ->
+             contains s.Vmprof.vp_key "burn" && s.Vmprof.vp_steps > 0 && s.Vmprof.vp_calls >= 2)
+           samples);
+      check tbool "total covers the samples" true
+        (Vmprof.total_steps () >= List.fold_left (fun a s -> a + s.Vmprof.vp_steps) 0 samples);
+      let collapsed = Vmprof.collapsed () in
+      check tbool "collapsed stack line" true (contains collapsed ";burn#");
+      let report = Format.asprintf "%a" Vmprof.pp () in
+      check tbool "report names the function" true (contains report "burn"))
 
 (* ------------------------------------------------------------------ *)
 (* provenance: recording, replay, codecs                                *)
@@ -392,6 +627,8 @@ let () =
           Alcotest.test_case "span exception" `Quick test_span_exception;
           Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent;
           Alcotest.test_case "memory sink bound" `Quick test_memory_sink_bound;
+          Alcotest.test_case "memory sink counts drops" `Quick test_memory_sink_counts_drops;
+          Alcotest.test_case "tid stamping" `Quick test_tid_stamping;
           Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
           Alcotest.test_case "chrome/jsonl shape" `Quick test_chrome_shape;
           Alcotest.test_case "chrome sink streams" `Quick test_chrome_sink_streams;
@@ -400,7 +637,18 @@ let () =
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
           Alcotest.test_case "vm.run_steps" `Quick test_vm_run_metric;
+          Alcotest.test_case "reservoir under concurrency" `Quick test_reservoir_concurrent;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
         ] );
+      ( "slowlog",
+        [
+          Alcotest.test_case "bounded ring" `Quick test_slowlog_ring;
+          Alcotest.test_case "codec round trip" `Quick test_slowlog_codec;
+          Alcotest.test_case "persistence" `Quick test_slowlog_persistence;
+          Alcotest.test_case "rendering" `Quick test_slowlog_rendering;
+        ] );
+      ( "vmprof",
+        [ Alcotest.test_case "step attribution" `Quick test_vmprof_attribution ] );
       ( "provenance",
         [
           Alcotest.test_case "basics" `Quick test_provenance_basics;

@@ -26,7 +26,7 @@ let temp_path suffix =
   path
 
 let config ?(max_clients = 64) ?(window = 0.05) ?(staged_cap = 16 * 1024 * 1024)
-    ?(stripe = 4096) ~store ~sock () =
+    ?(stripe = 4096) ?(slow_ms = 0.) ?(slowlog_limit = 128) ~store ~sock () =
   {
     (Server.default_config ~store_path:store ~addr:(Wire.Unix_path sock)) with
     Server.max_clients;
@@ -34,16 +34,22 @@ let config ?(max_clients = 64) ?(window = 0.05) ?(staged_cap = 16 * 1024 * 1024)
     staged_cap;
     fsync = false;
     stripe;
+    slow_ms;
+    slowlog_limit;
   }
 
-let with_server ?max_clients ?window ?staged_cap ?stripe f =
+let with_server ?max_clients ?window ?staged_cap ?stripe ?slow_ms ?slowlog_limit f =
   let store = temp_path ".tmlstore" in
   let sock = temp_path ".sock" in
-  let t = Server.start (config ?max_clients ?window ?staged_cap ?stripe ~store ~sock ()) in
+  let t =
+    Server.start
+      (config ?max_clients ?window ?staged_cap ?stripe ?slow_ms ?slowlog_limit ~store ~sock ())
+  in
   Fun.protect
     ~finally:(fun () ->
       Server.stop t;
       if Sys.file_exists store then Sys.remove store;
+      if Sys.file_exists (store ^ ".slowlog") then Sys.remove (store ^ ".slowlog");
       if Sys.file_exists sock then Sys.remove sock)
     (fun () -> f (Wire.Unix_path sock) t)
 
@@ -309,11 +315,15 @@ let test_wire_roundtrip () =
       Wire.Explain "f";
       Wire.Fetch "f";
       Wire.Pull 42;
+      Wire.Slowlog { json = true };
+      Wire.Slowlog { json = false };
+      Wire.Prom;
       Wire.Bye;
     ]
   in
   List.iter
-    (fun req -> check tbool "req round trip" true (Wire.decode_req (Wire.encode_req req) = req))
+    (fun req ->
+      check tbool "req round trip" true (Wire.decode_req (Wire.encode_req req) = (req, None)))
     reqs;
   let resps =
     [
@@ -333,8 +343,149 @@ let test_wire_roundtrip () =
       check tbool "resp round trip" true (Wire.decode_resp (Wire.encode_resp resp) = resp))
     resps;
   match Wire.decode_req "\xee" with
-  | (_ : Wire.req) -> Alcotest.fail "unknown tag must be rejected"
+  | (_ : Wire.req * Wire.trace_ctx option) -> Alcotest.fail "unknown tag must be rejected"
   | exception Wire.Wire_error _ -> ()
+
+(* --- trace context --------------------------------------------------- *)
+
+let test_trace_ctx_roundtrip () =
+  let tc = { Wire.tc_id = 0x7abc123; tc_span = 42 } in
+  List.iter
+    (fun req ->
+      check tbool "trace trailer round trips" true
+        (Wire.decode_req (Wire.encode_req ~trace:tc req) = (req, Some tc)))
+    [ Wire.Eval "count(r)"; Wire.Commit; Wire.Pull 9; Wire.Slowlog { json = false } ];
+  (* an old client sends no trailer: the request must decode with no
+     trace, not fail — version tolerance both ways *)
+  check tbool "absent trailer decodes as None" true
+    (Wire.decode_req (Wire.encode_req (Wire.Eval "1 + 1")) = (Wire.Eval "1 + 1", None));
+  (* a future trailer tag after the request body is ignored, not fatal *)
+  let framed = Wire.encode_req Wire.Commit ^ "\x5awhatever" in
+  (match Wire.decode_req framed with
+  | Wire.Commit, None -> ()
+  | _ -> Alcotest.fail "unknown trailer must be tolerated");
+  (* ~trace:false clients advertise no id *)
+  with_server (fun addr _t ->
+      let c = Client.connect ~trace:false addr in
+      ignore (eval_ok c "1 + 1");
+      check tint "no trace id without injection" 0 (Client.last_trace_id c);
+      Client.close c;
+      let traced = Client.connect addr in
+      ignore (eval_ok traced "2 + 2");
+      check tbool "traced client advertises an id" true (Client.last_trace_id traced > 0);
+      Client.close traced)
+
+(* --- slow-query log -------------------------------------------------- *)
+
+let test_slowlog_over_wire () =
+  (* a threshold of one nanosecond: every request is "slow" *)
+  with_server ~slow_ms:0.000001 (fun addr t ->
+      let c = Client.connect addr in
+      ignore (eval_ok c "let r = relation(tuple(1, 10), tuple(2, 20))");
+      ignore (eval_ok c "count(r)");
+      let log = Server.slowlog t in
+      check tbool "entries were captured" true (Tml_obs.Slowlog.length log >= 2);
+      let entry =
+        List.find
+          (fun e -> contains ~needle:"count(r)" e.Tml_obs.Slowlog.sl_source)
+          (Tml_obs.Slowlog.entries log)
+      in
+      check tbool "entry carries the request's trace id" true
+        (entry.Tml_obs.Slowlog.sl_trace = Client.last_trace_id c);
+      check tbool "entry counted vm steps" true (entry.Tml_obs.Slowlog.sl_steps > 0);
+      (* the wire surfaces: text names the source, JSON parses the shape *)
+      let text = Client.slowlog c in
+      check tbool "text rendering names the query" true (contains ~needle:"count(r)" text);
+      let json = Client.slowlog ~json:true c in
+      check tbool "json rendering has entries" true (contains ~needle:"\"entries\":" json);
+      check tbool "json rendering names the query" true (contains ~needle:"count(r)" json);
+      (* the eval-lock histograms decomposing request latency filled up *)
+      check tbool "eval_lock.wait_s observed" true
+        (Metrics.histogram_count (Metrics.histogram "eval_lock.wait_s") > 0);
+      check tbool "eval_lock.hold_s observed" true
+        (Metrics.histogram_count (Metrics.histogram "eval_lock.hold_s") > 0);
+      Client.close c)
+
+let test_slowlog_survives_restart () =
+  let store = temp_path ".tmlstore" in
+  let sock = temp_path ".sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists store then Sys.remove store;
+      if Sys.file_exists (store ^ ".slowlog") then Sys.remove (store ^ ".slowlog");
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let t = Server.start (config ~slow_ms:0.000001 ~store ~sock ()) in
+      let c = Client.connect (Wire.Unix_path sock) in
+      ignore (eval_ok c "let r = relation(tuple(7, 70))");
+      Client.close c;
+      Server.stop t;
+      (* a fresh process (new server value) reloads the sidecar ring *)
+      let t2 = Server.start (config ~slow_ms:0.000001 ~store ~sock ()) in
+      let reloaded = Server.slowlog t2 in
+      check tbool "slow log survived the restart" true (Tml_obs.Slowlog.length reloaded >= 1);
+      check tbool "reloaded entry names the query" true
+        (List.exists
+           (fun e -> contains ~needle:"relation(tuple(7, 70))" e.Tml_obs.Slowlog.sl_source)
+           (Tml_obs.Slowlog.entries reloaded));
+      Server.stop t2)
+
+(* --- request spans ---------------------------------------------------- *)
+
+let test_commit_spans_carry_group_id () =
+  let module Trace = Tml_obs.Trace in
+  let sink, drain = Trace.memory_sink () in
+  let id = Trace.add_sink sink in
+  Trace.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.enabled := false;
+      Trace.remove_sink id)
+    (fun () ->
+      with_server (fun addr _t ->
+          let c = Client.connect addr in
+          ignore (eval_ok c "let r = relation(tuple(1, 10))");
+          ignore (commit_ok c);
+          let trace_id = Client.last_trace_id c in
+          Client.close c;
+          let events = drain () in
+          let arg_int name ev =
+            match List.assoc_opt name ev.Trace.ev_args with
+            | Some (Trace.Int v) -> Some v
+            | _ -> None
+          in
+          (* the fsync group span is tagged with its group id *)
+          let group_gid =
+            List.find_map
+              (fun ev ->
+                if ev.Trace.ev_name = "commit.group" && ev.Trace.ev_ph = Trace.B then
+                  arg_int "group" ev
+                else None)
+              events
+          in
+          (match group_gid with
+          | Some gid -> check tbool "group span has a positive gid" true (gid > 0)
+          | None -> Alcotest.fail "no commit.group span with a group id");
+          (* the sealed instant joins the request's trace id to that gid *)
+          let sealed =
+            List.find_opt
+              (fun ev ->
+                ev.Trace.ev_name = "commit.sealed"
+                && arg_int "trace" ev = Some trace_id
+                && arg_int "group" ev = group_gid)
+              events
+          in
+          check tbool "commit.sealed joins trace id to group id" true (sealed <> None);
+          (* the server wrapped the request in a span naming the phase *)
+          check tbool "server.commit span emitted" true
+            (List.exists
+               (fun ev -> ev.Trace.ev_name = "server.commit" && ev.Trace.ev_ph = Trace.B)
+               events);
+          (* the server stamps real thread ids: the connection handler
+             and the committer are different threads, so their spans
+             must land on different Chrome tracks *)
+          let tids = List.sort_uniq compare (List.map (fun ev -> ev.Trace.ev_tid) events) in
+          check tbool "spans span multiple threads" true (List.length tids >= 2)))
 
 let () =
   (* a server tearing down a connection mid-write must surface as EPIPE,
@@ -345,7 +496,18 @@ let () =
   Alcotest.run "tml_server"
     [
       ( "wire",
-        [ Alcotest.test_case "message codec round trips" `Quick test_wire_roundtrip ] );
+        [
+          Alcotest.test_case "message codec round trips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "trace-context trailer" `Quick test_trace_ctx_roundtrip;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "slow-query log over the wire" `Quick test_slowlog_over_wire;
+          Alcotest.test_case "slow-query log survives restart" `Quick
+            test_slowlog_survives_restart;
+          Alcotest.test_case "commit spans carry fsync group ids" `Quick
+            test_commit_spans_carry_group_id;
+        ] );
       ( "mvcc",
         [
           Alcotest.test_case "snapshot isolation across epochs" `Quick test_snapshot_isolation;
